@@ -1,0 +1,192 @@
+(* Benchmark harness: one Bechamel micro-benchmark per table/figure
+   workload of the paper, followed by the full regeneration of every
+   table and figure (paper-vs-measured).
+
+   Run with:  dune exec bench/main.exe
+   Environment:
+     PIPESCHED_STUDY_COUNT  blocks in the main study (default 16000)
+     PIPESCHED_BENCH_QUOTA  seconds per micro-benchmark (default 0.5) *)
+
+open Bechamel
+open Toolkit
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+open Pipesched_core
+module Rng = Pipesched_prelude.Rng
+module Generator = Pipesched_synth.Generator
+module Harness = Pipesched_harness
+
+let machine = Machine.Presets.simulation
+
+(* Deterministic fixture: a block whose optimized size is exactly [n]. *)
+let block_of_size seed n =
+  let rng = Rng.create seed in
+  let rec go attempts best =
+    if attempts = 0 then snd (Option.get best)
+    else
+      let blk = Generator.block rng (Generator.sample_params rng) in
+      let d = abs (Block.length blk - n) in
+      let best =
+        match best with
+        | Some (d0, _) when d0 <= d -> best
+        | _ -> Some (d, blk)
+      in
+      if d = 0 then blk else go (attempts - 1) best
+  in
+  go 3000 None
+
+let dag_of n = Dag.of_block (block_of_size (1000 + n) n)
+
+let dag10 = dag_of 10
+let dag15 = dag_of 15
+let dag16 = dag_of 16
+let dag20 = dag_of 20
+let dag30 = dag_of 30
+let dag11 = dag_of 11
+
+let order15 = List_sched.schedule List_sched.Max_distance dag15
+
+let search ?(options = Optimal.default_options) dag () =
+  ignore (Optimal.schedule ~options machine dag)
+
+let with_options o =
+  { Optimal.default_options with Optimal.lambda = 50_000 } |> o
+
+let tests =
+  [ (* §2.3: the cost of one Omega call on a typical 15-instruction
+       block (the paper measured 0.12 ms on a Gould NP1). *)
+    Test.make ~name:"omega/evaluate-n15"
+      (Staged.stage (fun () ->
+           ignore (Omega.evaluate machine dag15 ~order:order15)));
+    (* Table 1 workloads: the proposed pruned search, and the legal-only
+       enumeration it is compared against. *)
+    Test.make ~name:"table1/proposed-search-n16"
+      (Staged.stage (search dag16));
+    Test.make ~name:"table1/legal-only-count-n11"
+      (Staged.stage (fun () ->
+           ignore (Baselines.count_legal_schedules ~cutoff:200_000 dag11)));
+    (* Table 7: one full study step — generate, compile, schedule. *)
+    Test.make ~name:"table7/study-step"
+      (Staged.stage
+         (let rng = Rng.create 7 in
+          fun () ->
+            let blk = Generator.block rng (Generator.sample_params rng) in
+            ignore (Harness.Study.run_block machine blk)));
+    (* Figures 1 and 6: search cost across block sizes. *)
+    Test.make ~name:"fig1-fig6/search-n10" (Staged.stage (search dag10));
+    Test.make ~name:"fig1-fig6/search-n20" (Staged.stage (search dag20));
+    Test.make ~name:"fig1-fig6/search-n30" (Staged.stage (search dag30));
+    (* Figure 4: the list-schedule seed (initial NOPs) vs the search. *)
+    Test.make ~name:"fig4/list-schedule-n20"
+      (Staged.stage (fun () ->
+           ignore (List_sched.schedule List_sched.Max_distance dag20)));
+    (* Figure 5: the synthetic generator itself. *)
+    Test.make ~name:"fig5/generate-block"
+      (Staged.stage
+         (let rng = Rng.create 5 in
+          fun () ->
+            ignore (Generator.block rng (Generator.sample_params rng))));
+    (* Figure 7: a curtailed search (lambda = 1000). *)
+    Test.make ~name:"fig7/curtailed-search-n30"
+      (Staged.stage
+         (search
+            ~options:{ Optimal.default_options with Optimal.lambda = 1_000 }
+            dag30));
+    (* Ablations (DESIGN.md §5): the two optimality-preserving extensions
+       and the machine-aware seed. *)
+    Test.make ~name:"ablation/critical-path-bound-n20"
+      (Staged.stage
+         (search
+            ~options:
+              (with_options (fun o ->
+                   { o with Optimal.lower_bound = Optimal.Critical_path }))
+            dag20));
+    Test.make ~name:"ablation/strong-equivalence-n20"
+      (Staged.stage
+         (search
+            ~options:
+              (with_options (fun o ->
+                   { o with Optimal.strong_equivalence = true }))
+            dag20));
+    Test.make ~name:"ablation/no-list-seed-n20"
+      (Staged.stage
+         (search
+            ~options:
+              (with_options (fun o ->
+                   { o with Optimal.seed = List_sched.Source_order }))
+            dag20));
+    (* Baseline one-pass schedulers. *)
+    Test.make ~name:"baseline/greedy-n20"
+      (Staged.stage (fun () -> ignore (Baselines.greedy machine dag20)));
+    Test.make ~name:"baseline/gross-n20"
+      (Staged.stage (fun () -> ignore (Baselines.gross machine dag20)));
+    (* Multi-pipe extension on the demo machine. *)
+    Test.make ~name:"extension/multi-pipe-n10"
+      (Staged.stage (fun () ->
+           ignore (Optimal.schedule_multi Machine.Presets.demo dag10)));
+    (* Windowed scheduling of a large block (§5.3). *)
+    Test.make ~name:"extension/windowed-w8-n30"
+      (Staged.stage (fun () ->
+           ignore (Windowed.schedule ~window:8 machine dag30)));
+    (* Region scheduling with entry-state threading (footnote 1). *)
+    Test.make ~name:"extension/region-3-blocks"
+      (Staged.stage
+         (let dags = [ dag10; dag_of 12; dag_of 9 ] in
+          fun () -> ignore (Region.schedule machine dags)));
+    (* Whole-program compilation with control flow (§6). *)
+    Test.make ~name:"extension/cflow-compile+schedule"
+      (Staged.stage
+         (let prog =
+            Pipesched_synth.Generator.structured_program (Rng.create 44)
+              { Pipesched_synth.Generator.statements = 12; variables = 5;
+                constants = 3 }
+              ~depth:2
+          in
+          fun () ->
+            let cfg =
+              Pipesched_cflow.Cfg.merge_chains
+                (Pipesched_cflow.Lower.lower prog)
+            in
+            ignore (Pipesched_cflow.Schedule.schedule machine cfg)))
+  ]
+
+let run_benchmarks () =
+  let quota =
+    match Sys.getenv_opt "PIPESCHED_BENCH_QUOTA" with
+    | Some s -> float_of_string s
+    | None -> 0.5
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota)
+      ~kde:None ~stabilize:true ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  Printf.printf
+    "Micro-benchmarks (one per table/figure workload; ns per run):\n";
+  Printf.printf "  %-36s %14s\n" "benchmark" "ns/run";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-36s %14.1f\n" name est
+          | Some _ | None -> Printf.printf "  %-36s %14s\n" name "n/a")
+        analyzed)
+    tests;
+  Printf.printf "\n%!"
+
+let () =
+  run_benchmarks ();
+  let count =
+    match Sys.getenv_opt "PIPESCHED_STUDY_COUNT" with
+    | Some s -> int_of_string s
+    | None -> 16_000
+  in
+  Harness.Experiments.run_all ~count Format.std_formatter

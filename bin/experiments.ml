@@ -1,0 +1,97 @@
+(* Regenerate the tables and figures of the paper (see DESIGN.md §4). *)
+
+module E = Pipesched_harness.Experiments
+
+let sections =
+  [ "machines"; "table1"; "table6"; "table7"; "fig1"; "fig4"; "fig5";
+    "fig6"; "fig7"; "ablation"; "machine-sweep"; "structure-sweep"; "windowed"; "region";
+    "heuristics"; "kernels"; "pressure"; "dynamic" ]
+
+let run count seed quick lambda strong only =
+  let count = if quick then min count 1_000 else count in
+  let fmt = Format.std_formatter in
+  (match only with
+   | [] -> E.run_all ~seed ~count ~lambda ~strong fmt
+   | wanted ->
+     List.iter
+       (fun section ->
+         if not (List.mem section sections) then begin
+           Format.eprintf "unknown section %S (have: %s)@." section
+             (String.concat ", " sections);
+           exit 2
+         end)
+       wanted;
+     let study = lazy (E.run_study ~seed ~count ~lambda ~strong ()) in
+     List.iter
+       (fun section ->
+         match section with
+         | "machines" -> E.print_machines fmt
+         | "table1" -> E.print_table1 fmt ()
+         | "table6" -> E.print_table6 fmt
+         | "table7" -> E.print_table7 fmt (Lazy.force study)
+         | "fig1" -> E.print_fig1 fmt (Lazy.force study)
+         | "fig4" -> E.print_fig4 fmt (Lazy.force study)
+         | "fig5" -> E.print_fig5 fmt (Lazy.force study)
+         | "fig6" -> E.print_fig6 fmt (Lazy.force study)
+         | "fig7" -> E.print_fig7 fmt (Lazy.force study)
+         | "ablation" ->
+           Pipesched_harness.Ablation.print fmt
+             (Pipesched_harness.Ablation.run ~seed:(seed + 1)
+                ~count:(max 200 (count / 8))
+                ~lambda:20_000 Pipesched_machine.Machine.Presets.simulation)
+         | "machine-sweep" ->
+           E.print_machine_sweep ~count:(max 200 (count / 16)) fmt
+         | "structure-sweep" ->
+           E.print_structure_sweep ~count:(max 100 (count / 50)) fmt
+         | "windowed" -> E.print_windowed_study ~count:(max 50 (count / 100)) fmt
+         | "region" -> E.print_region_study ~count:(max 50 (count / 100)) fmt
+         | "heuristics" ->
+           E.print_heuristic_study ~count:(max 200 (count / 8)) fmt
+         | "kernels" -> E.print_kernel_study fmt
+         | "pressure" ->
+           E.print_pressure_study ~count:(max 150 (count / 20)) fmt
+         | "dynamic" -> E.print_dynamic_study ~count:(max 40 (count / 150)) fmt
+         | _ -> assert false)
+       wanted);
+  0
+
+open Cmdliner
+
+let count =
+  let doc = "Number of synthetic blocks in the main study (paper: 16000)." in
+  Arg.(value & opt int 16_000 & info [ "count"; "n" ] ~doc)
+
+let seed =
+  let doc = "Random seed for all generated populations." in
+  Arg.(value & opt int 1990 & info [ "seed" ] ~doc)
+
+let quick =
+  let doc = "Cap the study at 1000 blocks for a fast smoke run." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let lambda =
+  let doc = "Curtail point: maximum Omega calls per block." in
+  Arg.(value & opt int 50_000 & info [ "lambda" ] ~doc)
+
+let strong =
+  let doc =
+    "Enable the strong-equivalence pruning extension (still optimal)."
+  in
+  Arg.(value & flag & info [ "strong" ] ~doc)
+
+let only =
+  let doc =
+    Printf.sprintf "Run only the named sections (repeatable): %s."
+      (String.concat ", " sections)
+  in
+  Arg.(value & opt_all string [] & info [ "only" ] ~doc)
+
+let cmd =
+  let doc =
+    "reproduce the tables and figures of Nisar & Dietz (ICPP 1990)"
+  in
+  Cmd.v
+    (Cmd.info "pipesched-experiments" ~doc)
+    Term.(const run $ count $ seed $ quick $ lambda $ strong $ only)
+
+let () = exit (Cmd.eval' cmd)

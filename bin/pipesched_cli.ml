@@ -1,0 +1,290 @@
+(* The pipesched command-line compiler driver: source text in, optimally
+   scheduled (and register-allocated) code out. *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+open Pipesched_core
+module Frontend = Pipesched_frontend
+module Regalloc = Pipesched_regalloc
+
+type scheduler = Optimal_s | Optimal_multi | List_s | Greedy | Gross | Source
+
+let scheduler_conv =
+  let parse = function
+    | "optimal" -> Ok Optimal_s
+    | "optimal-multi" -> Ok Optimal_multi
+    | "list" -> Ok List_s
+    | "greedy" -> Ok Greedy
+    | "gross" -> Ok Gross
+    | "source" -> Ok Source
+    | s -> Error (`Msg (Printf.sprintf "unknown scheduler %S" s))
+  in
+  let print fmt s =
+    Format.pp_print_string fmt
+      (match s with
+       | Optimal_s -> "optimal"
+       | Optimal_multi -> "optimal-multi"
+       | List_s -> "list"
+       | Greedy -> "greedy"
+       | Gross -> "gross"
+       | Source -> "source")
+  in
+  Cmdliner.Arg.conv (parse, print)
+
+let machine_conv =
+  let parse s =
+    match Machine.Presets.find s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown machine %S (have: %s)" s
+              (String.concat ", "
+                 (List.map fst Machine.Presets.all))))
+  in
+  let print fmt m = Format.pp_print_string fmt (Machine.name m) in
+  Cmdliner.Arg.conv (parse, print)
+
+let read_input file expr =
+  match (file, expr) with
+  | _, Some src -> src
+  | Some "-", _ | None, None ->
+    In_channel.input_all In_channel.stdin
+  | Some f, _ -> In_channel.with_open_text f In_channel.input_all
+
+let run file expr machine machine_file sched lambda registers optimize
+    tuples_in show_tuples show_asm show_tables show_timeline show_dot
+    show_explain =
+  try
+    let machine =
+      match machine_file with
+      | None -> machine
+      | Some path -> (
+        match
+          Machine.parse (In_channel.with_open_text path In_channel.input_all)
+        with
+        | Ok m -> m
+        | Error (line, msg) ->
+          Format.eprintf "%s:%d: %s@." path line msg;
+          exit 1)
+    in
+    let src = read_input file expr in
+    if tuples_in then begin
+      (* Input is tuple-block text (e.g. from pipesched-synthgen). *)
+      match Block.parse src with
+      | Error (line, msg) ->
+        Format.eprintf "tuple input, line %d: %s@." line msg;
+        exit 1
+      | Ok blk ->
+        let dag = Dag.of_block blk in
+        let options = { Optimal.default_options with Optimal.lambda } in
+        let o = Optimal.schedule ~options machine dag in
+        Format.printf
+          "%d instructions: list %d NOPs, optimal %d NOPs (%s)@."
+          (Block.length blk) o.Optimal.initial.Omega.nops
+          o.Optimal.best.Omega.nops
+          (if o.Optimal.stats.Optimal.completed then "proved"
+           else "curtailed");
+        if show_timeline then
+          Format.printf "@.%s@."
+            (Timeline.render machine dag o.Optimal.best);
+        exit 0
+    end;
+    let program = Frontend.Parser.parse src in
+    if not (Frontend.Ast.straight_line program) then begin
+      (* Control flow: the whole-program pipeline. *)
+      let module Cfl = Pipesched_cflow in
+      let cfg = Cfl.Cfg.merge_chains (Cfl.Lower.lower ~optimize program) in
+      let cfg = if optimize then Cfl.Cfg.optimize_blocks cfg else cfg in
+      let options = { Optimal.default_options with Optimal.lambda } in
+      let s = Cfl.Schedule.schedule ~options machine cfg in
+      if show_tuples then Format.printf "%a@." Cfl.Cfg.pp cfg;
+      Format.printf "%d blocks, %d instructions, %d static NOPs@."
+        (Cfl.Cfg.length cfg)
+        (Cfl.Cfg.instruction_count cfg)
+        s.Cfl.Schedule.total_nops;
+      match Cfl.Emit.emit ~registers s with
+      | Ok text ->
+        if show_asm then Format.printf "@.%s@." text;
+        exit 0
+      | Error (node, pos, demand) ->
+        Format.eprintf
+          "error: register pressure %d at position %d of block %d exceeds \
+           %d@."
+          demand pos node registers;
+        exit 1
+    end;
+    let blk = Frontend.Compile.compile ~optimize src in
+    let dag = Dag.of_block blk in
+    if show_tables then Machine.pp_tables Format.std_formatter machine;
+    if show_tuples then
+      Format.printf "tuples:@.%a@.@." Block.pp blk;
+    let options = { Optimal.default_options with Optimal.lambda } in
+    let describe label (r : Omega.result) =
+      Format.printf "%s: %d instructions, %d NOPs@." label
+        (Array.length r.Omega.order) r.Omega.nops
+    in
+    let result =
+      match sched with
+      | Source ->
+        Omega.evaluate machine dag
+          ~order:(Omega.identity_order (Block.length blk))
+      | List_s ->
+        Omega.evaluate machine dag
+          ~order:(List_sched.schedule List_sched.Max_distance dag)
+      | Greedy -> Omega.evaluate machine dag ~order:(Baselines.greedy machine dag)
+      | Gross -> Omega.evaluate machine dag ~order:(Baselines.gross machine dag)
+      | Optimal_s ->
+        let o = Optimal.schedule ~options machine dag in
+        describe "initial (list) schedule" o.Optimal.initial;
+        Format.printf
+          "search: %d omega calls, %d complete schedules, %s@."
+          o.Optimal.stats.Optimal.omega_calls
+          o.Optimal.stats.Optimal.schedules_completed
+          (if o.Optimal.stats.Optimal.completed then "provably optimal"
+           else "curtailed (possibly suboptimal)");
+        o.Optimal.best
+      | Optimal_multi ->
+        let o, _choice = Optimal.schedule_multi ~options machine dag in
+        describe "initial (list) schedule" o.Optimal.initial;
+        Format.printf
+          "search: %d omega calls, %s@."
+          o.Optimal.stats.Optimal.omega_calls
+          (if o.Optimal.stats.Optimal.completed then "provably optimal"
+           else "curtailed (possibly suboptimal)");
+        o.Optimal.best
+    in
+    describe "final schedule" result;
+    if show_explain then begin
+      let text = Omega.explain_to_string machine dag result in
+      if text = "" then Format.printf "no stalls to explain@."
+      else Format.printf "@.%s@." text
+    end;
+    if show_timeline then
+      Format.printf "@.%s@." (Timeline.render machine dag result);
+    if show_dot then Format.printf "%s@." (Dag.to_dot dag);
+    let scheduled = Block.permute blk result.Omega.order in
+    if show_asm then begin
+      let alloc =
+        match Regalloc.Alloc.allocate scheduled ~registers with
+        | Ok a -> a
+        | Error (pos, demand) ->
+          (match Regalloc.Alloc.rematerialize scheduled ~registers with
+           | Some _fixed ->
+             Format.eprintf
+               "note: pressure %d at position %d exceeded %d registers; \
+                re-materialization would fix it, but the schedule would \
+                need re-running — increase --registers instead@."
+               demand pos registers;
+             exit 1
+           | None ->
+             Format.eprintf
+               "error: register pressure %d at position %d exceeds %d and \
+                cannot be re-materialized away@."
+               demand pos registers;
+             exit 1)
+      in
+      Format.printf "@.assembly (%d registers used):@.%s@."
+        (Regalloc.Alloc.registers_used alloc)
+        (Regalloc.Codegen.emit scheduled ~eta:result.Omega.eta ~alloc)
+    end;
+    0
+  with
+  | Frontend.Parser.Error msg ->
+    Format.eprintf "parse error: %s@." msg;
+    1
+  | Frontend.Lexer.Error (msg, pos) ->
+    Format.eprintf "lex error at offset %d: %s@." pos msg;
+    1
+
+open Cmdliner
+
+let file =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Source file ('-' or absent: stdin).")
+
+let expr =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~doc:"Inline source text instead of a file.")
+
+let machine =
+  Arg.(
+    value
+    & opt machine_conv Machine.Presets.simulation
+    & info [ "machine"; "m" ] ~doc:"Target machine preset.")
+
+let machine_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "machine-file" ]
+        ~doc:"Load the target machine from a description file.")
+
+let tuples_in =
+  Arg.(
+    value & flag
+    & info [ "tuples-in" ]
+        ~doc:"Treat the input as tuple-block text instead of source code.")
+
+let sched =
+  Arg.(
+    value
+    & opt scheduler_conv Optimal_s
+    & info [ "scheduler"; "s" ]
+        ~doc:"Scheduler: optimal, optimal-multi, list, greedy, gross, source.")
+
+let lambda =
+  Arg.(
+    value & opt int 100_000
+    & info [ "lambda" ] ~doc:"Curtail point (max omega calls).")
+
+let registers =
+  Arg.(
+    value & opt int 16
+    & info [ "registers"; "r" ] ~doc:"Register-file size for allocation.")
+
+let optimize =
+  Arg.(
+    value & opt bool true
+    & info [ "optimize" ] ~doc:"Run front-end optimizations.")
+
+let show_tuples =
+  Arg.(value & flag & info [ "tuples" ] ~doc:"Print the tuple IR.")
+
+let show_asm =
+  Arg.(value & flag & info [ "asm" ] ~doc:"Print allocated assembly.")
+
+let show_tables =
+  Arg.(value & flag & info [ "tables" ] ~doc:"Print the machine tables.")
+
+let show_timeline =
+  Arg.(
+    value & flag
+    & info [ "timeline" ] ~doc:"Print the pipeline-occupancy timeline.")
+
+let show_dot =
+  Arg.(
+    value & flag
+    & info [ "dot" ] ~doc:"Print the dependence DAG in Graphviz format.")
+
+let show_explain =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
+        ~doc:"Explain every remaining stall (which constraint binds).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pipesched"
+       ~doc:"optimally schedule a basic block for pipelined machines")
+    Term.(
+      const run $ file $ expr $ machine $ machine_file $ sched $ lambda
+      $ registers $ optimize $ tuples_in $ show_tuples $ show_asm
+      $ show_tables $ show_timeline $ show_dot $ show_explain)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,71 @@
+(* Emit synthetic benchmark basic blocks (§5.2). *)
+
+open Pipesched_ir
+module Generator = Pipesched_synth.Generator
+module Frequency = Pipesched_synth.Frequency
+module Rng = Pipesched_prelude.Rng
+
+let run count seed statements variables constants mix show_source optimize
+    mul_heavy =
+  let rng = Rng.create seed in
+  let freq = if mul_heavy then Frequency.mul_heavy else Frequency.default in
+  for i = 1 to count do
+    let params =
+      if mix then Generator.sample_params rng
+      else { Generator.statements; variables; constants }
+    in
+    let prog = Generator.program ~freq rng params in
+    Format.printf "# block %d (statements=%d variables=%d constants=%d)@." i
+      params.Generator.statements params.Generator.variables
+      params.Generator.constants;
+    if show_source then
+      Format.printf "%a@."
+        Pipesched_frontend.Ast.pp_program prog;
+    let blk = Pipesched_frontend.Compile.compile_program ~optimize prog in
+    Format.printf "%a@.@." Block.pp blk
+  done;
+  0
+
+open Cmdliner
+
+let count =
+  Arg.(value & opt int 1 & info [ "count"; "n" ] ~doc:"Blocks to generate.")
+
+let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let statements =
+  Arg.(value & opt int 8 & info [ "statements" ] ~doc:"Statements per block.")
+
+let variables =
+  Arg.(value & opt int 5 & info [ "variables" ] ~doc:"Variable-pool size.")
+
+let constants =
+  Arg.(value & opt int 3 & info [ "constants" ] ~doc:"Constant-pool size.")
+
+let mix =
+  Arg.(
+    value & flag
+    & info [ "mix" ]
+        ~doc:"Draw parameters from the paper's block-size mix instead.")
+
+let show_source =
+  Arg.(value & flag & info [ "source" ] ~doc:"Also print the source program.")
+
+let optimize =
+  Arg.(
+    value & opt bool true
+    & info [ "optimize" ] ~doc:"Run the optimizer before printing tuples.")
+
+let mul_heavy =
+  Arg.(
+    value & flag
+    & info [ "mul-heavy" ] ~doc:"Use the multiply-heavy frequency table.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pipesched-synthgen" ~doc:"generate synthetic basic blocks")
+    Term.(
+      const run $ count $ seed $ statements $ variables $ constants $ mix
+      $ show_source $ optimize $ mul_heavy)
+
+let () = exit (Cmd.eval' cmd)

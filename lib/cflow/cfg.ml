@@ -1,0 +1,201 @@
+open Pipesched_ir
+open Pipesched_frontend
+
+type simple = Svar of string | Simm of int
+
+type cond = Ast.relop * simple * simple
+
+type terminator = Jump of int | Branch of cond * int * int | Exit
+
+type node = { block : Block.t; term : terminator }
+
+type t = { nodes : node array; entry : int }
+
+let targets = function
+  | Jump j -> [ j ]
+  | Branch (_, t, f) -> if t = f then [ t ] else [ t; f ]
+  | Exit -> []
+
+let make nodes ~entry =
+  let arr = Array.of_list nodes in
+  let n = Array.length arr in
+  if entry < 0 || entry >= n then invalid_arg "Cfg.make: entry out of range";
+  Array.iter
+    (fun node ->
+      List.iter
+        (fun j ->
+          if j < 0 || j >= n then
+            invalid_arg "Cfg.make: terminator target out of range")
+        (targets node.term))
+    arr;
+  { nodes = arr; entry }
+
+let length cfg = Array.length cfg.nodes
+let node cfg i = cfg.nodes.(i)
+let successors cfg i = targets cfg.nodes.(i).term
+
+let predecessors cfg i =
+  let acc = ref [] in
+  for p = Array.length cfg.nodes - 1 downto 0 do
+    if List.mem i (successors cfg p) then acc := p :: !acc
+  done;
+  !acc
+
+let instruction_count cfg =
+  Array.fold_left (fun acc n -> acc + Block.length n.block) 0 cfg.nodes
+
+let eval_simple mem_value = function
+  | Svar v -> mem_value v
+  | Simm n -> n
+
+let run ?(fuel = 100_000) cfg ~env =
+  let mem = Hashtbl.create 16 in
+  let touched = Hashtbl.create 16 in
+  let mem_value v =
+    Hashtbl.replace touched v ();
+    match Hashtbl.find_opt mem v with Some x -> x | None -> env v
+  in
+  let fuel_left = ref fuel in
+  let rec go i =
+    if !fuel_left <= 0 then raise Interp.Out_of_fuel;
+    decr fuel_left;
+    let { block; term } = cfg.nodes.(i) in
+    List.iter
+      (fun (v, x) ->
+        Hashtbl.replace touched v ();
+        Hashtbl.replace mem v x)
+      (Interp.run_block block ~env:mem_value);
+    match term with
+    | Jump j -> go j
+    | Branch ((r, a, b), tt, ff) ->
+      let x = eval_simple mem_value a in
+      let y = eval_simple mem_value b in
+      go (if Ast.eval_relop r x y then tt else ff)
+    | Exit -> ()
+  in
+  go cfg.entry;
+  Hashtbl.fold (fun v () acc -> (v, mem_value v) :: acc) touched []
+  |> List.sort compare
+
+(* Concatenate [b] after [a], renumbering [b]'s tuple ids above [a]'s. *)
+let concat_blocks a b =
+  let max_id =
+    Array.fold_left
+      (fun acc (tu : Tuple.t) -> max acc tu.Tuple.id)
+      0 (Block.tuples a)
+  in
+  let remap = Hashtbl.create 16 in
+  let fix = function
+    | Operand.Ref id -> Operand.Ref (Hashtbl.find remap id)
+    | o -> o
+  in
+  let shifted = ref [] in
+  let next = ref max_id in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      incr next;
+      Hashtbl.replace remap tu.Tuple.id !next;
+      shifted :=
+        Tuple.make ~id:!next tu.Tuple.op (fix tu.Tuple.a) (fix tu.Tuple.b)
+        :: !shifted)
+    (Block.tuples b);
+  Block.of_tuples_exn
+    (Array.to_list (Block.tuples a) @ List.rev !shifted)
+
+let merge_chains cfg =
+  let nodes = Array.copy cfg.nodes in
+  let n = Array.length nodes in
+  (* Union-find-free approach: repeatedly splice until stable, then drop
+     unreachable nodes by rebuilding with an index map. *)
+  let pred_count = Array.make n 0 in
+  let recount () =
+    Array.fill pred_count 0 n 0;
+    Array.iter
+      (fun node ->
+        List.iter (fun j -> pred_count.(j) <- pred_count.(j) + 1)
+          (targets node.term))
+      nodes
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    recount ();
+    for i = 0 to n - 1 do
+      match nodes.(i).term with
+      | Jump j when j <> cfg.entry && j <> i && pred_count.(j) = 1 ->
+        nodes.(i) <-
+          { block = concat_blocks nodes.(i).block nodes.(j).block;
+            term = nodes.(j).term };
+        (* Detach the spliced node so it becomes unreachable. *)
+        nodes.(j) <- { block = Block.of_tuples_exn []; term = Exit };
+        changed := true;
+        recount ()
+      | _ -> ()
+    done
+  done;
+  (* Drop unreachable nodes. *)
+  let reachable = Array.make n false in
+  let rec mark i =
+    if not reachable.(i) then begin
+      reachable.(i) <- true;
+      List.iter mark (targets nodes.(i).term)
+    end
+  in
+  mark cfg.entry;
+  let index = Array.make n (-1) in
+  let kept = ref [] in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if reachable.(i) then begin
+      index.(i) <- !count;
+      incr count;
+      kept := i :: !kept
+    end
+  done;
+  let remap_term = function
+    | Jump j -> Jump index.(j)
+    | Branch (c, t, f) -> Branch (c, index.(t), index.(f))
+    | Exit -> Exit
+  in
+  let final =
+    List.rev_map
+      (fun i -> { nodes.(i) with term = remap_term nodes.(i).term })
+      !kept
+  in
+  make final ~entry:index.(cfg.entry)
+
+let optimize_blocks cfg =
+  {
+    cfg with
+    nodes =
+      Array.map
+        (fun node -> { node with block = Opt.optimize node.block })
+        cfg.nodes;
+  }
+
+let pp_simple fmt = function
+  | Svar v -> Format.pp_print_string fmt v
+  | Simm n -> Format.pp_print_int fmt n
+
+let pp fmt cfg =
+  Array.iteri
+    (fun i { block; term } ->
+      Format.fprintf fmt "L%d:%s@." i
+        (if i = cfg.entry then "  (entry)" else "");
+      Array.iter
+        (fun tu -> Format.fprintf fmt "  %a@." Tuple.pp tu)
+        (Block.tuples block);
+      match term with
+      | Jump j -> Format.fprintf fmt "  Jmp L%d@." j
+      | Branch ((r, a, b), t, f) ->
+        Format.fprintf fmt "  Br (%a %s %a) L%d L%d@." pp_simple a
+          (match r with
+           | Ast.Req -> "=="
+           | Ast.Rne -> "!="
+           | Ast.Rlt -> "<"
+           | Ast.Rle -> "<="
+           | Ast.Rgt -> ">"
+           | Ast.Rge -> ">=")
+          pp_simple b t f
+      | Exit -> Format.fprintf fmt "  Ret@.")
+    cfg.nodes

@@ -1,0 +1,68 @@
+(** Control-flow graphs of tuple basic blocks.
+
+    The paper schedules one basic block at a time (§2.3 footnote 1, §6);
+    this module supplies the "arbitrary control flow" §6 lists as future
+    work: a CFG whose nodes are ordinary {!Pipesched_ir.Block} values and
+    whose terminators jump, branch on a comparison, or exit.
+
+    Branch conditions are {e normalized}: both operands are a variable or
+    a literal (the lowering pass materializes complex condition operands
+    into compiler temporaries inside the block), so blocks stay pure
+    straight-line tuple code and every §4 algorithm applies unchanged. *)
+
+open Pipesched_ir
+open Pipesched_frontend
+
+(** A normalized condition operand. *)
+type simple = Svar of string | Simm of int
+
+type cond = Ast.relop * simple * simple
+
+type terminator =
+  | Jump of int                 (** unconditional, to node index *)
+  | Branch of cond * int * int  (** condition true -> first target *)
+  | Exit
+
+type node = { block : Block.t; term : terminator }
+
+type t = { nodes : node array; entry : int }
+
+(** [make nodes ~entry] validates node indices (entry and every
+    terminator target in range).  Raises [Invalid_argument]. *)
+val make : node list -> entry:int -> t
+
+(** Number of nodes. *)
+val length : t -> int
+
+(** [node cfg i] is the i-th node. *)
+val node : t -> int -> node
+
+(** [successors cfg i] are the terminator's target indices (0, 1 or 2,
+    deduplicated). *)
+val successors : t -> int -> int list
+
+(** [predecessors cfg i] lists nodes whose terminator targets [i]. *)
+val predecessors : t -> int -> int list
+
+(** Total tuples across all nodes. *)
+val instruction_count : t -> int
+
+(** [run ?fuel cfg ~env] executes the CFG against an initial memory and
+    returns every touched variable's final value, sorted.  [fuel]
+    (default [100_000]) bounds executed {e blocks}; raises
+    {!Pipesched_frontend.Interp.Out_of_fuel} beyond it. *)
+val run : ?fuel:int -> t -> env:Interp.env -> (string * int) list
+
+(** Merge linear chains: whenever a node ends in [Jump j] and [j] is not
+    the entry and has exactly one predecessor, splice [j]'s block (ids
+    renumbered) onto the node and take over its terminator.  Larger blocks
+    give the scheduler more to work with — the simplest form of the trace
+    growing §6 alludes to. *)
+val merge_chains : t -> t
+
+(** Run {!Pipesched_frontend.Opt.optimize} on every node's block (the
+    terminator's variables are read from memory, so block-local
+    optimization is always safe). *)
+val optimize_blocks : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,216 @@
+open Pipesched_ir
+open Pipesched_frontend
+module Regalloc = Pipesched_regalloc
+
+let relop_mnemonic = function
+  | Ast.Req -> "Beq"
+  | Ast.Rne -> "Bne"
+  | Ast.Rlt -> "Blt"
+  | Ast.Rle -> "Ble"
+  | Ast.Rgt -> "Bgt"
+  | Ast.Rge -> "Bge"
+
+let relop_of_mnemonic = function
+  | "Beq" -> Some Ast.Req
+  | "Bne" -> Some Ast.Rne
+  | "Blt" -> Some Ast.Rlt
+  | "Ble" -> Some Ast.Rle
+  | "Bgt" -> Some Ast.Rgt
+  | "Bge" -> Some Ast.Rge
+  | _ -> None
+
+let simple_operand = function
+  | Cfg.Svar v -> v
+  | Cfg.Simm n -> "#" ^ string_of_int n
+
+(* Variables a branch condition reads from memory. *)
+let cond_vars = function
+  | Cfg.Jump _ | Cfg.Exit -> []
+  | Cfg.Branch ((_, a, b), _, _) ->
+    List.filter_map
+      (function Cfg.Svar v -> Some v | Cfg.Simm _ -> None)
+      [ a; b ]
+
+let emit ?(registers = 16) ?(delay_slots = 0) ?(fill = true)
+    (s : Schedule.t) =
+  if delay_slots < 0 then invalid_arg "Emit.emit: negative delay slots";
+  let buf = Buffer.create 4096 in
+  let exception Overflow of int * int * int in
+  try
+    Array.iteri
+      (fun i (ns : Schedule.node_schedule) ->
+        let node = Cfg.node s.Schedule.cfg i in
+        let result = ns.Schedule.result in
+        let scheduled =
+          Block.permute node.Cfg.block
+            result.Pipesched_machine.Omega.order
+        in
+        let alloc =
+          match Regalloc.Alloc.allocate scheduled ~registers with
+          | Ok a -> a
+          | Error (pos, demand) -> raise (Overflow (i, pos, demand))
+        in
+        let lines =
+          Regalloc.Codegen.lines scheduled
+            ~eta:result.Pipesched_machine.Omega.eta ~alloc
+        in
+        (* Fill branch delay slots with the block's trailing stall-free
+           instructions when the branch condition does not read anything
+           they store. *)
+        let fillable =
+          match node.Cfg.term with
+          | Cfg.Exit -> 0
+          | (Cfg.Jump _ | Cfg.Branch _) as term ->
+            if delay_slots = 0 || not fill then 0
+            else begin
+              let cvars = cond_vars term in
+              let n = Block.length scheduled in
+              let safe pos =
+                let tu = Block.tuple_at scheduled pos in
+                result.Pipesched_machine.Omega.eta.(pos) = 0
+                && (match Pipesched_ir.Tuple.memory_var tu with
+                    | Some v when Pipesched_ir.Tuple.writes_memory tu ->
+                      not (List.mem v cvars)
+                    | Some _ | None -> true)
+              in
+              let rec streak k =
+                if k < delay_slots && k < n && safe (n - 1 - k) then
+                  streak (k + 1)
+                else k
+              in
+              streak 0
+            end
+        in
+        let moved = ref [] in
+        let kept = ref [] in
+        let insn_seen = ref 0 in
+        let total_insns = Block.length scheduled in
+        List.iter
+          (fun (l : Regalloc.Codegen.line) ->
+            (match l.Regalloc.Codegen.source with
+             | Some _ -> incr insn_seen
+             | None -> ());
+            if
+              l.Regalloc.Codegen.source <> None
+              && !insn_seen > total_insns - fillable
+            then moved := l :: !moved
+            else kept := l :: !kept)
+          lines;
+        let moved = List.rev !moved in
+        let kept = List.rev !kept in
+        Buffer.add_string buf (Printf.sprintf "L%d:\n" i);
+        List.iter
+          (fun (l : Regalloc.Codegen.line) ->
+            Buffer.add_string buf l.Regalloc.Codegen.text;
+            Buffer.add_char buf '\n')
+          kept;
+        (match node.Cfg.term with
+         | Cfg.Jump j -> Buffer.add_string buf (Printf.sprintf "Jmp   L%d\n" j)
+         | Cfg.Exit -> Buffer.add_string buf "Ret\n"
+         | Cfg.Branch ((r, a, b), t, f) ->
+           Buffer.add_string buf
+             (Printf.sprintf "%s   %s, %s, L%d, L%d\n" (relop_mnemonic r)
+                (simple_operand a) (simple_operand b) t f));
+        if node.Cfg.term <> Cfg.Exit then begin
+          List.iter
+            (fun (l : Regalloc.Codegen.line) ->
+              Buffer.add_string buf l.Regalloc.Codegen.text;
+              Buffer.add_char buf '\n')
+            moved;
+          for _ = List.length moved + 1 to delay_slots do
+            Buffer.add_string buf "Nop\n"
+          done
+        end)
+      s.Schedule.nodes;
+    Ok (Buffer.contents buf)
+  with Overflow (node, pos, demand) -> Error (node, pos, demand)
+
+exception Out_of_fuel
+
+type line = Label of string | Insn of Regalloc.Asm.instr
+
+let parse_program text =
+  let lines = String.split_on_char '\n' text in
+  List.filter_map
+    (fun raw ->
+      let body =
+        match String.index_opt raw ';' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let body = String.trim body in
+      if body = "" then None
+      else if String.length body > 1 && body.[String.length body - 1] = ':'
+      then Some (Label (String.sub body 0 (String.length body - 1)))
+      else
+        match Regalloc.Asm.parse body with
+        | Ok [ instr ] -> Some (Insn instr)
+        | Ok _ -> invalid_arg "Emit.execute: unparsable line"
+        | Error (_, msg) -> invalid_arg ("Emit.execute: " ^ msg))
+    lines
+
+let execute ?(fuel = 1_000_000) ?(delay_slots = 0) text ~env =
+  let prog = Array.of_list (parse_program text) in
+  let labels = Hashtbl.create 16 in
+  Array.iteri
+    (fun pc -> function
+      | Label l -> Hashtbl.replace labels l pc
+      | Insn _ -> ())
+    prog;
+  let target l =
+    match Hashtbl.find_opt labels l with
+    | Some pc -> pc
+    | None -> invalid_arg ("Emit.execute: unknown label " ^ l)
+  in
+  let st = Regalloc.Asm.create_state ~env in
+  let fuel_left = ref fuel in
+  let value = function
+    | Regalloc.Asm.Mem v -> Regalloc.Asm.read_mem st v
+    | Regalloc.Asm.Imm n -> n
+    | Regalloc.Asm.Reg _ ->
+      invalid_arg "Emit.execute: register operand in branch"
+  in
+  let ticks = ref 0 in
+  let spend () =
+    incr ticks;
+    decr fuel_left;
+    if !fuel_left <= 0 then raise Out_of_fuel
+  in
+  (* Execute the delay-slot instructions following a transfer at [pc]
+     (MIPS semantics: they run before control moves). *)
+  let run_slots pc =
+    for k = 1 to delay_slots do
+      match prog.(pc + k) with
+      | Insn instr ->
+        spend ();
+        Regalloc.Asm.step st instr
+      | Label _ | (exception Invalid_argument _) ->
+        invalid_arg "Emit.execute: missing delay-slot instruction"
+    done
+  in
+  let rec go pc =
+    if pc >= Array.length prog then ()
+    else
+      match prog.(pc) with
+      | Label _ -> go (pc + 1)
+      | Insn { Regalloc.Asm.mnemonic = "Jmp"; operands = [ Mem l ] } ->
+        spend ();
+        run_slots pc;
+        go (target l)
+      | Insn { Regalloc.Asm.mnemonic = "Ret"; operands = [] } -> spend ()
+      | Insn { Regalloc.Asm.mnemonic; operands = [ a; b; Mem lt; Mem lf ] }
+        when relop_of_mnemonic mnemonic <> None ->
+        spend ();
+        let r = Option.get (relop_of_mnemonic mnemonic) in
+        let next =
+          target (if Ast.eval_relop r (value a) (value b) then lt else lf)
+        in
+        run_slots pc;
+        go next
+      | Insn instr ->
+        spend ();
+        Regalloc.Asm.step st instr;
+        go (pc + 1)
+  in
+  go 0;
+  (Regalloc.Asm.memory st, !ticks)

@@ -1,0 +1,46 @@
+(** Whole-program assembly emission and execution.
+
+    Each scheduled CFG node becomes a labelled section ([L0:], [L1:], ...)
+    of register-allocated instructions with explicit NOPs; terminators
+    become [Jmp Ln], [Ret], or a compare-and-branch [B<relop> a, b, Lt, Lf]
+    whose operands are memory variables or immediates (values cross block
+    boundaries through memory in this model, so branch operands are read
+    from memory — a CISC-flavored simplification documented in
+    DESIGN.md).
+
+    {!execute} runs the emitted text on the {!Pipesched_regalloc.Asm}
+    machine state extended with control flow, closing the loop from
+    structured source programs to machine-level execution. *)
+
+(** [emit ?registers ?delay_slots scheduled] renders the scheduled CFG.
+
+    [delay_slots] (default 0) models MIPS-style branch delay slots
+    ([Hen81], the paper's NOP-padding exemplar): every [Jmp] and branch is
+    followed by that many slots which execute {e before} control
+    transfers.  The emitter fills slots with stall-free trailing
+    instructions of the block when safe (a filled instruction must not
+    store to a variable the branch condition reads) and pads the rest
+    with [Nop].
+
+    Returns [Error (node, pos, demand)] if a node's block does not fit the
+    register file. *)
+val emit :
+  ?registers:int -> ?delay_slots:int -> ?fill:bool -> Schedule.t ->
+  (string, int * int * int) result
+
+(** [fill] (default true) — set false to pad every slot with [Nop]
+    instead of filling (the comparison baseline). *)
+
+(** Raised by {!execute} when the branch/step budget is exhausted. *)
+exception Out_of_fuel
+
+(** [execute ?fuel ?delay_slots text ~env] parses and runs an emitted
+    program; [delay_slots] must match the value the program was emitted
+    with (slot instructions execute before control transfers, as the
+    hardware would).  Returns the final memory (touched variables, sorted)
+    and total ticks (instructions + NOPs + 1 per taken terminator).
+    Raises [Invalid_argument] on malformed programs, {!Out_of_fuel} when
+    more than [fuel] (default 1,000,000) ticks execute. *)
+val execute :
+  ?fuel:int -> ?delay_slots:int -> string -> env:(string -> int) ->
+  (string * int) list * int

@@ -1,0 +1,95 @@
+open Pipesched_frontend
+
+(* Builder: blocks under construction, as reversed assignment lists with a
+   terminator filled in when the block is sealed. *)
+type builder = {
+  mutable stmts : Ast.stmt list array;  (* reversed, Assign only *)
+  mutable terms : Cfg.terminator array;
+  mutable used : int;
+  mutable temp : int;
+}
+
+let new_block b =
+  if b.used = Array.length b.stmts then begin
+    let grow n a fill =
+      let a' = Array.make (max 8 (2 * n)) fill in
+      Array.blit a 0 a' 0 n;
+      a'
+    in
+    b.stmts <- grow b.used b.stmts [];
+    b.terms <- grow b.used b.terms Cfg.Exit
+  end;
+  let id = b.used in
+  b.used <- id + 1;
+  id
+
+let append b id stmt = b.stmts.(id) <- stmt :: b.stmts.(id)
+
+let fresh_temp b =
+  let t = Printf.sprintf "$c%d" b.temp in
+  b.temp <- b.temp + 1;
+  t
+
+(* Normalize a condition: complex operands become temporaries assigned at
+   the end of block [id]. *)
+let normalize_cond b id (r, e1, e2) =
+  let simple e =
+    match e with
+    | Ast.Int n -> Cfg.Simm n
+    | Ast.Var v -> Cfg.Svar v
+    | _ ->
+      let t = fresh_temp b in
+      append b id (Ast.Assign (t, e));
+      Cfg.Svar t
+  in
+  let s1 = simple e1 in
+  let s2 = simple e2 in
+  (r, s1, s2)
+
+(* Lower a statement sequence into block [id]; returns the block id where
+   control rests afterwards. *)
+let rec lower_seq b id = function
+  | [] -> id
+  | Ast.Assign _ as s :: rest ->
+    append b id s;
+    lower_seq b id rest
+  | Ast.If (c, then_, else_) :: rest ->
+    let cond = normalize_cond b id c in
+    let then_b = new_block b in
+    let else_b = new_block b in
+    let join_b = new_block b in
+    b.terms.(id) <- Cfg.Branch (cond, then_b, else_b);
+    let then_end = lower_seq b then_b then_ in
+    b.terms.(then_end) <- Cfg.Jump join_b;
+    let else_end = lower_seq b else_b else_ in
+    b.terms.(else_end) <- Cfg.Jump join_b;
+    lower_seq b join_b rest
+  | Ast.While (c, body) :: rest ->
+    let head_b = new_block b in
+    b.terms.(id) <- Cfg.Jump head_b;
+    let cond = normalize_cond b head_b c in
+    let body_b = new_block b in
+    let exit_b = new_block b in
+    b.terms.(head_b) <- Cfg.Branch (cond, body_b, exit_b);
+    let body_end = lower_seq b body_b body in
+    b.terms.(body_end) <- Cfg.Jump head_b;
+    lower_seq b exit_b rest
+
+let lower ?(optimize = true) prog =
+  let b =
+    { stmts = Array.make 8 []; terms = Array.make 8 Cfg.Exit; used = 0;
+      temp = 0 }
+  in
+  let entry = new_block b in
+  let final = lower_seq b entry prog in
+  b.terms.(final) <- Cfg.Exit;
+  let nodes =
+    List.init b.used (fun i ->
+        let stmts = List.rev b.stmts.(i) in
+        let block = Gen.generate ~reuse:false stmts in
+        let block = if optimize then Opt.optimize block else block in
+        { Cfg.block; term = b.terms.(i) })
+  in
+  Cfg.make nodes ~entry
+
+let compile ?optimize src = lower ?optimize (Parser.parse src)

@@ -1,0 +1,21 @@
+(** Lowering structured programs to control-flow graphs.
+
+    [If]/[While] statements become diamonds and loops of basic blocks;
+    condition operands that are not already a variable or literal are
+    materialized into compiler temporaries ([$c0], [$c1], ...) by extra
+    assignments inside the preceding block, so every block is plain
+    straight-line code for the §4 machinery.
+
+    Temporaries live in memory like ordinary variables; they are invisible
+    to the source program and filtered from {!Cfg.run} comparisons by the
+    caller when needed. *)
+
+open Pipesched_frontend
+
+(** [lower ?optimize prog] builds the CFG ([optimize] (default true) runs
+    the §3.1 passes on every block).  Pure straight-line programs lower to
+    a single [Exit] node. *)
+val lower : ?optimize:bool -> Ast.program -> Cfg.t
+
+(** [compile ?optimize src] parses and lowers source text. *)
+val compile : ?optimize:bool -> string -> Cfg.t

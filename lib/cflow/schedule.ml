@@ -1,0 +1,103 @@
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_core
+
+type node_schedule = {
+  result : Omega.result;
+  entry : Omega.entry;
+  stats : Optimal.stats;
+}
+
+type t = {
+  cfg : Cfg.t;
+  nodes : node_schedule array;
+  total_nops : int;
+  loop_headers : int list;
+}
+
+(* Exit state of a fixed order replayed against an entry. *)
+let replay_exit machine dag entry order =
+  let st = Omega.State.create ~entry machine dag in
+  Array.iter (fun pos -> Omega.State.push st pos) order;
+  Omega.State.exit_state st
+
+let replay_result machine dag entry order =
+  Omega.evaluate ~entry machine dag ~order
+
+(* DFS from the entry: classify back edges (to a node on the current
+   stack) and produce a reverse postorder of the forward graph. *)
+let analyze cfg =
+  let n = Cfg.length cfg in
+  let color = Array.make n `White in
+  let back_targets = ref [] in
+  let postorder = ref [] in
+  let rec dfs u =
+    color.(u) <- `Grey;
+    List.iter
+      (fun v ->
+        match color.(v) with
+        | `White -> dfs v
+        | `Grey -> back_targets := v :: !back_targets
+        | `Black -> ())
+      (Cfg.successors cfg u);
+    color.(u) <- `Black;
+    postorder := u :: !postorder
+  in
+  dfs cfg.Cfg.entry;
+  (* accumulated head-first at finish time = reverse postorder *)
+  (!postorder, List.sort_uniq compare !back_targets)
+
+let schedule ?(options = Optimal.default_options) machine cfg =
+  let n = Cfg.length cfg in
+  let dags =
+    Array.init n (fun i -> Dag.of_block (Cfg.node cfg i).Cfg.block)
+  in
+  (* Phase 1: per-node optimal orders under cold entries. *)
+  let outcomes =
+    Array.map (fun dag -> Optimal.schedule ~options machine dag) dags
+  in
+  let orders = Array.map (fun o -> o.Optimal.best.Omega.order) outcomes in
+  (* Phase 2: exact propagation over the forward (acyclic) structure in
+     reverse postorder; loop headers (back-edge targets) receive the fully
+     conservative entry "every pipeline enqueued on the previous tick",
+     which is sound for any number of iterations of the loop body. *)
+  let rpo, loop_headers = analyze cfg in
+  let cold = Omega.cold_entry machine in
+  let worst =
+    { Omega.pipe_last_use = Array.make (Machine.pipe_count machine) (-1) }
+  in
+  let entries = Array.make n cold in
+  List.iter (fun h -> entries.(h) <- worst) loop_headers;
+  let merge_into i (src : Omega.entry) =
+    let dst = entries.(i) in
+    entries.(i) <-
+      { Omega.pipe_last_use =
+          Array.mapi
+            (fun p t -> max t src.Omega.pipe_last_use.(p))
+            dst.Omega.pipe_last_use }
+  in
+  List.iter
+    (fun i ->
+      let exit_ = replay_exit machine dags.(i) entries.(i) orders.(i) in
+      List.iter
+        (fun j ->
+          (* Loop headers already hold the worst case; merging a concrete
+             exit cannot exceed it. *)
+          if not (List.mem j loop_headers) then merge_into j exit_)
+        (Cfg.successors cfg i))
+    rpo;
+  let nodes =
+    Array.init n (fun i ->
+        {
+          result = replay_result machine dags.(i) entries.(i) orders.(i);
+          entry = entries.(i);
+          stats = outcomes.(i).Optimal.stats;
+        })
+  in
+  {
+    cfg;
+    nodes;
+    total_nops =
+      Array.fold_left (fun acc ns -> acc + ns.result.Omega.nops) 0 nodes;
+    loop_headers;
+  }

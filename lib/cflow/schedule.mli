@@ -1,0 +1,39 @@
+(** Whole-CFG scheduling.
+
+    Every node is scheduled by the §4 branch-and-bound independently, then
+    pipeline state is propagated along CFG edges (generalizing
+    {!Pipesched_core.Region} from straight-line chains to arbitrary
+    graphs):
+
+    - along the {e forward} (acyclic) structure, a node's entry state is
+      the elementwise latest (max) over its predecessors' exit states,
+      computed exactly in reverse postorder;
+    - {e back-edge targets} (loop headers) receive the fully conservative
+      entry "every pipeline enqueued on the previous tick", which is sound
+      for any number of loop iterations.  (An exact loop fixpoint is not
+      well-defined: replayed exit states are not monotone in entry states,
+      so iterating max-merges can settle on padding that underestimates a
+      path through fewer iterations.)
+
+    The resulting NOP padding is therefore safe for interlock-free targets
+    on every execution path. *)
+
+open Pipesched_machine
+open Pipesched_core
+
+type node_schedule = {
+  result : Omega.result;   (** order and padding under the final entry *)
+  entry : Omega.entry;
+  stats : Optimal.stats;
+}
+
+type t = {
+  cfg : Cfg.t;
+  nodes : node_schedule array;
+  total_nops : int;        (** static NOPs summed over nodes *)
+  loop_headers : int list; (** nodes padded with the conservative entry *)
+}
+
+(** [schedule ?options machine cfg] schedules every node and runs the
+    entry fixpoint. *)
+val schedule : ?options:Optimal.options -> Machine.t -> Cfg.t -> t

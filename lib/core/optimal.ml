@@ -1,0 +1,444 @@
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+
+type lower_bound = Partial_nops | Critical_path
+
+type options = {
+  lambda : int;
+  seed : List_sched.heuristic;
+  equivalence : bool;
+  strong_equivalence : bool;
+  alpha_beta : bool;
+  lower_bound : lower_bound;
+}
+
+let default_options =
+  {
+    lambda = 100_000;
+    seed = List_sched.Max_distance;
+    equivalence = true;
+    strong_equivalence = false;
+    alpha_beta = true;
+    lower_bound = Partial_nops;
+  }
+
+type stats = {
+  omega_calls : int;
+  schedules_completed : int;
+  improvements : int;
+  completed : bool;
+}
+
+type outcome = { best : Omega.result; initial : Omega.result; stats : stats }
+
+exception Curtailed
+
+(* Shared machinery between the single-pipe and multi-pipe searches. *)
+type search_env = {
+  n : int;
+  st : Omega.State.t;
+  cand_order : int array;
+  is_free : bool array;
+  signature : (int * int list * int list) array;
+  (* Critical-path bound ingredients (admissible for any pipe choice). *)
+  min_lat : int array;
+  tail : int array;
+  (* Resource-bound ingredients: the forced pipeline of each position
+     (-1 when resource-free or when several candidates exist — such
+     operations contribute nothing, keeping the bound admissible for the
+     multi-pipe search too), and each pipeline's enqueue time. *)
+  forced_pipe : int array;
+  pipe_enqueue : int array;
+  dag : Dag.t;
+  mutable omega_calls : int;
+  mutable schedules_completed : int;
+  mutable improvements : int;
+  mutable best_nops : int;
+}
+
+(* [multi]: the search may choose among candidate pipelines, so only
+   single-candidate operations may be charged to a pipe in the resource
+   bound; the single-pipe search pins every operation to its default. *)
+let make_env ?entry ?(multi = false) machine dag options =
+  let n = Dag.length dag in
+  let blk = Dag.block dag in
+  let pipe_of pos =
+    Machine.default_pipe machine (Block.tuple_at blk pos).Tuple.op
+  in
+  let min_lat =
+    Array.init n (fun pos ->
+        let op = (Block.tuple_at blk pos).Tuple.op in
+        match Machine.candidates machine op with
+        | [] -> 1
+        | pids ->
+          List.fold_left
+            (fun acc pid -> min acc (Machine.pipe machine pid).Pipe.latency)
+            max_int pids)
+  in
+  let tail = Dag.heights dag ~edge_weight:(fun ~src ~dst:_ -> min_lat.(src)) in
+  let forced_pipe =
+    Array.init n (fun pos ->
+        match
+          Machine.candidates machine (Block.tuple_at blk pos).Tuple.op
+        with
+        | [ p ] -> p
+        | [] -> -1
+        | p :: _ :: _ -> if multi then -1 else p)
+  in
+  let pipe_enqueue =
+    Array.init (Machine.pipe_count machine) (fun p ->
+        (Machine.pipe machine p).Pipe.enqueue)
+  in
+  {
+    n;
+    st = Omega.State.create ?entry machine dag;
+    cand_order = List_sched.order_by_priority options.seed dag;
+    (* [5c] needs the successor-free refinement: two resource-free,
+       predecessor-free instructions are only interchangeable in every
+       completion when neither constrains anything downstream.  Without
+       it the pruning can discard all optimal schedules (see the
+       counterexample in test_core.ml). *)
+    is_free =
+      Array.init n (fun pos ->
+          pipe_of pos = None
+          && Dag.preds dag pos = []
+          && Dag.succs dag pos = []);
+    signature =
+      Array.init n (fun pos ->
+          ( (match pipe_of pos with Some p -> p | None -> -1),
+            Dag.preds dag pos,
+            Dag.succs dag pos ));
+    min_lat;
+    tail;
+    forced_pipe;
+    pipe_enqueue;
+    dag;
+    omega_calls = 0;
+    schedules_completed = 0;
+    improvements = 0;
+    best_nops = max_int;
+  }
+
+(* Admissible lower bound on the final total NOPs of any completion of the
+   current partial schedule: mu(Phi) refined with the earliest possible
+   issue of each unscheduled instruction plus its latency-weighted tail
+   (see optimal.mli).  est is computed over unscheduled positions in block
+   order, which is topological. *)
+let critical_path_bound env =
+  let st = env.st in
+  let depth = Omega.State.depth st in
+  if depth = env.n then Omega.State.nops st
+  else begin
+    let est = Array.make env.n 0 in
+    let last_issue =
+      if depth = 0 then -1
+      else Omega.State.issue_of st (Omega.State.at_depth st (depth - 1))
+    in
+    let bound = ref (Omega.State.nops st) in
+    let remaining_on = Array.make (Array.length env.pipe_enqueue) 0 in
+    for v = 0 to env.n - 1 do
+      if not (Omega.State.is_scheduled st v) then begin
+        if env.forced_pipe.(v) >= 0 then
+          remaining_on.(env.forced_pipe.(v)) <-
+            remaining_on.(env.forced_pipe.(v)) + 1;
+        let e = ref (last_issue + 1) in
+        List.iter
+          (fun u ->
+            let avail =
+              if Omega.State.is_scheduled st u then
+                Omega.State.issue_of st u + env.min_lat.(u)
+              else est.(u) + env.min_lat.(u)
+            in
+            if avail > !e then e := avail)
+          (Dag.preds env.dag v);
+        est.(v) <- !e;
+        let b = !e + env.tail.(v) - (env.n - 1) in
+        if b > !bound then bound := b
+      end
+    done;
+    (* Resource component: the R_p unscheduled operations forced onto pipe
+       p each need [enqueue_p] ticks after the previous enqueue, starting
+       from the pipe's current last use (or from the next issue slot when
+       the pipe is still untouched). *)
+    Array.iteri
+      (fun p r ->
+        if r > 0 then begin
+          let last = Omega.State.last_use st p in
+          let finish =
+            if last > min_int / 4 then last + (r * env.pipe_enqueue.(p))
+            else last_issue + 1 + ((r - 1) * env.pipe_enqueue.(p))
+          in
+          let b = finish - (env.n - 1) in
+          if b > !bound then bound := b
+        end)
+      remaining_on;
+    !bound
+  end
+
+let bound_value env options =
+  match options.lower_bound with
+  | Partial_nops -> Omega.State.nops env.st
+  | Critical_path -> critical_path_bound env
+
+(* The search skeleton.  [push_candidates f pos] must invoke [f] once per
+   distinct way of scheduling [pos] next (once for the single-pipe search;
+   once per non-symmetric candidate pipe for the multi-pipe search), with
+   the instruction pushed for the dynamic extent of the call. *)
+let dfs env options ~push_candidates ~on_complete =
+  let rec go depth =
+    if depth = env.n then begin
+      env.schedules_completed <- env.schedules_completed + 1;
+      if Omega.State.nops env.st < env.best_nops then begin
+        env.best_nops <- Omega.State.nops env.st;
+        env.improvements <- env.improvements + 1;
+        on_complete ()
+      end
+    end
+    else begin
+      let tried_free = ref false in
+      let tried_sigs = ref [] in
+      Array.iter
+        (fun pos ->
+          if Omega.State.is_ready env.st pos then begin
+            let skip =
+              (options.equivalence && env.is_free.(pos) && !tried_free)
+              || (options.strong_equivalence
+                  && List.mem env.signature.(pos) !tried_sigs)
+            in
+            if not skip then begin
+              if env.is_free.(pos) then tried_free := true;
+              if options.strong_equivalence then
+                tried_sigs := env.signature.(pos) :: !tried_sigs;
+              push_candidates pos (fun () ->
+                  if
+                    (not options.alpha_beta)
+                    || bound_value env options < env.best_nops
+                  then go (depth + 1))
+            end
+          end)
+        env.cand_order
+    end
+  in
+  go 0
+
+let count_call env options =
+  if env.omega_calls >= options.lambda then raise Curtailed;
+  env.omega_calls <- env.omega_calls + 1
+
+let schedule ?(options = default_options) ?entry machine dag =
+  let seed_order = List_sched.schedule options.seed dag in
+  let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
+  let env = make_env ?entry machine dag options in
+  env.best_nops <- initial.nops;
+  let best = ref initial in
+  let push_candidates pos k =
+    count_call env options;
+    Omega.State.push env.st pos;
+    k ();
+    Omega.State.pop env.st
+  in
+  let on_complete () = best := Omega.State.complete_greedily env.st in
+  let completed =
+    match dfs env options ~push_candidates ~on_complete with
+    | () -> true
+    | exception Curtailed -> false
+  in
+  {
+    best = !best;
+    initial;
+    stats =
+      {
+        omega_calls = env.omega_calls;
+        schedules_completed = env.schedules_completed;
+        improvements = env.improvements;
+        completed;
+      };
+  }
+
+let schedule_multi ?(options = default_options) ?entry machine dag =
+  let n = Dag.length dag in
+  let blk = Dag.block dag in
+  let seed_order = List_sched.schedule options.seed dag in
+  let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
+  let env = make_env ?entry ~multi:true machine dag options in
+  env.best_nops <- initial.nops;
+  let best = ref initial in
+  let default_choice =
+    Array.init n (fun pos ->
+        Machine.default_pipe machine (Block.tuple_at blk pos).Tuple.op)
+  in
+  let choice = Array.copy default_choice in
+  let best_choice = ref (Array.copy default_choice) in
+  let candidates_of =
+    Array.init n (fun pos ->
+        Machine.candidates machine (Block.tuple_at blk pos).Tuple.op)
+  in
+  let pipe_params p =
+    let pipe = Machine.pipe machine p in
+    (pipe.Pipe.latency, pipe.Pipe.enqueue)
+  in
+  let push_candidates pos k =
+    match candidates_of.(pos) with
+    | [] ->
+      count_call env options;
+      Omega.State.push_on env.st pos ~pipe:None;
+      choice.(pos) <- None;
+      k ();
+      Omega.State.pop env.st
+    | pids ->
+      (* Symmetric-pipe pruning: two candidate pipes with equal parameters
+         and equal last-use tick lead to identical subtrees. *)
+      let tried = ref [] in
+      List.iter
+        (fun p ->
+          let key = (pipe_params p, Omega.State.last_use env.st p) in
+          if not (List.mem key !tried) then begin
+            tried := key :: !tried;
+            count_call env options;
+            Omega.State.push_on env.st pos ~pipe:(Some p);
+            choice.(pos) <- Some p;
+            k ();
+            Omega.State.pop env.st
+          end)
+        pids
+  in
+  let on_complete () =
+    best := Omega.State.complete_greedily env.st;
+    best_choice := Array.copy choice
+  in
+  let completed =
+    match dfs env options ~push_candidates ~on_complete with
+    | () -> true
+    | exception Curtailed -> false
+  in
+  ( {
+      best = !best;
+      initial;
+      stats =
+        {
+          omega_calls = env.omega_calls;
+          schedules_completed = env.schedules_completed;
+          improvements = env.improvements;
+          completed;
+        };
+    },
+    !best_choice )
+
+(* Incremental register-demand bookkeeping for the bounded search.  A
+   value is live from its definition until its last remaining consumer is
+   scheduled; a definition transiently demands one more register
+   (read-then-write, matching Regalloc.Alloc). *)
+module Pressure = struct
+  type t = {
+    uses : (int * int) list array;
+        (* per position: (producer position, multiplicity) it reads *)
+    produces : bool array;
+    consumer_count : int array; (* total reads of each position's value *)
+    remaining : int array;      (* mutable during search *)
+    mutable live : int;
+  }
+
+  let create dag =
+    let blk = Dag.block dag in
+    let n = Dag.length dag in
+    let consumer_count = Array.make n 0 in
+    let uses =
+      Array.init n (fun pos ->
+          let refs =
+            List.map
+              (fun id -> Block.pos_of_id blk id)
+              (Tuple.value_refs (Block.tuple_at blk pos))
+          in
+          let tbl = Hashtbl.create 4 in
+          List.iter
+            (fun u ->
+              Hashtbl.replace tbl u
+                (1 + Option.value ~default:0 (Hashtbl.find_opt tbl u)))
+            refs;
+          Hashtbl.fold (fun u m acc -> (u, m) :: acc) tbl [])
+    in
+    Array.iteri
+      (fun _pos pairs ->
+        List.iter
+          (fun (u, m) -> consumer_count.(u) <- consumer_count.(u) + m)
+          pairs)
+      uses;
+    {
+      uses;
+      produces =
+        Array.init n (fun pos ->
+            Tuple.produces_value (Block.tuple_at blk pos));
+      consumer_count;
+      remaining = Array.copy consumer_count;
+      live = 0;
+    }
+
+  (* Register demand if [pos] were scheduled next. *)
+  let demand p pos =
+    let deaths =
+      List.fold_left
+        (fun acc (u, m) -> if p.remaining.(u) = m then acc + 1 else acc)
+        0 p.uses.(pos)
+    in
+    p.live - deaths + (if p.produces.(pos) then 1 else 0)
+
+  let push p pos =
+    List.iter
+      (fun (u, m) ->
+        if p.remaining.(u) = m then p.live <- p.live - 1;
+        p.remaining.(u) <- p.remaining.(u) - m)
+      p.uses.(pos);
+    if p.produces.(pos) && p.consumer_count.(pos) > 0 then
+      p.live <- p.live + 1
+
+  let pop p pos =
+    if p.produces.(pos) && p.consumer_count.(pos) > 0 then
+      p.live <- p.live - 1;
+    List.iter
+      (fun (u, m) ->
+        p.remaining.(u) <- p.remaining.(u) + m;
+        if p.remaining.(u) = m then p.live <- p.live + 1)
+      p.uses.(pos)
+end
+
+let schedule_bounded ?(options = default_options) ~registers machine dag =
+  if registers < 1 then
+    invalid_arg "Optimal.schedule_bounded: registers must be >= 1";
+  let seed_order = List_sched.schedule options.seed dag in
+  let initial = Omega.evaluate machine dag ~order:seed_order in
+  let env = make_env machine dag options in
+  (* No incumbent: the seed might violate the register bound. *)
+  let pressure = Pressure.create dag in
+  let best = ref None in
+  let push_candidates pos k =
+    if Pressure.demand pressure pos <= registers then begin
+      count_call env options;
+      Omega.State.push env.st pos;
+      Pressure.push pressure pos;
+      k ();
+      Pressure.pop pressure pos;
+      Omega.State.pop env.st
+    end
+  in
+  let on_complete () = best := Some (Omega.State.complete_greedily env.st) in
+  let completed =
+    match dfs env options ~push_candidates ~on_complete with
+    | () -> true
+    | exception Curtailed -> false
+  in
+  let stats =
+    {
+      omega_calls = env.omega_calls;
+      schedules_completed = env.schedules_completed;
+      improvements = env.improvements;
+      completed;
+    }
+  in
+  match !best with
+  | Some best -> Ok { best; initial; stats }
+  | None -> Error ()
+
+let verify_optimal machine dag (outcome : outcome) =
+  let r = Baselines.legal_only_search machine dag in
+  r.Baselines.complete && r.Baselines.best.Omega.nops = outcome.best.Omega.nops

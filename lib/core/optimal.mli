@@ -1,0 +1,128 @@
+(** The optimal pipeline scheduler (§4.2.3) — the paper's core contribution.
+
+    A depth-first branch-and-bound over legal instruction orders:
+
+    + the {!Pipesched_sched.List_sched} heuristic produces the initial
+      schedule, which is evaluated with Omega and becomes the incumbent
+      [pi] (§4.2.3 step [1]);
+    + the search extends a partial schedule [Phi] one ready instruction at
+      a time, inserting minimal NOPs incrementally (steps [2]–[5]);
+    + {b legality pruning}: only candidates whose DAG predecessors are all
+      in [Phi] are tried (the quick [earliest]/[latest] window test [5a] is
+      subsumed by O(1) ready-count maintenance; the real test [5b] is what
+      the count implements);
+    + {b equivalence pruning} (step [5c]): at a choice point, at most one
+      candidate that is {e free} — no pipeline resource, no predecessors
+      {e and no successors} — is explored, since such instructions are
+      mutually interchangeable fillers.  (The paper's condition omits the
+      successor requirement; taken literally it can prune every optimal
+      schedule — a predecessor-free instruction whose consumers come later
+      is not interchangeable with an unconstrained one, because its
+      position bounds where its consumers may go.  See the counterexample
+      in the test suite and DESIGN.md.);
+    + {b alpha-beta pruning} (step [6]): a partial schedule whose NOP count
+      already reaches the incumbent's is abandoned — completing it can only
+      add NOPs;
+    + {b curtailment} (step [4]): after [lambda] Omega calls the search
+      stops with the best schedule found, which may be suboptimal.
+
+    None of the prunings can discard {e every} optimal schedule, so a
+    completed search returns a provably optimal schedule (the paper's
+    termination case [1]).
+
+    Extensions beyond the paper (all optionality-preserving, all
+    ablation-switchable): a stronger {e interchangeable-candidates} check,
+    an admissible critical-path lower bound, and a search over pipeline
+    {e assignment} for machines that offer several pipelines per operation
+    (the feature footnote 3 excludes from the paper's algorithm). *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+
+(** Admissible lower bound used by step [6]. *)
+type lower_bound =
+  | Partial_nops
+      (** mu(Phi) alone — exactly the paper's alpha-beta condition *)
+  | Critical_path
+      (** mu(Phi) refined with the latency-weighted critical path of the
+          unscheduled suffix (extension; strictly stronger, still never
+          prunes all optima) *)
+
+type options = {
+  lambda : int;
+      (** curtail point: maximum Omega calls (incremental NOP insertions)
+          before the search gives up; the paper's user-supplied lambda *)
+  seed : List_sched.heuristic;  (** initial-schedule heuristic *)
+  equivalence : bool;           (** step [5c] on/off *)
+  strong_equivalence : bool;
+      (** also skip a candidate when an already-tried sibling has the same
+          pipeline, the same predecessor set and the same successor set
+          (fully interchangeable instructions; extension) *)
+  alpha_beta : bool;            (** step [6] on/off *)
+  lower_bound : lower_bound;
+}
+
+(** The paper's configuration: [lambda = 100_000], {!List_sched.Max_distance}
+    seed, equivalence and alpha-beta pruning on, [Partial_nops] bound,
+    strong equivalence off. *)
+val default_options : options
+
+type stats = {
+  omega_calls : int;
+      (** incremental NOP insertions performed (the paper's Lambda) *)
+  schedules_completed : int;
+      (** complete schedules reached and compared against the incumbent *)
+  improvements : int;
+      (** times the incumbent was improved (including the seed's first
+          evaluation is not counted) *)
+  completed : bool;
+      (** true: termination case [1], the result is provably optimal;
+          false: case [2], curtailed at [lambda] *)
+}
+
+type outcome = {
+  best : Omega.result;     (** best schedule found *)
+  initial : Omega.result;  (** the evaluated seed (list) schedule *)
+  stats : stats;
+}
+
+(** [schedule ?options machine dag] runs the search with each operation on
+    its default pipeline (the paper's algorithm).  [entry] carries
+    pipeline state in from preceding code (see {!Omega.entry} and
+    {!Region}). *)
+val schedule :
+  ?options:options -> ?entry:Omega.entry -> Machine.t -> Dag.t -> outcome
+
+(** [schedule_multi ?options machine dag] additionally searches over the
+    pipeline assignment when operations have several candidate pipelines
+    (§4.1's two-loader example; extension).  Symmetric pipelines (equal
+    parameters and equal last-use state) are explored only once per choice
+    point.  Returns the chosen pipe per original position alongside the
+    outcome. *)
+val schedule_multi :
+  ?options:options -> ?entry:Omega.entry -> Machine.t -> Dag.t ->
+  outcome * int option array
+
+(** [schedule_bounded ?options ~registers machine dag] searches only
+    schedules whose register demand never exceeds [registers] — the §3.1
+    concern made into a hard constraint instead of a pre-pass (extension).
+    A value is live from its definition until its last remaining consumer
+    is scheduled (read-then-write convention, matching
+    [Pipesched_regalloc.Alloc]); candidates whose definition would push
+    the live count past the file are pruned as illegal.
+
+    Returns [Ok outcome] with the best feasible schedule found
+    ([outcome.stats.completed] means provably optimal {e among feasible
+    schedules}), or [Error ()] when no feasible complete schedule was
+    found within [lambda] (the block needs §3.1 spill rewriting first).
+    Note the seed list schedule may itself be infeasible; it still
+    initializes [outcome.initial], but the incumbent starts empty. *)
+val schedule_bounded :
+  ?options:options -> registers:int -> Machine.t -> Dag.t ->
+  (outcome, unit) result
+
+(** [verify_optimal machine dag outcome] cross-checks an outcome against
+    the exhaustive legal-only search (test helper; exponential, use on
+    small blocks only).  True when the NOP counts agree. *)
+val verify_optimal : Machine.t -> Dag.t -> outcome -> bool

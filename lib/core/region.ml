@@ -1,0 +1,63 @@
+open Pipesched_machine
+module Dag = Pipesched_ir.Dag
+
+type block_outcome = {
+  outcome : Optimal.outcome;
+  entry : Omega.entry;
+  exit_ : Omega.entry;
+}
+
+type t = {
+  blocks : block_outcome list;
+  total_nops : int;
+  cold_total_nops : int;
+  cold_claimed_nops : int;
+  cold_hazards : int;
+}
+
+(* Replay a complete order against an entry state and return the exit
+   state and the realized NOP count. *)
+let replay machine dag entry order =
+  let st = Omega.State.create ~entry machine dag in
+  Array.iter (fun pos -> Omega.State.push st pos) order;
+  (Omega.State.nops st, Omega.State.exit_state st)
+
+let schedule ?(options = Optimal.default_options) machine dags =
+  let cold = Omega.cold_entry machine in
+  (* Warm-threaded pass: each block scheduled against its true entry. *)
+  let _, warm_rev =
+    List.fold_left
+      (fun (entry, acc) dag ->
+        let outcome = Optimal.schedule ~options ~entry machine dag in
+        let _, exit_ =
+          replay machine dag entry outcome.Optimal.best.Omega.order
+        in
+        (exit_, { outcome; entry; exit_ } :: acc))
+      (cold, []) dags
+  in
+  let blocks = List.rev warm_rev in
+  let total_nops =
+    List.fold_left
+      (fun acc b -> acc + b.outcome.Optimal.best.Omega.nops)
+      0 blocks
+  in
+  (* Cold pass: schedule each block in isolation, then charge the stalls
+     its schedule actually incurs once the predecessor's pipeline state is
+     taken into account.  Whenever the realized count exceeds the claimed
+     one, NOP padding emitted from the cold analysis would be short: an
+     interlock-free machine would misexecute (a boundary hazard). *)
+  let _, cold_total_nops, cold_claimed_nops, cold_hazards =
+    List.fold_left
+      (fun (entry, acc, claimed, hazards) dag ->
+        let outcome = Optimal.schedule ~options ~entry:cold machine dag in
+        let realized, exit_ =
+          replay machine dag entry outcome.Optimal.best.Omega.order
+        in
+        let claim = outcome.Optimal.best.Omega.nops in
+        ( exit_,
+          acc + realized,
+          claimed + claim,
+          hazards + (if realized > claim then 1 else 0) ))
+      (cold, 0, 0, 0) dags
+  in
+  { blocks; total_nops; cold_total_nops; cold_claimed_nops; cold_hazards }

@@ -1,0 +1,45 @@
+(** Scheduling a straight-line region of consecutive basic blocks.
+
+    The paper (footnote 1) notes that interactions between adjacent blocks
+    are handled "by modifying the initial conditions in the analysis for
+    each block".  This module threads the {!Omega.entry} pipeline state
+    along a sequence of blocks: each block is scheduled optimally given
+    the pipeline occupancy it inherits, and bequeaths its own exit state
+    to the next.
+
+    This matters when a block ends with long-latency work: a cold-start
+    schedule of the next block would issue a conflicting operation too
+    early and the hardware (or NOP padding) would have to stall. *)
+
+open Pipesched_machine
+open Pipesched_ir
+
+type block_outcome = {
+  outcome : Optimal.outcome;
+  entry : Omega.entry;  (** state the block was scheduled against *)
+  exit_ : Omega.entry;  (** state it hands to its successor *)
+}
+
+type t = {
+  blocks : block_outcome list;
+  total_nops : int;       (** sum of per-block NOPs with threading *)
+  cold_total_nops : int;  (** same blocks scheduled with cold entries and
+                              the inter-block stalls this would cause
+                              charged at each boundary *)
+  cold_claimed_nops : int;
+      (** the NOP count the cold-start compiler {e believes} it emitted;
+          when [cold_total_nops > cold_claimed_nops] a NOP-padded machine
+          (no interlock hardware) would execute incorrectly, because the
+          padding underestimates the pipeline state at block entry *)
+  cold_hazards : int;
+      (** number of blocks whose cold schedule underestimates its real
+          entry constraints *)
+}
+
+(** [schedule ?options machine dags] schedules the blocks in order,
+    threading pipeline state.  The cold comparison schedules each block
+    independently and then replays each cold schedule against its true
+    entry state to count the boundary stalls the paper's footnote warns
+    about — and the hazards a NOP-padding target would turn into wrong
+    execution. *)
+val schedule : ?options:Optimal.options -> Machine.t -> Dag.t list -> t

@@ -1,0 +1,104 @@
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+
+type outcome = {
+  best : Omega.result;
+  initial : Omega.result;
+  window : int;
+  window_count : int;
+  omega_calls : int;
+  all_windows_completed : bool;
+}
+
+exception Budget_exhausted
+
+let schedule ?(options = Optimal.default_options) ?entry ~window machine dag =
+  if window < 1 then invalid_arg "Windowed.schedule: window must be >= 1";
+  let n = Dag.length dag in
+  let seed_order = List_sched.schedule options.Optimal.seed dag in
+  let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
+  let st = Omega.State.create ?entry machine dag in
+  let omega_calls = ref 0 in
+  let all_completed = ref true in
+  let budget_push pos =
+    if !omega_calls >= options.Optimal.lambda then raise Budget_exhausted;
+    incr omega_calls;
+    Omega.State.push st pos
+  in
+  (* Candidate iteration order within windows: list priority. *)
+  let cand_order =
+    List_sched.order_by_priority options.Optimal.seed dag
+  in
+  let window_count = (n + window - 1) / window in
+  let chunk_of = Array.make n 0 in
+  Array.iteri (fun k pos -> chunk_of.(pos) <- k / window) seed_order;
+  (* Schedule one window: DFS over the window's instructions on top of the
+     committed prefix; commit the best order found. *)
+  let schedule_window w first_k =
+    let size = min window (n - first_k) in
+    let in_window pos = chunk_of.(pos) = w in
+    (* Incumbent: the window's slice of the list schedule. *)
+    let incumbent = Array.sub seed_order first_k size in
+    let base_depth = Omega.State.depth st in
+    Array.iter (fun pos -> Omega.State.push st pos) incumbent;
+    let best_nops = ref (Omega.State.nops st) in
+    let best_order = ref (Array.copy incumbent) in
+    for _ = 1 to size do
+      Omega.State.pop st
+    done;
+    let current = Array.make size 0 in
+    let completed =
+      try
+        let rec go depth =
+          if depth = size then begin
+            if Omega.State.nops st < !best_nops then begin
+              best_nops := Omega.State.nops st;
+              best_order := Array.copy current
+            end
+          end
+          else
+            let tried = ref 0 in
+            Array.iter
+              (fun pos ->
+                if in_window pos && Omega.State.is_ready st pos then begin
+                  incr tried;
+                  budget_push pos;
+                  current.(depth) <- pos;
+                  if Omega.State.nops st < !best_nops then go (depth + 1);
+                  Omega.State.pop st
+                end)
+              cand_order;
+            assert (!tried > 0)
+        in
+        go 0;
+        true
+      with Budget_exhausted ->
+        (* Unwind the partial descent the exception interrupted. *)
+        while Omega.State.depth st > base_depth do
+          Omega.State.pop st
+        done;
+        false
+    in
+    if not completed then all_completed := false;
+    Array.iter (fun pos -> Omega.State.push st pos) !best_order;
+    completed
+  in
+  let k = ref 0 in
+  for w = 0 to window_count - 1 do
+    ignore (schedule_window w !k);
+    k := !k + window
+  done;
+  let best = Omega.State.complete_greedily st in
+  (* Locally-optimal windows are not globally dominant: an improved early
+     window can worsen a later window's context.  Never return something
+     worse than the seed. *)
+  let best = if best.Omega.nops > initial.Omega.nops then initial else best in
+  {
+    best;
+    initial;
+    window;
+    window_count;
+    omega_calls = !omega_calls;
+    all_windows_completed = !all_completed;
+  }

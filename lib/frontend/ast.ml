@@ -1,0 +1,127 @@
+open Pipesched_ir
+
+type expr =
+  | Int of int
+  | Var of string
+  | Unop of Op.t * expr
+  | Binop of Op.t * expr * expr
+
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+type cond = relop * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+
+type program = stmt list
+
+let eval_relop r x y =
+  match r with
+  | Req -> x = y
+  | Rne -> x <> y
+  | Rlt -> x < y
+  | Rle -> x <= y
+  | Rgt -> x > y
+  | Rge -> x >= y
+
+let straight_line prog =
+  List.for_all (function Assign _ -> true | If _ | While _ -> false) prog
+
+let rec expr_vars = function
+  | Int _ -> []
+  | Var v -> [ v ]
+  | Unop (_, e) -> expr_vars e
+  | Binop (_, e1, e2) -> expr_vars e1 @ expr_vars e2
+
+let dedup vs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun v ->
+      if Hashtbl.mem seen v then false
+      else begin
+        Hashtbl.replace seen v ();
+        true
+      end)
+    vs
+
+let rec stmt_reads = function
+  | Assign (_, e) -> expr_vars e
+  | If ((_, l, r), t, f) ->
+    expr_vars l @ expr_vars r @ List.concat_map stmt_reads t
+    @ List.concat_map stmt_reads f
+  | While ((_, l, r), body) ->
+    expr_vars l @ expr_vars r @ List.concat_map stmt_reads body
+
+let rec stmt_writes = function
+  | Assign (v, _) -> [ v ]
+  | If (_, t, f) -> List.concat_map stmt_writes t @ List.concat_map stmt_writes f
+  | While (_, body) -> List.concat_map stmt_writes body
+
+let read_vars prog = dedup (List.concat_map stmt_reads prog)
+
+let written_vars prog = dedup (List.concat_map stmt_writes prog)
+
+(* Printing with minimal parentheses would need precedence tracking; for a
+   diagnostic language we parenthesize every compound subexpression. *)
+let rec pp_expr fmt = function
+  | Int n -> Format.pp_print_int fmt n
+  | Var v -> Format.pp_print_string fmt v
+  | Unop (op, e) ->
+    assert (op = Op.Neg);
+    Format.fprintf fmt "-(%a)" pp_expr e
+  | Binop (op, e1, e2) ->
+    let sym =
+      match op with
+      | Op.Add -> "+"
+      | Op.Sub -> "-"
+      | Op.Mul -> "*"
+      | Op.Div -> "/"
+      | Op.Mod -> "%"
+      | Op.And -> "&"
+      | Op.Or -> "|"
+      | Op.Xor -> "^"
+      | Op.Shl -> "<<"
+      | Op.Shr -> ">>"
+      | Op.Const | Op.Load | Op.Store | Op.Mov | Op.Neg ->
+        invalid_arg "Ast.pp_expr: not a binary operator"
+    in
+    Format.fprintf fmt "(%a %s %a)" pp_expr e1 sym pp_expr e2
+
+let relop_to_string = function
+  | Req -> "=="
+  | Rne -> "!="
+  | Rlt -> "<"
+  | Rle -> "<="
+  | Rgt -> ">"
+  | Rge -> ">="
+
+let pp_cond fmt (r, l, rhs) =
+  Format.fprintf fmt "%a %s %a" pp_expr l (relop_to_string r) pp_expr rhs
+
+let rec pp_stmt fmt = function
+  | Assign (v, e) -> Format.fprintf fmt "%s = %a;" v pp_expr e
+  | If (c, t, []) ->
+    Format.fprintf fmt "if (%a) { %a }" pp_cond c pp_stmts t
+  | If (c, t, f) ->
+    Format.fprintf fmt "if (%a) { %a } else { %a }" pp_cond c pp_stmts t
+      pp_stmts f
+  | While (c, body) ->
+    Format.fprintf fmt "while (%a) { %a }" pp_cond c pp_stmts body
+
+and pp_stmts fmt stmts =
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_space fmt ();
+      pp_stmt fmt s)
+    stmts
+
+let pp_program fmt prog =
+  List.iteri
+    (fun i s ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      pp_stmt fmt s)
+    prog
+
+let program_to_string prog = Format.asprintf "%a" pp_program prog

@@ -1,0 +1,59 @@
+(** Abstract syntax of the mini source language.
+
+    The prototype compiler's input is a basic block of assignment
+    statements over integer variables (see the paper's Figure 3 and the
+    synthetic-benchmark generator of §5.2):
+
+    {v
+      b = 15;
+      a = b * a;
+      c = (a + b) / 2;
+    v}
+
+    Expressions use the binary/unary operations of {!Pipesched_ir.Op};
+    there is no control flow — each program {e is} one basic block. *)
+
+open Pipesched_ir
+
+type expr =
+  | Int of int
+  | Var of string
+  | Unop of Op.t * expr   (** [Op.Neg] only *)
+  | Binop of Op.t * expr * expr
+
+(** Comparison operators for control-flow conditions. *)
+type relop = Req | Rne | Rlt | Rle | Rgt | Rge
+
+type cond = relop * expr * expr
+
+(** Statements.  [Assign] is the §5.2 straight-line core the paper's
+    experiments run on; [If]/[While] are the structured control flow of
+    the arbitrary-control-flow extension (§6 future work), compiled by
+    {!Pipesched_cflow}. *)
+type stmt =
+  | Assign of string * expr
+  | If of cond * stmt list * stmt list
+  | While of cond * stmt list
+
+type program = stmt list
+
+(** [eval_relop r x y] — the comparison's truth on concrete integers. *)
+val eval_relop : relop -> int -> int -> bool
+
+(** True when the program is assignment-only (a single basic block). *)
+val straight_line : program -> bool
+
+(** Variables read by the expression, left to right with duplicates. *)
+val expr_vars : expr -> string list
+
+(** Variables read anywhere in the program (including in conditions),
+    deduplicated, in first-occurrence order. *)
+val read_vars : program -> string list
+
+(** Variables assigned by the program, deduplicated, in order. *)
+val written_vars : program -> string list
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_stmt : Format.formatter -> stmt -> unit
+val pp_program : Format.formatter -> program -> unit
+val program_to_string : program -> string

@@ -1,0 +1,6 @@
+let compile_program ?(optimize = true) ?(reuse = false) prog =
+  let blk = Gen.generate ~reuse prog in
+  if optimize then Opt.optimize blk else blk
+
+let compile ?optimize ?reuse src =
+  compile_program ?optimize ?reuse (Parser.parse src)

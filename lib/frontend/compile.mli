@@ -1,0 +1,12 @@
+(** The front-end driver: source text to optimized tuple block. *)
+
+open Pipesched_ir
+
+(** [compile_program ?optimize ?reuse prog] generates tuples
+    ({!Gen.generate}) and, when [optimize] (default [true]), runs the full
+    {!Opt.optimize} pipeline. *)
+val compile_program : ?optimize:bool -> ?reuse:bool -> Ast.program -> Block.t
+
+(** [compile ?optimize ?reuse src] parses and compiles source text.
+    Raises {!Parser.Error} or {!Lexer.Error} on malformed input. *)
+val compile : ?optimize:bool -> ?reuse:bool -> string -> Block.t

@@ -1,0 +1,49 @@
+open Pipesched_ir
+
+type state = {
+  mutable next_id : int;
+  mutable acc : Tuple.t list; (* reversed *)
+  known : (string, Operand.t) Hashtbl.t; (* current value per var (reuse) *)
+  reuse : bool;
+}
+
+let emit st op a b =
+  let id = st.next_id in
+  st.next_id <- id + 1;
+  st.acc <- Tuple.make ~id op a b :: st.acc;
+  Operand.Ref id
+
+let gen_var st v =
+  if st.reuse then
+    match Hashtbl.find_opt st.known v with
+    | Some o -> o
+    | None ->
+      let o = emit st Op.Load (Operand.Var v) Operand.Null in
+      Hashtbl.replace st.known v o;
+      o
+  else emit st Op.Load (Operand.Var v) Operand.Null
+
+let rec gen_expr st = function
+  | Ast.Int n -> emit st Op.Const (Operand.Imm n) Operand.Null
+  | Ast.Var v -> gen_var st v
+  | Ast.Unop (op, e) ->
+    let a = gen_expr st e in
+    emit st op a Operand.Null
+  | Ast.Binop (op, e1, e2) ->
+    let a = gen_expr st e1 in
+    let b = gen_expr st e2 in
+    emit st op a b
+
+let gen_stmt st = function
+  | Ast.Assign (v, e) ->
+    let value = gen_expr st e in
+    ignore (emit st Op.Store (Operand.Var v) value);
+    if st.reuse then Hashtbl.replace st.known v value
+  | Ast.If _ | Ast.While _ ->
+    invalid_arg
+      "Gen.generate: control flow in a basic block (use Pipesched_cflow)"
+
+let generate ?(reuse = false) prog =
+  let st = { next_id = 1; acc = []; known = Hashtbl.create 16; reuse } in
+  List.iter (gen_stmt st) prog;
+  Block.of_tuples_exn (List.rev st.acc)

@@ -1,0 +1,23 @@
+(** Tuple generation: source AST to tuple code (§3.1).
+
+    The translation follows the paper's code-generation convention: "the
+    first reference to a variable causes a load for that variable to be
+    generated, and a store is generated when a variable is assigned a
+    value".
+
+    Two modes:
+
+    - [~reuse:false] (the default) is the traditional load-on-demand code
+      generator the paper's §2.1 describes as producing many dependences:
+      {e every} occurrence of a variable emits a fresh [Load] and every
+      integer literal a fresh [Const].  The optimizer then coalesces.
+    - [~reuse:true] tracks the current value of each variable (after a load
+      or an assignment) and reuses it, emitting at most one [Load] per
+      variable version — roughly what a DAG-building front end produces
+      directly. *)
+
+(** [generate ?reuse prog] compiles a straight-line source program to a
+    valid tuple block.  Tuple ids are assigned sequentially from 1.
+    Raises [Invalid_argument] on [If]/[While] (whole-program compilation
+    lives in [Pipesched_cflow]). *)
+val generate : ?reuse:bool -> Ast.program -> Pipesched_ir.Block.t

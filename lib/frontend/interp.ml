@@ -1,0 +1,102 @@
+open Pipesched_ir
+
+type env = string -> int
+
+exception Out_of_fuel
+
+let run_program ?(fuel = 100_000) prog ~env =
+  let mem = Hashtbl.create 16 in
+  let touched = Hashtbl.create 16 in
+  let read v =
+    Hashtbl.replace touched v ();
+    match Hashtbl.find_opt mem v with Some x -> x | None -> env v
+  in
+  let write v x =
+    Hashtbl.replace touched v ();
+    Hashtbl.replace mem v x
+  in
+  let rec eval = function
+    | Ast.Int n -> n
+    | Ast.Var v -> read v
+    | Ast.Unop (op, e) -> Op.eval1 op (eval e)
+    | Ast.Binop (op, e1, e2) ->
+      let x = eval e1 in
+      let y = eval e2 in
+      Op.eval2 op x y
+  in
+  let cond (r, l, rhs) =
+    let x = eval l in
+    let y = eval rhs in
+    Ast.eval_relop r x y
+  in
+  let fuel_left = ref fuel in
+  let rec exec stmt =
+    if !fuel_left <= 0 then raise Out_of_fuel;
+    decr fuel_left;
+    match stmt with
+    | Ast.Assign (v, e) -> write v (eval e)
+    | Ast.If (c, then_, else_) ->
+      List.iter exec (if cond c then then_ else else_)
+    | Ast.While (c, body) ->
+      if cond c then begin
+        List.iter exec body;
+        exec stmt
+      end
+  in
+  List.iter exec prog;
+  Hashtbl.fold (fun v () acc -> (v, read v) :: acc) touched []
+  |> List.sort compare
+
+let run_block blk ~env =
+  let mem = Hashtbl.create 16 in
+  let touched = Hashtbl.create 16 in
+  let values = Hashtbl.create 16 in
+  let read v =
+    Hashtbl.replace touched v ();
+    match Hashtbl.find_opt mem v with Some x -> x | None -> env v
+  in
+  let write v x =
+    Hashtbl.replace touched v ();
+    Hashtbl.replace mem v x
+  in
+  let operand = function
+    | Operand.Imm n -> n
+    | Operand.Ref id -> (
+      match Hashtbl.find_opt values id with
+      | Some x -> x
+      | None -> invalid_arg "Interp.run_block: dangling reference")
+    | Operand.Var _ | Operand.Null ->
+      invalid_arg "Interp.run_block: non-value operand"
+  in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      match tu.op with
+      | Op.Const -> (
+        match tu.a with
+        | Operand.Imm n -> Hashtbl.replace values tu.id n
+        | _ -> invalid_arg "Interp.run_block: malformed Const")
+      | Op.Load -> (
+        match tu.a with
+        | Operand.Var v -> Hashtbl.replace values tu.id (read v)
+        | _ -> invalid_arg "Interp.run_block: malformed Load")
+      | Op.Store -> (
+        match tu.a with
+        | Operand.Var v -> write v (operand tu.b)
+        | _ -> invalid_arg "Interp.run_block: malformed Store")
+      | Op.Mov | Op.Neg ->
+        Hashtbl.replace values tu.id (Op.eval1 tu.op (operand tu.a))
+      | Op.Add | Op.Sub | Op.Mul | Op.Div | Op.Mod | Op.And | Op.Or
+      | Op.Xor | Op.Shl | Op.Shr ->
+        Hashtbl.replace values tu.id
+          (Op.eval2 tu.op (operand tu.a) (operand tu.b)))
+    (Block.tuples blk);
+  Hashtbl.fold (fun v () acc -> (v, read v) :: acc) touched []
+  |> List.sort compare
+
+let equivalent_on prog blk ~env ~vars =
+  let p = run_program prog ~env in
+  let b = run_block blk ~env in
+  let value_in results v =
+    match List.assoc_opt v results with Some x -> x | None -> env v
+  in
+  List.for_all (fun v -> value_in p v = value_in b v) vars

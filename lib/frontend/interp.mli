@@ -1,0 +1,32 @@
+(** Reference interpreters for source programs and tuple blocks.
+
+    These give the two program representations an executable semantics, so
+    the test suite can {e prove} (property-test) that tuple generation, every
+    optimizer pass, and every legal schedule preserve program meaning.
+    Division/modulus by zero evaluate to 0, matching {!Pipesched_ir.Op}. *)
+
+open Pipesched_ir
+
+(** An initial memory: the value each variable holds on block entry. *)
+type env = string -> int
+
+(** Raised by {!run_program} when [fuel] statement executions were not
+    enough to finish (a long or diverging [while]). *)
+exception Out_of_fuel
+
+(** [run_program prog ~env] executes the source program and returns the
+    final value of every variable it touches (reads or writes), sorted by
+    name.  [fuel] (default [100_000]) bounds the number of statement
+    executions; raises {!Out_of_fuel} beyond it. *)
+val run_program : ?fuel:int -> Ast.program -> env:env -> (string * int) list
+
+(** [run_block blk ~env] executes the tuple block against memory [env] and
+    returns the final value of every variable the block touches, sorted by
+    name.  Raises [Invalid_argument] on a malformed block (defensive; cannot
+    happen for validated {!Block.t} values). *)
+val run_block : Block.t -> env:env -> (string * int) list
+
+(** [equivalent_on prog blk ~env ~vars] — do program and block agree on the
+    final values of [vars] under [env]? *)
+val equivalent_on :
+  Ast.program -> Block.t -> env:env -> vars:string list -> bool

@@ -1,0 +1,119 @@
+type token =
+  | Int of int
+  | Ident of string
+  | Assign
+  | Semi
+  | Lparen
+  | Rparen
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe_tok
+  | Caret
+  | Shl_tok
+  | Shr_tok
+  | Lbrace
+  | Rbrace
+  | Eq_eq
+  | Bang_eq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Eof
+
+exception Error of string * int
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then List.rev (Eof :: acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1) acc
+      | '#' ->
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      | '=' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (Eq_eq :: acc)
+      | '=' -> go (i + 1) (Assign :: acc)
+      | '{' -> go (i + 1) (Lbrace :: acc)
+      | '}' -> go (i + 1) (Rbrace :: acc)
+      | '!' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (Bang_eq :: acc)
+      | ';' -> go (i + 1) (Semi :: acc)
+      | '(' -> go (i + 1) (Lparen :: acc)
+      | ')' -> go (i + 1) (Rparen :: acc)
+      | '+' -> go (i + 1) (Plus :: acc)
+      | '-' -> go (i + 1) (Minus :: acc)
+      | '*' -> go (i + 1) (Star :: acc)
+      | '/' -> go (i + 1) (Slash :: acc)
+      | '%' -> go (i + 1) (Percent :: acc)
+      | '&' -> go (i + 1) (Amp :: acc)
+      | '|' -> go (i + 1) (Pipe_tok :: acc)
+      | '^' -> go (i + 1) (Caret :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '<' -> go (i + 2) (Shl_tok :: acc)
+      | '>' when i + 1 < n && src.[i + 1] = '>' -> go (i + 2) (Shr_tok :: acc)
+      | '<' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (Le :: acc)
+      | '<' -> go (i + 1) (Lt :: acc)
+      | '>' when i + 1 < n && src.[i + 1] = '=' -> go (i + 2) (Ge :: acc)
+      | '>' -> go (i + 1) (Gt :: acc)
+      | c when is_digit c ->
+        let rec scan j = if j < n && is_digit src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let text = String.sub src i (j - i) in
+        (match int_of_string_opt text with
+         | Some v -> go j (Int v :: acc)
+         | None -> raise (Error ("integer literal out of range: " ^ text, i)))
+      | c when is_alpha c ->
+        let rec scan j = if j < n && is_alnum src.[j] then scan (j + 1) else j in
+        let j = scan i in
+        let tok =
+          match String.sub src i (j - i) with
+          | "if" -> Kw_if
+          | "else" -> Kw_else
+          | "while" -> Kw_while
+          | word -> Ident word
+        in
+        go j (tok :: acc)
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c, i))
+  in
+  go 0 []
+
+let token_to_string = function
+  | Int n -> string_of_int n
+  | Ident s -> s
+  | Assign -> "="
+  | Semi -> ";"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Percent -> "%"
+  | Amp -> "&"
+  | Pipe_tok -> "|"
+  | Caret -> "^"
+  | Shl_tok -> "<<"
+  | Shr_tok -> ">>"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Eq_eq -> "=="
+  | Bang_eq -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Kw_if -> "if"
+  | Kw_else -> "else"
+  | Kw_while -> "while"
+  | Eof -> "<eof>"

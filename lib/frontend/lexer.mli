@@ -1,0 +1,41 @@
+(** Hand-written lexer for the mini source language. *)
+
+type token =
+  | Int of int
+  | Ident of string
+  | Assign          (** [=] *)
+  | Semi            (** [;] *)
+  | Lparen
+  | Rparen
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Percent
+  | Amp
+  | Pipe_tok        (** [|] *)
+  | Caret
+  | Shl_tok         (** [<<] *)
+  | Shr_tok         (** [>>] *)
+  | Lbrace
+  | Rbrace
+  | Eq_eq           (** [==] *)
+  | Bang_eq         (** [!=] *)
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Kw_if
+  | Kw_else
+  | Kw_while
+  | Eof
+
+(** Raised with a message and a 0-based character offset. *)
+exception Error of string * int
+
+(** [tokenize src] is the token stream of [src], ending with [Eof].
+    Comments run from [#] to end of line.  Raises {!Error} on any other
+    unrecognized character. *)
+val tokenize : string -> token list
+
+val token_to_string : token -> string

@@ -1,0 +1,247 @@
+open Pipesched_ir
+
+(* Every pass below walks the block in order, building a reversed tuple
+   list plus an alias map sending removed tuple ids to the operand that
+   replaces them.  [subst] applies the alias map to an operand. *)
+
+let subst alias o =
+  match o with
+  | Operand.Ref id -> (
+    match Hashtbl.find_opt alias id with Some o' -> o' | None -> o)
+  | Operand.Var _ | Operand.Imm _ | Operand.Null -> o
+
+let rebuild tuples = Block.of_tuples_exn (List.rev tuples)
+
+let const_fold blk =
+  let consts = Hashtbl.create 16 in
+  let alias = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      let a = subst alias tu.a in
+      let b = subst alias tu.b in
+      let a =
+        match a with
+        | Operand.Ref id -> (
+          match Hashtbl.find_opt consts id with
+          | Some n -> Operand.Imm n
+          | None -> a)
+        | _ -> a
+      in
+      let b =
+        match b with
+        | Operand.Ref id -> (
+          match Hashtbl.find_opt consts id with
+          | Some n -> Operand.Imm n
+          | None -> b)
+        | _ -> b
+      in
+      let folded =
+        match (tu.op, a, b) with
+        | Op.Const, Operand.Imm n, _ -> Some n
+        | (Op.Mov | Op.Neg), Operand.Imm n, _ ->
+          Some (Op.eval1 tu.op n)
+        | ( (Op.Add | Op.Sub | Op.Mul | Op.Div | Op.Mod | Op.And | Op.Or
+            | Op.Xor | Op.Shl | Op.Shr),
+            Operand.Imm x,
+            Operand.Imm y ) ->
+          Some (Op.eval2 tu.op x y)
+        | _ -> None
+      in
+      match folded with
+      | Some n ->
+        Hashtbl.replace consts tu.id n;
+        out :=
+          Tuple.make ~id:tu.id Op.Const (Operand.Imm n) Operand.Null :: !out
+      | None -> out := Tuple.make ~id:tu.id tu.op a b :: !out)
+    (Block.tuples blk);
+  rebuild !out
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let peephole blk =
+  let out = ref [] in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      let mov x = Tuple.make ~id:tu.id Op.Mov x Operand.Null in
+      let const n =
+        Tuple.make ~id:tu.id Op.Const (Operand.Imm n) Operand.Null
+      in
+      let same_ref a b =
+        match (a, b) with
+        | Operand.Ref i, Operand.Ref j -> i = j
+        | _ -> false
+      in
+      let rewritten =
+        match (tu.op, tu.a, tu.b) with
+        | Op.Add, x, Operand.Imm 0 | Op.Add, Operand.Imm 0, x -> Some (mov x)
+        | Op.Sub, x, Operand.Imm 0 -> Some (mov x)
+        | Op.Sub, a, b when same_ref a b -> Some (const 0)
+        | Op.Mul, x, Operand.Imm 1 | Op.Mul, Operand.Imm 1, x -> Some (mov x)
+        | Op.Mul, _, Operand.Imm 0 | Op.Mul, Operand.Imm 0, _ ->
+          Some (const 0)
+        | Op.Mul, x, Operand.Imm n when is_power_of_two n ->
+          Some (Tuple.make ~id:tu.id Op.Shl x (Operand.Imm (log2 n)))
+        | Op.Mul, Operand.Imm n, x when is_power_of_two n ->
+          Some (Tuple.make ~id:tu.id Op.Shl x (Operand.Imm (log2 n)))
+        | Op.Div, x, Operand.Imm 1 -> Some (mov x)
+        | Op.And, _, Operand.Imm 0 | Op.And, Operand.Imm 0, _ ->
+          Some (const 0)
+        | Op.Or, x, Operand.Imm 0 | Op.Or, Operand.Imm 0, x -> Some (mov x)
+        | Op.Xor, x, Operand.Imm 0 | Op.Xor, Operand.Imm 0, x -> Some (mov x)
+        | Op.Xor, a, b when same_ref a b -> Some (const 0)
+        | (Op.Shl | Op.Shr), x, Operand.Imm 0 -> Some (mov x)
+        | _ -> None
+      in
+      out := Option.value rewritten ~default:tu :: !out)
+    (Block.tuples blk);
+  rebuild !out
+
+(* -(-x) = Mov x needs to look through one level of references, which the
+   generic pass structure above does not; handled here separately. *)
+let double_neg blk =
+  let defs = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      Hashtbl.replace defs tu.id tu;
+      let rewritten =
+        match (tu.op, tu.a) with
+        | Op.Neg, Operand.Ref id -> (
+          match Hashtbl.find_opt defs id with
+          | Some (inner : Tuple.t) when inner.op = Op.Neg ->
+            Some (Tuple.make ~id:tu.id Op.Mov inner.a Operand.Null)
+          | _ -> None)
+        | _ -> None
+      in
+      out := Option.value rewritten ~default:tu :: !out)
+    (Block.tuples blk);
+  rebuild !out
+
+let copy_prop blk =
+  let alias = Hashtbl.create 16 in
+  let out = ref [] in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      let a = subst alias tu.a in
+      let b = subst alias tu.b in
+      if tu.op = Op.Mov then Hashtbl.replace alias tu.id a
+      else out := Tuple.make ~id:tu.id tu.op a b :: !out)
+    (Block.tuples blk);
+  rebuild !out
+
+let cse blk =
+  let alias = Hashtbl.create 16 in
+  let pure_tbl = Hashtbl.create 16 in
+  let load_tbl = Hashtbl.create 16 in
+  let generation = Hashtbl.create 8 in
+  let last_store = Hashtbl.create 8 in
+  let gen_of v = Option.value ~default:0 (Hashtbl.find_opt generation v) in
+  let out = ref [] in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      let a = subst alias tu.a in
+      let b = subst alias tu.b in
+      match tu.op with
+      | Op.Load ->
+        let v = Option.get (Operand.var_name a) in
+        (match Hashtbl.find_opt last_store v with
+         | Some value -> Hashtbl.replace alias tu.id value
+         | None -> (
+           let key = (v, gen_of v) in
+           match Hashtbl.find_opt load_tbl key with
+           | Some id0 -> Hashtbl.replace alias tu.id (Operand.Ref id0)
+           | None ->
+             Hashtbl.replace load_tbl key tu.id;
+             out := Tuple.make ~id:tu.id tu.op a b :: !out))
+      | Op.Store ->
+        let v = Option.get (Operand.var_name a) in
+        Hashtbl.replace generation v (gen_of v + 1);
+        Hashtbl.replace last_store v b;
+        out := Tuple.make ~id:tu.id tu.op a b :: !out
+      | _ when Op.pure tu.op ->
+        let ka, kb =
+          if Op.commutative tu.op && Operand.compare a b > 0 then (b, a)
+          else (a, b)
+        in
+        let key = (tu.op, ka, kb) in
+        (match Hashtbl.find_opt pure_tbl key with
+         | Some id0 -> Hashtbl.replace alias tu.id (Operand.Ref id0)
+         | None ->
+           Hashtbl.replace pure_tbl key tu.id;
+           out := Tuple.make ~id:tu.id tu.op a b :: !out)
+      | _ -> out := Tuple.make ~id:tu.id tu.op a b :: !out)
+    (Block.tuples blk);
+  rebuild !out
+
+let dce blk =
+  let tuples = Block.tuples blk in
+  let live = Hashtbl.create 16 in
+  let mark o =
+    match Operand.ref_id o with
+    | Some id -> Hashtbl.replace live id ()
+    | None -> ()
+  in
+  let out = ref [] in
+  for i = Array.length tuples - 1 downto 0 do
+    let tu = tuples.(i) in
+    if tu.Tuple.op = Op.Store || Hashtbl.mem live tu.Tuple.id then begin
+      mark tu.Tuple.a;
+      mark tu.Tuple.b;
+      out := tu :: !out
+    end
+  done;
+  Block.of_tuples_exn !out
+
+let dead_store blk =
+  let tuples = Block.tuples blk in
+  let overwritten = Hashtbl.create 8 in
+  let out = ref [] in
+  for i = Array.length tuples - 1 downto 0 do
+    let tu = tuples.(i) in
+    match (tu.Tuple.op, Operand.var_name tu.Tuple.a) with
+    | Op.Load, Some v ->
+      Hashtbl.replace overwritten v false;
+      out := tu :: !out
+    | Op.Store, Some v ->
+      if Option.value ~default:false (Hashtbl.find_opt overwritten v) then ()
+      else begin
+        Hashtbl.replace overwritten v true;
+        out := tu :: !out
+      end
+    | _ -> out := tu :: !out
+  done;
+  Block.of_tuples_exn !out
+
+let renumber blk =
+  let next = ref 0 in
+  let remap = Hashtbl.create 16 in
+  let fix o =
+    match o with
+    | Operand.Ref id -> Operand.Ref (Hashtbl.find remap id)
+    | _ -> o
+  in
+  let out = ref [] in
+  Array.iter
+    (fun (tu : Tuple.t) ->
+      incr next;
+      let a = fix tu.a and b = fix tu.b in
+      Hashtbl.replace remap tu.id !next;
+      out := Tuple.make ~id:!next tu.op a b :: !out)
+    (Block.tuples blk);
+  rebuild !out
+
+let optimize blk =
+  let pass b =
+    b |> const_fold |> peephole |> double_neg |> copy_prop |> cse |> dce
+    |> dead_store
+  in
+  let rec fix b iters =
+    let b' = pass b in
+    if iters = 0 || Block.equal b b' then b' else fix b' (iters - 1)
+  in
+  renumber (fix blk 10)

@@ -1,0 +1,147 @@
+open Pipesched_ir
+
+exception Error of string
+
+type state = { mutable toks : Lexer.token list }
+
+let peek st = match st.toks with [] -> Lexer.Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st
+  else
+    raise
+      (Error
+         (Printf.sprintf "expected %s but found %s" what
+            (Lexer.token_to_string (peek st))))
+
+(* Binary-operator levels, loosest first. *)
+let levels =
+  [ [ (Lexer.Pipe_tok, Op.Or) ];
+    [ (Lexer.Caret, Op.Xor) ];
+    [ (Lexer.Amp, Op.And) ];
+    [ (Lexer.Shl_tok, Op.Shl); (Lexer.Shr_tok, Op.Shr) ];
+    [ (Lexer.Plus, Op.Add); (Lexer.Minus, Op.Sub) ];
+    [ (Lexer.Star, Op.Mul); (Lexer.Slash, Op.Div); (Lexer.Percent, Op.Mod) ] ]
+
+let rec parse_level st = function
+  | [] -> parse_unary st
+  | ops :: tighter ->
+    let lhs = ref (parse_level st tighter) in
+    let rec loop () =
+      match List.assoc_opt (peek st) ops with
+      | Some op ->
+        advance st;
+        let rhs = parse_level st tighter in
+        lhs := Ast.Binop (op, !lhs, rhs);
+        loop ()
+      | None -> ()
+    in
+    loop ();
+    !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.Minus ->
+    advance st;
+    Ast.Unop (Op.Neg, parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.Int n ->
+    advance st;
+    Ast.Int n
+  | Lexer.Ident v ->
+    advance st;
+    Ast.Var v
+  | Lexer.Lparen ->
+    advance st;
+    let e = parse_level st levels in
+    expect st Lexer.Rparen "')'";
+    e
+  | t ->
+    raise
+      (Error
+         (Printf.sprintf "expected an expression but found %s"
+            (Lexer.token_to_string t)))
+
+let parse_expression st = parse_level st levels
+
+let parse_cond st =
+  expect st Lexer.Lparen "'('";
+  let lhs = parse_expression st in
+  let rel =
+    match peek st with
+    | Lexer.Eq_eq -> Ast.Req
+    | Lexer.Bang_eq -> Ast.Rne
+    | Lexer.Lt -> Ast.Rlt
+    | Lexer.Le -> Ast.Rle
+    | Lexer.Gt -> Ast.Rgt
+    | Lexer.Ge -> Ast.Rge
+    | t ->
+      raise
+        (Error
+           (Printf.sprintf "expected a comparison operator but found %s"
+              (Lexer.token_to_string t)))
+  in
+  advance st;
+  let rhs = parse_expression st in
+  expect st Lexer.Rparen "')'";
+  (rel, lhs, rhs)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.Ident v ->
+    advance st;
+    expect st Lexer.Assign "'='";
+    let e = parse_expression st in
+    expect st Lexer.Semi "';'";
+    Ast.Assign (v, e)
+  | Lexer.Kw_if ->
+    advance st;
+    let cond = parse_cond st in
+    let then_ = parse_braced st in
+    let else_ =
+      if peek st = Lexer.Kw_else then begin
+        advance st;
+        parse_braced st
+      end
+      else []
+    in
+    Ast.If (cond, then_, else_)
+  | Lexer.Kw_while ->
+    advance st;
+    let cond = parse_cond st in
+    Ast.While (cond, parse_braced st)
+  | t ->
+    raise
+      (Error
+         (Printf.sprintf "expected a statement but found %s"
+            (Lexer.token_to_string t)))
+
+and parse_braced st =
+  expect st Lexer.Lbrace "'{'";
+  let rec go acc =
+    if peek st = Lexer.Rbrace then begin
+      advance st;
+      List.rev acc
+    end
+    else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    if peek st = Lexer.Eof then List.rev acc else go (parse_stmt st :: acc)
+  in
+  go []
+
+let parse_expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expression st in
+  expect st Lexer.Eof "end of input";
+  e

@@ -1,0 +1,30 @@
+(** Recursive-descent parser for the mini source language.
+
+    Grammar (standard C-like precedence, lowest first):
+
+    {v
+      program := stmt* eof
+      stmt    := ident '=' expr ';'
+               | 'if' '(' cond ')' '{' stmt* '}' ('else' '{' stmt* '}')?
+               | 'while' '(' cond ')' '{' stmt* '}'
+      cond    := expr ('=='|'!='|'<'|'<='|'>'|'>=') expr
+      expr    := or
+      or      := xor  ('|' xor)*
+      xor     := and  ('^' and)*
+      and     := shift ('&' shift)*
+      shift   := add  (('<<'|'>>') add)*
+      add     := mul  (('+'|'-') mul)*
+      mul     := unary (('*'|'/'|'%') unary)*
+      unary   := '-' unary | primary
+      primary := int | ident | '(' expr ')'
+    v} *)
+
+(** Raised with a human-readable message. *)
+exception Error of string
+
+(** [parse src] lexes and parses a whole program.
+    Raises {!Error} (or {!Lexer.Error}) on malformed input. *)
+val parse : string -> Ast.program
+
+(** [parse_expr src] parses a single expression (test helper). *)
+val parse_expr : string -> Ast.expr

@@ -1,0 +1,76 @@
+open Pipesched_core
+module Rng = Pipesched_prelude.Rng
+module Generator = Pipesched_synth.Generator
+module List_sched = Pipesched_sched.List_sched
+
+type config = { label : string; options : Optimal.options }
+
+let standard_configs ~lambda =
+  let base = { Optimal.default_options with Optimal.lambda } in
+  [ { label = "paper (all prunings, list seed)"; options = base };
+    { label = "- equivalence pruning [5c]";
+      options = { base with Optimal.equivalence = false } };
+    { label = "- alpha-beta pruning [6]";
+      options = { base with Optimal.alpha_beta = false } };
+    { label = "- list seed (source order)";
+      options = { base with Optimal.seed = List_sched.Source_order } };
+    { label = "- list seed (random order)";
+      options = { base with Optimal.seed = List_sched.Random_order 99 } };
+    { label = "+ strong equivalence (ext)";
+      options = { base with Optimal.strong_equivalence = true } };
+    { label = "+ critical-path bound (ext)";
+      options = { base with Optimal.lower_bound = Optimal.Critical_path } };
+    { label = "+ both extensions";
+      options =
+        { base with
+          Optimal.strong_equivalence = true;
+          Optimal.lower_bound = Optimal.Critical_path } } ]
+
+type row = {
+  label : string;
+  completed_pct : float;
+  avg_calls_completed : float;
+  avg_final_nops : float;
+  avg_time_s : float;
+}
+
+let run ~seed ~count ~lambda machine =
+  let rng = Rng.create seed in
+  let blocks =
+    List.init count (fun _ ->
+        Generator.block rng (Generator.sample_params rng))
+  in
+  List.map
+    (fun cfg ->
+      let records =
+        List.map
+          (fun blk -> Study.run_block ~options:cfg.options machine blk)
+          blocks
+      in
+      let completed = List.filter (fun r -> r.Study.completed) records in
+      {
+        label = cfg.label;
+        completed_pct =
+          100.0
+          *. float_of_int (List.length completed)
+          /. float_of_int (max 1 count);
+        avg_calls_completed =
+          Stats.mean
+            (List.map
+               (fun r -> float_of_int r.Study.omega_calls)
+               completed);
+        avg_final_nops =
+          Stats.mean (List.map (fun r -> float_of_int r.Study.final_nops) records);
+        avg_time_s = Stats.mean (List.map (fun r -> r.Study.time_s) records);
+      })
+    (standard_configs ~lambda)
+
+let print fmt rows =
+  Format.fprintf fmt "@.Ablation of the search ingredients:@.";
+  Format.fprintf fmt "  %-34s %10s %14s %11s %11s@." "configuration"
+    "% optimal" "calls (compl.)" "final NOPs" "time (s)";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-34s %10.2f %14.1f %11.3f %11.5f@." r.label
+        r.completed_pct r.avg_calls_completed r.avg_final_nops r.avg_time_s)
+    rows

@@ -1,0 +1,32 @@
+(** Ablation studies over the search's design choices (DESIGN.md §5).
+
+    Each configuration runs the same block population; reported are the
+    completion rate (provably optimal within lambda), the mean Omega calls
+    over completed runs, and schedule quality (mean final NOPs).  This
+    quantifies what each pruning ingredient of §4.2.3 buys, and what the
+    two extensions (strong equivalence, critical-path bound) add. *)
+
+type config = {
+  label : string;
+  options : Pipesched_core.Optimal.options;
+}
+
+(** The standard ladder: paper mode, then each ingredient removed, then
+    each extension added.  All share the given [lambda]. *)
+val standard_configs : lambda:int -> config list
+
+type row = {
+  label : string;
+  completed_pct : float;
+  avg_calls_completed : float;
+  avg_final_nops : float;
+  avg_time_s : float;
+}
+
+(** [run ~seed ~count ~lambda machine] evaluates {!standard_configs} on a
+    shared population. *)
+val run :
+  seed:int -> count:int -> lambda:int -> Pipesched_machine.Machine.t ->
+  row list
+
+val print : Format.formatter -> row list -> unit

@@ -1,0 +1,66 @@
+type table1_row = {
+  insns : int;
+  exhaustive : float;
+  legal_calls : int option;
+  proposed_calls : int;
+}
+
+let table1 =
+  [ { insns = 8; exhaustive = 40320.0; legal_calls = Some 163;
+      proposed_calls = 76 };
+    { insns = 11; exhaustive = 39916800.0; legal_calls = Some 9_039;
+      proposed_calls = 12 };
+    { insns = 13; exhaustive = 6.2e9; legal_calls = Some 65_105;
+      proposed_calls = 394 };
+    { insns = 13; exhaustive = 6.2e9; legal_calls = Some 40_240;
+      proposed_calls = 21 };
+    { insns = 14; exhaustive = 8.7e10; legal_calls = Some 175_384;
+      proposed_calls = 1_676 };
+    { insns = 16; exhaustive = 2.1e13; legal_calls = Some 27_487;
+      proposed_calls = 17 };
+    { insns = 16; exhaustive = 2.1e13; legal_calls = Some 5_800_000;
+      proposed_calls = 66_890 };
+    { insns = 16; exhaustive = 2.1e13; legal_calls = Some 92_228_324;
+      proposed_calls = 5_434 };
+    { insns = 20; exhaustive = 2.4e18; legal_calls = Some 12_872;
+      proposed_calls = 334 };
+    { insns = 21; exhaustive = 5.1e19; legal_calls = Some 58_581;
+      proposed_calls = 202 };
+    { insns = 22; exhaustive = 1.1e21; legal_calls = None;
+      proposed_calls = 119 } ]
+
+type table7_column = {
+  runs : int;
+  pct : float;
+  avg_insns : float;
+  avg_initial_nops : float;
+  avg_final_nops : float;
+  avg_omega_calls : float;
+  avg_time_s : float;
+}
+
+let table7_completed =
+  { runs = 15_812; pct = 98.83; avg_insns = 20.50; avg_initial_nops = 9.50;
+    avg_final_nops = 0.67; avg_omega_calls = 427.4; avg_time_s = 0.1 }
+
+let table7_truncated =
+  { runs = 188; pct = 1.17; avg_insns = 32.28; avg_initial_nops = 14.34;
+    avg_final_nops = 4.03; avg_omega_calls = 54_150.0; avg_time_s = 15.0 }
+
+let total_runs = 16_000
+
+let figure_claims =
+  [ ( "fig1",
+      "schedules searched stays in the 10..10^4 band for completed runs, \
+       with no strong growth in block size" );
+    ( "fig4",
+      "initial NOPs grow roughly linearly with block size; final NOPs stay \
+       nearly constant (close to zero)" );
+    ( "fig5",
+      "block sizes spread widely, average 20.6 instructions, tail past 40" );
+    ( "fig6",
+      "average runtime grows slowly with block size and stays within \
+       interactive compile times for common sizes" );
+    ( "fig7",
+      "the percentage of provably optimal runs stays near 100% through \
+       ~20-instruction blocks and decays for very large blocks" ) ]

@@ -1,0 +1,35 @@
+(** Reference numbers transcribed from the paper, for side-by-side
+    comparison in the reproduced tables. *)
+
+(** One row of Table 1: block size, exhaustive search calls (n!), Omega
+    calls with illegal-only pruning, Omega calls with the proposed
+    pruning.  [legal_calls = None] encodes the paper's ">9,999,000". *)
+type table1_row = {
+  insns : int;
+  exhaustive : float;
+  legal_calls : int option;
+  proposed_calls : int;
+}
+
+val table1 : table1_row list
+
+(** Table 7, one column per termination class. *)
+type table7_column = {
+  runs : int;
+  pct : float;
+  avg_insns : float;
+  avg_initial_nops : float;
+  avg_final_nops : float;
+  avg_omega_calls : float;
+  avg_time_s : float;  (** on a 1990 Sun 3/50 — compare shape, not value *)
+}
+
+val table7_completed : table7_column
+val table7_truncated : table7_column
+
+(** Total runs in the paper's study. *)
+val total_runs : int
+
+(** Qualitative shapes claimed for the figures, printed alongside our
+    measured series. *)
+val figure_claims : (string * string) list

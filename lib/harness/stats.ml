@@ -1,0 +1,60 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev = function
+  | [] | [ _ ] -> 0.0
+  | xs ->
+    let m = mean xs in
+    let var = mean (List.map (fun x -> (x -. m) ** 2.0) xs) in
+    sqrt var
+
+let percentile p xs =
+  if xs = [] then invalid_arg "Stats.percentile: empty list";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let arr = Array.of_list xs in
+  Array.sort compare arr;
+  let n = Array.length arr in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then arr.(lo)
+  else
+    let f = rank -. float_of_int lo in
+    (arr.(lo) *. (1.0 -. f)) +. (arr.(hi) *. f)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty list"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (min lo v, max hi v)) (x, x) xs
+
+let group_by key xs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun x ->
+      let k = key x in
+      Hashtbl.replace tbl k
+        (x :: Option.value ~default:[] (Hashtbl.find_opt tbl k)))
+    xs;
+  Hashtbl.fold (fun k v acc -> (k, List.rev v) :: acc) tbl []
+  |> List.sort compare
+
+let histogram ~bucket xs =
+  if bucket <= 0 then invalid_arg "Stats.histogram: bucket must be positive";
+  match xs with
+  | [] -> []
+  | _ ->
+    let keyed = group_by (fun x -> x / bucket * bucket) xs in
+    let lo = fst (List.hd keyed) in
+    let hi = fst (List.nth keyed (List.length keyed - 1)) in
+    let rec fill b acc =
+      if b > hi then List.rev acc
+      else
+        let count =
+          match List.assoc_opt b keyed with
+          | Some l -> List.length l
+          | None -> 0
+        in
+        fill (b + bucket) ((b, count) :: acc)
+    in
+    fill lo []

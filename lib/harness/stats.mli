@@ -1,0 +1,21 @@
+(** Small statistics helpers for the experiment harness. *)
+
+(** Arithmetic mean; 0 on the empty list. *)
+val mean : float list -> float
+
+(** Population standard deviation; 0 on fewer than two samples. *)
+val stddev : float list -> float
+
+(** [percentile p xs] with [p] in [0, 100]; interpolates between ranks.
+    Raises [Invalid_argument] on an empty list or out-of-range [p]. *)
+val percentile : float -> float list -> float
+
+val min_max : float list -> float * float
+
+(** [group_by key xs] buckets [xs] by [key], returning buckets sorted by
+    key. *)
+val group_by : ('a -> int) -> 'a list -> (int * 'a list) list
+
+(** [histogram ~bucket xs] counts ints into fixed-width buckets, returning
+    [(bucket_start, count)] sorted; empty buckets in range included. *)
+val histogram : bucket:int -> int list -> (int * int) list

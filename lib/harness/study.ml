@@ -1,0 +1,68 @@
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_core
+module Rng = Pipesched_prelude.Rng
+
+type record = {
+  size : int;
+  initial_nops : int;
+  final_nops : int;
+  omega_calls : int;
+  schedules_completed : int;
+  completed : bool;
+  time_s : float;
+}
+
+let default_options = { Optimal.default_options with Optimal.lambda = 50_000 }
+
+let now () = Unix.gettimeofday ()
+
+let run_block ?(options = default_options) machine blk =
+  let dag = Dag.of_block blk in
+  let t0 = now () in
+  let outcome = Optimal.schedule ~options machine dag in
+  let t1 = now () in
+  {
+    size = Block.length blk;
+    initial_nops = outcome.Optimal.initial.Omega.nops;
+    final_nops = outcome.Optimal.best.Omega.nops;
+    omega_calls = outcome.Optimal.stats.Optimal.omega_calls;
+    schedules_completed = outcome.Optimal.stats.Optimal.schedules_completed;
+    completed = outcome.Optimal.stats.Optimal.completed;
+    time_s = t1 -. t0;
+  }
+
+let run ?(options = default_options) ?freq ~seed ~count machine =
+  let rng = Rng.create seed in
+  List.init count (fun _ ->
+      let blk =
+        Pipesched_synth.Generator.block ?freq rng
+          (Pipesched_synth.Generator.sample_params rng)
+      in
+      run_block ~options machine blk)
+
+type aggregate = {
+  runs : int;
+  pct : float;
+  avg_size : float;
+  avg_initial_nops : float;
+  avg_final_nops : float;
+  avg_omega_calls : float;
+  avg_time_s : float;
+}
+
+let aggregate ~total records =
+  let f sel = Stats.mean (List.map sel records) in
+  {
+    runs = List.length records;
+    pct =
+      (if total = 0 then 0.0
+       else 100.0 *. float_of_int (List.length records) /. float_of_int total);
+    avg_size = f (fun r -> float_of_int r.size);
+    avg_initial_nops = f (fun r -> float_of_int r.initial_nops);
+    avg_final_nops = f (fun r -> float_of_int r.final_nops);
+    avg_omega_calls = f (fun r -> float_of_int r.omega_calls);
+    avg_time_s = f (fun r -> r.time_s);
+  }
+
+let by_size records = Stats.group_by (fun r -> r.size) records

@@ -1,0 +1,52 @@
+(** The scheduling study engine behind Table 7 and Figures 1, 4-7.
+
+    Runs the optimal scheduler over a population of synthetic blocks and
+    collects one record per block.  All populations are generated from a
+    seed, so studies are reproducible. *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_core
+
+type record = {
+  size : int;               (** instructions in the (optimized) block *)
+  initial_nops : int;       (** NOPs of the list schedule *)
+  final_nops : int;         (** NOPs of the best schedule found *)
+  omega_calls : int;
+  schedules_completed : int;
+  completed : bool;         (** search ran to completion (provably optimal) *)
+  time_s : float;           (** wall-clock seconds for the search *)
+}
+
+(** [run_block ?options machine blk] schedules one block and records it. *)
+val run_block : ?options:Optimal.options -> Machine.t -> Block.t -> record
+
+(** [run ?options ?freq ~seed ~count machine] generates [count] blocks with
+    the paper's size mix and schedules each.  The default [options] use
+    [lambda = 50_000] (large relative to a typical complete search, per
+    §5.3). *)
+val run :
+  ?options:Optimal.options ->
+  ?freq:Pipesched_synth.Frequency.t ->
+  seed:int ->
+  count:int ->
+  Machine.t ->
+  record list
+
+(** Aggregates of a record sub-population (one Table 7 column). *)
+type aggregate = {
+  runs : int;
+  pct : float;              (** share of the whole population, percent *)
+  avg_size : float;
+  avg_initial_nops : float;
+  avg_final_nops : float;
+  avg_omega_calls : float;
+  avg_time_s : float;
+}
+
+(** [aggregate ~total records] summarizes a sub-population against the
+    whole population's size [total]. *)
+val aggregate : total:int -> record list -> aggregate
+
+(** Per-block-size bucketing: [(size, records)] sorted by size. *)
+val by_size : record list -> (int * record list) list

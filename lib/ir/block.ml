@@ -1,0 +1,114 @@
+type t = { arr : Tuple.t array; pos : (int, int) Hashtbl.t }
+
+let build arr =
+  let pos = Hashtbl.create (Array.length arr * 2) in
+  Array.iteri (fun i (tu : Tuple.t) -> Hashtbl.replace pos tu.id i) arr;
+  { arr; pos }
+
+let validate (ts : Tuple.t list) =
+  let seen = Hashtbl.create 16 in
+  let check_tuple (tu : Tuple.t) =
+    if Hashtbl.mem seen tu.id then
+      Error (Printf.sprintf "duplicate tuple id %d" tu.id)
+    else
+      let bad_ref =
+        List.find_opt
+          (fun r ->
+            match Hashtbl.find_opt seen r with
+            | None -> true (* undefined or forward reference *)
+            | Some produces -> not produces)
+          (Tuple.value_refs tu)
+      in
+      match bad_ref with
+      | Some r ->
+        Error
+          (Printf.sprintf "tuple %d references %d, which is %s" tu.id r
+             (if Hashtbl.mem seen r then "not a value-producing tuple"
+              else "undefined or defined later"))
+      | None ->
+        Hashtbl.replace seen tu.id (Tuple.produces_value tu);
+        Ok ()
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | tu :: rest -> ( match check_tuple tu with Ok () -> go rest | e -> e)
+  in
+  go ts
+
+let of_tuples ts =
+  match validate ts with
+  | Ok () -> Ok (build (Array.of_list ts))
+  | Error _ as e -> e
+
+let of_tuples_exn ts =
+  match of_tuples ts with
+  | Ok b -> b
+  | Error msg -> invalid_arg ("Block.of_tuples_exn: " ^ msg)
+
+let tuples b = Array.copy b.arr
+let length b = Array.length b.arr
+let tuple_at b i = b.arr.(i)
+
+let pos_of_id b id =
+  match Hashtbl.find_opt b.pos id with Some i -> i | None -> raise Not_found
+
+let find b id = b.arr.(pos_of_id b id)
+
+let vars b =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun tu ->
+      match Tuple.memory_var tu with
+      | Some v when not (Hashtbl.mem seen v) ->
+        Hashtbl.replace seen v ();
+        acc := v :: !acc
+      | Some _ | None -> ())
+    b.arr;
+  List.rev !acc
+
+let permute b order =
+  let n = Array.length b.arr in
+  if Array.length order <> n then
+    invalid_arg "Block.permute: order length mismatch";
+  let used = Array.make n false in
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= n || used.(i) then
+        invalid_arg "Block.permute: not a permutation";
+      used.(i) <- true)
+    order;
+  let ts = Array.to_list (Array.map (fun i -> b.arr.(i)) order) in
+  match of_tuples ts with
+  | Ok b' -> b'
+  | Error msg -> invalid_arg ("Block.permute: illegal schedule: " ^ msg)
+
+let equal b1 b2 =
+  Array.length b1.arr = Array.length b2.arr
+  && Array.for_all2 Tuple.equal b1.arr b2.arr
+
+let pp fmt b =
+  Array.iteri
+    (fun i tu ->
+      if i > 0 then Format.pp_print_newline fmt ();
+      Tuple.pp fmt tu)
+    b.arr
+
+let to_string b = Format.asprintf "%a" pp b
+
+let parse text =
+  let rec go lineno acc = function
+    | [] -> (
+      match of_tuples (List.rev acc) with
+      | Ok blk -> Ok blk
+      | Error msg -> Error (0, msg))
+    | raw :: rest ->
+      (* Only full-line comments: '#' also prefixes variable operands. *)
+      let body = String.trim raw in
+      if body = "" || body.[0] = '#' then go (lineno + 1) acc rest
+      else
+        match Tuple.of_string body with
+        | Ok tu -> go (lineno + 1) (tu :: acc) rest
+        | Error msg -> Error (lineno, msg)
+  in
+  go 1 [] (String.split_on_char '\n' text)

@@ -1,0 +1,54 @@
+(** Validated basic blocks of tuple code.
+
+    A block is a sequence of tuples in which every [Ref] operand points to a
+    value-producing tuple defined {e earlier} in the sequence — the linear
+    embedding of a DAG described in §3.1.  Blocks are immutable; schedulers
+    produce new blocks via {!permute}. *)
+
+type t
+
+(** [of_tuples ts] validates and builds a block.  Errors (as [Error msg]):
+    duplicate tuple ids, a [Ref] to an undefined or later tuple, or a [Ref]
+    to a [Store] (which produces no value). *)
+val of_tuples : Tuple.t list -> (t, string) result
+
+(** Like {!of_tuples} but raises [Invalid_argument]. *)
+val of_tuples_exn : Tuple.t list -> t
+
+(** The tuples in block order.  The returned array is fresh. *)
+val tuples : t -> Tuple.t array
+
+(** Number of tuples. *)
+val length : t -> int
+
+(** [tuple_at b i] is the tuple at position [i] (0-based). *)
+val tuple_at : t -> int -> Tuple.t
+
+(** [pos_of_id b id] is the position of the tuple with the given id.
+    Raises [Not_found] for unknown ids. *)
+val pos_of_id : t -> int -> int
+
+(** [find b id] is the tuple with the given id.  Raises [Not_found]. *)
+val find : t -> int -> Tuple.t
+
+(** Distinct variable names referenced by the block, in first-use order. *)
+val vars : t -> string list
+
+(** [permute b order] reorders the block: position [i] of the result holds
+    the tuple previously at position [order.(i)].  [order] must be a
+    permutation of [0 .. length b - 1] and the result must still be a valid
+    block (references pointing backwards); otherwise [Invalid_argument] is
+    raised.  Use {!Dag.is_legal_order} to pre-check schedules. *)
+val permute : t -> int array -> t
+
+(** Structural equality of the tuple sequences. *)
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Inverse of {!to_string}: one tuple per line; blank lines and
+    {e full-line} [#] comments are skipped (mid-line [#] always starts a
+    variable operand).  [Error (line, msg)] points at the first offending
+    1-based line; block-level validation errors report line 0. *)
+val parse : string -> (t, int * string) result

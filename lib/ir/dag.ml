@@ -1,0 +1,158 @@
+module Bitset = Pipesched_prelude.Bitset
+
+type edge_kind = Data | Mem_flow | Mem_anti | Mem_output
+
+type t = {
+  blk : Block.t;
+  preds : int list array;
+  succs : int list array;
+  kinds : (int * int, edge_kind) Hashtbl.t;
+  ancestors : Bitset.t array;
+  descendants : Bitset.t array;
+}
+
+let add_edge kinds edges u v kind =
+  if u <> v && not (Hashtbl.mem kinds (u, v)) then begin
+    Hashtbl.replace kinds (u, v) kind;
+    edges := (u, v) :: !edges
+  end
+
+let of_block blk =
+  let n = Block.length blk in
+  let kinds = Hashtbl.create (n * 4) in
+  let edges = ref [] in
+  (* Data dependences via Ref operands. *)
+  for v = 0 to n - 1 do
+    let tu = Block.tuple_at blk v in
+    List.iter
+      (fun id -> add_edge kinds edges (Block.pos_of_id blk id) v Data)
+      (Tuple.value_refs tu)
+  done;
+  (* Memory dependences, per variable, in block order. *)
+  let last_store = Hashtbl.create 8 in
+  let loads_since = Hashtbl.create 8 in
+  for v = 0 to n - 1 do
+    let tu = Block.tuple_at blk v in
+    match Tuple.memory_var tu with
+    | None -> ()
+    | Some x ->
+      if Tuple.writes_memory tu then begin
+        (match Hashtbl.find_opt last_store x with
+         | Some s -> add_edge kinds edges s v Mem_output
+         | None -> ());
+        List.iter
+          (fun l -> add_edge kinds edges l v Mem_anti)
+          (Option.value ~default:[] (Hashtbl.find_opt loads_since x));
+        Hashtbl.replace last_store x v;
+        Hashtbl.replace loads_since x []
+      end
+      else begin
+        (match Hashtbl.find_opt last_store x with
+         | Some s -> add_edge kinds edges s v Mem_flow
+         | None -> ());
+        let prev = Option.value ~default:[] (Hashtbl.find_opt loads_since x) in
+        Hashtbl.replace loads_since x (v :: prev)
+      end
+  done;
+  let preds = Array.make n [] and succs = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      preds.(v) <- u :: preds.(v);
+      succs.(u) <- v :: succs.(u))
+    !edges;
+  Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
+  Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
+  (* Transitive closures.  Block order is a topological order, so a single
+     forward pass computes ancestors and a backward pass descendants. *)
+  let ancestors = Array.init n (fun _ -> Bitset.create n) in
+  for v = 0 to n - 1 do
+    List.iter
+      (fun u ->
+        Bitset.add ancestors.(v) u;
+        Bitset.union_into ~into:ancestors.(v) ancestors.(u))
+      preds.(v)
+  done;
+  let descendants = Array.init n (fun _ -> Bitset.create n) in
+  for u = n - 1 downto 0 do
+    List.iter
+      (fun v ->
+        Bitset.add descendants.(u) v;
+        Bitset.union_into ~into:descendants.(u) descendants.(v))
+      succs.(u)
+  done;
+  { blk; preds; succs; kinds; ancestors; descendants }
+
+let block d = d.blk
+let length d = Array.length d.preds
+let preds d i = d.preds.(i)
+let succs d i = d.succs.(i)
+let edge_kind d u v = Hashtbl.find_opt d.kinds (u, v)
+let ancestors d i = d.ancestors.(i)
+let descendants d i = d.descendants.(i)
+let earliest d i = Bitset.cardinal d.ancestors.(i)
+let latest d i = length d - 1 - Bitset.cardinal d.descendants.(i)
+
+let is_legal_order d order =
+  let n = length d in
+  if Array.length order <> n then false
+  else begin
+    let new_pos = Array.make n (-1) in
+    let ok = ref true in
+    Array.iteri
+      (fun np op ->
+        if op < 0 || op >= n || new_pos.(op) >= 0 then ok := false
+        else new_pos.(op) <- np)
+      order;
+    !ok
+    && (let legal = ref true in
+        for v = 0 to n - 1 do
+          List.iter
+            (fun u -> if new_pos.(u) >= new_pos.(v) then legal := false)
+            d.preds.(v)
+        done;
+        !legal)
+  end
+
+let heights d ~edge_weight =
+  let n = length d in
+  let h = Array.make n 0 in
+  for u = n - 1 downto 0 do
+    List.iter
+      (fun v -> h.(u) <- max h.(u) (edge_weight ~src:u ~dst:v + h.(v)))
+      d.succs.(u)
+  done;
+  h
+
+let roots d =
+  let acc = ref [] in
+  for i = length d - 1 downto 0 do
+    if d.preds.(i) = [] then acc := i :: !acc
+  done;
+  !acc
+
+let critical_path d ~edge_weight =
+  Array.fold_left max 0 (heights d ~edge_weight)
+
+let to_dot d =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph dag {\n  node [shape=box, fontname=monospace];\n";
+  for i = 0 to length d - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=%S];\n" i
+         (Tuple.to_string (Block.tuple_at d.blk i)))
+  done;
+  Hashtbl.iter
+    (fun (u, v) kind ->
+      let style, label =
+        match kind with
+        | Data -> ("solid", "")
+        | Mem_flow -> ("dashed", "flow")
+        | Mem_anti -> ("dashed", "anti")
+        | Mem_output -> ("dashed", "out")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d -> n%d [style=%s, label=%S];\n" u v style
+           label))
+    d.kinds;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

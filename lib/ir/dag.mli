@@ -1,0 +1,73 @@
+(** Dependence DAG of a basic block.
+
+    Nodes are block {e positions} (0-based, in the original block order);
+    edges point from producer to consumer.  Three classes of edge are built:
+
+    - {b Data}: tuple [v] reads the value of tuple [u] via a [Ref] operand;
+    - {b memory flow}: a [Load x] after a [Store x];
+    - {b memory anti/output}: a [Store x] after a [Load x] / [Store x].
+
+    All edge classes constrain scheduling identically in the paper's model
+    (the consumer must wait for the producer's pipeline latency); the class
+    is recorded for inspection and tests.
+
+    The module also provides the paper's [earliest]/[latest] position bounds
+    (Definitions 6 and 7) used by the quick legality check [5a]. *)
+
+type edge_kind = Data | Mem_flow | Mem_anti | Mem_output
+
+type t
+
+(** Build the DAG of a block.  O(n^2 / 63) due to transitive closures. *)
+val of_block : Block.t -> t
+
+(** The block the DAG was built from. *)
+val block : t -> Block.t
+
+(** Number of nodes. *)
+val length : t -> int
+
+(** Immediate predecessors of a position — the paper's [rho].  Sorted. *)
+val preds : t -> int -> int list
+
+(** Immediate successors of a position.  Sorted. *)
+val succs : t -> int -> int list
+
+(** [edge_kind d u v] is the kind of edge [u -> v], if present. *)
+val edge_kind : t -> int -> int -> edge_kind option
+
+(** All transitive ancestors of a position, as a bitset (do not mutate). *)
+val ancestors : t -> int -> Pipesched_prelude.Bitset.t
+
+(** All transitive descendants of a position (do not mutate). *)
+val descendants : t -> int -> Pipesched_prelude.Bitset.t
+
+(** [earliest d i]: minimum number of instructions that must execute before
+    position [i] in any legal schedule (= cardinality of its ancestor set).
+    Definition 6 of the paper, 0-based. *)
+val earliest : t -> int -> int
+
+(** [latest d i]: maximum number of instructions that may execute before
+    position [i] (= n - 1 - number of descendants).  Definition 7, 0-based. *)
+val latest : t -> int -> int
+
+(** [is_legal_order d order] checks that the schedule [order] (mapping new
+    position -> original position, a permutation) respects every edge. *)
+val is_legal_order : t -> int array -> bool
+
+(** [heights d ~edge_weight] is, for each node, the weight of the heaviest
+    path from that node to any sink, where traversing edge [u -> v] costs
+    [edge_weight ~src:u ~dst:v].  Used for list-scheduling priorities and
+    the critical-path lower bound. *)
+val heights : t -> edge_weight:(src:int -> dst:int -> int) -> int array
+
+(** [roots d] are positions with no predecessors (initially ready). *)
+val roots : t -> int list
+
+(** [critical_path d ~edge_weight] is the maximum element of {!heights}:
+    the weight of the heaviest dependence chain in the block. *)
+val critical_path : t -> edge_weight:(src:int -> dst:int -> int) -> int
+
+(** Graphviz rendering of the DAG: nodes are tuples, solid edges data
+    dependences, dashed edges memory ordering. *)
+val to_dot : t -> string

@@ -1,0 +1,89 @@
+type t =
+  | Const
+  | Load
+  | Store
+  | Mov
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Neg
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shr
+
+let all =
+  [ Const; Load; Store; Mov; Add; Sub; Mul; Div; Mod; Neg; And; Or; Xor;
+    Shl; Shr ]
+
+let binary_ops = [ Add; Sub; Mul; Div; Mod; And; Or; Xor; Shl; Shr ]
+
+let value_arity = function
+  | Const | Load -> 0
+  | Store | Mov | Neg -> 1
+  | Add | Sub | Mul | Div | Mod | And | Or | Xor | Shl | Shr -> 2
+
+let commutative = function
+  | Add | Mul | And | Or | Xor -> true
+  | Const | Load | Store | Mov | Sub | Div | Mod | Neg | Shl | Shr -> false
+
+let eval2 op x y =
+  match op with
+  | Add -> x + y
+  | Sub -> x - y
+  | Mul -> x * y
+  | Div -> if y = 0 then 0 else x / y
+  | Mod -> if y = 0 then 0 else x mod y
+  | And -> x land y
+  | Or -> x lor y
+  | Xor -> x lxor y
+  | Shl ->
+    let s = y land 63 in
+    if s > 62 then 0 else x lsl s
+  | Shr ->
+    let s = y land 63 in
+    if s > 62 then (if x < 0 then -1 else 0) else x asr s
+  | Const | Load | Store | Mov | Neg ->
+    invalid_arg "Op.eval2: not a binary operation"
+
+let eval1 op x =
+  match op with
+  | Neg -> -x
+  | Mov -> x
+  | Const | Load | Store | Add | Sub | Mul | Div | Mod | And | Or | Xor
+  | Shl | Shr ->
+    invalid_arg "Op.eval1: not a unary operation"
+
+let pure = function
+  | Load | Store -> false
+  | Const | Mov | Add | Sub | Mul | Div | Mod | Neg | And | Or | Xor | Shl
+  | Shr ->
+    true
+
+let to_string = function
+  | Const -> "Const"
+  | Load -> "Load"
+  | Store -> "Store"
+  | Mov -> "Mov"
+  | Add -> "Add"
+  | Sub -> "Sub"
+  | Mul -> "Mul"
+  | Div -> "Div"
+  | Mod -> "Mod"
+  | Neg -> "Neg"
+  | And -> "And"
+  | Or -> "Or"
+  | Xor -> "Xor"
+  | Shl -> "Shl"
+  | Shr -> "Shr"
+
+let of_string s =
+  let s = String.lowercase_ascii s in
+  List.find_opt (fun op -> String.lowercase_ascii (to_string op) = s) all
+
+let pp fmt op = Format.pp_print_string fmt (to_string op)
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b

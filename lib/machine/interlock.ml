@@ -1,0 +1,81 @@
+open Pipesched_ir
+
+type padded_item = Insn of Tuple.t | Nop
+
+let nop_padded dag (r : Omega.result) =
+  let blk = Dag.block dag in
+  let items = ref [] in
+  for k = Array.length r.order - 1 downto 0 do
+    items := Insn (Block.tuple_at blk r.order.(k)) :: !items;
+    for _ = 1 to r.eta.(k) do
+      items := Nop :: !items
+    done
+  done;
+  !items
+
+let execute_padded items = List.length items
+
+let implicit_interlock machine dag ~order =
+  let r = Omega.evaluate machine dag ~order in
+  let n = Array.length order in
+  let total = if n = 0 then 0 else r.issue.(n - 1) + 1 in
+  (r.eta, total)
+
+type wait_tag = { wait_distance : int option; wait_cycles : int }
+
+let explicit_tags machine dag (r : Omega.result) =
+  let n = Array.length r.order in
+  let blk = Dag.block dag in
+  let new_pos = Array.make (Dag.length dag) (-1) in
+  Array.iteri (fun k pos -> new_pos.(pos) <- k) r.order;
+  let pipe_of pos =
+    Machine.default_pipe machine (Block.tuple_at blk pos).Tuple.op
+  in
+  let latency_of pos =
+    Machine.latency machine (Block.tuple_at blk pos).Tuple.op
+  in
+  let last_on_pipe = Array.make (max (Machine.pipe_count machine) 1) (-1) in
+  Array.init n (fun k ->
+      let pos = r.order.(k) in
+      (* Find the constraint with the latest release time; ties prefer the
+         nearer instruction (smaller distance), which the executor treats
+         identically. *)
+      let best = ref None in
+      let consider src_new cycles =
+        let release = r.issue.(src_new) + cycles in
+        match !best with
+        | Some (_, _, best_release) when best_release >= release -> ()
+        | _ -> best := Some (src_new, cycles, release)
+      in
+      List.iter
+        (fun u -> consider new_pos.(u) (latency_of u))
+        (Dag.preds dag pos);
+      (match pipe_of pos with
+       | Some p ->
+         if last_on_pipe.(p) >= 0 then
+           consider last_on_pipe.(p)
+             (Machine.pipe machine p).Pipe.enqueue;
+         last_on_pipe.(p) <- k
+       | None -> ());
+      match !best with
+      | Some (src_new, cycles, release) when k > 0 && release > r.issue.(k - 1) + 1
+        ->
+        { wait_distance = Some (k - src_new); wait_cycles = cycles }
+      | Some _ | None -> { wait_distance = None; wait_cycles = 0 })
+
+let execute_tagged tags =
+  let n = Array.length tags in
+  if n = 0 then 0
+  else begin
+    let issue = Array.make n 0 in
+    for k = 0 to n - 1 do
+      let base = if k = 0 then 0 else issue.(k - 1) + 1 in
+      let t =
+        match tags.(k).wait_distance with
+        | None -> base
+        | Some d -> max base (issue.(k - d) + tags.(k).wait_cycles)
+      in
+      issue.(k) <- t
+    done;
+    issue.(n - 1) + 1
+  end

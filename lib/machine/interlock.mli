@@ -1,0 +1,49 @@
+(** Architectural delay models (§2.2).
+
+    The paper stresses that how delays are {e implemented} — NOP padding,
+    implicit hardware interlocks, or compiler-supplied explicit wait tags —
+    is orthogonal to scheduling.  This module realizes all three for an
+    evaluated schedule and provides per-model executors; they provably take
+    the same number of cycles (asserted by the test suite). *)
+
+open Pipesched_ir
+
+(** A NOP-padded instruction stream. *)
+type padded_item = Insn of Tuple.t | Nop
+
+(** [nop_padded dag result] is the schedule with explicit NOPs inserted, as
+    a MIPS-style compiler would emit it. *)
+val nop_padded : Dag.t -> Omega.result -> padded_item list
+
+(** [execute_padded items] runs the padded stream on a machine that issues
+    one item per tick: total ticks consumed (= number of items). *)
+val execute_padded : padded_item list -> int
+
+(** [implicit_interlock machine dag ~order] simulates hardware that checks
+    dependences and conflicts before issue and stalls as needed, with no
+    compiler-inserted delays.  Returns per-instruction stall counts and the
+    total issue ticks consumed. *)
+val implicit_interlock :
+  Machine.t -> Dag.t -> order:int array -> int array * int
+
+(** Explicit-interlock tag in the style of the Tera machine (§2.2): each
+    instruction carries the distance (in instructions, within the schedule)
+    back to the most recent instruction whose completion or enqueue slot it
+    must await, together with the kind of wait. *)
+type wait_tag = {
+  wait_distance : int option;
+      (** [Some d]: wait for the instruction [d] places earlier; [None]: no
+          wait needed beyond normal issue. *)
+  wait_cycles : int;
+      (** ticks after the awaited instruction's issue before this one may
+          issue (its latency or enqueue time). *)
+}
+
+(** [explicit_tags machine dag result] computes one tag per scheduled
+    instruction. *)
+val explicit_tags : Machine.t -> Dag.t -> Omega.result -> wait_tag array
+
+(** [execute_tagged tags] runs a tag-annotated stream: each instruction
+    issues at [max (prev + 1) (issue(i - d) + cycles)].  Returns the total
+    ticks consumed (last issue tick + 1). *)
+val execute_tagged : wait_tag array -> int

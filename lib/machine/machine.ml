@@ -1,0 +1,197 @@
+open Pipesched_ir
+
+type t = {
+  name : string;
+  pipes : Pipe.t array;
+  table : (Op.t * int list) list; (* original mapping, for printing *)
+  candidates : Op.t -> int list;
+}
+
+let make ~name pipes ~assign =
+  let npipes = Array.length pipes in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (op, pids) ->
+      if Hashtbl.mem tbl op then
+        invalid_arg
+          ("Machine.make: duplicate mapping for " ^ Op.to_string op);
+      List.iter
+        (fun pid ->
+          if pid < 0 || pid >= npipes then
+            invalid_arg "Machine.make: pipeline index out of range")
+        pids;
+      Hashtbl.replace tbl op pids)
+    assign;
+  let candidates op = Option.value ~default:[] (Hashtbl.find_opt tbl op) in
+  { name; pipes; table = assign; candidates }
+
+let name m = m.name
+let pipes m = Array.copy m.pipes
+let pipe_count m = Array.length m.pipes
+let pipe m pid = m.pipes.(pid)
+let candidates m op = m.candidates op
+
+let default_pipe m op =
+  match m.candidates op with [] -> None | pid :: _ -> Some pid
+
+let latency m op =
+  match default_pipe m op with
+  | None -> 1
+  | Some pid -> (pipe m pid).Pipe.latency
+
+module Presets = struct
+  let simulation =
+    make ~name:"simulation"
+      [| Pipe.make ~label:"loader" ~latency:2 ~enqueue:1;
+         Pipe.make ~label:"multiplier" ~latency:4 ~enqueue:2 |]
+      ~assign:[ (Op.Load, [ 0 ]); (Op.Mul, [ 1 ]); (Op.Div, [ 1 ]);
+                (Op.Mod, [ 1 ]) ]
+
+  let demo =
+    make ~name:"demo"
+      [| Pipe.make ~label:"loader" ~latency:2 ~enqueue:1;
+         Pipe.make ~label:"loader" ~latency:2 ~enqueue:1;
+         Pipe.make ~label:"adder" ~latency:4 ~enqueue:3;
+         Pipe.make ~label:"adder" ~latency:4 ~enqueue:3;
+         Pipe.make ~label:"multiplier" ~latency:4 ~enqueue:2 |]
+      ~assign:[ (Op.Load, [ 0; 1 ]); (Op.Add, [ 2; 3 ]); (Op.Sub, [ 2; 3 ]);
+                (Op.Mul, [ 4 ]); (Op.Div, [ 4 ]) ]
+
+  let deep =
+    make ~name:"deep"
+      [| Pipe.make ~label:"loader" ~latency:4 ~enqueue:1;
+         Pipe.make ~label:"adder" ~latency:3 ~enqueue:1;
+         Pipe.make ~label:"multiplier" ~latency:6 ~enqueue:2;
+         Pipe.make ~label:"divider" ~latency:12 ~enqueue:12 |]
+      ~assign:[ (Op.Load, [ 0 ]); (Op.Add, [ 1 ]); (Op.Sub, [ 1 ]);
+                (Op.Neg, [ 1 ]); (Op.And, [ 1 ]); (Op.Or, [ 1 ]);
+                (Op.Xor, [ 1 ]); (Op.Shl, [ 1 ]); (Op.Shr, [ 1 ]);
+                (Op.Mul, [ 2 ]); (Op.Div, [ 3 ]); (Op.Mod, [ 3 ]) ]
+
+  let uniform ~latency ~enqueue =
+    let everything =
+      List.filter (fun op -> op <> Op.Const) Op.all
+      |> List.map (fun op -> (op, [ 0 ]))
+    in
+    make
+      ~name:(Printf.sprintf "uniform-%d-%d" latency enqueue)
+      [| Pipe.make ~label:"pipe" ~latency ~enqueue |]
+      ~assign:everything
+
+  let throttled =
+    make ~name:"throttled"
+      [| Pipe.make ~label:"loader" ~latency:2 ~enqueue:1;
+         Pipe.make ~label:"multiplier" ~latency:4 ~enqueue:9;
+         Pipe.make ~label:"divider" ~latency:6 ~enqueue:14 |]
+      ~assign:[ (Op.Load, [ 0 ]); (Op.Mul, [ 1 ]); (Op.Div, [ 2 ]);
+                (Op.Mod, [ 2 ]) ]
+
+  let all =
+    [ ("simulation", simulation); ("demo", demo); ("deep", deep);
+      ("throttled", throttled);
+      ("uniform", uniform ~latency:4 ~enqueue:1) ]
+
+  let find key = List.assoc_opt key all
+end
+
+let pp_tables fmt m =
+  Format.fprintf fmt "Machine %S@." m.name;
+  Format.fprintf fmt "  %-12s %-4s %-8s %-8s@." "Function" "Id" "Latency"
+    "Enqueue";
+  Array.iteri
+    (fun pid (p : Pipe.t) ->
+      Format.fprintf fmt "  %-12s %-4d %-8d %-8d@." p.Pipe.label pid
+        p.Pipe.latency p.Pipe.enqueue)
+    m.pipes;
+  Format.fprintf fmt "  %-12s %s@." "Operation" "Pipelines";
+  List.iter
+    (fun (op, pids) ->
+      Format.fprintf fmt "  %-12s {%s}@." (Op.to_string op)
+        (String.concat ", " (List.map string_of_int pids)))
+    m.table
+
+let to_text m =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "machine %s\n" m.name);
+  Array.iter
+    (fun (p : Pipe.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "pipe %s %d %d\n" p.Pipe.label p.Pipe.latency
+           p.Pipe.enqueue))
+    m.pipes;
+  List.iter
+    (fun (op, pids) ->
+      Buffer.add_string buf
+        (Printf.sprintf "ops %s -> %s\n" (Op.to_string op)
+           (String.concat " " (List.map string_of_int pids))))
+    m.table;
+  Buffer.contents buf
+
+let parse text =
+  let name = ref "machine" in
+  let pipes = ref [] in
+  let assign = ref [] in
+  let exception Fail of int * string in
+  let fail lineno msg = raise (Fail (lineno, msg)) in
+  let words s =
+    String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+  in
+  try
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let body =
+          match String.index_opt raw '#' with
+          | Some j -> String.sub raw 0 j
+          | None -> raw
+        in
+        let body = String.trim body in
+        if body = "" then ()
+        else
+          match words body with
+          | [ "machine"; n ] -> name := n
+          | "pipe" :: rest -> (
+            match rest with
+            | [ label; lat; enq ] -> (
+              match (int_of_string_opt lat, int_of_string_opt enq) with
+              | Some latency, Some enqueue -> (
+                match Pipe.make ~label ~latency ~enqueue with
+                | p -> pipes := p :: !pipes
+                | exception Invalid_argument msg -> fail lineno msg)
+              | _ -> fail lineno "pipe expects integer latency and enqueue")
+            | _ -> fail lineno "pipe expects: pipe <label> <latency> <enqueue>")
+          | "ops" :: rest -> (
+            let rec split_arrow before = function
+              | "->" :: after -> Some (List.rev before, after)
+              | w :: more -> split_arrow (w :: before) more
+              | [] -> None
+            in
+            match split_arrow [] rest with
+            | None | Some ([], _) | Some (_, []) ->
+              fail lineno "ops expects: ops <Op>... -> <pipe index>..."
+            | Some (op_names, pid_texts) ->
+              let ops =
+                List.map
+                  (fun w ->
+                    match Op.of_string w with
+                    | Some op -> op
+                    | None -> fail lineno ("unknown operation: " ^ w))
+                  op_names
+              in
+              let pids =
+                List.map
+                  (fun w ->
+                    match int_of_string_opt w with
+                    | Some p -> p
+                    | None -> fail lineno ("bad pipe index: " ^ w))
+                  pid_texts
+              in
+              List.iter (fun op -> assign := (op, pids) :: !assign) ops)
+          | w :: _ -> fail lineno ("unknown directive: " ^ w)
+          | [] -> ())
+      (String.split_on_char '\n' text);
+    (match make ~name:!name (Array.of_list (List.rev !pipes))
+             ~assign:(List.rev !assign) with
+     | m -> Ok m
+     | exception Invalid_argument msg -> Error (0, msg))
+  with Fail (lineno, msg) -> Error (lineno, msg)

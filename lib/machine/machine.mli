@@ -1,0 +1,108 @@
+(** Target machine descriptions (§4.1).
+
+    A machine is a set of pipelines (Table 2 / Table 4 of the paper) plus an
+    operation-to-pipeline mapping (Table 3 / Table 5).  An operation mapped
+    to the empty pipeline set — the paper's [sigma(zeta) = emptyset] case —
+    executes in a single cycle, occupies no shared resource, and its result
+    is available on the next tick. *)
+
+open Pipesched_ir
+
+type t
+
+(** [make ~name pipes ~assign] builds a machine description.
+
+    [assign] maps each operation kind to the list of pipeline indices (into
+    [pipes], 0-based) able to execute it; operations absent from [assign]
+    get the empty set (single-cycle, resource-free).  Raises
+    [Invalid_argument] on out-of-range indices or duplicate [assign] keys. *)
+val make : name:string -> Pipe.t array -> assign:(Op.t * int list) list -> t
+
+val name : t -> string
+
+(** The pipelines, indexed by pipeline id.  Fresh array. *)
+val pipes : t -> Pipe.t array
+
+(** Number of pipelines. *)
+val pipe_count : t -> int
+
+(** [pipe t pid] is the pipeline with index [pid]. *)
+val pipe : t -> int -> Pipe.t
+
+(** All pipelines able to execute [op] (possibly empty). *)
+val candidates : t -> Op.t -> int list
+
+(** The default pipeline for [op]: the first candidate, or [None] when the
+    operation uses no pipeline.  This is the paper's [sigma] (the algorithm
+    of §4.2 fixes one pipeline per operation; choosing among several is the
+    multi-pipe extension in {!Pipesched_core}). *)
+val default_pipe : t -> Op.t -> int option
+
+(** Result latency of [op] on its default pipeline (1 for resource-free
+    operations). *)
+val latency : t -> Op.t -> int
+
+(** {2 Presets} *)
+
+module Presets : sig
+  (** The paper's simulation machine (Tables 4 and 5): a loader with
+      latency 2 / enqueue 1 serving [Load], and a multiplier with latency 4
+      / enqueue 2 serving [Mul], [Div] and [Mod].  All other operations are
+      single-cycle and resource-free. *)
+  val simulation : t
+
+  (** The illustrative machine of Tables 2 and 3: two loaders (2/1), two
+      adders (4/3) shared by [Add]/[Sub], one multiplier (4/2) shared by
+      [Mul]/[Div].  Exercises multi-pipeline selection. *)
+  val demo : t
+
+  (** A deeply pipelined machine (loader 4/1, adder 3/1, multiplier 6/2,
+      divider 12/12 non-pipelined) used by the extension studies. *)
+  val deep : t
+
+  (** A machine whose multiplier and divider have recovery (enqueue)
+      times {e exceeding} their result latencies — modelling iterative
+      units that must flush between operations.  The only preset on which
+      pipeline state can still be hot at a block boundary (see
+      {!Pipesched_core.Region} and DESIGN.md): when [enqueue <= latency]
+      and every result is consumed in-block, the trailing dependence
+      always drains the unit before the block can end. *)
+  val throttled : t
+
+  (** A machine with a single universal pipeline of the given parameters:
+      every operation (except [Const], kept free) flows through it.  Useful
+      for modelling classical single-pipe processors (Bernstein's fixed
+      setting when [enqueue = 1]). *)
+  val uniform : latency:int -> enqueue:int -> t
+
+  (** All named presets with their lookup keys (for CLIs). *)
+  val all : (string * t) list
+
+  (** [find key] looks a preset up by name. *)
+  val find : string -> t option
+end
+
+(** Render the two description tables (pipeline table and op->pipe map) in
+    the style of the paper's Tables 2 and 3. *)
+val pp_tables : Format.formatter -> t -> unit
+
+(** {2 Textual machine descriptions}
+
+    A simple line format for describing machines in files (the CLI's
+    [--machine-file]):
+
+    {v
+      # the Table 4/5 machine
+      machine simulation
+      pipe loader 2 1          # label latency enqueue
+      pipe multiplier 4 2
+      ops Load -> 0            # operations -> candidate pipe indices
+      ops Mul Div Mod -> 1
+    v} *)
+
+(** Serialize a machine in the {!parse} format (round-trips). *)
+val to_text : t -> string
+
+(** Parse a textual description.  [Error (line, msg)] points at the first
+    offending 1-based line. *)
+val parse : string -> (t, int * string) result

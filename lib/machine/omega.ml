@@ -1,0 +1,316 @@
+open Pipesched_ir
+
+type result = {
+  order : int array;
+  eta : int array;
+  issue : int array;
+  nops : int;
+}
+
+let identity_order n = Array.init n (fun i -> i)
+
+let neg_inf = min_int / 2
+
+type entry = { pipe_last_use : int array }
+
+let cold_entry machine =
+  { pipe_last_use = Array.make (max (Machine.pipe_count machine) 1) neg_inf }
+
+module State = struct
+  type t = {
+    dag : Dag.t;
+    n : int;
+    default_pipe : int array;      (* by original position; -1 = none *)
+    candidate_ok : bool array array; (* [pos].(pipe) valid choice *)
+    pipe_latency : int array;      (* by pipeline id *)
+    pipe_enqueue : int array;      (* by pipeline id *)
+    (* mutable search state *)
+    issue : int array;             (* by original position *)
+    prod_latency : int array;      (* latency of chosen pipe, by position *)
+    scheduled : bool array;
+    unsched_preds : int array;
+    last_on_pipe : int array;      (* issue tick of last instr per pipe *)
+    stack : int array;             (* positions, by depth *)
+    eta_stack : int array;
+    pipe_stack : int array;        (* chosen pipe per depth; -1 = none *)
+    undo_last : int array;         (* previous last_on_pipe per depth *)
+    mutable sp : int;
+    mutable total_nops : int;
+  }
+
+  let create ?entry machine dag =
+    let n = Dag.length dag in
+    let blk = Dag.block dag in
+    let npipes = Machine.pipe_count machine in
+    let default_pipe =
+      Array.init n (fun i ->
+          match Machine.default_pipe machine (Block.tuple_at blk i).Tuple.op with
+          | Some p -> p
+          | None -> -1)
+    in
+    let candidate_ok =
+      Array.init n (fun i ->
+          let cands =
+            Machine.candidates machine (Block.tuple_at blk i).Tuple.op
+          in
+          Array.init npipes (fun p -> List.mem p cands))
+    in
+    let pipe_latency =
+      Array.init npipes (fun p -> (Machine.pipe machine p).Pipe.latency)
+    in
+    let pipe_enqueue =
+      Array.init npipes (fun p -> (Machine.pipe machine p).Pipe.enqueue)
+    in
+    {
+      dag;
+      n;
+      default_pipe;
+      candidate_ok;
+      pipe_latency;
+      pipe_enqueue;
+      issue = Array.make n 0;
+      prod_latency = Array.make n 1;
+      scheduled = Array.make n false;
+      unsched_preds = Array.init n (fun i -> List.length (Dag.preds dag i));
+      last_on_pipe =
+        (match entry with
+         | None -> Array.make (max npipes 1) neg_inf
+         | Some e ->
+           if Array.length e.pipe_last_use < npipes then
+             invalid_arg "Omega.State.create: entry state pipe count";
+           Array.sub e.pipe_last_use 0 (max npipes 1));
+      stack = Array.make n 0;
+      eta_stack = Array.make n 0;
+      pipe_stack = Array.make n (-1);
+      undo_last = Array.make n 0;
+      sp = 0;
+      total_nops = 0;
+    }
+
+  let length st = st.n
+  let depth st = st.sp
+  let nops st = st.total_nops
+  let is_scheduled st pos = st.scheduled.(pos)
+
+  let is_ready st pos =
+    (not st.scheduled.(pos)) && st.unsched_preds.(pos) = 0
+
+  let push_on st pos ~pipe =
+    if not (is_ready st pos) then
+      invalid_arg "Omega.State.push: instruction not ready";
+    let p =
+      match pipe with
+      | None ->
+        if st.default_pipe.(pos) <> -1 then
+          invalid_arg "Omega.State.push: operation requires a pipeline";
+        -1
+      | Some p ->
+        if p < 0 || p >= Array.length st.candidate_ok.(pos)
+           || not st.candidate_ok.(pos).(p)
+        then invalid_arg "Omega.State.push: pipeline is not a candidate";
+        p
+    in
+    let base =
+      if st.sp = 0 then 0 else st.issue.(st.stack.(st.sp - 1)) + 1
+    in
+    let t = ref base in
+    if p >= 0 then begin
+      let c = st.last_on_pipe.(p) + st.pipe_enqueue.(p) in
+      if c > !t then t := c
+    end;
+    List.iter
+      (fun u ->
+        let c = st.issue.(u) + st.prod_latency.(u) in
+        if c > !t then t := c)
+      (Dag.preds st.dag pos);
+    let eta = !t - base in
+    st.issue.(pos) <- !t;
+    st.prod_latency.(pos) <- (if p >= 0 then st.pipe_latency.(p) else 1);
+    st.scheduled.(pos) <- true;
+    List.iter
+      (fun v -> st.unsched_preds.(v) <- st.unsched_preds.(v) - 1)
+      (Dag.succs st.dag pos);
+    st.stack.(st.sp) <- pos;
+    st.eta_stack.(st.sp) <- eta;
+    st.pipe_stack.(st.sp) <- p;
+    st.undo_last.(st.sp) <- (if p >= 0 then st.last_on_pipe.(p) else 0);
+    if p >= 0 then st.last_on_pipe.(p) <- !t;
+    st.sp <- st.sp + 1;
+    st.total_nops <- st.total_nops + eta
+
+  let push st pos =
+    let dp = st.default_pipe.(pos) in
+    push_on st pos ~pipe:(if dp = -1 then None else Some dp)
+
+  let pop st =
+    if st.sp = 0 then invalid_arg "Omega.State.pop: empty schedule";
+    st.sp <- st.sp - 1;
+    let pos = st.stack.(st.sp) in
+    let p = st.pipe_stack.(st.sp) in
+    st.total_nops <- st.total_nops - st.eta_stack.(st.sp);
+    if p >= 0 then st.last_on_pipe.(p) <- st.undo_last.(st.sp);
+    List.iter
+      (fun v -> st.unsched_preds.(v) <- st.unsched_preds.(v) + 1)
+      (Dag.succs st.dag pos);
+    st.scheduled.(pos) <- false
+
+  let last_eta st =
+    if st.sp = 0 then invalid_arg "Omega.State.last_eta: empty schedule";
+    st.eta_stack.(st.sp - 1)
+
+  let at_depth st k =
+    if k < 0 || k >= st.sp then invalid_arg "Omega.State.at_depth";
+    st.stack.(k)
+
+  let prefix st = Array.sub st.stack 0 st.sp
+
+  let ready_list st =
+    let acc = ref [] in
+    for pos = st.n - 1 downto 0 do
+      if is_ready st pos then acc := pos :: !acc
+    done;
+    !acc
+
+  let last_use st pid =
+    if pid < 0 || pid >= Array.length st.last_on_pipe then
+      invalid_arg "Omega.State.last_use: bad pipeline id";
+    st.last_on_pipe.(pid)
+
+  let issue_of st pos =
+    if not st.scheduled.(pos) then
+      invalid_arg "Omega.State.issue_of: not scheduled";
+    st.issue.(pos)
+
+  let snapshot st =
+    let order = prefix st in
+    let eta = Array.sub st.eta_stack 0 st.sp in
+    let issue = Array.map (fun pos -> st.issue.(pos)) order in
+    { order; eta; issue; nops = st.total_nops }
+
+  let exit_state st =
+    if st.sp <> st.n then
+      invalid_arg "Omega.State.exit_state: schedule incomplete";
+    let shift = if st.sp = 0 then 0 else st.issue.(st.stack.(st.sp - 1)) + 1 in
+    {
+      pipe_last_use =
+        Array.map
+          (fun t -> if t <= neg_inf + shift then neg_inf else t - shift)
+          st.last_on_pipe;
+    }
+
+  let complete_greedily st =
+    let start_depth = st.sp in
+    for pos = 0 to st.n - 1 do
+      if not st.scheduled.(pos) then push st pos
+    done;
+    let r = snapshot st in
+    while st.sp > start_depth do
+      pop st
+    done;
+    r
+end
+
+let evaluate_with_pipes ?entry machine dag ~order ~choice =
+  let n = Dag.length dag in
+  if Array.length order <> n then
+    invalid_arg "Omega.evaluate: order length mismatch";
+  if not (Dag.is_legal_order dag order) then
+    invalid_arg "Omega.evaluate: order violates dependences";
+  let st = State.create ?entry machine dag in
+  Array.iter (fun pos -> State.push_on st pos ~pipe:choice.(pos)) order;
+  State.snapshot st
+
+let evaluate ?entry machine dag ~order =
+  let n = Dag.length dag in
+  if Array.length order <> n then
+    invalid_arg "Omega.evaluate: order length mismatch";
+  if not (Dag.is_legal_order dag order) then
+    invalid_arg "Omega.evaluate: order violates dependences";
+  let st = State.create ?entry machine dag in
+  Array.iter (fun pos -> State.push st pos) order;
+  State.snapshot st
+
+let span machine dag r =
+  let n = Array.length r.order in
+  if n = 0 then 0
+  else begin
+    let blk = Dag.block dag in
+    let finish = ref 0 in
+    for k = 0 to n - 1 do
+      let pos = r.order.(k) in
+      let lat = Machine.latency machine (Block.tuple_at blk pos).Tuple.op in
+      let f = r.issue.(k) + lat in
+      if f > !finish then finish := f
+    done;
+    !finish
+  end
+
+type stall_cause = Dependence of int | Conflict of int
+
+let explain machine dag (r : result) =
+  let blk = Dag.block dag in
+  let n = Array.length r.order in
+  let new_pos = Array.make (Dag.length dag) (-1) in
+  Array.iteri (fun k pos -> new_pos.(pos) <- k) r.order;
+  let pipe_of pos =
+    Machine.default_pipe machine (Block.tuple_at blk pos).Tuple.op
+  in
+  let lat_of pos =
+    Machine.latency machine (Block.tuple_at blk pos).Tuple.op
+  in
+  let last_on_pipe = Array.make (max (Machine.pipe_count machine) 1) (-1) in
+  let acc = ref [] in
+  for k = 0 to n - 1 do
+    let pos = r.order.(k) in
+    if r.eta.(k) > 0 then begin
+      (* Find the constraint whose release time equals the issue tick;
+         dependences scanned first so ties blame them. *)
+      let cause = ref None in
+      List.iter
+        (fun u ->
+          if !cause = None && r.issue.(new_pos.(u)) + lat_of u = r.issue.(k)
+          then cause := Some (Dependence u))
+        (Dag.preds dag pos);
+      (match pipe_of pos with
+       | Some p when !cause = None ->
+         let enq = (Machine.pipe machine p).Pipe.enqueue in
+         if
+           last_on_pipe.(p) >= 0
+           && r.issue.(last_on_pipe.(p)) + enq = r.issue.(k)
+         then cause := Some (Conflict p)
+       | Some _ | None -> ());
+      match !cause with
+      | Some c -> acc := (k, r.eta.(k), c) :: !acc
+      | None ->
+        (* Only possible when the stall was forced by cross-block entry
+           state (evaluated with ~entry); no in-block culprit to report. *)
+        ()
+    end;
+    match pipe_of pos with
+    | Some p -> last_on_pipe.(p) <- k
+    | None -> ()
+  done;
+  List.rev !acc
+
+let explain_to_string machine dag (r : result) =
+  let blk = Dag.block dag in
+  explain machine dag r
+  |> List.map (fun (k, eta, cause) ->
+         let tu = Block.tuple_at blk r.order.(k) in
+         match cause with
+         | Dependence u ->
+           Printf.sprintf
+             "%d NOP%s before [%s]: waiting on the result of [%s]" eta
+             (if eta = 1 then "" else "s")
+             (Tuple.to_string tu)
+             (Tuple.to_string (Block.tuple_at blk u))
+         | Conflict p ->
+           Printf.sprintf
+             "%d NOP%s before [%s]: pipeline %s/%d still busy (enqueue \
+              time %d)"
+             eta
+             (if eta = 1 then "" else "s")
+             (Tuple.to_string tu)
+             (Machine.pipe machine p).Pipe.label p
+             (Machine.pipe machine p).Pipe.enqueue)
+  |> String.concat "\n"

@@ -1,0 +1,13 @@
+type t = { label : string; latency : int; enqueue : int }
+
+let make ~label ~latency ~enqueue =
+  if latency < 1 then invalid_arg "Pipe.make: latency must be >= 1";
+  if enqueue < 1 then invalid_arg "Pipe.make: enqueue time must be >= 1";
+  { label; latency; enqueue }
+
+let non_pipelined p = p.enqueue >= p.latency
+
+let equal (a : t) b = a = b
+
+let pp fmt p =
+  Format.fprintf fmt "%s(latency=%d, enqueue=%d)" p.label p.latency p.enqueue

@@ -1,0 +1,21 @@
+(** A single hardware pipeline (§2.1, §4.1).
+
+    Two parameters characterize a pipeline for the scheduler:
+
+    - {b latency}: clock ticks between enqueuing an operation and its result
+      becoming available (the depth of the pipeline in time);
+    - {b enqueue time}: minimum ticks between enqueuing two operations in the
+      {e same} pipeline (models stage sharing; a non-pipelined functional
+      unit is a pipeline with [enqueue = latency]). *)
+
+type t = private { label : string; latency : int; enqueue : int }
+
+(** [make ~label ~latency ~enqueue] validates [latency >= 1] and
+    [1 <= enqueue].  Raises [Invalid_argument] otherwise. *)
+val make : label:string -> latency:int -> enqueue:int -> t
+
+(** True when the unit is effectively not pipelined ([enqueue >= latency]). *)
+val non_pipelined : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+open Pipesched_ir
+
+let render machine dag (r : Omega.result) =
+  let blk = Dag.block dag in
+  let n = Array.length r.Omega.order in
+  let npipes = Machine.pipe_count machine in
+  let finish =
+    if n = 0 then 0
+    else
+      Array.to_list (Array.mapi (fun k _ -> k) r.Omega.order)
+      |> List.fold_left
+           (fun acc k ->
+             let pos = r.Omega.order.(k) in
+             let lat =
+               Machine.latency machine (Block.tuple_at blk pos).Tuple.op
+             in
+             max acc (r.Omega.issue.(k) + lat))
+           0
+  in
+  (* cell.(tick).(pipe) *)
+  let cells = Array.make_matrix (max finish 1) (max npipes 1) '.' in
+  Array.iteri
+    (fun k pos ->
+      let tu = Block.tuple_at blk pos in
+      match Machine.default_pipe machine tu.Tuple.op with
+      | None -> ()
+      | Some p ->
+        let t0 = r.Omega.issue.(k) in
+        let lat = (Machine.pipe machine p).Pipe.latency in
+        for t = t0 + 1 to min (t0 + lat - 1) (finish - 1) do
+          if cells.(t).(p) = '.' then cells.(t).(p) <- '-'
+        done;
+        cells.(t0).(p) <- 'E')
+    r.Omega.order;
+  (* text per tick *)
+  let text = Array.make (max finish 1) "Nop" in
+  Array.iteri
+    (fun k pos ->
+      text.(r.Omega.issue.(k)) <- Tuple.to_string (Block.tuple_at blk pos))
+    r.Omega.order;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "%4s  %-28s" "tick" "instruction");
+  for p = 0 to npipes - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf " %-10s"
+         (Printf.sprintf "%s/%d" (Machine.pipe machine p).Pipe.label p))
+  done;
+  Buffer.add_char buf '\n';
+  let last_issue = if n = 0 then -1 else r.Omega.issue.(n - 1) in
+  for t = 0 to finish - 1 do
+    let line_text = if t <= last_issue then text.(t) else "(drain)" in
+    Buffer.add_string buf (Printf.sprintf "%4d  %-28s" t line_text);
+    for p = 0 to npipes - 1 do
+      Buffer.add_string buf (Printf.sprintf " %-10s" (String.make 1 cells.(t).(p)))
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.contents buf

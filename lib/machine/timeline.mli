@@ -1,0 +1,14 @@
+(** ASCII visualization of a schedule's pipeline activity.
+
+    One row per clock tick: the instruction issued (or NOP), then one
+    column per pipeline showing ['E'] on the tick an operation enqueues,
+    ['-'] while its result is still in flight (latency window), and ['.']
+    when idle.  Makes the dependence- and conflict-induced bubbles of §2.1
+    visible at a glance. *)
+
+open Pipesched_ir
+
+(** [render machine dag result] draws the schedule.  The result must come
+    from an evaluation of [dag] on [machine] (same block, default
+    pipelines). *)
+val render : Machine.t -> Dag.t -> Omega.result -> string

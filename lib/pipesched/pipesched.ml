@@ -1,0 +1,65 @@
+(** The umbrella namespace: one [open Pipesched] exposes every library.
+
+    {ul
+    {- {!Op}, {!Operand}, {!Tuple}, {!Block}, {!Dag} — the tuple IR.}
+    {- {!Pipe}, {!Machine}, {!Omega}, {!Interlock}, {!Timeline} — the
+       pipelined-machine model and the NOP-insertion procedure.}
+    {- {!Ast}, {!Lexer}, {!Parser}, {!Gen}, {!Opt}, {!Interp},
+       {!Compile} — the compiler front end.}
+    {- {!List_sched}, {!Baselines} — the seed heuristic and baselines.}
+    {- {!Optimal}, {!Windowed}, {!Region} — the paper's search and its
+       extensions.}
+    {- {!Liveness}, {!Alloc}, {!Codegen}, {!Asm} — the back end.}
+    {- {!Frequency}, {!Generator} — synthetic benchmarks.}
+    {- {!Cfg}, {!Lower}, {!Cfg_schedule}, {!Emit} — whole programs.}
+    {- {!Stats}, {!Study}, {!Experiments}, {!Ablation}, {!Paper} — the
+       reproduction harness.}} *)
+
+module Bitset = Pipesched_prelude.Bitset
+module Rng = Pipesched_prelude.Rng
+
+module Op = Pipesched_ir.Op
+module Operand = Pipesched_ir.Operand
+module Tuple = Pipesched_ir.Tuple
+module Block = Pipesched_ir.Block
+module Dag = Pipesched_ir.Dag
+
+module Pipe = Pipesched_machine.Pipe
+module Machine = Pipesched_machine.Machine
+module Omega = Pipesched_machine.Omega
+module Interlock = Pipesched_machine.Interlock
+module Timeline = Pipesched_machine.Timeline
+
+module Ast = Pipesched_frontend.Ast
+module Lexer = Pipesched_frontend.Lexer
+module Parser = Pipesched_frontend.Parser
+module Gen = Pipesched_frontend.Gen
+module Opt = Pipesched_frontend.Opt
+module Interp = Pipesched_frontend.Interp
+module Compile = Pipesched_frontend.Compile
+
+module List_sched = Pipesched_sched.List_sched
+module Baselines = Pipesched_sched.Baselines
+
+module Optimal = Pipesched_core.Optimal
+module Windowed = Pipesched_core.Windowed
+module Region = Pipesched_core.Region
+
+module Liveness = Pipesched_regalloc.Liveness
+module Alloc = Pipesched_regalloc.Alloc
+module Codegen = Pipesched_regalloc.Codegen
+module Asm = Pipesched_regalloc.Asm
+
+module Frequency = Pipesched_synth.Frequency
+module Generator = Pipesched_synth.Generator
+
+module Cfg = Pipesched_cflow.Cfg
+module Lower = Pipesched_cflow.Lower
+module Cfg_schedule = Pipesched_cflow.Schedule
+module Emit = Pipesched_cflow.Emit
+
+module Stats = Pipesched_harness.Stats
+module Study = Pipesched_harness.Study
+module Paper = Pipesched_harness.Paper
+module Experiments = Pipesched_harness.Experiments
+module Ablation = Pipesched_harness.Ablation

@@ -1,0 +1,76 @@
+type t = { words : int array; n : int }
+
+let bits_per_word = 63
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word + 1) 0; n }
+
+let capacity s = s.n
+
+let check s i =
+  if i < 0 || i >= s.n then invalid_arg "Bitset: index out of range"
+
+let mem s i =
+  check s i;
+  s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove s i =
+  check s i;
+  let w = i / bits_per_word in
+  s.words.(w) <- s.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s = Array.fold_left (fun acc w -> acc + popcount w) 0 s.words
+
+let copy s = { s with words = Array.copy s.words }
+
+let same_capacity s1 s2 =
+  if s1.n <> s2.n then invalid_arg "Bitset: capacity mismatch"
+
+let union_into ~into s =
+  same_capacity into s;
+  for i = 0 to Array.length into.words - 1 do
+    into.words.(i) <- into.words.(i) lor s.words.(i)
+  done
+
+let inter s1 s2 =
+  same_capacity s1 s2;
+  let r = create s1.n in
+  for i = 0 to Array.length r.words - 1 do
+    r.words.(i) <- s1.words.(i) land s2.words.(i)
+  done;
+  r
+
+let subset s1 s2 =
+  same_capacity s1 s2;
+  let ok = ref true in
+  for i = 0 to Array.length s1.words - 1 do
+    if s1.words.(i) land lnot s2.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let iter f s =
+  for i = 0 to s.n - 1 do
+    if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then
+      f i
+  done
+
+let elements s =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) s;
+  List.rev !acc
+
+let clear s = Array.fill s.words 0 (Array.length s.words) 0
+
+let equal s1 s2 =
+  same_capacity s1 s2;
+  s1.words = s2.words

@@ -1,0 +1,50 @@
+(** Dense, fixed-capacity sets of small non-negative integers.
+
+    Used for transitive-closure computations over instruction DAGs and for
+    the scheduled-set bookkeeping of the search.  All operations are O(1) or
+    O(capacity/63); the representation is a flat [int array] of bit words. *)
+
+type t
+
+(** [create n] is the empty set over universe [0 .. n-1]. *)
+val create : int -> t
+
+(** Capacity the set was created with. *)
+val capacity : t -> int
+
+(** [mem s i] tests membership.  Raises [Invalid_argument] out of range. *)
+val mem : t -> int -> bool
+
+(** [add s i] adds [i] in place. *)
+val add : t -> int -> unit
+
+(** [remove s i] removes [i] in place. *)
+val remove : t -> int -> unit
+
+(** Number of elements currently in the set. *)
+val cardinal : t -> int
+
+(** [copy s] is an independent copy of [s]. *)
+val copy : t -> t
+
+(** [union_into ~into s] adds every element of [s] to [into].
+    Both must share the same capacity. *)
+val union_into : into:t -> t -> unit
+
+(** [inter s1 s2] is a fresh set holding the intersection. *)
+val inter : t -> t -> t
+
+(** [subset s1 s2] is true when every element of [s1] is in [s2]. *)
+val subset : t -> t -> bool
+
+(** [iter f s] applies [f] to every member in increasing order. *)
+val iter : (int -> unit) -> t -> unit
+
+(** Members in increasing order. *)
+val elements : t -> int list
+
+(** [clear s] empties the set in place. *)
+val clear : t -> unit
+
+(** [equal s1 s2] tests extensional equality (same capacity required). *)
+val equal : t -> t -> bool

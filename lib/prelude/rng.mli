@@ -1,0 +1,41 @@
+(** Deterministic splittable pseudo-random numbers (splitmix64).
+
+    Every experiment in this repository is seeded, so any table or figure can
+    be regenerated bit-for-bit.  The generator is the splitmix64 sequence of
+    Steele, Lea and Flood; it is small, fast and has no global state. *)
+
+type t
+
+(** [create seed] is a fresh generator.  Equal seeds give equal streams. *)
+val create : int -> t
+
+(** [copy t] duplicates the generator state. *)
+val copy : t -> t
+
+(** [split t] derives an independent generator; [t] advances by one step. *)
+val split : t -> t
+
+(** Next raw 64-bit value (as an OCaml [int], top bit cleared). *)
+val bits : t -> int
+
+(** [int t bound] is uniform in [0, bound).  Requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive.  Requires [lo <= hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [choose t arr] picks a uniform element.  Requires a non-empty array. *)
+val choose : t -> 'a array -> 'a
+
+(** [weighted t pairs] picks an element with probability proportional to its
+    non-negative integer weight.  Requires positive total weight. *)
+val weighted : t -> (int * 'a) list -> 'a
+
+(** [shuffle t arr] permutes [arr] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit

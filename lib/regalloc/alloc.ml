@@ -1,0 +1,163 @@
+open Pipesched_ir
+
+type t = { assignment : (int, int) Hashtbl.t; used : int }
+
+let allocate blk ~registers =
+  if registers < 1 then invalid_arg "Alloc.allocate: registers must be >= 1";
+  let n = Block.length blk in
+  let ranges = Liveness.ranges blk in
+  let range_of = Hashtbl.create 16 in
+  List.iter (fun (id, r) -> Hashtbl.replace range_of id r) ranges;
+  (* expiry.(i) = ids whose last use is at position i *)
+  let expiry = Array.make (max n 1) [] in
+  List.iter
+    (fun (id, (r : Liveness.range)) ->
+      expiry.(r.last_use_pos) <- id :: expiry.(r.last_use_pos))
+    ranges;
+  (* LIFO free list so just-released registers are reused first, keeping
+     the register count at the live-range pressure. *)
+  let free = ref [] in
+  for r = registers - 1 downto 0 do
+    free := r :: !free
+  done;
+  let take () =
+    match !free with
+    | [] -> None
+    | r :: rest ->
+      free := rest;
+      Some r
+  in
+  let release r = free := r :: !free in
+  let assignment = Hashtbl.create 16 in
+  let used = ref 0 in
+  let exception Overflow of int in
+  try
+    for i = 0 to n - 1 do
+      let tu = Block.tuple_at blk i in
+      (* Instructions read their sources before writing their result, so a
+         value whose last use is this position releases its register first
+         and the new definition may reuse it (e.g. "Add r0, r0, r1"). *)
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt assignment id with
+          | Some r -> release r
+          | None -> ())
+        expiry.(i);
+      if Tuple.produces_value tu then begin
+        match take () with
+        | None -> raise (Overflow i)
+        | Some r ->
+          used := max !used (r + 1);
+          Hashtbl.replace assignment tu.Tuple.id r;
+          (* An unused value occupies its register only transiently. *)
+          let range = Hashtbl.find range_of tu.Tuple.id in
+          if range.Liveness.last_use_pos = i then release r
+      end
+    done;
+    Ok { assignment; used = !used }
+  with Overflow pos ->
+    (* Demand at this point: values live through this position plus the
+       new definition. *)
+    let live =
+      List.length
+        (List.filter
+           (fun (_, (r : Liveness.range)) ->
+             r.def_pos < pos && r.last_use_pos > pos)
+           ranges)
+    in
+    Error (pos, live + 1)
+
+let register_of t id =
+  match Hashtbl.find_opt t.assignment id with
+  | Some r -> r
+  | None -> raise Not_found
+
+let registers_used t = t.used
+
+(* --- Rematerialization ----------------------------------------------- *)
+
+let fresh_id blk =
+  Array.fold_left
+    (fun acc (tu : Tuple.t) -> max acc tu.Tuple.id)
+    0 (Block.tuples blk)
+  + 1
+
+(* Is there a Store to [var] at a position in (lo, hi) exclusive? *)
+let store_between blk var lo hi =
+  let found = ref false in
+  for i = lo + 1 to hi - 1 do
+    let tu = Block.tuple_at blk i in
+    if tu.Tuple.op = Op.Store && Tuple.memory_var tu = Some var then
+      found := true
+  done;
+  !found
+
+(* Split the live range of [id]: insert a re-materialized copy of its
+   producer just before position [u] and rewrite every use at positions
+   >= u to the copy.  Caller guarantees the producer is a Const, or a Load
+   whose variable has no intervening Store before u. *)
+let split blk id u =
+  let producer = Block.find blk id in
+  let nid = fresh_id blk in
+  let remat =
+    Tuple.make ~id:nid producer.Tuple.op producer.Tuple.a producer.Tuple.b
+  in
+  let rewrite (tu : Tuple.t) =
+    let fix o = if o = Operand.Ref id then Operand.Ref nid else o in
+    Tuple.make ~id:tu.Tuple.id tu.Tuple.op (fix tu.Tuple.a) (fix tu.Tuple.b)
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun i tu ->
+      if i = u then out := remat :: !out;
+      out := (if i >= u then rewrite tu else tu) :: !out)
+    (Block.tuples blk);
+  Block.of_tuples_exn (List.rev !out)
+
+let rematerialize blk ~registers =
+  let rec go blk fuel =
+    if fuel = 0 then None
+    else
+      match allocate blk ~registers with
+      | Ok _ -> Some blk
+      | Error (pos, _) ->
+        (* Candidates: values live across [pos] whose producer can be
+           re-materialized at their next use at/after [pos].  Prefer the
+           one with the farthest next use (Belady). *)
+        let ranges = Liveness.ranges blk in
+        let next_use_of id =
+          let nu = ref None in
+          for i = Block.length blk - 1 downto pos do
+            if List.mem id (Tuple.value_refs (Block.tuple_at blk i)) then
+              nu := Some i
+          done;
+          !nu
+        in
+        let candidates =
+          List.filter_map
+            (fun (id, (r : Liveness.range)) ->
+              if r.def_pos < pos && r.last_use_pos >= pos then
+                match next_use_of id with
+                | Some u ->
+                  let producer = Block.find blk id in
+                  let ok =
+                    match
+                      (producer.Tuple.op, Tuple.memory_var producer)
+                    with
+                    | Op.Const, _ -> true
+                    | Op.Load, Some v ->
+                      not (store_between blk v r.def_pos u)
+                    | _ -> false
+                  in
+                  if ok && u > r.def_pos + 1 then Some (id, u) else None
+                | None -> None
+              else None)
+            ranges
+        in
+        (match
+           List.sort (fun (_, u1) (_, u2) -> compare u2 u1) candidates
+         with
+         | [] -> None
+         | (id, u) :: _ -> go (split blk id u) (fuel - 1))
+  in
+  go blk (4 * Block.length blk)

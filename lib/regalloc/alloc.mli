@@ -1,0 +1,42 @@
+(** Post-scheduling register allocation (§3.4).
+
+    Values are assigned to physical registers only after the optimal
+    schedule is fixed, so register reuse never constrains the scheduler
+    ("artificial conflicts" of postpass approaches).  Allocation is a
+    linear scan over the scheduled order: a value gets a free register at
+    its definition and releases it after its last use.
+
+    If demand exceeds the register file, {!allocate} fails and
+    {!rematerialize} implements §3.1's spill strategy: values whose
+    producer is a [Const] or [Load] (of a variable not stored to since) are
+    split — the value is re-materialized just before a later use, shrinking
+    live ranges.  Store instructions "typically do not interfere with any
+    pipelined operations", so the paper notes such fixes usually keep the
+    schedule valid; re-running the scheduler afterwards is the caller's
+    choice. *)
+
+open Pipesched_ir
+
+type t
+
+(** [allocate blk ~registers] linear-scans the block's current order.
+    Sources are read before results are written, so a definition may reuse
+    the register of a value making its last use at the same instruction.
+    [Error (pos, demand)] reports the first position where the values
+    live through [pos] plus the new definition exceed [registers]. *)
+val allocate : Block.t -> registers:int -> (t, int * int) result
+
+(** Register index assigned to a value-producing tuple id.
+    Raises [Not_found] for unknown or valueless ids. *)
+val register_of : t -> int -> int
+
+(** Number of distinct registers used. *)
+val registers_used : t -> int
+
+(** [rematerialize blk ~registers] rewrites the block so that {!allocate}
+    succeeds with the given register count, by re-issuing [Const]s and
+    re-loading variables whose memory is still current at the new position.
+    Returns [None] when the block cannot be fixed this way (a live value
+    produced by an arithmetic tuple would have to spill to memory, which
+    the prototype — like the paper's — does not implement). *)
+val rematerialize : Block.t -> registers:int -> Block.t option

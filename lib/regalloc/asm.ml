@@ -1,0 +1,137 @@
+open Pipesched_ir
+
+type operand = Reg of int | Imm of int | Mem of string
+
+type instr = { mnemonic : string; operands : operand list }
+
+let strip_comment line =
+  match String.index_opt line ';' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let parse_operand tok =
+  let is_int s =
+    s <> "" && (match int_of_string_opt s with Some _ -> true | None -> false)
+  in
+  if String.length tok >= 2 && tok.[0] = 'r' && is_int (String.sub tok 1 (String.length tok - 1))
+  then Ok (Reg (int_of_string (String.sub tok 1 (String.length tok - 1))))
+  else if String.length tok >= 2 && tok.[0] = '#'
+          && is_int (String.sub tok 1 (String.length tok - 1))
+  then Ok (Imm (int_of_string (String.sub tok 1 (String.length tok - 1))))
+  else if tok <> "" then Ok (Mem tok)
+  else Error "empty operand"
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      let body = String.trim (strip_comment line) in
+      if body = "" then go (lineno + 1) acc rest
+      else begin
+        let mnemonic, args =
+          match String.index_opt body ' ' with
+          | None -> (body, "")
+          | Some i ->
+            ( String.sub body 0 i,
+              String.sub body (i + 1) (String.length body - i - 1) )
+        in
+        let toks =
+          String.split_on_char ',' args
+          |> List.map String.trim
+          |> List.filter (fun s -> s <> "")
+        in
+        let rec operands acc = function
+          | [] -> Ok (List.rev acc)
+          | tok :: more -> (
+            match parse_operand tok with
+            | Ok o -> operands (o :: acc) more
+            | Error m -> Error m)
+        in
+        match operands [] toks with
+        | Ok ops -> go (lineno + 1) ({ mnemonic; operands = ops } :: acc) rest
+        | Error msg -> Error (lineno, msg)
+      end
+  in
+  go 1 [] lines
+
+type state = {
+  regs : int array;
+  mem : (string, int) Hashtbl.t;
+  touched : (string, unit) Hashtbl.t;
+  env : string -> int;
+  mutable ticks : int;
+}
+
+let create_state ~env =
+  {
+    regs = Array.make 256 0;
+    mem = Hashtbl.create 16;
+    touched = Hashtbl.create 16;
+    env;
+    ticks = 0;
+  }
+
+let reg st i =
+  if i < 0 || i >= Array.length st.regs then
+    invalid_arg "Asm.execute: register range";
+  st.regs.(i)
+
+let set_reg st i v =
+  if i < 0 || i >= Array.length st.regs then
+    invalid_arg "Asm.execute: register range";
+  st.regs.(i) <- v
+
+let operand_value st = function
+  | Reg i -> reg st i
+  | Imm n -> n
+  | Mem _ -> invalid_arg "Asm.execute: memory operand in register slot"
+
+let read_mem st v =
+  Hashtbl.replace st.touched v ();
+  match Hashtbl.find_opt st.mem v with Some x -> x | None -> st.env v
+
+let write_mem st v x =
+  Hashtbl.replace st.touched v ();
+  Hashtbl.replace st.mem v x
+
+let binop_of = function
+  | "Add" -> Some Op.Add
+  | "Sub" -> Some Op.Sub
+  | "Mul" -> Some Op.Mul
+  | "Div" -> Some Op.Div
+  | "Mod" -> Some Op.Mod
+  | "And" -> Some Op.And
+  | "Or" -> Some Op.Or
+  | "Xor" -> Some Op.Xor
+  | "Shl" -> Some Op.Shl
+  | "Shr" -> Some Op.Shr
+  | _ -> None
+
+let step st { mnemonic; operands } =
+  st.ticks <- st.ticks + 1;
+  let value = operand_value st in
+  match (mnemonic, operands) with
+  | "Nop", [] -> ()
+  | "Li", [ Reg d; src ] -> set_reg st d (value src)
+  | "Load", [ Reg d; Mem v ] -> set_reg st d (read_mem st v)
+  | "Store", [ Mem v; src ] -> write_mem st v (value src)
+  | "Mov", [ Reg d; src ] -> set_reg st d (value src)
+  | "Neg", [ Reg d; src ] -> set_reg st d (-value src)
+  | op, [ Reg d; a; b ] -> (
+    match binop_of op with
+    | Some op -> set_reg st d (Op.eval2 op (value a) (value b))
+    | None -> invalid_arg ("Asm.execute: unknown mnemonic " ^ op))
+  | op, _ ->
+    invalid_arg (Printf.sprintf "Asm.execute: malformed %s instruction" op)
+
+let memory st =
+  Hashtbl.fold (fun v () acc -> (v, read_mem st v) :: acc) st.touched []
+  |> List.sort compare
+
+let ticks st = st.ticks
+
+let execute instrs ~env =
+  let st = create_state ~env in
+  List.iter (step st) instrs;
+  (memory st, st.ticks)

@@ -1,0 +1,55 @@
+(** The target assembly language: parser and executor.
+
+    {!Codegen} emits a MIPS-flavored textual assembly; this module reads
+    that text back and executes it against a register file and memory,
+    giving the emitted code an independent semantics.  The test suite uses
+    it to close the loop: source program -> tuples -> optimal schedule ->
+    registers -> assembly -> {e execution}, checking the final memory
+    against the reference interpreters at the other end of the pipeline.
+
+    NOPs are executed as (timed) no-ops, so a parsed listing also yields
+    the schedule's total issue ticks. *)
+
+(** A parsed operand: register index, immediate, or memory variable. *)
+type operand = Reg of int | Imm of int | Mem of string
+
+type instr = {
+  mnemonic : string;       (** as written, e.g. ["Mul"] or ["Nop"] *)
+  operands : operand list; (** destination first for value producers *)
+}
+
+(** [parse text] parses an emitted listing (one instruction per line;
+    everything from [';'] on is a comment).  [Error (line, msg)] points at
+    the first offending 1-based line. *)
+val parse : string -> (instr list, int * string) result
+
+(** [execute instrs ~env] runs the program: registers start at 0, memory
+    reads of unwritten variables consult [env].  Returns the final value
+    of every variable the program touched, sorted by name, plus the total
+    ticks consumed (= number of instructions including NOPs).
+    Raises [Invalid_argument] on malformed instructions (wrong operand
+    counts, unknown mnemonics, register out of range). *)
+val execute :
+  instr list -> env:(string -> int) -> (string * int) list * int
+
+(** {2 Stepped execution}
+
+    Whole-program executors (labels, branches — see [Pipesched_cflow])
+    drive the same machine state one instruction at a time. *)
+
+type state
+
+(** Fresh state: registers zeroed, memory backed by [env]. *)
+val create_state : env:(string -> int) -> state
+
+(** Execute one non-control instruction, advancing the tick counter. *)
+val step : state -> instr -> unit
+
+(** Current value of a memory variable (reads through to [env]). *)
+val read_mem : state -> string -> int
+
+(** Final memory: every touched variable, sorted by name. *)
+val memory : state -> (string * int) list
+
+(** Ticks consumed so far. *)
+val ticks : state -> int

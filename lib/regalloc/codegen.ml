@@ -1,0 +1,48 @@
+open Pipesched_ir
+
+type line = { text : string; tick : int; source : int option }
+
+let reg alloc id = Printf.sprintf "r%d" (Alloc.register_of alloc id)
+
+let operand alloc = function
+  | Operand.Ref id -> reg alloc id
+  | Operand.Imm n -> Printf.sprintf "#%d" n
+  | Operand.Var v -> v
+  | Operand.Null -> invalid_arg "Codegen: null operand in emission"
+
+let format_tuple alloc (tu : Tuple.t) =
+  let dst () = reg alloc tu.Tuple.id in
+  match tu.Tuple.op with
+  | Op.Const -> Printf.sprintf "Li    %s, %s" (dst ()) (operand alloc tu.a)
+  | Op.Load -> Printf.sprintf "Load  %s, %s" (dst ()) (operand alloc tu.a)
+  | Op.Store ->
+    Printf.sprintf "Store %s, %s" (operand alloc tu.a) (operand alloc tu.b)
+  | Op.Mov -> Printf.sprintf "Mov   %s, %s" (dst ()) (operand alloc tu.a)
+  | Op.Neg -> Printf.sprintf "Neg   %s, %s" (dst ()) (operand alloc tu.a)
+  | op ->
+    Printf.sprintf "%-5s %s, %s, %s" (Op.to_string op) (dst ())
+      (operand alloc tu.a) (operand alloc tu.b)
+
+let lines blk ~eta ~alloc =
+  let n = Block.length blk in
+  if Array.length eta <> n then invalid_arg "Codegen.lines: eta length";
+  let tick = ref 0 in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for _ = 1 to eta.(i) do
+      out := { text = "Nop"; tick = !tick; source = None } :: !out;
+      incr tick
+    done;
+    let tu = Block.tuple_at blk i in
+    out :=
+      { text = format_tuple alloc tu; tick = !tick;
+        source = Some tu.Tuple.id }
+      :: !out;
+    incr tick
+  done;
+  List.rev !out
+
+let emit blk ~eta ~alloc =
+  lines blk ~eta ~alloc
+  |> List.map (fun l -> Printf.sprintf "%-24s ; t=%d" l.text l.tick)
+  |> String.concat "\n"

@@ -1,0 +1,25 @@
+(** Assembly emission (§3.4).
+
+    After scheduling and register allocation, each tuple maps directly to
+    one target instruction.  The emitter produces a MIPS-flavored textual
+    listing with the schedule's NOPs made explicit (the paper's NOP-padding
+    model; under an interlocked target the NOP lines would simply be
+    omitted and the hardware would stall identically). *)
+
+open Pipesched_ir
+
+(** One emitted line. *)
+type line = {
+  text : string;        (** e.g. ["Mul   r2, r0, r1"] or ["Nop"] *)
+  tick : int;           (** issue tick of this line *)
+  source : int option;  (** tuple id, [None] for NOPs *)
+}
+
+(** [lines blk ~eta ~alloc] formats the block's current order with
+    [eta.(i)] NOPs before position [i].  [eta] must have the block's
+    length; allocation must cover the block ({!Alloc.allocate} on it). *)
+val lines : Block.t -> eta:int array -> alloc:Alloc.t -> line list
+
+(** [emit blk ~eta ~alloc] renders {!lines} as one string, one instruction
+    per line, with issue-tick comments. *)
+val emit : Block.t -> eta:int array -> alloc:Alloc.t -> string

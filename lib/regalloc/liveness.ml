@@ -1,0 +1,36 @@
+open Pipesched_ir
+
+type range = { def_pos : int; last_use_pos : int }
+
+let ranges blk =
+  let n = Block.length blk in
+  let last_use = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun id -> Hashtbl.replace last_use id i)
+      (Tuple.value_refs (Block.tuple_at blk i))
+  done;
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    let tu = Block.tuple_at blk i in
+    if Tuple.produces_value tu then
+      let lu =
+        Option.value ~default:i (Hashtbl.find_opt last_use tu.Tuple.id)
+      in
+      acc := (tu.Tuple.id, { def_pos = i; last_use_pos = lu }) :: !acc
+  done;
+  !acc
+
+let pressure blk =
+  let n = Block.length blk in
+  let p = Array.make n 0 in
+  List.iter
+    (fun (_, r) ->
+      (* Live across entry of positions def_pos+1 .. last_use_pos. *)
+      for i = r.def_pos + 1 to r.last_use_pos do
+        p.(i) <- p.(i) + 1
+      done)
+    (ranges blk);
+  p
+
+let max_pressure blk = Array.fold_left max 0 (pressure blk)

@@ -1,0 +1,25 @@
+(** Value liveness within a scheduled block.
+
+    A tuple's value is live from its defining position to its last use.
+    Register allocation happens {e after} scheduling (§3.4), so liveness is
+    computed on whatever order the block's tuples currently have. *)
+
+open Pipesched_ir
+
+type range = {
+  def_pos : int;      (** position defining the value *)
+  last_use_pos : int; (** last position reading it ([= def_pos] if unused) *)
+}
+
+(** [ranges blk] maps each value-producing tuple id to its live range.
+    [Store] tuples produce no value and are absent. *)
+val ranges : Block.t -> (int * range) list
+
+(** [pressure blk] is, per position, the number of values live across the
+    {e entry} of that position (values defined earlier whose last use is at
+    this position or later). *)
+val pressure : Block.t -> int array
+
+(** Maximum of {!pressure}: the register demand of this order (§3.1's
+    spill pre-check compares this against the register-file size). *)
+val max_pressure : Block.t -> int

@@ -1,0 +1,72 @@
+open Pipesched_ir
+open Pipesched_machine
+module Rng = Pipesched_prelude.Rng
+
+type heuristic =
+  | Max_distance
+  | Latency_weighted of Machine.t
+  | Source_order
+  | Random_order of int
+
+let priorities heuristic dag =
+  let n = Dag.length dag in
+  match heuristic with
+  | Max_distance ->
+    (* Primary key: unit-weight height (longest dependence chain below);
+       secondary: number of transitive descendants.  Packed into one int. *)
+    let h = Dag.heights dag ~edge_weight:(fun ~src:_ ~dst:_ -> 1) in
+    Array.init n (fun i ->
+        let desc =
+          Pipesched_prelude.Bitset.cardinal (Dag.descendants dag i)
+        in
+        (h.(i) * (n + 1)) + desc)
+  | Latency_weighted machine ->
+    let blk = Dag.block dag in
+    let lat pos = Machine.latency machine (Block.tuple_at blk pos).Tuple.op in
+    let h = Dag.heights dag ~edge_weight:(fun ~src ~dst:_ -> lat src) in
+    Array.init n (fun i ->
+        let desc =
+          Pipesched_prelude.Bitset.cardinal (Dag.descendants dag i)
+        in
+        (h.(i) * (n + 1)) + desc)
+  | Source_order -> Array.init n (fun i -> n - i)
+  | Random_order seed ->
+    let rng = Rng.create seed in
+    Array.init n (fun _ -> Rng.bits rng)
+
+let schedule heuristic dag =
+  let n = Dag.length dag in
+  let prio = priorities heuristic dag in
+  let unsched_preds =
+    Array.init n (fun i -> List.length (Dag.preds dag i))
+  in
+  let emitted = Array.make n false in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    (* Pick the ready position with the greatest priority; ties go to the
+       smallest original position. *)
+    let best = ref (-1) in
+    for i = n - 1 downto 0 do
+      if (not emitted.(i)) && unsched_preds.(i) = 0
+         && (!best = -1 || prio.(i) >= prio.(!best))
+      then best := i
+    done;
+    if !best = -1 then invalid_arg "List_sched.schedule: cyclic DAG";
+    order.(k) <- !best;
+    emitted.(!best) <- true;
+    List.iter
+      (fun v -> unsched_preds.(v) <- unsched_preds.(v) - 1)
+      (Dag.succs dag !best)
+  done;
+  order
+
+let order_by_priority heuristic dag =
+  let n = Dag.length dag in
+  let prio = priorities heuristic dag in
+  let idx = Array.init n (fun i -> i) in
+  (* Stable sort by descending priority; equal priorities keep block order. *)
+  let cmp a b =
+    if prio.(a) <> prio.(b) then compare prio.(b) prio.(a) else compare a b
+  in
+  Array.sort cmp idx;
+  idx

@@ -1,0 +1,56 @@
+open Pipesched_ir
+open Pipesched_machine
+module Rng = Pipesched_prelude.Rng
+
+type outcome = {
+  best : Omega.result;
+  initial : Omega.result;
+  evaluations : int;
+}
+
+let anneal ?(seed = 1) ?(budget = 1000) ?(t0 = 2.0) ?(cooling = 0.995)
+    machine dag =
+  let n = Dag.length dag in
+  let rng = Rng.create seed in
+  let order = List_sched.schedule List_sched.Max_distance dag in
+  let initial = Omega.evaluate machine dag ~order in
+  if n < 2 then { best = initial; initial; evaluations = 1 }
+  else begin
+    let current = Array.copy order in
+    let current_cost = ref initial.Omega.nops in
+    let best = ref initial in
+    let evaluations = ref 1 in
+    let depends u v =
+      List.mem v (Dag.succs dag u) || List.mem u (Dag.succs dag v)
+    in
+    let temperature = ref t0 in
+    let steps = max 0 (budget - 1) in
+    for _ = 1 to steps do
+      (* Swap a random adjacent, independent pair. *)
+      let k = Rng.int rng (n - 1) in
+      if not (depends current.(k) current.(k + 1)) then begin
+        let a = current.(k) in
+        current.(k) <- current.(k + 1);
+        current.(k + 1) <- a;
+        let r = Omega.evaluate machine dag ~order:current in
+        incr evaluations;
+        let delta = float_of_int (r.Omega.nops - !current_cost) in
+        let accept =
+          delta <= 0.0
+          || Rng.float rng < exp (-.delta /. max !temperature 1e-6)
+        in
+        if accept then begin
+          current_cost := r.Omega.nops;
+          if r.Omega.nops < !best.Omega.nops then best := r
+        end
+        else begin
+          (* revert *)
+          let a = current.(k) in
+          current.(k) <- current.(k + 1);
+          current.(k + 1) <- a
+        end
+      end;
+      temperature := !temperature *. cooling
+    done;
+    { best = !best; initial; evaluations = !evaluations }
+  end

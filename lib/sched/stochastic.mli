@@ -1,0 +1,28 @@
+(** A stochastic baseline: simulated annealing over legal schedules.
+
+    Metaheuristics are the other classic answer to NP-complete scheduling;
+    this one gives the branch-and-bound a budget-matched competitor in the
+    evaluation ladder.  State: a legal order (seeded by the list
+    scheduler).  Move: swap a random adjacent pair with no dependence
+    between them (legality-preserving by construction).  Acceptance:
+    strictly better always, worse with probability [exp (-delta / T)]
+    under geometric cooling.  Cost: one full Omega evaluation per step, so
+    [budget] is comparable to the search's Omega-call counts divided by
+    the block length. *)
+
+open Pipesched_ir
+open Pipesched_machine
+
+type outcome = {
+  best : Omega.result;
+  initial : Omega.result;   (** the list-schedule seed *)
+  evaluations : int;        (** full Omega evaluations performed *)
+}
+
+(** [anneal ?seed ?budget ?t0 ?cooling machine dag] runs the annealer.
+    Defaults: [seed 1], [budget 1000] evaluations, initial temperature
+    [t0 = 2.0], [cooling = 0.995] per step.  The returned best is never
+    worse than the seed. *)
+val anneal :
+  ?seed:int -> ?budget:int -> ?t0:float -> ?cooling:float ->
+  Machine.t -> Dag.t -> outcome

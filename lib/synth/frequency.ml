@@ -1,0 +1,67 @@
+open Pipesched_ir
+
+type shape =
+  | Sh_const
+  | Sh_copy
+  | Sh_unop
+  | Sh_binop_vv
+  | Sh_binop_vc
+  | Sh_binop3
+
+type t = {
+  shape_weights : (int * shape) list;
+  op_weights : (int * Op.t) list;
+}
+
+let check t =
+  let total l = List.fold_left (fun acc (w, _) -> acc + w) 0 l in
+  if total t.shape_weights <= 0 then
+    invalid_arg "Frequency.check: shape weights must have positive total";
+  if total t.op_weights <= 0 then
+    invalid_arg "Frequency.check: op weights must have positive total";
+  List.iter
+    (fun (w, op) ->
+      if w < 0 then invalid_arg "Frequency.check: negative weight";
+      if not (List.mem op Op.binary_ops) then
+        invalid_arg
+          ("Frequency.check: not a binary operator: " ^ Op.to_string op))
+    t.op_weights;
+  t
+
+let default =
+  check
+    {
+      shape_weights =
+        [ (10, Sh_const); (8, Sh_copy); (4, Sh_unop); (42, Sh_binop_vv);
+          (26, Sh_binop_vc); (10, Sh_binop3) ];
+      op_weights =
+        [ (45, Op.Add); (25, Op.Sub); (15, Op.Mul); (6, Op.Div);
+          (3, Op.Mod); (2, Op.And); (2, Op.Or); (1, Op.Xor); (1, Op.Shl) ];
+    }
+
+let mul_heavy =
+  check
+    {
+      default with
+      op_weights =
+        [ (25, Op.Add); (10, Op.Sub); (40, Op.Mul); (15, Op.Div);
+          (5, Op.Mod); (5, Op.Shl) ];
+    }
+
+let shape_name = function
+  | Sh_const -> "v = c"
+  | Sh_copy -> "v = w"
+  | Sh_unop -> "v = -w"
+  | Sh_binop_vv -> "v = w op x"
+  | Sh_binop_vc -> "v = w op c"
+  | Sh_binop3 -> "v = (w op x) op y"
+
+let pp fmt t =
+  Format.fprintf fmt "Statement shapes:@.";
+  List.iter
+    (fun (w, sh) -> Format.fprintf fmt "  %-18s %3d@." (shape_name sh) w)
+    t.shape_weights;
+  Format.fprintf fmt "Operators:@.";
+  List.iter
+    (fun (w, op) -> Format.fprintf fmt "  %-18s %3d@." (Op.to_string op) w)
+    t.op_weights

@@ -1,0 +1,42 @@
+(** Statement-type frequencies for the synthetic benchmark generator
+    (§5.2, Table 6).
+
+    The paper generates "a random sequence of assignment statements" whose
+    type frequencies "correspond loosely to the instruction frequency
+    distributions found in [AlW75]" (Alexander & Wortman's study of XPL
+    programs).  Table 6's body is unreadable in the available scan, so this
+    reconstruction follows the same study's character: simple assignments
+    and additive operators dominate; multiplication and division are
+    markedly rarer.  [Load]/[Store] tuples are not drawn from the table —
+    per the paper they arise implicitly during code generation. *)
+
+open Pipesched_ir
+
+(** The right-hand-side shapes statements are drawn from. *)
+type shape =
+  | Sh_const          (** [v = c] *)
+  | Sh_copy           (** [v = w] *)
+  | Sh_unop           (** [v = -w] *)
+  | Sh_binop_vv       (** [v = w op x] *)
+  | Sh_binop_vc       (** [v = w op c] *)
+  | Sh_binop3         (** [v = (w op x) op y] *)
+
+type t = {
+  shape_weights : (int * shape) list;
+  op_weights : (int * Op.t) list;  (** binary operators only *)
+}
+
+(** The default reconstruction of Table 6 (weights sum to 100 for shapes):
+    const 10, copy 8, unary 4, [w op x] 42, [w op c] 26, three-operand 10;
+    operators: Add 45, Sub 25, Mul 15, Div 6, Mod 3, And 2, Or 2, Xor 1,
+    Shl 1, Shr 0 (shifts arise mostly via strength reduction). *)
+val default : t
+
+(** A multiply-heavy variant stressing the long-latency pipeline. *)
+val mul_heavy : t
+
+(** Validate weights (positive totals, binary ops only); raises
+    [Invalid_argument]. *)
+val check : t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,103 @@
+open Pipesched_ir
+open Pipesched_frontend
+module Rng = Pipesched_prelude.Rng
+
+type params = { statements : int; variables : int; constants : int }
+
+let default_params = { statements = 8; variables = 5; constants = 3 }
+
+let validate p =
+  if p.statements < 1 || p.variables < 1 || p.constants < 1 then
+    invalid_arg "Generator: parameters must be positive"
+
+let program ?(freq = Frequency.default) rng p =
+  validate p;
+  let var_pool = Array.init p.variables (fun i -> Printf.sprintf "v%d" i) in
+  let const_pool = Array.init p.constants (fun _ -> 1 + Rng.int rng 99) in
+  let var () = Ast.Var (Rng.choose rng var_pool) in
+  let const () = Ast.Int (Rng.choose rng const_pool) in
+  let op () = Rng.weighted rng freq.Frequency.op_weights in
+  let stmt () =
+    let dest = Rng.choose rng var_pool in
+    let rhs =
+      match Rng.weighted rng freq.Frequency.shape_weights with
+      | Frequency.Sh_const -> const ()
+      | Frequency.Sh_copy -> var ()
+      | Frequency.Sh_unop -> Ast.Unop (Op.Neg, var ())
+      | Frequency.Sh_binop_vv -> Ast.Binop (op (), var (), var ())
+      | Frequency.Sh_binop_vc -> Ast.Binop (op (), var (), const ())
+      | Frequency.Sh_binop3 ->
+        Ast.Binop (op (), Ast.Binop (op (), var (), var ()), var ())
+    in
+    Ast.Assign (dest, rhs)
+  in
+  List.init p.statements (fun _ -> stmt ())
+
+let block ?freq ?(optimize = true) rng p =
+  Compile.compile_program ~optimize (program ?freq rng p)
+
+let sample_params rng =
+  (* Calibrated so that optimized blocks average ~20 instructions with a
+     tail past 40 (Figure 5): mostly 2-27 statements, with a 1-in-10
+     chance of a very large block. *)
+  let statements =
+    if Rng.int rng 10 = 0 then 32 + Rng.int rng 20 else 3 + Rng.int rng 30
+  in
+  {
+    statements;
+    variables = 4 + Rng.int rng 9;
+    constants = 1 + Rng.int rng 4;
+  }
+
+let batch ?freq rng ~count =
+  List.init count (fun _ -> block ?freq rng (sample_params rng))
+
+let structured_program ?(freq = Frequency.default) rng p ~depth =
+  validate p;
+  if depth < 0 then invalid_arg "Generator.structured_program: depth";
+  let fresh = ref 0 in
+  let var_pool = Array.init p.variables (fun i -> Printf.sprintf "v%d" i) in
+  let const_pool = Array.init p.constants (fun _ -> 1 + Rng.int rng 99) in
+  let simple () =
+    if Rng.bool rng then Ast.Var (Rng.choose rng var_pool)
+    else Ast.Int (Rng.choose rng const_pool)
+  in
+  let relop () =
+    Rng.choose rng
+      [| Ast.Req; Ast.Rne; Ast.Rlt; Ast.Rle; Ast.Rgt; Ast.Rge |]
+  in
+  let assign () =
+    match program ~freq rng { p with statements = 1 } with
+    | [ s ] -> s
+    | _ -> assert false
+  in
+  let rec stmts depth budget =
+    if budget <= 0 then []
+    else
+      let s, cost =
+        match (depth > 0, Rng.int rng 6) with
+        | true, 0 ->
+          ( Ast.If
+              ( (relop (), simple (), simple ()),
+                stmts (depth - 1) 2,
+                if Rng.bool rng then stmts (depth - 1) 2 else [] ),
+            3 )
+        | true, 1 ->
+          let k = Printf.sprintf "k%d" !fresh in
+          incr fresh;
+          ( Ast.While
+              ( (Ast.Rlt, Ast.Var k, Ast.Int (1 + Rng.int rng 4)),
+                stmts (depth - 1) 2
+                @ [ Ast.Assign (k, Ast.Binop (Op.Add, Ast.Var k, Ast.Int 1))
+                  ] ),
+            4 )
+        | _ -> (assign (), 1)
+      in
+      s :: stmts depth (budget - cost)
+  in
+  let body = stmts depth p.statements in
+  let counters =
+    List.init !fresh (fun i ->
+        Ast.Assign (Printf.sprintf "k%d" i, Ast.Int 0))
+  in
+  counters @ body

@@ -1,0 +1,50 @@
+(** Synthetic basic-block generator (§5.2).
+
+    Mirrors the paper's C generator: given the desired number of
+    statements, variables and constants, emit a random sequence of
+    assignment statements with {!Frequency}-weighted shapes, then compile
+    it through the regular front end (which introduces the [Load]s and
+    [Store]s and optimizes).  Everything is driven by a {!Rng.t}, so
+    generation is deterministic per seed. *)
+
+open Pipesched_ir
+open Pipesched_frontend
+module Rng = Pipesched_prelude.Rng
+
+type params = {
+  statements : int;  (** assignment statements to generate *)
+  variables : int;   (** size of the variable pool (named v0, v1, ...) *)
+  constants : int;   (** size of the integer-literal pool *)
+}
+
+(** [default_params] matches the paper's mid-size runs: 8 statements over
+    5 variables and 3 constants. *)
+val default_params : params
+
+(** [program ?freq rng p] is a random source program.  Every statement
+    assigns to a pool variable; operands are drawn from the pools.
+    Raises [Invalid_argument] for non-positive parameters. *)
+val program : ?freq:Frequency.t -> Rng.t -> params -> Ast.program
+
+(** [block ?freq ?optimize rng p] compiles a random program to a tuple
+    block ([optimize] defaults to [true], matching §3.1). *)
+val block : ?freq:Frequency.t -> ?optimize:bool -> Rng.t -> params -> Block.t
+
+(** [sample_params rng] draws parameters reproducing the paper's block-size
+    mix (Figure 5): optimized blocks mostly between 5 and 45 instructions
+    with mean near 20. *)
+val sample_params : Rng.t -> params
+
+(** [batch ?freq rng ~count] generates [count] blocks with
+    {!sample_params}-drawn parameters — the population used for the
+    16,000-run study (Table 7, Figures 1 and 4-7). *)
+val batch : ?freq:Frequency.t -> Rng.t -> count:int -> Block.t list
+
+(** [structured_program ?freq rng p ~depth] is a random program {e with
+    control flow} (for the whole-program extension): assignment statements
+    drawn as in {!program}, interleaved with [if]/[else] diamonds and
+    always-terminating [while] loops (each loop runs a dedicated counter
+    [k0], [k1], ... to a small bound).  [depth] bounds control-flow
+    nesting; [p.statements] is the top-level statement budget. *)
+val structured_program :
+  ?freq:Frequency.t -> Rng.t -> params -> depth:int -> Ast.program

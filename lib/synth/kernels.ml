@@ -1,0 +1,96 @@
+open Pipesched_frontend
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  looped : bool;
+}
+
+let all =
+  [ { name = "dot4";
+      description = "4-term dot product (independent multiplies)";
+      source =
+        "acc = a0 * b0;\n\
+         acc = acc + a1 * b1;\n\
+         acc = acc + a2 * b2;\n\
+         acc = acc + a3 * b3;";
+      looped = false };
+    { name = "fir3";
+      description = "3-tap FIR step with energy accumulation";
+      source =
+        "y = w0 * x0 + w1 * x1 + w2 * x2;\n\
+         y = y >> 12;\n\
+         energy = energy + y * y;";
+      looped = false };
+    { name = "horner4";
+      description = "degree-4 polynomial by Horner's rule (serial chain)";
+      source =
+        "p = c4;\n\
+         p = p * x + c3;\n\
+         p = p * x + c2;\n\
+         p = p * x + c1;\n\
+         p = p * x + c0;";
+      looped = false };
+    { name = "complex_mul";
+      description = "complex multiply (ar+ai)(br+bi)";
+      source =
+        "cr = ar * br - ai * bi;\n\
+         ci = ar * bi + ai * br;";
+      looped = false };
+    { name = "mat2";
+      description = "2x2 matrix multiply (8 independent multiplies)";
+      source =
+        "c00 = a00 * b00 + a01 * b10;\n\
+         c01 = a00 * b01 + a01 * b11;\n\
+         c10 = a10 * b00 + a11 * b10;\n\
+         c11 = a10 * b01 + a11 * b11;";
+      looped = false };
+    { name = "lerp";
+      description = "fixed-point linear interpolation";
+      source =
+        "d = x1 - x0;\n\
+         y = x0 * 256 + d * t;\n\
+         y = y >> 8;";
+      looped = false };
+    { name = "avg_filter";
+      description = "boxcar average of four samples";
+      source = "s = s0 + s1 + s2 + s3;\ny = s >> 2;";
+      looped = false };
+    { name = "quantize";
+      description = "scale, clamp-by-mask, and pack two samples";
+      source =
+        "q0 = (s0 * g) >> 7;\n\
+         q1 = (s1 * g) >> 7;\n\
+         q0 = q0 & 255;\n\
+         q1 = q1 & 255;\n\
+         packed = (q0 << 8) | q1;";
+      looped = false };
+    { name = "sum_squares";
+      description = "looped sum of squares (counted loop)";
+      source =
+        "s = 0;\n\
+         i = 0;\n\
+         while (i < n) { s = s + i * i; i = i + 1; }";
+      looped = true };
+    { name = "gcd_ish";
+      description = "repeated conditional subtraction (branchy loop)";
+      source =
+        "while (a != b) {\n\
+        \  if (a > b) { a = a - b; } else { b = b - a; }\n\
+         }";
+      looped = true };
+    { name = "poly_table";
+      description = "looped Horner over a fixed-degree polynomial";
+      source =
+        "p = 0;\n\
+         k = 0;\n\
+         while (k < 5) { p = p * x + k; k = k + 1; }";
+      looped = true } ]
+
+let straight_line () =
+  List.filter_map
+    (fun k -> if k.looped then None else Some (k, Parser.parse k.source))
+    all
+
+let find name = List.find_opt (fun k -> k.name = name) all

@@ -1,0 +1,26 @@
+(** A small suite of hand-written kernels — the kind of numeric inner
+    loops the paper's era benchmarked (Livermore-loops flavor), written in
+    the mini source language.
+
+    The synthetic generator (§5.2) gives statistical coverage; these give
+    recognizable shapes: reductions, recurrences, stencils, polynomial
+    evaluation.  Each kernel is one basic block (straight-line) unless
+    marked looped. *)
+
+open Pipesched_frontend
+
+type t = {
+  name : string;
+  description : string;
+  source : string;
+  looped : bool;  (** contains while/if — compile via [Pipesched_cflow] *)
+}
+
+(** All kernels, straight-line first. *)
+val all : t list
+
+(** The straight-line subset, parsed (each is a single basic block). *)
+val straight_line : unit -> (t * Ast.program) list
+
+(** [find name] looks a kernel up by name. *)
+val find : string -> t option

@@ -1,0 +1,100 @@
+(* Shared QCheck generators and Alcotest utilities for the test suites. *)
+
+open Pipesched_ir
+module Rng = Pipesched_prelude.Rng
+
+let check = Alcotest.check
+let int_t = Alcotest.int
+let bool_t = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Random tuple blocks, built directly over the IR (independent of the
+   frontend, so IR-level properties do not depend on the compiler). *)
+
+(* Build a random valid block of [n] tuples over [nvars] variables.  Each
+   tuple is drawn so that Ref operands point at earlier value-producing
+   tuples; Load/Store mix in memory dependences. *)
+let random_block_with rng n nvars =
+  let vars = Array.init (max nvars 1) (fun i -> Printf.sprintf "x%d" i) in
+  let producers = ref [] in
+  let pick_value () =
+    match !producers with
+    | [] -> Operand.Imm (Rng.int rng 100)
+    | ids ->
+      if Rng.int rng 5 = 0 then Operand.Imm (Rng.int rng 100)
+      else Operand.Ref (Rng.choose rng (Array.of_list ids))
+  in
+  let tuples = ref [] in
+  for id = 1 to n do
+    let choice = Rng.int rng 10 in
+    let tu =
+      if choice < 2 then
+        Tuple.make ~id Op.Const (Operand.Imm (Rng.int rng 100)) Operand.Null
+      else if choice < 4 then
+        Tuple.make ~id Op.Load (Operand.Var (Rng.choose rng vars))
+          Operand.Null
+      else if choice < 6 then
+        Tuple.make ~id Op.Store (Operand.Var (Rng.choose rng vars))
+          (pick_value ())
+      else if choice < 7 then Tuple.make ~id Op.Neg (pick_value ()) Operand.Null
+      else
+        let op =
+          Rng.choose rng
+            [| Op.Add; Op.Sub; Op.Mul; Op.Div; Op.And; Op.Or; Op.Xor |]
+        in
+        Tuple.make ~id op (pick_value ()) (pick_value ())
+    in
+    if Tuple.produces_value tu then producers := tu.Tuple.id :: !producers;
+    tuples := tu :: !tuples
+  done;
+  Block.of_tuples_exn (List.rev !tuples)
+
+let random_block rng n = random_block_with rng n 4
+
+(* QCheck generator of (seed, size) driven blocks, shrink-friendly on the
+   size parameter. *)
+let block_gen ?(min_size = 1) ?(max_size = 14) () =
+  QCheck2.Gen.(
+    map2
+      (fun seed n ->
+        let rng = Rng.create seed in
+        random_block rng n)
+      (int_bound 1_000_000)
+      (int_range min_size max_size))
+
+let block_print blk = Block.to_string blk
+
+(* A qcheck property registered as an alcotest case. *)
+let qtest ?(count = 200) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count ~print gen prop)
+
+(* Machine used by most scheduling tests. *)
+let machine = Pipesched_machine.Machine.Presets.simulation
+
+(* An environment mapping every variable to a deterministic value. *)
+let env_of_seed seed v = Hashtbl.hash (seed, v) mod 1000
+
+(* All legal orders of a dag (test oracle; exponential). *)
+let all_legal_orders dag =
+  let n = Dag.length dag in
+  let unsched = Array.init n (fun i -> List.length (Dag.preds dag i)) in
+  let used = Array.make n false in
+  let acc = ref [] in
+  let order = Array.make n 0 in
+  let rec go depth =
+    if depth = n then acc := Array.copy order :: !acc
+    else
+      for i = 0 to n - 1 do
+        if (not used.(i)) && unsched.(i) = 0 then begin
+          used.(i) <- true;
+          List.iter (fun v -> unsched.(v) <- unsched.(v) - 1) (Dag.succs dag i);
+          order.(depth) <- i;
+          go (depth + 1);
+          List.iter (fun v -> unsched.(v) <- unsched.(v) + 1) (Dag.succs dag i);
+          used.(i) <- false
+        end
+      done
+  in
+  go 0;
+  !acc

@@ -1,0 +1,487 @@
+(* Tests for Pipesched_cflow: lowering, CFG execution, chain merging,
+   whole-CFG scheduling, emission and machine-level execution — plus the
+   control-flow additions to the front end (lexer/parser/interp). *)
+
+open Pipesched_ir
+open Pipesched_frontend
+open Pipesched_cflow
+open Pipesched_machine
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Front-end control-flow additions                                    *)
+
+let test_parse_if_while () =
+  let prog =
+    Parser.parse
+      "i = 0; while (i < 10) { if (i % 2 == 0) { s = s + i; } else { s = \
+       s - 1; } i = i + 1; }"
+  in
+  (match prog with
+   | [ Ast.Assign _; Ast.While ((Ast.Rlt, _, _), body) ] ->
+     (match body with
+      | [ Ast.If ((Ast.Req, _, _), [ _ ], [ _ ]); Ast.Assign _ ] -> ()
+      | _ -> Alcotest.fail "unexpected while body")
+   | _ -> Alcotest.fail "unexpected program shape");
+  check bool_t "not straight-line" false (Ast.straight_line prog);
+  check bool_t "straight-line" true
+    (Ast.straight_line (Parser.parse "a = 1; b = a;"))
+
+let test_parse_relops () =
+  List.iter
+    (fun (src, expected) ->
+      match Parser.parse (Printf.sprintf "if (a %s b) { x = 1; }" src) with
+      | [ Ast.If ((r, _, _), _, []) ] ->
+        check bool_t src true (r = expected)
+      | _ -> Alcotest.fail src)
+    [ ("==", Ast.Req); ("!=", Ast.Rne); ("<", Ast.Rlt); ("<=", Ast.Rle);
+      (">", Ast.Rgt); (">=", Ast.Rge) ]
+
+let test_parse_cflow_errors () =
+  List.iter
+    (fun src ->
+      match Parser.parse src with
+      | exception Parser.Error _ -> ()
+      | _ -> Alcotest.failf "accepted %S" src)
+    [ "if (a) { x = 1; }"; "if (a < b) x = 1;"; "while (a < b) { x = 1;";
+      "if (a < b) { } else"; "else { x = 1; }" ]
+
+let test_interp_if_while () =
+  let env _ = 0 in
+  let run src = Interp.run_program (Parser.parse src) ~env in
+  check bool_t "if true branch" true
+    (List.assoc "x" (run "if (1 < 2) { x = 10; } else { x = 20; }") = 10);
+  check bool_t "if false branch" true
+    (List.assoc "x" (run "if (2 < 1) { x = 10; } else { x = 20; }") = 20);
+  let r = run "s = 0; i = 0; while (i < 5) { s = s + i; i = i + 1; }" in
+  check bool_t "loop sum" true (List.assoc "s" r = 10);
+  check bool_t "loop counter" true (List.assoc "i" r = 5)
+
+let test_interp_fuel () =
+  let prog = Parser.parse "x = 0; while (0 < 1) { x = x + 1; }" in
+  match Interp.run_program ~fuel:1000 prog ~env:(fun _ -> 0) with
+  | exception Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "diverging loop terminated"
+
+let test_gen_rejects_control_flow () =
+  match Gen.generate (Parser.parse "if (a < b) { x = 1; }") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "Gen accepted control flow"
+
+(* ------------------------------------------------------------------ *)
+(* Random structured programs that always terminate: while loops use a
+   dedicated counter with a fixed bound. *)
+
+let random_structured rng =
+  let fresh = ref 0 in
+  let var () = Printf.sprintf "v%d" (Rng.int rng 4) in
+  let simple_expr () =
+    if Rng.bool rng then Ast.Var (var ()) else Ast.Int (Rng.int_in rng 0 20)
+  in
+  let expr () =
+    if Rng.int rng 3 = 0 then simple_expr ()
+    else
+      Ast.Binop
+        ( Rng.choose rng [| Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Xor |],
+          simple_expr (), simple_expr () )
+  in
+  let relop () =
+    Rng.choose rng [| Ast.Req; Ast.Rne; Ast.Rlt; Ast.Rle; Ast.Rgt; Ast.Rge |]
+  in
+  let rec stmts depth budget =
+    if budget <= 0 then []
+    else
+      let s, cost =
+        match (depth > 0, Rng.int rng 6) with
+        | true, 0 ->
+          ( Ast.If
+              ( (relop (), simple_expr (), simple_expr ()),
+                stmts (depth - 1) 2,
+                if Rng.bool rng then stmts (depth - 1) 2 else [] ),
+            3 )
+        | true, 1 ->
+          let k = Printf.sprintf "k%d" !fresh in
+          incr fresh;
+          ( Ast.While
+              ( (Ast.Rlt, Ast.Var k, Ast.Int (1 + Rng.int rng 4)),
+                stmts (depth - 1) 2
+                @ [ Ast.Assign (k, Ast.Binop (Op.Add, Ast.Var k, Ast.Int 1)) ]
+              ),
+            4 )
+        | _ -> (Ast.Assign (var (), expr ()), 1)
+      in
+      s :: stmts depth (budget - cost)
+  in
+  (* Zero the loop counters up front so every while terminates. *)
+  let body = stmts 2 (3 + Rng.int rng 8) in
+  let counters = List.init !fresh (fun i ->
+      Ast.Assign (Printf.sprintf "k%d" i, Ast.Int 0)) in
+  counters @ body
+
+let structured_gen =
+  QCheck2.Gen.(
+    map (fun seed -> random_structured (Rng.create seed))
+    (int_bound 10_000_000))
+
+let visible_vars prog =
+  List.filter
+    (fun v -> v.[0] <> '$')
+    (List.sort_uniq compare (Ast.read_vars prog @ Ast.written_vars prog))
+
+let agree_on prog result env =
+  let reference = Interp.run_program ~fuel:100_000 prog ~env in
+  List.for_all
+    (fun v ->
+      let expect =
+        match List.assoc_opt v reference with Some x -> x | None -> env v
+      in
+      let got =
+        match List.assoc_opt v result with Some x -> x | None -> env v
+      in
+      expect = got)
+    (visible_vars prog)
+
+let structured_print_roundtrip =
+  qtest ~count:200 "structured pretty-print reparses to the same AST"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      Parser.parse (Ast.program_to_string prog) = prog)
+
+let structured_generator_runs =
+  qtest ~count:200 "synth structured programs terminate and lower"
+    QCheck2.Gen.(int_bound 1_000_000)
+    string_of_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let prog =
+        Pipesched_synth.Generator.structured_program rng
+          { Pipesched_synth.Generator.statements = 6; variables = 4;
+            constants = 3 }
+          ~depth:2
+      in
+      let env = env_of_seed 25 in
+      let cfg = Lower.lower prog in
+      agree_on prog (Cfg.run cfg ~env) env)
+
+(* ------------------------------------------------------------------ *)
+(* Lowering                                                            *)
+
+let lowering_preserves_semantics =
+  qtest ~count:300 "lowered CFG computes what the program computes"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Lower.lower prog in
+      let env = env_of_seed 21 in
+      agree_on prog (Cfg.run cfg ~env) env)
+
+let lowering_unoptimized_too =
+  qtest ~count:200 "lowering without the optimizer is also faithful"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Lower.lower ~optimize:false prog in
+      let env = env_of_seed 22 in
+      agree_on prog (Cfg.run cfg ~env) env)
+
+let test_lower_structure () =
+  let cfg = Lower.compile "a = 1;" in
+  check int_t "straight line is one node" 1 (Cfg.length cfg);
+  (match (Cfg.node cfg (cfg.Cfg.entry)).Cfg.term with
+   | Cfg.Exit -> ()
+   | _ -> Alcotest.fail "expected Exit");
+  let cfg = Lower.compile "if (a < b) { x = 1; } else { x = 2; } y = x;" in
+  (* entry, then, else, join *)
+  check int_t "diamond" 4 (Cfg.length cfg);
+  let cfg = Lower.compile "while (i < 3) { i = i + 1; }" in
+  (* entry, head, body, exit *)
+  check int_t "loop" 4 (Cfg.length cfg)
+
+let test_lower_normalizes_conditions () =
+  let cfg = Lower.compile "if (a + 1 < b * 2) { x = 1; }" in
+  let entry = Cfg.node cfg cfg.Cfg.entry in
+  (match entry.Cfg.term with
+   | Cfg.Branch ((Ast.Rlt, Cfg.Svar t1, Cfg.Svar t2), _, _) ->
+     check bool_t "temp names" true (t1.[0] = '$' && t2.[0] = '$')
+   | _ -> Alcotest.fail "expected normalized branch");
+  (* simple operands stay as they are *)
+  let cfg = Lower.compile "if (a < 5) { x = 1; }" in
+  match (Cfg.node cfg cfg.Cfg.entry).Cfg.term with
+  | Cfg.Branch ((Ast.Rlt, Cfg.Svar "a", Cfg.Simm 5), _, _) -> ()
+  | _ -> Alcotest.fail "expected unnormalized simple condition"
+
+let test_cfg_validation () =
+  let node = { Cfg.block = Block.of_tuples_exn []; term = Cfg.Jump 5 } in
+  (match Cfg.make [ node ] ~entry:0 with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "accepted out-of-range target");
+  match Cfg.make [] ~entry:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted empty cfg with entry"
+
+let test_cfg_run_fuel () =
+  let loop =
+    Cfg.make
+      [ { Cfg.block = Block.of_tuples_exn []; term = Cfg.Jump 0 } ]
+      ~entry:0
+  in
+  match Cfg.run ~fuel:100 loop ~env:(fun _ -> 0) with
+  | exception Interp.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "infinite CFG terminated"
+
+(* ------------------------------------------------------------------ *)
+(* Chain merging                                                       *)
+
+let merge_preserves_semantics =
+  qtest ~count:300 "merge_chains preserves semantics"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Cfg.merge_chains (Lower.lower prog) in
+      let env = env_of_seed 23 in
+      agree_on prog (Cfg.run cfg ~env) env)
+
+let merge_leaves_no_trivial_chains =
+  qtest ~count:200 "after merging, no jump target has a single predecessor"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Cfg.merge_chains (Lower.lower prog) in
+      let ok = ref true in
+      for i = 0 to Cfg.length cfg - 1 do
+        match (Cfg.node cfg i).Cfg.term with
+        | Cfg.Jump j ->
+          if
+            j <> cfg.Cfg.entry && j <> i
+            && List.length (Cfg.predecessors cfg j) = 1
+          then ok := false
+        | _ -> ()
+      done;
+      !ok)
+
+let optimize_blocks_preserves_semantics =
+  qtest ~count:200 "optimize_blocks preserves semantics (also post-merge)"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let env = env_of_seed 28 in
+      let unopt = Cfg.optimize_blocks (Lower.lower ~optimize:false prog) in
+      let merged =
+        Cfg.optimize_blocks (Cfg.merge_chains (Lower.lower prog))
+      in
+      agree_on prog (Cfg.run unopt ~env) env
+      && agree_on prog (Cfg.run merged ~env) env)
+
+let merge_then_optimize_promotes =
+  qtest ~count:100 "re-optimizing merged chains never adds instructions"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let merged = Cfg.merge_chains (Lower.lower prog) in
+      Cfg.instruction_count (Cfg.optimize_blocks merged)
+      <= Cfg.instruction_count merged)
+
+let merge_never_grows =
+  qtest ~count:200 "merging never increases nodes or instructions"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Lower.lower prog in
+      let merged = Cfg.merge_chains cfg in
+      Cfg.length merged <= Cfg.length cfg
+      && Cfg.instruction_count merged <= Cfg.instruction_count cfg)
+
+let test_merge_concrete () =
+  (* if/else diamond: then and else blocks jump to the join, which has two
+     predecessors (not mergeable); but the join continues into the final
+     assignment (already one block).  A nested sequence produces a chain. *)
+  let cfg =
+    Lower.compile "a = 1; if (a < 2) { b = 1; } else { b = 2; } c = b;"
+  in
+  let merged = Cfg.merge_chains cfg in
+  check bool_t "still correct" true
+    (List.assoc "c" (Cfg.run merged ~env:(fun _ -> 0)) = 1);
+  check bool_t "not larger" true (Cfg.length merged <= Cfg.length cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Whole-CFG scheduling                                                *)
+
+let schedule_results_legal =
+  qtest ~count:150 "every node's schedule is a legal order of its block"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Lower.lower prog in
+      let s = Schedule.schedule machine cfg in
+      Array.for_all
+        (fun (i, ns) ->
+          let dag = Dag.of_block (Cfg.node cfg i).Cfg.block in
+          Dag.is_legal_order dag
+            ns.Schedule.result.Omega.order)
+        (Array.mapi (fun i ns -> (i, ns)) s.Schedule.nodes))
+
+let schedule_loop_headers_detected =
+  qtest ~count:100 "programs with while loops have loop headers"
+    QCheck2.Gen.(int_bound 10_000_000)
+    string_of_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      ignore (Rng.bits rng);
+      let cfg =
+        Lower.compile "k = 0; while (k < 3) { x = x + k; k = k + 1; }"
+      in
+      let s = Schedule.schedule machine cfg in
+      s.Schedule.loop_headers <> [])
+
+let test_schedule_straight_line_has_no_headers () =
+  let cfg = Lower.compile "a = 1; b = a * 2;" in
+  let s = Schedule.schedule machine cfg in
+  check bool_t "no loop headers" true (s.Schedule.loop_headers = []);
+  check bool_t "nonneg nops" true (s.Schedule.total_nops >= 0)
+
+let test_schedule_conservative_loop_entry () =
+  (* Loop-header entries claim every pipe was just used. *)
+  let cfg = Lower.compile "k = 0; while (k < 2) { k = k + 1; }" in
+  let s = Schedule.schedule machine cfg in
+  List.iter
+    (fun h ->
+      Array.iter
+        (fun t -> check int_t "worst-case entry" (-1) t)
+        s.Schedule.nodes.(h).Schedule.entry.Omega.pipe_last_use)
+    s.Schedule.loop_headers
+
+(* ------------------------------------------------------------------ *)
+(* Emission and machine-level execution                                *)
+
+let emitted_programs_execute_correctly =
+  qtest ~count:250 "emitted assembly executes to the source semantics"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Cfg.merge_chains (Lower.lower prog) in
+      let s = Schedule.schedule machine cfg in
+      match Emit.emit ~registers:64 s with
+      | Error _ -> false
+      | Ok text ->
+        let env = env_of_seed 24 in
+        let mem, ticks = Emit.execute text ~env in
+        ticks > 0 && agree_on prog mem env)
+
+let test_emit_loop_program () =
+  let cfg =
+    Lower.compile "s = 0; i = 0; while (i < n) { s = s + i * i; i = i + 1; }"
+  in
+  let s = Schedule.schedule machine cfg in
+  match Emit.emit s with
+  | Error _ -> Alcotest.fail "emit failed"
+  | Ok text ->
+    let env v = if v = "n" then 5 else 0 in
+    let mem, _ = Emit.execute text ~env in
+    check bool_t "sum of squares" true (List.assoc "s" mem = 30)
+
+(* Branch delay slots: semantics preserved and filled slots beat padded
+   ones on loopy programs. *)
+let delay_slots_preserve_semantics =
+  qtest ~count:200 "delay-slot emission preserves semantics (d = 1, 2)"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Cfg.merge_chains (Lower.lower prog) in
+      let s = Schedule.schedule machine cfg in
+      List.for_all
+        (fun delay_slots ->
+          match Emit.emit ~registers:64 ~delay_slots s with
+          | Error _ -> false
+          | Ok text ->
+            let env = env_of_seed 26 in
+            let mem, _ = Emit.execute ~delay_slots text ~env in
+            agree_on prog mem env)
+        [ 1; 2 ])
+
+let test_delay_slot_filling_saves_cycles () =
+  let cfg =
+    Cfg.merge_chains
+      (Lower.compile
+         "s = 0; i = 0; while (i < n) { s = s + i; i = i + 1; } out = s;")
+  in
+  let s = Schedule.schedule machine cfg in
+  let env v = if v = "n" then 20 else 0 in
+  let ticks ~fill =
+    match Emit.emit ~delay_slots:1 ~fill s with
+    | Ok text -> snd (Emit.execute ~delay_slots:1 text ~env)
+    | Error _ -> Alcotest.fail "emit failed"
+  in
+  let filled = ticks ~fill:true in
+  let padded = ticks ~fill:false in
+  check bool_t "filling saves dynamic cycles" true (filled < padded);
+  (* Both agree on the answer. *)
+  let out ~fill =
+    match Emit.emit ~delay_slots:1 ~fill s with
+    | Ok text ->
+      List.assoc "out" (fst (Emit.execute ~delay_slots:1 text ~env))
+    | Error _ -> Alcotest.fail "emit failed"
+  in
+  check int_t "same result" (out ~fill:true) (out ~fill:false)
+
+let test_delay_slot_condition_safety () =
+  (* The block's last instruction stores the condition variable: it must
+     not move into the branch's slot (the branch reads it first). *)
+  let cfg =
+    Cfg.merge_chains
+      (Lower.compile "i = 0; while (i < 3) { i = i + 1; } out = i;")
+  in
+  let s = Schedule.schedule machine cfg in
+  match Emit.emit ~delay_slots:1 s with
+  | Error _ -> Alcotest.fail "emit failed"
+  | Ok text ->
+    let mem, _ = Emit.execute ~delay_slots:1 text ~env:(fun _ -> 0) in
+    check bool_t "loop still terminates correctly" true
+      (List.assoc "out" mem = 3)
+
+let test_execute_fuel () =
+  let text = "L0:\nJmp   L0\n" in
+  match Emit.execute ~fuel:100 text ~env:(fun _ -> 0) with
+  | exception Emit.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "diverging program terminated"
+
+let test_execute_unknown_label () =
+  match Emit.execute "Jmp   Lmissing\n" ~env:(fun _ -> 0) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "jumped to a missing label"
+
+let () =
+  Alcotest.run "cflow"
+    [ ( "frontend",
+        [ Alcotest.test_case "parse if/while" `Quick test_parse_if_while;
+          Alcotest.test_case "relops" `Quick test_parse_relops;
+          Alcotest.test_case "parse errors" `Quick test_parse_cflow_errors;
+          Alcotest.test_case "interp if/while" `Quick test_interp_if_while;
+          Alcotest.test_case "interp fuel" `Quick test_interp_fuel;
+          Alcotest.test_case "gen rejects control flow" `Quick
+            test_gen_rejects_control_flow ] );
+      ( "lowering",
+        [ structured_print_roundtrip;
+          structured_generator_runs;
+          lowering_preserves_semantics;
+          lowering_unoptimized_too;
+          Alcotest.test_case "structure" `Quick test_lower_structure;
+          Alcotest.test_case "condition normalization" `Quick
+            test_lower_normalizes_conditions;
+          Alcotest.test_case "cfg validation" `Quick test_cfg_validation;
+          Alcotest.test_case "run fuel" `Quick test_cfg_run_fuel ] );
+      ( "merging",
+        [ merge_preserves_semantics;
+          merge_leaves_no_trivial_chains;
+          merge_never_grows;
+          optimize_blocks_preserves_semantics;
+          merge_then_optimize_promotes;
+          Alcotest.test_case "concrete" `Quick test_merge_concrete ] );
+      ( "scheduling",
+        [ schedule_results_legal;
+          schedule_loop_headers_detected;
+          Alcotest.test_case "straight line" `Quick
+            test_schedule_straight_line_has_no_headers;
+          Alcotest.test_case "conservative loop entries" `Quick
+            test_schedule_conservative_loop_entry ] );
+      ( "emission",
+        [ emitted_programs_execute_correctly;
+          Alcotest.test_case "loop program" `Quick test_emit_loop_program;
+          delay_slots_preserve_semantics;
+          Alcotest.test_case "delay-slot filling saves cycles" `Quick
+            test_delay_slot_filling_saves_cycles;
+          Alcotest.test_case "delay-slot condition safety" `Quick
+            test_delay_slot_condition_safety;
+          Alcotest.test_case "execution fuel" `Quick test_execute_fuel;
+          Alcotest.test_case "unknown label" `Quick
+            test_execute_unknown_label ] ) ]

@@ -1,0 +1,531 @@
+(* Tests for Pipesched_core.Optimal: the branch-and-bound scheduler. *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+open Pipesched_core
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+let tu ~id op a b = Tuple.make ~id op a b
+
+let options_variants =
+  let base = Optimal.default_options in
+  [ ("paper", base);
+    ("no-equivalence", { base with Optimal.equivalence = false });
+    ("strong-equivalence", { base with Optimal.strong_equivalence = true });
+    ("critical-path", { base with Optimal.lower_bound = Optimal.Critical_path });
+    ( "all-extensions",
+      { base with
+        Optimal.strong_equivalence = true;
+        Optimal.lower_bound = Optimal.Critical_path } );
+    ("source-seed", { base with Optimal.seed = List_sched.Source_order });
+    ("random-seed", { base with Optimal.seed = List_sched.Random_order 5 }) ]
+
+(* ------------------------------------------------------------------ *)
+(* Optimality against the exhaustive oracle                            *)
+
+let brute_force_nops dag =
+  List.fold_left
+    (fun acc order ->
+      min acc (Omega.evaluate machine dag ~order).Omega.nops)
+    max_int (all_legal_orders dag)
+
+let optimal_matches_brute_force =
+  qtest ~count:150 "search finds the exhaustive optimum (all option sets)"
+    (block_gen ~min_size:1 ~max_size:7 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let brute = brute_force_nops dag in
+      List.for_all
+        (fun (_, options) ->
+          let o = Optimal.schedule ~options machine dag in
+          o.Optimal.stats.Optimal.completed
+          && o.Optimal.best.Omega.nops = brute)
+        options_variants)
+
+let optimal_on_deep_machine =
+  qtest ~count:100 "optimum also holds on the deep and demo machines"
+    (block_gen ~min_size:1 ~max_size:6 ()) block_print
+    (fun blk ->
+      List.for_all
+        (fun m ->
+          let dag = Dag.of_block blk in
+          let brute =
+            List.fold_left
+              (fun acc order ->
+                min acc (Omega.evaluate m dag ~order).Omega.nops)
+              max_int (all_legal_orders dag)
+          in
+          List.for_all
+            (fun (_, options) ->
+              (Optimal.schedule ~options m dag).Optimal.best.Omega.nops
+              = brute)
+            options_variants)
+        [ Machine.Presets.deep; Machine.Presets.demo;
+          Machine.Presets.throttled ])
+
+let optimal_result_is_legal =
+  qtest ~count:200 "the returned schedule is a legal order with its cost"
+    (block_gen ~min_size:1 ~max_size:12 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      Dag.is_legal_order dag o.Optimal.best.Omega.order
+      && (Omega.evaluate machine dag ~order:o.Optimal.best.Omega.order)
+           .Omega.nops
+         = o.Optimal.best.Omega.nops)
+
+let optimal_never_worse_than_seed =
+  qtest ~count:200 "best schedule never has more NOPs than the seed"
+    (block_gen ~min_size:1 ~max_size:12 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      o.Optimal.best.Omega.nops <= o.Optimal.initial.Omega.nops)
+
+let seed_choice_does_not_change_optimum =
+  qtest ~count:100 "optimum is independent of the seed heuristic"
+    (block_gen ~min_size:1 ~max_size:8 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let nops_with seed =
+        (Optimal.schedule
+           ~options:{ Optimal.default_options with Optimal.seed }
+           machine dag)
+          .Optimal.best
+          .Omega.nops
+      in
+      let a = nops_with List_sched.Max_distance in
+      let b = nops_with List_sched.Source_order in
+      let c = nops_with (List_sched.Random_order 33) in
+      a = b && b = c)
+
+(* ------------------------------------------------------------------ *)
+(* The paper's Figure 3 block                                          *)
+
+let test_fig3_optimal () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 15) Operand.Null;
+        tu ~id:2 Op.Store (Operand.Var "b") (Operand.Ref 1);
+        tu ~id:3 Op.Load (Operand.Var "a") Operand.Null;
+        tu ~id:4 Op.Mul (Operand.Ref 1) (Operand.Ref 3);
+        tu ~id:5 Op.Store (Operand.Var "a") (Operand.Ref 4) ]
+  in
+  let dag = Dag.of_block blk in
+  let o = Optimal.schedule machine dag in
+  (* Load@0, anything, Mul@2, anything, Store a >= 6: two NOPs minimum. *)
+  check int_t "optimal NOPs" 2 o.Optimal.best.Omega.nops;
+  check bool_t "completed" true o.Optimal.stats.Optimal.completed;
+  check bool_t "verified against exhaustive" true
+    (Optimal.verify_optimal machine dag o)
+
+(* The literal paper condition [5c] would prune the optimum here: at the
+   root both `Store x3` and `Sub` are resource-free with no predecessors,
+   but only schedules placing the Store in third position reach 2 NOPs.
+   Found by the qcheck oracle; kept as a regression test for the
+   successor-free refinement. *)
+let test_5c_counterexample () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Store (Operand.Var "x3") (Operand.Imm 32);
+        tu ~id:2 Op.Sub (Operand.Imm 13) (Operand.Imm 77);
+        tu ~id:3 Op.Div (Operand.Ref 2) (Operand.Imm 99);
+        tu ~id:4 Op.And (Operand.Imm 16) (Operand.Ref 3) ]
+  in
+  let dag = Dag.of_block blk in
+  check int_t "exhaustive optimum" 2 (brute_force_nops dag);
+  List.iter
+    (fun (name, options) ->
+      let o = Optimal.schedule ~options machine dag in
+      check int_t ("optimal under " ^ name) 2 o.Optimal.best.Omega.nops)
+    options_variants
+
+(* ------------------------------------------------------------------ *)
+(* Curtailment                                                         *)
+
+let test_lambda_curtails () =
+  let rng = Rng.create 4242 in
+  (* A biggish block so the search cannot finish in 5 calls. *)
+  let blk = random_block rng 20 in
+  let dag = Dag.of_block blk in
+  let o =
+    Optimal.schedule
+      ~options:{ Optimal.default_options with Optimal.lambda = 5 }
+      machine dag
+  in
+  check bool_t "curtailed" false o.Optimal.stats.Optimal.completed;
+  check bool_t "respected lambda" true
+    (o.Optimal.stats.Optimal.omega_calls <= 5);
+  (* Even curtailed, the incumbent (the seed) is a valid answer. *)
+  check bool_t "still legal" true
+    (Dag.is_legal_order dag o.Optimal.best.Omega.order)
+
+let lambda_monotone =
+  qtest ~count:80 "larger lambda never yields a worse schedule"
+    (block_gen ~min_size:4 ~max_size:12 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let nops_at lambda =
+        (Optimal.schedule
+           ~options:{ Optimal.default_options with Optimal.lambda }
+           machine dag)
+          .Optimal.best
+          .Omega.nops
+      in
+      let a = nops_at 10 in
+      let b = nops_at 100 in
+      let c = nops_at 10_000 in
+      a >= b && b >= c)
+
+let test_stats_consistency () =
+  let rng = Rng.create 99 in
+  let blk = random_block rng 10 in
+  let dag = Dag.of_block blk in
+  let o = Optimal.schedule machine dag in
+  let s = o.Optimal.stats in
+  check bool_t "calls positive" true (s.Optimal.omega_calls >= 0);
+  check bool_t "improvements bounded" true
+    (s.Optimal.improvements <= s.Optimal.schedules_completed);
+  check bool_t "within lambda" true
+    (s.Optimal.omega_calls <= Optimal.default_options.Optimal.lambda)
+
+(* ------------------------------------------------------------------ *)
+(* Pruning soundness under adversarial option mixes                    *)
+
+let pruning_off_matches_pruning_on =
+  qtest ~count:80 "disabling alpha-beta does not change the optimum"
+    (block_gen ~min_size:1 ~max_size:6 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let on = Optimal.schedule machine dag in
+      let off =
+        Optimal.schedule
+          ~options:{ Optimal.default_options with Optimal.alpha_beta = false }
+          machine dag
+      in
+      (not (on.Optimal.stats.Optimal.completed
+            && off.Optimal.stats.Optimal.completed))
+      || on.Optimal.best.Omega.nops = off.Optimal.best.Omega.nops)
+
+let alpha_beta_reduces_calls =
+  qtest ~count:80 "alpha-beta pruning never increases omega calls"
+    (block_gen ~min_size:2 ~max_size:7 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let on = Optimal.schedule machine dag in
+      let off =
+        Optimal.schedule
+          ~options:{ Optimal.default_options with Optimal.alpha_beta = false }
+          machine dag
+      in
+      (not off.Optimal.stats.Optimal.completed)
+      || on.Optimal.stats.Optimal.omega_calls
+         <= off.Optimal.stats.Optimal.omega_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-pipe search                                                   *)
+
+(* Brute force over order x pipe assignment for small blocks. *)
+let brute_force_multi m dag =
+  let blk = Dag.block dag in
+  let n = Dag.length dag in
+  let candidates pos =
+    match Machine.candidates m (Block.tuple_at blk pos).Tuple.op with
+    | [] -> [ None ]
+    | pids -> List.map (fun p -> Some p) pids
+  in
+  let rec assignments pos acc =
+    if pos = n then [ Array.of_list (List.rev acc) ]
+    else
+      List.concat_map
+        (fun c -> assignments (pos + 1) (c :: acc))
+        (candidates pos)
+  in
+  let choices = assignments 0 [] in
+  List.fold_left
+    (fun best order ->
+      List.fold_left
+        (fun best choice ->
+          min best
+            (Omega.evaluate_with_pipes m dag ~order ~choice).Omega.nops)
+        best choices)
+    max_int (all_legal_orders dag)
+
+let multi_matches_brute_force =
+  qtest ~count:60 "multi-pipe search matches order x assignment brute force"
+    (block_gen ~min_size:1 ~max_size:5 ()) block_print
+    (fun blk ->
+      let m = Machine.Presets.demo in
+      let dag = Dag.of_block blk in
+      let o, choice = Optimal.schedule_multi m dag in
+      let brute = brute_force_multi m dag in
+      (* Returned choice must reproduce the claimed cost. *)
+      let replay =
+        Omega.evaluate_with_pipes m dag ~order:o.Optimal.best.Omega.order
+          ~choice
+      in
+      o.Optimal.best.Omega.nops = brute
+      && (o.Optimal.best.Omega.nops = replay.Omega.nops
+          || o.Optimal.stats.Optimal.schedules_completed = 0))
+
+let multi_never_worse_than_single =
+  qtest ~count:80 "multi-pipe optimum <= single-pipe optimum"
+    (block_gen ~min_size:1 ~max_size:6 ()) block_print
+    (fun blk ->
+      let m = Machine.Presets.demo in
+      let dag = Dag.of_block blk in
+      let single = Optimal.schedule m dag in
+      let multi, _ = Optimal.schedule_multi m dag in
+      multi.Optimal.best.Omega.nops <= single.Optimal.best.Omega.nops)
+
+let test_multi_uses_second_loader () =
+  (* Two independent loads + their consumers: one loader forces serial
+     loads on the demo machine only via enqueue=1, so both machines do
+     fine; but two loads with a bigger enqueue benefit.  Use a machine
+     with one slow-enqueue loader vs two. *)
+  let one =
+    Machine.make ~name:"one-loader"
+      [| Pipe.make ~label:"loader" ~latency:2 ~enqueue:3 |]
+      ~assign:[ (Op.Load, [ 0 ]) ]
+  in
+  let two =
+    Machine.make ~name:"two-loaders"
+      [| Pipe.make ~label:"loader" ~latency:2 ~enqueue:3;
+         Pipe.make ~label:"loader" ~latency:2 ~enqueue:3 |]
+      ~assign:[ (Op.Load, [ 0; 1 ]) ]
+  in
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "a") Operand.Null;
+        tu ~id:2 Op.Load (Operand.Var "b") Operand.Null;
+        tu ~id:3 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:4 Op.Store (Operand.Var "c") (Operand.Ref 3) ]
+  in
+  let dag = Dag.of_block blk in
+  let o1, _ = Optimal.schedule_multi one dag in
+  let o2, choice2 = Optimal.schedule_multi two dag in
+  check bool_t "second loader helps" true
+    (o2.Optimal.best.Omega.nops < o1.Optimal.best.Omega.nops);
+  (* Both loads end up on different pipes. *)
+  check bool_t "loads spread" true (choice2.(0) <> choice2.(1))
+
+(* ------------------------------------------------------------------ *)
+(* Register-pressure-bounded search                                    *)
+
+module Regalloc = Pipesched_regalloc
+
+let feasible blk order registers =
+  Result.is_ok
+    (Regalloc.Alloc.allocate (Block.permute blk order) ~registers)
+
+(* Minimum NOPs over all legal orders that allocate within [registers];
+   None when no order is feasible. *)
+let brute_force_bounded blk dag registers =
+  List.fold_left
+    (fun acc order ->
+      if feasible blk order registers then
+        let n = (Omega.evaluate machine dag ~order).Omega.nops in
+        match acc with Some m -> Some (min m n) | None -> Some n
+      else acc)
+    None (all_legal_orders dag)
+
+let bounded_matches_brute_force =
+  qtest ~count:120 "bounded search matches the pressure-filtered optimum"
+    QCheck2.Gen.(pair (block_gen ~min_size:1 ~max_size:7 ()) (int_range 1 4))
+    (fun (blk, k) -> Printf.sprintf "registers=%d\n%s" k (block_print blk))
+    (fun (blk, k) ->
+      let dag = Dag.of_block blk in
+      let brute = brute_force_bounded blk dag k in
+      match (Optimal.schedule_bounded ~registers:k machine dag, brute) with
+      | Error (), None -> true
+      | Ok o, Some m ->
+        o.Optimal.stats.Optimal.completed
+        && o.Optimal.best.Omega.nops = m
+        && feasible blk o.Optimal.best.Omega.order k
+      | Ok _, None | Error (), Some _ -> false)
+
+let bounded_never_beats_unbounded =
+  qtest ~count:120 "pressure bound never improves the optimum"
+    QCheck2.Gen.(pair (block_gen ~min_size:1 ~max_size:8 ()) (int_range 1 5))
+    (fun (blk, k) -> Printf.sprintf "registers=%d\n%s" k (block_print blk))
+    (fun (blk, k) ->
+      let dag = Dag.of_block blk in
+      let unbounded = (Optimal.schedule machine dag).Optimal.best.Omega.nops in
+      match Optimal.schedule_bounded ~registers:k machine dag with
+      | Error () -> true
+      | Ok o -> o.Optimal.best.Omega.nops >= unbounded)
+
+let bounded_with_ample_registers_is_unbounded =
+  qtest ~count:120 "a large register file reproduces the plain optimum"
+    (block_gen ~min_size:1 ~max_size:8 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let unbounded = (Optimal.schedule machine dag).Optimal.best.Omega.nops in
+      match Optimal.schedule_bounded ~registers:64 machine dag with
+      | Error () -> false
+      | Ok o -> o.Optimal.best.Omega.nops = unbounded)
+
+let test_bounded_reorders_to_fit () =
+  (* The accumulation [(c1+c2)+c3] needs 3 registers in source order but
+     only 2 when the search interleaves the constants with the adds —
+     the reordering freedom §3.4 gains by allocating after scheduling. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Const (Operand.Imm 3) Operand.Null;
+        tu ~id:4 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:5 Op.Add (Operand.Ref 4) (Operand.Ref 3);
+        tu ~id:6 Op.Store (Operand.Var "x") (Operand.Ref 5) ]
+  in
+  let dag = Dag.of_block blk in
+  check bool_t "source order needs 3" true
+    (Result.is_error (Regalloc.Alloc.allocate blk ~registers:2));
+  match Optimal.schedule_bounded ~registers:2 machine dag with
+  | Ok o -> check bool_t "found a 2-register order" true
+              (feasible blk o.Optimal.best.Omega.order 2)
+  | Error () -> Alcotest.fail "a 2-register order exists"
+
+let test_bounded_infeasible () =
+  (* Three values combined pairwise: whichever combination goes first,
+     both its operands still have later uses, so 2 operands + 1 result
+     are simultaneously live in every legal order. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Const (Operand.Imm 3) Operand.Null;
+        tu ~id:4 Op.Xor (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:5 Op.Xor (Operand.Ref 1) (Operand.Ref 3);
+        tu ~id:6 Op.Xor (Operand.Ref 2) (Operand.Ref 3);
+        tu ~id:7 Op.Store (Operand.Var "x") (Operand.Ref 4);
+        tu ~id:8 Op.Store (Operand.Var "y") (Operand.Ref 5);
+        tu ~id:9 Op.Store (Operand.Var "z") (Operand.Ref 6) ]
+  in
+  let dag = Dag.of_block blk in
+  (match Optimal.schedule_bounded ~registers:2 machine dag with
+   | Error () -> ()
+   | Ok _ -> Alcotest.fail "claimed feasibility with 2 registers");
+  match Optimal.schedule_bounded ~registers:3 machine dag with
+  | Ok _ -> ()
+  | Error () -> Alcotest.fail "three registers are enough"
+
+let test_bounded_trades_nops_for_registers () =
+  (* Hiding load latency wants both loads in flight (2 registers just for
+     loads); with a tight file the scheduler must serialize and stall. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "a") Operand.Null;
+        tu ~id:2 Op.Load (Operand.Var "b") Operand.Null;
+        tu ~id:3 Op.Neg (Operand.Ref 1) Operand.Null;
+        tu ~id:4 Op.Neg (Operand.Ref 2) Operand.Null;
+        tu ~id:5 Op.Store (Operand.Var "x") (Operand.Ref 3);
+        tu ~id:6 Op.Store (Operand.Var "y") (Operand.Ref 4) ]
+  in
+  let dag = Dag.of_block blk in
+  let nops k =
+    match Optimal.schedule_bounded ~registers:k machine dag with
+    | Ok o -> o.Optimal.best.Omega.nops
+    | Error () -> Alcotest.fail "feasible schedule exists"
+  in
+  check bool_t "tight file costs stalls" true (nops 1 > nops 2)
+
+let test_bounded_rejects_zero_registers () =
+  let dag = Dag.of_block (Block.of_tuples_exn []) in
+  Alcotest.check_raises "zero registers"
+    (Invalid_argument "Optimal.schedule_bounded: registers must be >= 1")
+    (fun () -> ignore (Optimal.schedule_bounded ~registers:0 machine dag))
+
+(* Regression for the kernel-study finding: the multi-pipe search on the
+   demo machine does not finish dot4 under the paper's mu(Phi)-only bound
+   (>10M calls), but the critical-path bound + strong equivalence prove
+   the optimum in a few thousand. *)
+let test_multi_extensions_tame_dot4 () =
+  let k = Option.get (Pipesched_synth.Kernels.find "dot4") in
+  let blk =
+    Pipesched_frontend.Compile.compile k.Pipesched_synth.Kernels.source
+  in
+  let dag = Dag.of_block blk in
+  let demo = Machine.Presets.demo in
+  let strong =
+    { Optimal.default_options with
+      Optimal.lower_bound = Optimal.Critical_path;
+      Optimal.strong_equivalence = true;
+      Optimal.lambda = 200_000 }
+  in
+  let o, _ = Optimal.schedule_multi ~options:strong demo dag in
+  check bool_t "completes" true o.Optimal.stats.Optimal.completed;
+  check bool_t "well under budget" true
+    (o.Optimal.stats.Optimal.omega_calls < 50_000);
+  check int_t "proves 7 NOPs" 7 o.Optimal.best.Omega.nops;
+  (* Paper-mode bound with the same budget does not finish. *)
+  let paper =
+    { Optimal.default_options with Optimal.lambda = 200_000 }
+  in
+  let p, _ = Optimal.schedule_multi ~options:paper demo dag in
+  check bool_t "paper bound curtails" false p.Optimal.stats.Optimal.completed
+
+let test_verify_optimal_detects_suboptimal () =
+  let rng = Rng.create 1234 in
+  (* Find a block whose source order is strictly suboptimal. *)
+  let rec find n =
+    if n = 0 then None
+    else
+      let blk = random_block rng 8 in
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      if o.Optimal.initial.Omega.nops > o.Optimal.best.Omega.nops then
+        Some (dag, o)
+      else find (n - 1)
+  in
+  match find 200 with
+  | None -> Alcotest.fail "could not build a suboptimal example"
+  | Some (dag, o) ->
+    check bool_t "optimal outcome verifies" true
+      (Optimal.verify_optimal machine dag o);
+    let fake = { o with Optimal.best = o.Optimal.initial } in
+    check bool_t "suboptimal outcome rejected" false
+      (Optimal.verify_optimal machine dag fake)
+
+let () =
+  Alcotest.run "core"
+    [ ( "optimality",
+        [ optimal_matches_brute_force;
+          optimal_on_deep_machine;
+          optimal_result_is_legal;
+          optimal_never_worse_than_seed;
+          seed_choice_does_not_change_optimum;
+          Alcotest.test_case "figure 3 block" `Quick test_fig3_optimal;
+          Alcotest.test_case "[5c] counterexample" `Quick
+            test_5c_counterexample ] );
+      ( "curtailment",
+        [ Alcotest.test_case "lambda stops the search" `Quick
+            test_lambda_curtails;
+          lambda_monotone;
+          Alcotest.test_case "stats consistency" `Quick
+            test_stats_consistency ] );
+      ( "pruning",
+        [ pruning_off_matches_pruning_on; alpha_beta_reduces_calls ] );
+      ( "pressure-bounded",
+        [ bounded_matches_brute_force;
+          bounded_never_beats_unbounded;
+          bounded_with_ample_registers_is_unbounded;
+          Alcotest.test_case "reorders to fit the file" `Quick
+            test_bounded_reorders_to_fit;
+          Alcotest.test_case "infeasible detection" `Quick
+            test_bounded_infeasible;
+          Alcotest.test_case "NOPs vs registers trade-off" `Quick
+            test_bounded_trades_nops_for_registers;
+          Alcotest.test_case "rejects zero registers" `Quick
+            test_bounded_rejects_zero_registers ] );
+      ( "multi-pipe",
+        [ multi_matches_brute_force;
+          multi_never_worse_than_single;
+          Alcotest.test_case "second loader helps" `Quick
+            test_multi_uses_second_loader;
+          Alcotest.test_case "extensions tame dot4" `Quick
+            test_multi_extensions_tame_dot4;
+          Alcotest.test_case "verify_optimal" `Quick
+            test_verify_optimal_detects_suboptimal ] ) ]

@@ -1,0 +1,423 @@
+(* Tests for Pipesched_frontend: Lexer, Parser, Interp, Gen, Opt. *)
+
+open Pipesched_ir
+open Pipesched_frontend
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                               *)
+
+let test_lexer_basic () =
+  let toks = Lexer.tokenize "a = b1 + 42;" in
+  check bool_t "tokens" true
+    (toks
+     = [ Lexer.Ident "a"; Lexer.Assign; Lexer.Ident "b1"; Lexer.Plus;
+         Lexer.Int 42; Lexer.Semi; Lexer.Eof ])
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize "- * / % & | ^ << >> ( )" in
+  check bool_t "all operators" true
+    (toks
+     = [ Lexer.Minus; Lexer.Star; Lexer.Slash; Lexer.Percent; Lexer.Amp;
+         Lexer.Pipe_tok; Lexer.Caret; Lexer.Shl_tok; Lexer.Shr_tok;
+         Lexer.Lparen; Lexer.Rparen; Lexer.Eof ])
+
+let test_lexer_comments_whitespace () =
+  let toks = Lexer.tokenize "x = 1; # trailing comment\n  y\t=\t2;" in
+  check int_t "token count" 9 (List.length toks)
+
+let test_lexer_rejects () =
+  (match Lexer.tokenize "a = $;" with
+   | exception Lexer.Error (_, 4) -> ()
+   | exception Lexer.Error (_, p) ->
+     Alcotest.failf "wrong error position %d" p
+   | _ -> Alcotest.fail "accepted '$'")
+
+let test_lexer_empty () =
+  check bool_t "empty" true (Lexer.tokenize "" = [ Lexer.Eof ])
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+
+let test_parse_precedence () =
+  (* * binds tighter than +, + tighter than <<, << tighter than &, etc. *)
+  let e = Parser.parse_expr "1 + 2 * 3" in
+  check bool_t "mul under add" true
+    (e = Ast.Binop (Op.Add, Ast.Int 1, Ast.Binop (Op.Mul, Ast.Int 2, Ast.Int 3)));
+  let e = Parser.parse_expr "1 << 2 + 3" in
+  check bool_t "add under shift" true
+    (e = Ast.Binop (Op.Shl, Ast.Int 1, Ast.Binop (Op.Add, Ast.Int 2, Ast.Int 3)));
+  let e = Parser.parse_expr "1 | 2 ^ 3 & 4" in
+  check bool_t "bitwise tower" true
+    (e
+     = Ast.Binop
+         ( Op.Or,
+           Ast.Int 1,
+           Ast.Binop (Op.Xor, Ast.Int 2, Ast.Binop (Op.And, Ast.Int 3, Ast.Int 4)) ))
+
+let test_parse_associativity () =
+  let e = Parser.parse_expr "10 - 2 - 3" in
+  check bool_t "left assoc" true
+    (e
+     = Ast.Binop (Op.Sub, Ast.Binop (Op.Sub, Ast.Int 10, Ast.Int 2), Ast.Int 3))
+
+let test_parse_unary_parens () =
+  let e = Parser.parse_expr "-(a + 2) * -b" in
+  check bool_t "unary and parens" true
+    (e
+     = Ast.Binop
+         ( Op.Mul,
+           Ast.Unop (Op.Neg, Ast.Binop (Op.Add, Ast.Var "a", Ast.Int 2)),
+           Ast.Unop (Op.Neg, Ast.Var "b") ))
+
+let test_parse_program () =
+  let prog = Parser.parse "b = 15;\na = b * a;" in
+  check int_t "statements" 2 (List.length prog);
+  check bool_t "figure 3 shape" true
+    (prog
+     = [ Ast.Assign ("b", Ast.Int 15);
+         Ast.Assign ("a", Ast.Binop (Op.Mul, Ast.Var "b", Ast.Var "a")) ])
+
+let test_parse_errors () =
+  let expect_error src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" src
+  in
+  expect_error "a = ;";
+  expect_error "a = 1";
+  expect_error "= 1;";
+  expect_error "a = (1;";
+  expect_error "a = 1 + ;";
+  expect_error "1 = a;"
+
+let test_parse_print_roundtrip () =
+  (* pp_program output reparses to the same AST. *)
+  let progs =
+    [ "a = 1;"; "a = b * (c + -d);"; "x = (a & b) | (c ^ 255);";
+      "y = a << 2; z = y >> 1; w = z % 7;" ]
+  in
+  List.iter
+    (fun src ->
+      let p1 = Parser.parse src in
+      let p2 = Parser.parse (Ast.program_to_string p1) in
+      check bool_t ("roundtrip " ^ src) true (p1 = p2))
+    progs
+
+(* ------------------------------------------------------------------ *)
+(* Random source programs (shared by gen/opt properties)               *)
+
+let random_expr rng depth =
+  let rec go depth =
+    if depth = 0 || Rng.int rng 3 = 0 then
+      if Rng.bool rng then Ast.Int (Rng.int_in rng (-50) 50)
+      else Ast.Var (Printf.sprintf "v%d" (Rng.int rng 4))
+    else
+      match Rng.int rng 6 with
+      | 0 -> Ast.Unop (Op.Neg, go (depth - 1))
+      | _ ->
+        let op =
+          Rng.choose rng
+            [| Op.Add; Op.Sub; Op.Mul; Op.Div; Op.Mod; Op.And; Op.Or;
+               Op.Xor; Op.Shl; Op.Shr |]
+        in
+        Ast.Binop (op, go (depth - 1), go (depth - 1))
+  in
+  go depth
+
+let random_program rng =
+  let n = 1 + Rng.int rng 6 in
+  List.init n (fun _ ->
+      Ast.Assign (Printf.sprintf "v%d" (Rng.int rng 4), random_expr rng 3))
+
+let program_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed -> random_program (Rng.create seed))
+      (int_bound 10_000_000))
+
+let all_vars prog =
+  List.sort_uniq compare (Ast.read_vars prog @ Ast.written_vars prog)
+
+(* ------------------------------------------------------------------ *)
+(* Gen: tuple generation is faithful                                   *)
+
+let gen_preserves_semantics =
+  qtest ~count:500 "naive tuple generation preserves program semantics"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Gen.generate ~reuse:false prog in
+      Interp.equivalent_on prog blk ~env:(env_of_seed 1) ~vars:(all_vars prog))
+
+let gen_reuse_preserves_semantics =
+  qtest ~count:500 "reuse-mode tuple generation preserves program semantics"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Gen.generate ~reuse:true prog in
+      Interp.equivalent_on prog blk ~env:(env_of_seed 2) ~vars:(all_vars prog))
+
+let test_gen_fig3 () =
+  (* The paper's Figure 3 translation. *)
+  let blk = Gen.generate (Parser.parse "b = 15; a = b * a;") in
+  let ops = Array.to_list (Array.map (fun t -> t.Tuple.op) (Block.tuples blk)) in
+  check bool_t "op sequence" true
+    (ops = [ Op.Const; Op.Store; Op.Load; Op.Load; Op.Mul; Op.Store ]);
+  (* reuse mode avoids reloading b after its store *)
+  let blk = Gen.generate ~reuse:true (Parser.parse "b = 15; a = b * a;") in
+  let ops = Array.to_list (Array.map (fun t -> t.Tuple.op) (Block.tuples blk)) in
+  check bool_t "reuse op sequence" true
+    (ops = [ Op.Const; Op.Store; Op.Load; Op.Mul; Op.Store ])
+
+let test_gen_load_per_use () =
+  let blk = Gen.generate ~reuse:false (Parser.parse "x = a + a;") in
+  let loads =
+    Array.to_list (Block.tuples blk)
+    |> List.filter (fun t -> t.Tuple.op = Op.Load)
+  in
+  check int_t "two loads without reuse" 2 (List.length loads);
+  let blk = Gen.generate ~reuse:true (Parser.parse "x = a + a;") in
+  let loads =
+    Array.to_list (Block.tuples blk)
+    |> List.filter (fun t -> t.Tuple.op = Op.Load)
+  in
+  check int_t "one load with reuse" 1 (List.length loads)
+
+(* ------------------------------------------------------------------ *)
+(* Opt: every pass preserves semantics                                 *)
+
+let pass_preserves name pass =
+  qtest ~count:500 (name ^ " preserves semantics") program_gen
+    Ast.program_to_string
+    (fun prog ->
+      let blk = Gen.generate ~reuse:false prog in
+      let blk' = pass blk in
+      Interp.equivalent_on prog blk' ~env:(env_of_seed 3)
+        ~vars:(all_vars prog))
+
+let optimize_preserves =
+  qtest ~count:500 "full optimize pipeline preserves semantics" program_gen
+    Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program ~optimize:true prog in
+      Interp.equivalent_on prog blk ~env:(env_of_seed 4)
+        ~vars:(all_vars prog))
+
+let optimize_shrinks =
+  qtest ~count:300 "optimize never grows the block" program_gen
+    Ast.program_to_string
+    (fun prog ->
+      let blk = Gen.generate ~reuse:false prog in
+      Block.length (Opt.optimize blk) <= Block.length blk)
+
+let optimize_idempotent =
+  qtest ~count:300 "optimize is idempotent" program_gen
+    Ast.program_to_string
+    (fun prog ->
+      let blk = Opt.optimize (Gen.generate prog) in
+      Block.equal blk (Opt.optimize blk))
+
+let test_const_fold_example () =
+  let blk = Compile.compile "a = 2 + 3 * 4;" in
+  (* the whole right-hand side folds to a constant store *)
+  check int_t "single store" 1 (Block.length blk);
+  let t = Block.tuple_at blk 0 in
+  check bool_t "store of 14" true
+    (t.Tuple.op = Op.Store && t.Tuple.b = Operand.Imm 14)
+
+let test_cse_example () =
+  (* (a*b) computed twice collapses to one Mul. *)
+  let blk = Compile.compile "x = (a * b) + (a * b);" in
+  let muls =
+    Array.to_list (Block.tuples blk)
+    |> List.filter (fun t -> t.Tuple.op = Op.Mul)
+  in
+  check int_t "one multiply" 1 (List.length muls)
+
+let test_cse_load_example () =
+  let blk = Compile.compile "x = a + a;" in
+  let loads =
+    Array.to_list (Block.tuples blk)
+    |> List.filter (fun t -> t.Tuple.op = Op.Load)
+  in
+  check int_t "one load" 1 (List.length loads)
+
+let test_cse_respects_stores () =
+  (* A store to 'a' between loads prevents merging them. *)
+  let blk =
+    Block.of_tuples_exn
+      [ Tuple.make ~id:1 Op.Load (Operand.Var "a") Operand.Null;
+        Tuple.make ~id:2 Op.Store (Operand.Var "a") (Operand.Imm 9);
+        Tuple.make ~id:3 Op.Load (Operand.Var "a") Operand.Null;
+        Tuple.make ~id:4 Op.Add (Operand.Ref 1) (Operand.Ref 3);
+        Tuple.make ~id:5 Op.Store (Operand.Var "x") (Operand.Ref 4) ]
+  in
+  let blk' = Opt.cse blk in
+  (* load 3 is forwarded from the store (value 9), load 1 must stay *)
+  let t4 = Block.find blk' 4 in
+  check bool_t "second load forwarded" true (t4.Tuple.b = Operand.Imm 9);
+  check bool_t "first load kept" true
+    (Array.exists
+       (fun t -> t.Tuple.op = Op.Load)
+       (Block.tuples blk'))
+
+let test_dead_store_example () =
+  let blk = Compile.compile "x = 1; x = 2;" in
+  let stores =
+    Array.to_list (Block.tuples blk)
+    |> List.filter (fun t -> t.Tuple.op = Op.Store)
+  in
+  check int_t "only the final store" 1 (List.length stores);
+  check bool_t "keeps the last value" true
+    ((List.hd stores).Tuple.b = Operand.Imm 2)
+
+let test_dead_store_kept_when_read () =
+  let blk = Compile.compile ~optimize:false "x = 1; y = x; x = 2;" in
+  let blk' = Opt.dead_store blk in
+  let stores_x =
+    Array.to_list (Block.tuples blk')
+    |> List.filter (fun t ->
+           t.Tuple.op = Op.Store && Tuple.memory_var t = Some "x")
+  in
+  check int_t "both stores kept (read intervenes)" 2 (List.length stores_x)
+
+let test_peephole_examples () =
+  let check_rhs src pred name =
+    let blk = Compile.compile src in
+    check bool_t name true (pred blk)
+  in
+  (* x*0 = 0 folds the multiply away entirely *)
+  check_rhs "y = a * 0;"
+    (fun blk ->
+      not (Array.exists (fun t -> t.Tuple.op = Op.Mul) (Block.tuples blk)))
+    "mul by zero erased";
+  (* x*8 becomes a shift *)
+  check_rhs "y = a * 8;"
+    (fun blk ->
+      Array.exists (fun t -> t.Tuple.op = Op.Shl) (Block.tuples blk)
+      && not (Array.exists (fun t -> t.Tuple.op = Op.Mul) (Block.tuples blk)))
+    "strength reduction";
+  (* x+0 disappears into a plain store of the load *)
+  check_rhs "y = a + 0;"
+    (fun blk ->
+      not (Array.exists (fun t -> t.Tuple.op = Op.Add) (Block.tuples blk)))
+    "add zero erased"
+
+let test_dce_example () =
+  (* An unused load disappears; v0 = v0 stays as a load/store pair. *)
+  let blk = Gen.generate (Parser.parse "x = a + b; x = 1;") in
+  let blk' = Opt.optimize blk in
+  check bool_t "loads of a,b eliminated" true
+    (not (Array.exists (fun t -> t.Tuple.op = Op.Load) (Block.tuples blk')))
+
+let test_renumber () =
+  let blk = Compile.compile "x = a * b + c;" in
+  let ids = Array.map (fun t -> t.Tuple.id) (Block.tuples blk) in
+  check bool_t "ids are 1..n" true
+    (ids = Array.init (Block.length blk) (fun i -> i + 1))
+
+let test_peephole_identities_individually () =
+  (* Each algebraic identity, checked in isolation with its semantics. *)
+  let cases =
+    [ ("y = a - a;", Op.Sub); ("y = a ^ a;", Op.Xor);
+      ("y = a / 1;", Op.Div); ("y = a | 0;", Op.Or);
+      ("y = a & 0;", Op.And); ("y = a << 0;", Op.Shl);
+      ("y = a >> 0;", Op.Shr); ("y = a - 0;", Op.Sub);
+      ("y = 0 + a;", Op.Add); ("y = 1 * a;", Op.Mul) ]
+  in
+  List.iter
+    (fun (src, op) ->
+      let prog = Parser.parse src in
+      let blk = Compile.compile_program prog in
+      check bool_t (src ^ " erases the operator") false
+        (Array.exists (fun t -> t.Tuple.op = op) (Block.tuples blk));
+      check bool_t (src ^ " stays correct") true
+        (Interp.equivalent_on prog blk ~env:(env_of_seed 29)
+           ~vars:(all_vars prog)))
+    cases
+
+let test_compile_reuse_mode () =
+  let prog = Parser.parse "x = a + a; y = a * x; z = x + y;" in
+  let naive = Compile.compile_program ~optimize:false ~reuse:false prog in
+  let reuse = Compile.compile_program ~optimize:false ~reuse:true prog in
+  check bool_t "reuse emits fewer tuples" true
+    (Block.length reuse < Block.length naive);
+  check bool_t "both faithful" true
+    (Interp.equivalent_on prog naive ~env:(env_of_seed 30)
+       ~vars:(all_vars prog)
+     && Interp.equivalent_on prog reuse ~env:(env_of_seed 30)
+          ~vars:(all_vars prog));
+  (* After optimization the two pipelines converge. *)
+  let on = Compile.compile_program ~reuse:false prog in
+  let or_ = Compile.compile_program ~reuse:true prog in
+  check int_t "optimizer converges both" (Block.length on)
+    (Block.length or_)
+
+(* ------------------------------------------------------------------ *)
+(* Interp itself                                                       *)
+
+let test_interp_program () =
+  let prog = Parser.parse "b = 15; a = b * a;" in
+  let env v = if v = "a" then 3 else 0 in
+  let result = Interp.run_program prog ~env in
+  check bool_t "a = 45" true (List.assoc "a" result = 45);
+  check bool_t "b = 15" true (List.assoc "b" result = 15)
+
+let test_interp_block_div_zero () =
+  let prog = Parser.parse "q = a / 0; r = a % 0;" in
+  let blk = Gen.generate prog in
+  let result = Interp.run_block blk ~env:(fun _ -> 7) in
+  check bool_t "div by zero is 0" true (List.assoc "q" result = 0);
+  check bool_t "mod by zero is 0" true (List.assoc "r" result = 0)
+
+let () =
+  Alcotest.run "frontend"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "operators" `Quick test_lexer_operators;
+          Alcotest.test_case "comments/whitespace" `Quick
+            test_lexer_comments_whitespace;
+          Alcotest.test_case "rejects" `Quick test_lexer_rejects;
+          Alcotest.test_case "empty" `Quick test_lexer_empty ] );
+      ( "parser",
+        [ Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "associativity" `Quick test_parse_associativity;
+          Alcotest.test_case "unary/parens" `Quick test_parse_unary_parens;
+          Alcotest.test_case "program" `Quick test_parse_program;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "print roundtrip" `Quick
+            test_parse_print_roundtrip ] );
+      ( "gen",
+        [ gen_preserves_semantics;
+          gen_reuse_preserves_semantics;
+          Alcotest.test_case "figure 3" `Quick test_gen_fig3;
+          Alcotest.test_case "load per use" `Quick test_gen_load_per_use ] );
+      ( "opt",
+        [ pass_preserves "const_fold" Opt.const_fold;
+          pass_preserves "peephole" Opt.peephole;
+          pass_preserves "copy_prop" Opt.copy_prop;
+          pass_preserves "cse" Opt.cse;
+          pass_preserves "dce" Opt.dce;
+          pass_preserves "dead_store" Opt.dead_store;
+          pass_preserves "renumber" Opt.renumber;
+          optimize_preserves;
+          optimize_shrinks;
+          optimize_idempotent;
+          Alcotest.test_case "const fold" `Quick test_const_fold_example;
+          Alcotest.test_case "cse exprs" `Quick test_cse_example;
+          Alcotest.test_case "cse loads" `Quick test_cse_load_example;
+          Alcotest.test_case "cse respects stores" `Quick
+            test_cse_respects_stores;
+          Alcotest.test_case "dead store" `Quick test_dead_store_example;
+          Alcotest.test_case "dead store kept when read" `Quick
+            test_dead_store_kept_when_read;
+          Alcotest.test_case "peephole" `Quick test_peephole_examples;
+          Alcotest.test_case "peephole identities" `Quick
+            test_peephole_identities_individually;
+          Alcotest.test_case "reuse mode" `Quick test_compile_reuse_mode;
+          Alcotest.test_case "dce" `Quick test_dce_example;
+          Alcotest.test_case "renumber" `Quick test_renumber ] );
+      ( "interp",
+        [ Alcotest.test_case "program" `Quick test_interp_program;
+          Alcotest.test_case "division by zero" `Quick
+            test_interp_block_div_zero ] ) ]

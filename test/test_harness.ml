@@ -1,0 +1,189 @@
+(* Tests for Pipesched_harness: Stats, Study, Ablation, Experiments. *)
+
+open Pipesched_harness
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let feq name a b = check bool_t name true (abs_float (a -. b) < 1e-9)
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [ 1.0; 2.0; 3.0; 4.0 ]);
+  feq "empty" 0.0 (Stats.mean []);
+  feq "single" 7.0 (Stats.mean [ 7.0 ])
+
+let test_stddev () =
+  feq "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  feq "pair" 1.0 (Stats.stddev [ 1.0; 3.0 ]);
+  feq "degenerate" 0.0 (Stats.stddev [ 2.0 ])
+
+let test_percentile () =
+  let xs = [ 10.0; 20.0; 30.0; 40.0 ] in
+  feq "p0" 10.0 (Stats.percentile 0.0 xs);
+  feq "p100" 40.0 (Stats.percentile 100.0 xs);
+  feq "p50" 25.0 (Stats.percentile 50.0 xs);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.percentile: empty list") (fun () ->
+      ignore (Stats.percentile 50.0 []));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile 150.0 xs))
+
+let percentile_sorted_invariant =
+  qtest ~count:200 "percentile is monotone and within min/max"
+    QCheck2.Gen.(list_size (int_range 1 30) (float_bound_inclusive 100.0))
+    (fun xs -> String.concat "," (List.map string_of_float xs))
+    (fun xs ->
+      let lo, hi = Stats.min_max xs in
+      let p25 = Stats.percentile 25.0 xs in
+      let p75 = Stats.percentile 75.0 xs in
+      p25 <= p75 && lo <= p25 && p75 <= hi)
+
+let test_min_max () =
+  check bool_t "min_max" true (Stats.min_max [ 3.0; 1.0; 2.0 ] = (1.0, 3.0))
+
+let test_group_by () =
+  let groups = Stats.group_by (fun x -> x mod 3) [ 1; 2; 3; 4; 5; 6 ] in
+  check bool_t "groups" true
+    (groups = [ (0, [ 3; 6 ]); (1, [ 1; 4 ]); (2, [ 2; 5 ]) ])
+
+let test_histogram () =
+  let h = Stats.histogram ~bucket:5 [ 1; 2; 7; 12; 13; 14 ] in
+  check bool_t "buckets" true (h = [ (0, 2); (5, 1); (10, 3) ]);
+  check bool_t "empty bucket filled" true
+    (Stats.histogram ~bucket:5 [ 1; 11 ] = [ (0, 1); (5, 0); (10, 1) ]);
+  check bool_t "empty input" true (Stats.histogram ~bucket:5 [] = [])
+
+(* ------------------------------------------------------------------ *)
+(* Study                                                               *)
+
+let test_run_block_record () =
+  let rng = Rng.create 42 in
+  let blk = random_block rng 12 in
+  let r = Study.run_block machine blk in
+  check int_t "size" 12 r.Study.size;
+  check bool_t "final <= initial" true
+    (r.Study.final_nops <= r.Study.initial_nops);
+  check bool_t "time nonneg" true (r.Study.time_s >= 0.0);
+  check bool_t "calls positive" true (r.Study.omega_calls >= 0)
+
+let test_study_deterministic_results () =
+  (* Modulo wall-clock, two same-seed studies agree. *)
+  let strip r = { r with Study.time_s = 0.0 } in
+  let a = List.map strip (Study.run ~seed:3 ~count:30 machine) in
+  let b = List.map strip (Study.run ~seed:3 ~count:30 machine) in
+  check bool_t "deterministic" true (a = b)
+
+let test_aggregate () =
+  let rec_ size initial final =
+    { Study.size; initial_nops = initial; final_nops = final;
+      omega_calls = 10; schedules_completed = 1; completed = true;
+      time_s = 0.0 }
+  in
+  let agg = Study.aggregate ~total:4 [ rec_ 10 5 1; rec_ 20 7 3 ] in
+  check int_t "runs" 2 agg.Study.runs;
+  feq "pct" 50.0 agg.Study.pct;
+  feq "avg size" 15.0 agg.Study.avg_size;
+  feq "avg initial" 6.0 agg.Study.avg_initial_nops;
+  feq "avg final" 2.0 agg.Study.avg_final_nops
+
+let test_by_size () =
+  let rec_ size =
+    { Study.size; initial_nops = 0; final_nops = 0; omega_calls = 0;
+      schedules_completed = 0; completed = true; time_s = 0.0 }
+  in
+  let groups = Study.by_size [ rec_ 5; rec_ 3; rec_ 5 ] in
+  check bool_t "keys sorted" true (List.map fst groups = [ 3; 5 ]);
+  check int_t "bucket size" 2 (List.length (List.assoc 5 groups))
+
+(* ------------------------------------------------------------------ *)
+(* Paper reference data                                                *)
+
+let test_paper_data () =
+  check int_t "table 1 rows" 11 (List.length Paper.table1);
+  check int_t "totals" Paper.total_runs
+    (Paper.table7_completed.Paper.runs + Paper.table7_truncated.Paper.runs);
+  check bool_t "percentages sum to 100" true
+    (abs_float
+       (Paper.table7_completed.Paper.pct +. Paper.table7_truncated.Paper.pct
+        -. 100.0)
+     < 0.01)
+
+(* ------------------------------------------------------------------ *)
+(* Ablation and experiment drivers (smoke, small sizes)                *)
+
+let test_ablation_smoke () =
+  let rows = Ablation.run ~seed:1 ~count:20 ~lambda:5_000 machine in
+  check int_t "all configs" 8 (List.length rows);
+  List.iter
+    (fun r ->
+      check bool_t "pct in range" true
+        (r.Ablation.completed_pct >= 0.0 && r.Ablation.completed_pct <= 100.0))
+    rows;
+  (* Paper mode must complete more than the no-alpha-beta config. *)
+  let pct label =
+    (List.find (fun r -> r.Ablation.label = label) rows)
+      .Ablation.completed_pct
+  in
+  check bool_t "alpha-beta is essential" true
+    (pct "paper (all prunings, list seed)"
+     >= pct "- alpha-beta pruning [6]")
+
+let test_experiments_printers_smoke () =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  let study = Experiments.run_study ~seed:5 ~count:40 () in
+  Experiments.print_machines fmt;
+  Experiments.print_table6 fmt;
+  Experiments.print_table7 fmt study;
+  Experiments.print_fig1 fmt study;
+  Experiments.print_fig4 fmt study;
+  Experiments.print_fig5 fmt study;
+  Experiments.print_fig6 fmt study;
+  Experiments.print_fig7 fmt study;
+  Experiments.print_kernel_study fmt;
+  Format.pp_print_flush fmt ();
+  let out = Buffer.contents buf in
+  List.iter
+    (fun needle ->
+      let contains =
+        let n = String.length needle and h = String.length out in
+        let rec go i =
+          i + n <= h && (String.sub out i n = needle || go (i + 1))
+        in
+        go 0
+      in
+      check bool_t ("output mentions " ^ needle) true contains)
+    [ "Table 7"; "Figure 1"; "Figure 4"; "Figure 5"; "Figure 6"; "Figure 7";
+      "loader"; "multiplier"; "Operators"; "dot4"; "horner4" ]
+
+let test_omega_cost_positive () =
+  let c = Experiments.omega_cost () in
+  check bool_t "positive and sane" true (c > 0.0 && c < 0.01)
+
+let () =
+  Alcotest.run "harness"
+    [ ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          percentile_sorted_invariant;
+          Alcotest.test_case "min_max" `Quick test_min_max;
+          Alcotest.test_case "group_by" `Quick test_group_by;
+          Alcotest.test_case "histogram" `Quick test_histogram ] );
+      ( "study",
+        [ Alcotest.test_case "run_block record" `Quick test_run_block_record;
+          Alcotest.test_case "deterministic" `Quick
+            test_study_deterministic_results;
+          Alcotest.test_case "aggregate" `Quick test_aggregate;
+          Alcotest.test_case "by_size" `Quick test_by_size ] );
+      ( "paper",
+        [ Alcotest.test_case "reference data" `Quick test_paper_data ] );
+      ( "drivers",
+        [ Alcotest.test_case "ablation smoke" `Quick test_ablation_smoke;
+          Alcotest.test_case "experiment printers" `Quick
+            test_experiments_printers_smoke;
+          Alcotest.test_case "omega cost" `Quick test_omega_cost_positive ]
+      ) ]

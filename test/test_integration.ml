@@ -1,0 +1,240 @@
+(* End-to-end integration tests: source text -> front end -> optimal
+   schedule -> register allocation -> assembly, with semantic checks at
+   every boundary. *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_frontend
+open Pipesched_core
+module Regalloc = Pipesched_regalloc
+module Generator = Pipesched_synth.Generator
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling never changes meaning                                    *)
+
+let program_gen =
+  QCheck2.Gen.(
+    map
+      (fun seed ->
+        let rng = Rng.create seed in
+        Generator.program rng
+          { Generator.statements = 1 + Rng.int rng 8;
+            variables = 1 + Rng.int rng 4;
+            constants = 1 + Rng.int rng 3 })
+      (int_bound 10_000_000))
+
+let all_vars prog =
+  List.sort_uniq compare (Ast.read_vars prog @ Ast.written_vars prog)
+
+let optimal_schedule_preserves_semantics =
+  qtest ~count:300 "optimally scheduled block computes the same results"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program prog in
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      let scheduled = Block.permute blk o.Optimal.best.Omega.order in
+      Interp.equivalent_on prog scheduled ~env:(env_of_seed 8)
+        ~vars:(all_vars prog))
+
+let any_legal_order_preserves_semantics =
+  qtest ~count:150 "every legal order of a compiled block is equivalent"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program prog in
+      let dag = Dag.of_block blk in
+      if Block.length blk > 7 then true (* keep enumeration tractable *)
+      else
+        List.for_all
+          (fun order ->
+            Interp.equivalent_on prog
+              (Block.permute blk order)
+              ~env:(env_of_seed 9) ~vars:(all_vars prog))
+          (all_legal_orders dag))
+
+(* ------------------------------------------------------------------ *)
+(* The whole compiler pipeline on concrete programs                    *)
+
+let compile_schedule_emit src registers =
+  let blk = Compile.compile src in
+  let dag = Dag.of_block blk in
+  let o = Optimal.schedule machine dag in
+  let scheduled = Block.permute blk o.Optimal.best.Omega.order in
+  match Regalloc.Alloc.allocate scheduled ~registers with
+  | Ok alloc ->
+    (o, Regalloc.Codegen.emit scheduled ~eta:o.Optimal.best.Omega.eta ~alloc)
+  | Error (pos, demand) ->
+    Alcotest.failf "allocation failed at %d (demand %d)" pos demand
+
+let test_pipeline_fig3 () =
+  let o, asm = compile_schedule_emit "b = 15; a = b * a;" 8 in
+  check bool_t "some output" true (String.length asm > 0);
+  check bool_t "optimal" true o.Optimal.stats.Optimal.completed;
+  (* emitted line count = instructions + NOPs *)
+  let lines = String.split_on_char '\n' asm in
+  check int_t "line count"
+    (Array.length o.Optimal.best.Omega.order + o.Optimal.best.Omega.nops)
+    (List.length lines)
+
+let test_pipeline_larger_program () =
+  let src =
+    "a = x * y; b = a + z; c = b * b; d = c - a; e = d / 3; out = e;"
+  in
+  let o, asm = compile_schedule_emit src 16 in
+  check bool_t "non-trivial block" true
+    (Array.length o.Optimal.best.Omega.order > 5);
+  check bool_t "assembly emitted" true (String.length asm > 100)
+
+let test_scheduling_reduces_nops () =
+  (* A classic load-use sequence where the source order stalls but the
+     optimal schedule does not. *)
+  let src = "s1 = a + 1; s2 = b + 2; s3 = c + 3; s4 = d + 4;" in
+  let blk = Compile.compile src in
+  let dag = Dag.of_block blk in
+  let source =
+    Omega.evaluate machine dag ~order:(Omega.identity_order (Block.length blk))
+  in
+  let o = Optimal.schedule machine dag in
+  check bool_t "source order stalls" true (source.Omega.nops > 0);
+  check int_t "optimal removes every NOP" 0 o.Optimal.best.Omega.nops
+
+(* ------------------------------------------------------------------ *)
+(* Interlock equivalence across the whole pipeline                     *)
+
+let pipeline_interlock_agree =
+  qtest ~count:150 "interlock models agree on fully compiled programs"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program prog in
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      let r = o.Optimal.best in
+      let n = Array.length r.Omega.order in
+      let padded = Interlock.execute_padded (Interlock.nop_padded dag r) in
+      let tags = Interlock.explicit_tags machine dag r in
+      padded = n + r.Omega.nops
+      && Interlock.execute_tagged tags = padded)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation after scheduling stays interference-free                 *)
+
+let alloc_after_scheduling =
+  qtest ~count:200 "post-schedule allocation is interference-free"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program prog in
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      let scheduled = Block.permute blk o.Optimal.best.Omega.order in
+      match Regalloc.Alloc.allocate scheduled ~registers:64 with
+      | Error _ -> false
+      | Ok alloc ->
+        (* No two overlapping values share a register. *)
+        let ranges = Regalloc.Liveness.ranges scheduled in
+        List.for_all
+          (fun (id1, (r1 : Regalloc.Liveness.range)) ->
+            List.for_all
+              (fun (id2, (r2 : Regalloc.Liveness.range)) ->
+                id1 >= id2
+                || Regalloc.Alloc.register_of alloc id1
+                   <> Regalloc.Alloc.register_of alloc id2
+                || r1.Regalloc.Liveness.last_use_pos
+                   <= r2.Regalloc.Liveness.def_pos
+                || r2.Regalloc.Liveness.last_use_pos
+                   <= r1.Regalloc.Liveness.def_pos)
+              ranges)
+          ranges)
+
+(* ------------------------------------------------------------------ *)
+(* The multi-pipe machine end to end                                   *)
+
+let test_demo_machine_end_to_end () =
+  let src = "p = a * b; q = c * d; r = p + q; s = r * r; out = s;" in
+  let blk = Compile.compile src in
+  let dag = Dag.of_block blk in
+  let single = Optimal.schedule Machine.Presets.demo dag in
+  let multi, choice = Optimal.schedule_multi Machine.Presets.demo dag in
+  check bool_t "multi never worse" true
+    (multi.Optimal.best.Omega.nops <= single.Optimal.best.Omega.nops);
+  (* The returned assignment is complete and well-formed. *)
+  Array.iteri
+    (fun pos c ->
+      let op = (Block.tuple_at blk pos).Tuple.op in
+      match (c, Machine.candidates Machine.Presets.demo op) with
+      | None, [] -> ()
+      | Some p, cands -> check bool_t "choice is a candidate" true
+                           (List.mem p cands)
+      | None, _ :: _ -> Alcotest.fail "missing pipe choice")
+    choice
+
+(* Source program -> optimized tuples -> optimal schedule -> registers ->
+   assembly text -> parse -> execute: the machine-level run agrees with
+   the source semantics, NOPs and all. *)
+let full_pipeline_to_metal =
+  qtest ~count:200 "assembly execution matches the source program"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program prog in
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      let scheduled = Block.permute blk o.Optimal.best.Omega.order in
+      match Regalloc.Alloc.allocate scheduled ~registers:64 with
+      | Error _ -> false
+      | Ok alloc ->
+        let text =
+          Regalloc.Codegen.emit scheduled ~eta:o.Optimal.best.Omega.eta
+            ~alloc
+        in
+        (match Regalloc.Asm.parse text with
+         | Error _ -> false
+         | Ok instrs ->
+           let env = env_of_seed 12 in
+           let result, ticks = Regalloc.Asm.execute instrs ~env in
+           let reference = Interp.run_program prog ~env in
+           let agree (v, x) =
+             match List.assoc_opt v result with
+             | Some y -> x = y
+             | None -> x = env v
+           in
+           ticks
+           = Array.length o.Optimal.best.Omega.order
+             + o.Optimal.best.Omega.nops
+           && List.for_all agree reference))
+
+(* ------------------------------------------------------------------ *)
+(* Curtailed searches still produce usable compiler output             *)
+
+let curtailed_still_compiles =
+  qtest ~count:100 "tiny lambda still yields valid, allocatable schedules"
+    program_gen Ast.program_to_string
+    (fun prog ->
+      let blk = Compile.compile_program prog in
+      let dag = Dag.of_block blk in
+      let o =
+        Optimal.schedule
+          ~options:{ Optimal.default_options with Optimal.lambda = 3 }
+          machine dag
+      in
+      let scheduled = Block.permute blk o.Optimal.best.Omega.order in
+      Interp.equivalent_on prog scheduled ~env:(env_of_seed 10)
+        ~vars:(all_vars prog))
+
+let () =
+  Alcotest.run "integration"
+    [ ( "semantics",
+        [ optimal_schedule_preserves_semantics;
+          any_legal_order_preserves_semantics ] );
+      ( "pipeline",
+        [ Alcotest.test_case "figure 3 program" `Quick test_pipeline_fig3;
+          Alcotest.test_case "larger program" `Quick
+            test_pipeline_larger_program;
+          Alcotest.test_case "scheduling removes stalls" `Quick
+            test_scheduling_reduces_nops;
+          pipeline_interlock_agree;
+          alloc_after_scheduling;
+          Alcotest.test_case "demo machine end to end" `Quick
+            test_demo_machine_end_to_end;
+          full_pipeline_to_metal;
+          curtailed_still_compiles ] ) ]

@@ -1,0 +1,382 @@
+(* Tests for Pipesched_ir: Op, Operand, Tuple, Block, Dag. *)
+
+open Pipesched_ir
+module Bitset = Pipesched_prelude.Bitset
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Op                                                                  *)
+
+let test_op_roundtrip () =
+  List.iter
+    (fun op ->
+      check bool_t (Op.to_string op) true
+        (Op.of_string (Op.to_string op) = Some op);
+      check bool_t "case-insensitive" true
+        (Op.of_string (String.uppercase_ascii (Op.to_string op)) = Some op))
+    Op.all;
+  check bool_t "unknown" true (Op.of_string "Bogus" = None)
+
+let test_op_arity () =
+  check int_t "const" 0 (Op.value_arity Op.Const);
+  check int_t "load" 0 (Op.value_arity Op.Load);
+  check int_t "store" 1 (Op.value_arity Op.Store);
+  check int_t "neg" 1 (Op.value_arity Op.Neg);
+  check int_t "add" 2 (Op.value_arity Op.Add)
+
+let test_op_eval () =
+  check int_t "add" 7 (Op.eval2 Op.Add 3 4);
+  check int_t "sub" (-1) (Op.eval2 Op.Sub 3 4);
+  check int_t "mul" 12 (Op.eval2 Op.Mul 3 4);
+  check int_t "div" 3 (Op.eval2 Op.Div 13 4);
+  check int_t "div0 total" 0 (Op.eval2 Op.Div 13 0);
+  check int_t "mod0 total" 0 (Op.eval2 Op.Mod 13 0);
+  check int_t "neg" (-3) (Op.eval1 Op.Neg 3);
+  check int_t "mov" 3 (Op.eval1 Op.Mov 3);
+  Alcotest.check_raises "eval2 on unary"
+    (Invalid_argument "Op.eval2: not a binary operation") (fun () ->
+      ignore (Op.eval2 Op.Neg 1 2))
+
+let op_commutative_sound =
+  qtest ~count:200 "commutative ops commute"
+    QCheck2.Gen.(pair small_int small_int)
+    (fun (x, y) -> Printf.sprintf "(%d,%d)" x y)
+    (fun (x, y) ->
+      List.for_all
+        (fun op ->
+          (not (Op.commutative op)) || Op.eval2 op x y = Op.eval2 op y x)
+        Op.binary_ops)
+
+let test_op_pure () =
+  check bool_t "load impure" false (Op.pure Op.Load);
+  check bool_t "store impure" false (Op.pure Op.Store);
+  check bool_t "add pure" true (Op.pure Op.Add);
+  check bool_t "const pure" true (Op.pure Op.Const)
+
+(* ------------------------------------------------------------------ *)
+(* Tuple shapes                                                        *)
+
+let test_tuple_shapes () =
+  let ok op a b = ignore (Tuple.make ~id:1 op a b) in
+  let bad op a b =
+    match Tuple.make ~id:1 op a b with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected shape rejection"
+  in
+  ok Op.Const (Operand.Imm 5) Operand.Null;
+  bad Op.Const (Operand.Var "x") Operand.Null;
+  bad Op.Const (Operand.Imm 5) (Operand.Imm 5);
+  ok Op.Load (Operand.Var "x") Operand.Null;
+  bad Op.Load (Operand.Imm 5) Operand.Null;
+  ok Op.Store (Operand.Var "x") (Operand.Ref 0);
+  ok Op.Store (Operand.Var "x") (Operand.Imm 3);
+  bad Op.Store (Operand.Ref 0) (Operand.Ref 1);
+  bad Op.Store (Operand.Var "x") Operand.Null;
+  ok Op.Add (Operand.Ref 0) (Operand.Imm 1);
+  bad Op.Add (Operand.Ref 0) Operand.Null;
+  bad Op.Add (Operand.Var "x") (Operand.Imm 1);
+  ok Op.Neg (Operand.Ref 0) Operand.Null;
+  bad Op.Neg (Operand.Ref 0) (Operand.Ref 1)
+
+let test_tuple_accessors () =
+  let t = Tuple.make ~id:3 Op.Add (Operand.Ref 1) (Operand.Ref 1) in
+  check (Alcotest.list int_t) "refs with duplicates" [ 1; 1 ]
+    (Tuple.value_refs t);
+  check bool_t "no memory var" true (Tuple.memory_var t = None);
+  let s = Tuple.make ~id:4 Op.Store (Operand.Var "a") (Operand.Ref 3) in
+  check bool_t "store memory var" true (Tuple.memory_var s = Some "a");
+  check bool_t "store writes" true (Tuple.writes_memory s);
+  check bool_t "store no value" false (Tuple.produces_value s);
+  let l = Tuple.make ~id:5 Op.Load (Operand.Var "a") Operand.Null in
+  check bool_t "load memory var" true (Tuple.memory_var l = Some "a");
+  check bool_t "load reads only" false (Tuple.writes_memory l)
+
+(* ------------------------------------------------------------------ *)
+(* Block validation                                                    *)
+
+let tu ~id op a b = Tuple.make ~id op a b
+
+let test_block_valid () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:10 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:20 Op.Neg (Operand.Ref 10) Operand.Null;
+        tu ~id:30 Op.Store (Operand.Var "x") (Operand.Ref 20) ]
+  in
+  check int_t "length" 3 (Block.length blk);
+  check int_t "pos of 20" 1 (Block.pos_of_id blk 20);
+  check bool_t "find" true ((Block.find blk 30).Tuple.op = Op.Store);
+  check (Alcotest.list Alcotest.string) "vars" [ "x" ] (Block.vars blk)
+
+let test_block_rejects_duplicates () =
+  match
+    Block.of_tuples
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:1 Op.Const (Operand.Imm 2) Operand.Null ]
+  with
+  | Error msg -> check bool_t "mentions duplicate" true
+                   (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "accepted duplicate ids"
+
+let test_block_rejects_forward_ref () =
+  match
+    Block.of_tuples
+      [ tu ~id:1 Op.Neg (Operand.Ref 2) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 1) Operand.Null ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted forward reference"
+
+let test_block_rejects_ref_to_store () =
+  match
+    Block.of_tuples
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Store (Operand.Var "x") (Operand.Ref 1);
+        tu ~id:3 Op.Neg (Operand.Ref 2) Operand.Null ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a reference to a Store"
+
+let test_block_permute () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Add (Operand.Ref 1) (Operand.Ref 2) ]
+  in
+  let blk' = Block.permute blk [| 1; 0; 2 |] in
+  check int_t "swapped" 1 (Block.pos_of_id blk' 1);
+  Alcotest.check_raises "illegal permute"
+    (Invalid_argument
+       "Block.permute: illegal schedule: tuple 3 references 2, which is \
+        undefined or defined later")
+    (fun () -> ignore (Block.permute blk [| 0; 2; 1 |]));
+  (match Block.permute blk [| 0; 0; 1 |] with
+   | exception Invalid_argument _ -> ()
+   | _ -> Alcotest.fail "accepted non-permutation")
+
+(* ------------------------------------------------------------------ *)
+(* Text round-trips                                                    *)
+
+let test_operand_roundtrip () =
+  List.iter
+    (fun o ->
+      check bool_t (Operand.to_string o) true
+        (Operand.of_string (Operand.to_string o) = Some o))
+    [ Operand.Var "abc"; Operand.Ref 12; Operand.Imm 0; Operand.Imm (-7);
+      Operand.Null ];
+  check bool_t "bad ref" true (Operand.of_string "tx" = None);
+  check bool_t "bare word" true (Operand.of_string "abc" = None)
+
+let test_tuple_parse () =
+  (match Tuple.of_string "4: Mul t1, t3" with
+   | Ok t ->
+     check bool_t "parsed" true
+       (t = Tuple.make ~id:4 Op.Mul (Operand.Ref 1) (Operand.Ref 3))
+   | Error msg -> Alcotest.fail msg);
+  (match Tuple.of_string "  2:   Store #b , 15 " with
+   | Ok t -> check bool_t "whitespace tolerated" true (t.Tuple.op = Op.Store)
+   | Error msg -> Alcotest.fail msg);
+  List.iter
+    (fun bad ->
+      match Tuple.of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [ "no colon"; "x: Mul t1, t2"; "1: Frobnicate t1"; "1: Mul t1";
+      "1: Mul t1, t2, t3"; "1: Load 5"; "1: Const #x" ]
+
+let block_text_roundtrip =
+  qtest ~count:300 "Block.to_string/parse round-trips"
+    (block_gen ~max_size:16 ()) block_print
+    (fun blk ->
+      match Block.parse (Block.to_string blk) with
+      | Ok blk' -> Block.equal blk blk'
+      | Error _ -> false)
+
+let test_block_parse_diagnostics () =
+  (match Block.parse "1: Const 1\n\n# a comment\n2: Neg t1" with
+   | Ok blk -> check int_t "comments skipped" 2 (Block.length blk)
+   | Error _ -> Alcotest.fail "rejected valid text");
+  (match Block.parse "1: Const 1\nbogus line" with
+   | Error (2, _) -> ()
+   | Error (l, _) -> Alcotest.failf "wrong line %d" l
+   | Ok _ -> Alcotest.fail "accepted bogus line");
+  match Block.parse "1: Neg t9" with
+  | Error (0, _) -> () (* block-level validation: dangling reference *)
+  | _ -> Alcotest.fail "accepted dangling reference"
+
+(* ------------------------------------------------------------------ *)
+(* Dag                                                                 *)
+
+(* The paper's Figure 3 block. *)
+let fig3 () =
+  Block.of_tuples_exn
+    [ tu ~id:1 Op.Const (Operand.Imm 15) Operand.Null;
+      tu ~id:2 Op.Store (Operand.Var "b") (Operand.Ref 1);
+      tu ~id:3 Op.Load (Operand.Var "a") Operand.Null;
+      tu ~id:4 Op.Mul (Operand.Ref 1) (Operand.Ref 3);
+      tu ~id:5 Op.Store (Operand.Var "a") (Operand.Ref 4) ]
+
+let test_dag_edges () =
+  let dag = Dag.of_block (fig3 ()) in
+  check (Alcotest.list int_t) "preds of store b" [ 0 ] (Dag.preds dag 1);
+  check (Alcotest.list int_t) "preds of mul" [ 0; 2 ] (Dag.preds dag 3);
+  (* store a depends on mul (data) and load a (memory anti) *)
+  check (Alcotest.list int_t) "preds of store a" [ 2; 3 ] (Dag.preds dag 4);
+  check bool_t "anti edge kind" true
+    (Dag.edge_kind dag 2 4 = Some Dag.Mem_anti);
+  check bool_t "data edge kind" true (Dag.edge_kind dag 3 4 = Some Dag.Data);
+  check bool_t "no edge" true (Dag.edge_kind dag 1 3 = None);
+  check (Alcotest.list int_t) "roots" [ 0; 2 ] (Dag.roots dag)
+
+let test_dag_memory_kinds () =
+  (* store x; load x; store x; load x -> flow, anti, output edges *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Store (Operand.Var "x") (Operand.Imm 1);
+        tu ~id:2 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:3 Op.Store (Operand.Var "x") (Operand.Imm 2);
+        tu ~id:4 Op.Load (Operand.Var "x") Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  check bool_t "flow 0->1" true (Dag.edge_kind dag 0 1 = Some Dag.Mem_flow);
+  check bool_t "anti 1->2" true (Dag.edge_kind dag 1 2 = Some Dag.Mem_anti);
+  check bool_t "output 0->2" true
+    (Dag.edge_kind dag 0 2 = Some Dag.Mem_output);
+  check bool_t "flow 2->3" true (Dag.edge_kind dag 2 3 = Some Dag.Mem_flow);
+  (* no edge from load 1 to load 3 *)
+  check bool_t "load-load independent" true (Dag.edge_kind dag 1 3 = None)
+
+let test_earliest_latest () =
+  let dag = Dag.of_block (fig3 ()) in
+  (* positions: 0 Const, 1 Store b, 2 Load a, 3 Mul, 4 Store a *)
+  check int_t "earliest const" 0 (Dag.earliest dag 0);
+  check int_t "earliest mul" 2 (Dag.earliest dag 3);
+  check int_t "earliest store a" 3 (Dag.earliest dag 4);
+  (* const's descendants are store b, mul, store a -> latest = 4 - 3 = 1 *)
+  check int_t "latest const" 1 (Dag.latest dag 0);
+  check int_t "latest store b" 4 (Dag.latest dag 1);
+  check int_t "latest load a" 2 (Dag.latest dag 2);
+  check int_t "latest store a" 4 (Dag.latest dag 4)
+
+let test_heights_critical_path () =
+  let dag = Dag.of_block (fig3 ()) in
+  let h = Dag.heights dag ~edge_weight:(fun ~src:_ ~dst:_ -> 1) in
+  check int_t "height const" 2 h.(0);
+  check int_t "height store a" 0 h.(4);
+  check int_t "critical path" 2
+    (Dag.critical_path dag ~edge_weight:(fun ~src:_ ~dst:_ -> 1))
+
+let test_is_legal_order () =
+  let dag = Dag.of_block (fig3 ()) in
+  check bool_t "identity legal" true
+    (Dag.is_legal_order dag [| 0; 1; 2; 3; 4 |]);
+  check bool_t "valid reorder" true
+    (Dag.is_legal_order dag [| 2; 0; 3; 1; 4 |]);
+  check bool_t "consumer before producer" false
+    (Dag.is_legal_order dag [| 3; 0; 1; 2; 4 |]);
+  check bool_t "wrong length" false (Dag.is_legal_order dag [| 0; 1 |]);
+  check bool_t "not a permutation" false
+    (Dag.is_legal_order dag [| 0; 0; 1; 2; 3 |])
+
+(* Transitive closure via bitsets must agree with a brute-force DFS. *)
+let closure_agrees =
+  qtest ~count:150 "ancestors/descendants agree with DFS reachability"
+    (block_gen ~max_size:12 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let n = Dag.length dag in
+      let reach_fwd = Array.make_matrix n n false in
+      for u = n - 1 downto 0 do
+        List.iter
+          (fun v ->
+            reach_fwd.(u).(v) <- true;
+            for w = 0 to n - 1 do
+              if reach_fwd.(v).(w) then reach_fwd.(u).(w) <- true
+            done)
+          (Dag.succs dag u)
+      done;
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          if Bitset.mem (Dag.descendants dag u) v <> reach_fwd.(u).(v) then
+            ok := false;
+          if Bitset.mem (Dag.ancestors dag v) u <> reach_fwd.(u).(v) then
+            ok := false
+        done
+      done;
+      !ok)
+
+(* earliest/latest bound every legal order's positions (on small blocks,
+   checked against full enumeration). *)
+let earliest_latest_bound =
+  qtest ~count:60 "earliest/latest bound all legal positions"
+    (block_gen ~max_size:7 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let orders = all_legal_orders dag in
+      List.for_all
+        (fun order ->
+          let ok = ref true in
+          Array.iteri
+            (fun newpos oldpos ->
+              if
+                newpos < Dag.earliest dag oldpos
+                || newpos > Dag.latest dag oldpos
+              then ok := false)
+            order;
+          !ok)
+        orders)
+
+(* Every legal order keeps the block valid under permute. *)
+let permute_legal_orders =
+  qtest ~count:60 "legal orders permute into valid blocks"
+    (block_gen ~max_size:7 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      List.for_all
+        (fun order ->
+          match Block.permute blk order with
+          | _ -> true
+          | exception Invalid_argument _ -> false)
+        (all_legal_orders dag))
+
+let () =
+  Alcotest.run "ir"
+    [ ( "op",
+        [ Alcotest.test_case "roundtrip" `Quick test_op_roundtrip;
+          Alcotest.test_case "arity" `Quick test_op_arity;
+          Alcotest.test_case "eval" `Quick test_op_eval;
+          Alcotest.test_case "pure" `Quick test_op_pure;
+          op_commutative_sound ] );
+      ( "tuple",
+        [ Alcotest.test_case "shapes" `Quick test_tuple_shapes;
+          Alcotest.test_case "accessors" `Quick test_tuple_accessors ] );
+      ( "block",
+        [ Alcotest.test_case "valid" `Quick test_block_valid;
+          Alcotest.test_case "rejects duplicates" `Quick
+            test_block_rejects_duplicates;
+          Alcotest.test_case "rejects forward refs" `Quick
+            test_block_rejects_forward_ref;
+          Alcotest.test_case "rejects refs to store" `Quick
+            test_block_rejects_ref_to_store;
+          Alcotest.test_case "permute" `Quick test_block_permute ] );
+      ( "text",
+        [ Alcotest.test_case "operand roundtrip" `Quick
+            test_operand_roundtrip;
+          Alcotest.test_case "tuple parse" `Quick test_tuple_parse;
+          block_text_roundtrip;
+          Alcotest.test_case "parse diagnostics" `Quick
+            test_block_parse_diagnostics ] );
+      ( "dag",
+        [ Alcotest.test_case "edges (fig 3)" `Quick test_dag_edges;
+          Alcotest.test_case "memory edge kinds" `Quick
+            test_dag_memory_kinds;
+          Alcotest.test_case "earliest/latest (fig 3)" `Quick
+            test_earliest_latest;
+          Alcotest.test_case "heights" `Quick test_heights_critical_path;
+          Alcotest.test_case "is_legal_order" `Quick test_is_legal_order;
+          closure_agrees;
+          earliest_latest_bound;
+          permute_legal_orders ] ) ]

@@ -1,0 +1,721 @@
+(* Tests for Pipesched_machine: Pipe, Machine, Omega, Interlock. *)
+
+open Pipesched_ir
+open Pipesched_machine
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+let tu ~id op a b = Tuple.make ~id op a b
+
+(* ------------------------------------------------------------------ *)
+(* Pipe & Machine descriptions                                         *)
+
+let test_pipe_validation () =
+  Alcotest.check_raises "latency 0"
+    (Invalid_argument "Pipe.make: latency must be >= 1") (fun () ->
+      ignore (Pipe.make ~label:"p" ~latency:0 ~enqueue:1));
+  Alcotest.check_raises "enqueue 0"
+    (Invalid_argument "Pipe.make: enqueue time must be >= 1") (fun () ->
+      ignore (Pipe.make ~label:"p" ~latency:1 ~enqueue:0));
+  let p = Pipe.make ~label:"fu" ~latency:4 ~enqueue:4 in
+  check bool_t "non-pipelined" true (Pipe.non_pipelined p);
+  let q = Pipe.make ~label:"fu" ~latency:4 ~enqueue:1 in
+  check bool_t "pipelined" false (Pipe.non_pipelined q)
+
+let test_machine_tables () =
+  let m = machine in
+  check int_t "pipes" 2 (Machine.pipe_count m);
+  check bool_t "load on loader" true (Machine.default_pipe m Op.Load = Some 0);
+  check bool_t "mul on multiplier" true
+    (Machine.default_pipe m Op.Mul = Some 1);
+  check bool_t "add resource-free" true (Machine.default_pipe m Op.Add = None);
+  check int_t "load latency" 2 (Machine.latency m Op.Load);
+  check int_t "mul latency" 4 (Machine.latency m Op.Mul);
+  check int_t "add latency" 1 (Machine.latency m Op.Add);
+  (* Table 4 parameters *)
+  check int_t "loader enqueue" 1 (Machine.pipe m 0).Pipe.enqueue;
+  check int_t "multiplier enqueue" 2 (Machine.pipe m 1).Pipe.enqueue
+
+let test_machine_validation () =
+  let pipes = [| Pipe.make ~label:"p" ~latency:2 ~enqueue:1 |] in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Machine.make: pipeline index out of range") (fun () ->
+      ignore (Machine.make ~name:"m" pipes ~assign:[ (Op.Load, [ 1 ]) ]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Machine.make: duplicate mapping for Load") (fun () ->
+      ignore
+        (Machine.make ~name:"m" pipes
+           ~assign:[ (Op.Load, [ 0 ]); (Op.Load, [ 0 ]) ]))
+
+let test_demo_machine_multi () =
+  let m = Machine.Presets.demo in
+  check (Alcotest.list int_t) "two loaders" [ 0; 1 ]
+    (Machine.candidates m Op.Load);
+  check (Alcotest.list int_t) "two adders" [ 2; 3 ]
+    (Machine.candidates m Op.Add);
+  check (Alcotest.list int_t) "one multiplier" [ 4 ]
+    (Machine.candidates m Op.Mul);
+  check bool_t "default pipe is first" true
+    (Machine.default_pipe m Op.Load = Some 0)
+
+let test_presets_find () =
+  check bool_t "simulation" true (Machine.Presets.find "simulation" <> None);
+  check bool_t "unknown" true (Machine.Presets.find "nope" = None)
+
+let machines_equal m1 m2 =
+  Machine.name m1 = Machine.name m2
+  && Machine.pipes m1 = Machine.pipes m2
+  && List.for_all
+       (fun op -> Machine.candidates m1 op = Machine.candidates m2 op)
+       Op.all
+
+let test_machine_text_roundtrip () =
+  List.iter
+    (fun (_, m) ->
+      match Machine.parse (Machine.to_text m) with
+      | Ok m' ->
+        check bool_t (Machine.name m ^ " round-trips") true
+          (machines_equal m m')
+      | Error (line, msg) ->
+        Alcotest.failf "%s: line %d: %s" (Machine.name m) line msg)
+    Machine.Presets.all
+
+let test_machine_parse_format () =
+  let text =
+    "# the Table 4/5 machine\n\
+     machine simulation\n\
+     pipe loader 2 1   # label latency enqueue\n\
+     pipe multiplier 4 2\n\
+     ops Load -> 0\n\
+     ops Mul Div Mod -> 1\n"
+  in
+  match Machine.parse text with
+  | Ok m -> check bool_t "matches the preset" true
+              (machines_equal m Machine.Presets.simulation)
+  | Error (line, msg) -> Alcotest.failf "line %d: %s" line msg
+
+(* Random machine descriptions round-trip through text. *)
+let machine_text_roundtrip_random =
+  qtest ~count:200 "random machines round-trip through text"
+    QCheck2.Gen.(int_bound 1_000_000)
+    string_of_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let npipes = 1 + Rng.int rng 5 in
+      let pipes =
+        Array.init npipes (fun i ->
+            Pipe.make
+              ~label:(Printf.sprintf "fu%d" i)
+              ~latency:(1 + Rng.int rng 12)
+              ~enqueue:(1 + Rng.int rng 12))
+      in
+      let assign =
+        List.filter_map
+          (fun op ->
+            if Rng.int rng 3 = 0 then None
+            else
+              let k = 1 + Rng.int rng npipes in
+              let pids =
+                List.sort_uniq compare
+                  (List.init k (fun _ -> Rng.int rng npipes))
+              in
+              Some (op, pids))
+          Op.binary_ops
+      in
+      let m = Machine.make ~name:"rt" pipes ~assign in
+      match Machine.parse (Machine.to_text m) with
+      | Ok m' -> machines_equal m m'
+      | Error _ -> false)
+
+let test_machine_parse_errors () =
+  List.iter
+    (fun (text, expect_line) ->
+      match Machine.parse text with
+      | Error (line, _) -> check int_t text expect_line line
+      | Ok _ -> Alcotest.failf "accepted %S" text)
+    [ ("pipe loader two 1", 1);
+      ("pipe loader 2", 1);
+      ("machine m\nops Load -> 0", 0) (* pipe index out of range *);
+      ("frobnicate", 1);
+      ("pipe loader 2 1\nops Bogus -> 0", 2);
+      ("pipe loader 2 1\nops Load -> x", 2);
+      ("pipe loader 2 1\nops -> 0", 2);
+      ("pipe loader 0 1", 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Omega: worked examples from §2.1                                    *)
+
+(* "Load R1,X; Add R0,R1" with a 4-tick load: 3 delay slots. *)
+let test_dependence_delay () =
+  let m =
+    Machine.make ~name:"section2.1"
+      [| Pipe.make ~label:"loader" ~latency:4 ~enqueue:2 |]
+      ~assign:[ (Op.Load, [ 0 ]) ]
+  in
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Add (Operand.Ref 1) (Operand.Imm 0) ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate m dag ~order:[| 0; 1 |] in
+  check (Alcotest.array int_t) "etas" [| 0; 3 |] r.Omega.eta;
+  check int_t "nops" 3 r.Omega.nops
+
+(* "Load R1,X; Load R2,Y" with the MAR busy 2 ticks: 1 delay slot. *)
+let test_conflict_delay () =
+  let m =
+    Machine.make ~name:"section2.1b"
+      [| Pipe.make ~label:"loader" ~latency:4 ~enqueue:2 |]
+      ~assign:[ (Op.Load, [ 0 ]) ]
+  in
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Load (Operand.Var "y") Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate m dag ~order:[| 0; 1 |] in
+  check (Alcotest.array int_t) "etas" [| 0; 1 |] r.Omega.eta;
+  check int_t "nops" 1 r.Omega.nops
+
+let test_no_delay_when_hidden () =
+  (* Load; unrelated Const; unrelated Const; Add of the load: latency 2
+     fully hidden by the two free instructions. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:3 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:4 Op.Add (Operand.Ref 1) (Operand.Ref 2) ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate machine dag ~order:[| 0; 1; 2; 3 |] in
+  check int_t "no nops" 0 r.Omega.nops
+
+let test_evaluate_rejects_illegal () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Neg (Operand.Ref 1) Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  Alcotest.check_raises "illegal order"
+    (Invalid_argument "Omega.evaluate: order violates dependences")
+    (fun () -> ignore (Omega.evaluate machine dag ~order:[| 1; 0 |]))
+
+let test_empty_block () =
+  let blk = Block.of_tuples_exn [] in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate machine dag ~order:[||] in
+  check int_t "no nops" 0 r.Omega.nops;
+  check int_t "span" 0 (Omega.span machine dag r)
+
+let test_span () =
+  (* A single Mul: issues at 0, result at 4. *)
+  let blk =
+    Block.of_tuples_exn [ tu ~id:1 Op.Mul (Operand.Imm 2) (Operand.Imm 3) ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate machine dag ~order:[| 0 |] in
+  check int_t "span includes trailing latency" 4 (Omega.span machine dag r)
+
+(* ------------------------------------------------------------------ *)
+(* Omega: reference-evaluator oracle                                   *)
+
+(* An independent O(n^2) evaluator computing issue times directly from
+   the definition: t(0)=0, t(k) = max(t(k-1)+1, producer latencies,
+   same-pipe enqueue constraints against ALL earlier instructions). *)
+let reference_eval m dag order =
+  let blk = Dag.block dag in
+  let n = Array.length order in
+  let issue = Array.make n 0 in
+  let pipe_of pos =
+    Machine.default_pipe m (Block.tuple_at blk pos).Tuple.op
+  in
+  let lat_of pos = Machine.latency m (Block.tuple_at blk pos).Tuple.op in
+  let new_pos = Array.make (Dag.length dag) (-1) in
+  Array.iteri (fun k pos -> new_pos.(pos) <- k) order;
+  for k = 0 to n - 1 do
+    let pos = order.(k) in
+    let t = ref (if k = 0 then 0 else issue.(k - 1) + 1) in
+    List.iter
+      (fun u ->
+        let c = issue.(new_pos.(u)) + lat_of u in
+        if c > !t then t := c)
+      (Dag.preds dag pos);
+    (match pipe_of pos with
+     | Some p ->
+       let enq = (Machine.pipe m p).Pipe.enqueue in
+       for j = 0 to k - 1 do
+         if pipe_of order.(j) = Some p then begin
+           let c = issue.(j) + enq in
+           if c > !t then t := c
+         end
+       done
+     | None -> ());
+    issue.(k) <- !t
+  done;
+  let nops = if n = 0 then 0 else issue.(n - 1) - (n - 1) in
+  (issue, nops)
+
+(* Pick a random legal order of a block. *)
+let random_legal_order rng dag =
+  let n = Dag.length dag in
+  let unsched = Array.init n (fun i -> List.length (Dag.preds dag i)) in
+  let used = Array.make n false in
+  let order = Array.make n 0 in
+  for k = 0 to n - 1 do
+    let ready = ref [] in
+    for i = 0 to n - 1 do
+      if (not used.(i)) && unsched.(i) = 0 then ready := i :: !ready
+    done;
+    let pick = Rng.choose rng (Array.of_list !ready) in
+    used.(pick) <- true;
+    List.iter (fun v -> unsched.(v) <- unsched.(v) - 1) (Dag.succs dag pick);
+    order.(k) <- pick
+  done;
+  order
+
+let gen_block_and_order =
+  QCheck2.Gen.(
+    map2
+      (fun seed n ->
+        let rng = Rng.create seed in
+        let blk = random_block rng n in
+        let dag = Dag.of_block blk in
+        (blk, dag, random_legal_order rng dag))
+      (int_bound 1_000_000)
+      (int_range 1 16))
+
+let print_block_and_order (blk, _, order) =
+  Block.to_string blk ^ "\norder: "
+  ^ String.concat " " (Array.to_list (Array.map string_of_int order))
+
+let omega_matches_reference =
+  qtest ~count:400 "Omega agrees with the O(n^2) reference evaluator"
+    gen_block_and_order print_block_and_order
+    (fun (_, dag, order) ->
+      let r = Omega.evaluate machine dag ~order in
+      let issue_ref, nops_ref = reference_eval machine dag order in
+      r.Omega.issue = issue_ref && r.Omega.nops = nops_ref)
+
+let omega_invariants =
+  qtest ~count:400 "eta >= 0, issues strictly increase, nops = sum eta"
+    gen_block_and_order print_block_and_order
+    (fun (_, dag, order) ->
+      let r = Omega.evaluate machine dag ~order in
+      let n = Array.length order in
+      let ok = ref (r.Omega.nops = Array.fold_left ( + ) 0 r.Omega.eta) in
+      for k = 0 to n - 1 do
+        if r.Omega.eta.(k) < 0 then ok := false;
+        if
+          k > 0
+          && r.Omega.issue.(k) <> r.Omega.issue.(k - 1) + 1 + r.Omega.eta.(k)
+        then ok := false
+      done;
+      if n > 0 && r.Omega.issue.(0) <> 0 then ok := false;
+      !ok)
+
+(* Greedy per-prefix NOP insertion is tight: whenever eta(k) > 0, issuing
+   instruction k one slot earlier would violate a constraint. *)
+let omega_minimal =
+  qtest ~count:400 "inserted NOPs are minimal per prefix"
+    gen_block_and_order print_block_and_order
+    (fun (_, dag, order) ->
+      let blk = Dag.block dag in
+      let r = Omega.evaluate machine dag ~order in
+      let new_pos = Array.make (Dag.length dag) (-1) in
+      Array.iteri (fun k pos -> new_pos.(pos) <- k) order;
+      let ok = ref true in
+      Array.iteri
+        (fun k pos ->
+          if r.Omega.eta.(k) > 0 then begin
+            let earlier = r.Omega.issue.(k) - 1 in
+            let violates_dep =
+              List.exists
+                (fun u ->
+                  let lat =
+                    Machine.latency machine (Block.tuple_at blk u).Tuple.op
+                  in
+                  r.Omega.issue.(new_pos.(u)) + lat > earlier)
+                (Dag.preds dag pos)
+            in
+            let violates_conflict =
+              match
+                Machine.default_pipe machine
+                  (Block.tuple_at blk pos).Tuple.op
+              with
+              | None -> false
+              | Some p ->
+                let enq = (Machine.pipe machine p).Pipe.enqueue in
+                List.exists
+                  (fun j ->
+                    Machine.default_pipe machine
+                      (Block.tuple_at blk order.(j)).Tuple.op
+                    = Some p
+                    && r.Omega.issue.(j) + enq > earlier)
+                  (List.init k (fun j -> j))
+            in
+            if not (violates_dep || violates_conflict) then ok := false
+          end)
+        order;
+      !ok)
+
+(* Entry-state variant of the oracle: the same O(n^2) evaluator with the
+   per-pipe last-use ticks seeded from the entry. *)
+let reference_eval_with_entry m dag (entry : Omega.entry) order =
+  let blk = Dag.block dag in
+  let n = Array.length order in
+  let issue = Array.make n 0 in
+  let pipe_of pos =
+    Machine.default_pipe m (Block.tuple_at blk pos).Tuple.op
+  in
+  let lat_of pos = Machine.latency m (Block.tuple_at blk pos).Tuple.op in
+  let new_pos = Array.make (Dag.length dag) (-1) in
+  Array.iteri (fun k pos -> new_pos.(pos) <- k) order;
+  for k = 0 to n - 1 do
+    let pos = order.(k) in
+    let t = ref (if k = 0 then 0 else issue.(k - 1) + 1) in
+    List.iter
+      (fun u ->
+        let c = issue.(new_pos.(u)) + lat_of u in
+        if c > !t then t := c)
+      (Dag.preds dag pos);
+    (match pipe_of pos with
+     | Some p ->
+       let enq = (Machine.pipe m p).Pipe.enqueue in
+       let c = entry.Omega.pipe_last_use.(p) + enq in
+       if c > !t then t := c;
+       for j = 0 to k - 1 do
+         if pipe_of order.(j) = Some p then begin
+           let c = issue.(j) + enq in
+           if c > !t then t := c
+         end
+       done
+     | None -> ());
+    issue.(k) <- !t
+  done;
+  issue
+
+let omega_entry_matches_reference =
+  qtest ~count:300 "Omega with entry state agrees with the oracle"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 12))
+    (fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let blk = random_block rng n in
+      let dag = Dag.of_block blk in
+      let order = random_legal_order rng dag in
+      let entry =
+        { Omega.pipe_last_use =
+            Array.init (Machine.pipe_count machine) (fun _ ->
+                -1 - Rng.int rng 6) }
+      in
+      let r = Omega.evaluate ~entry machine dag ~order in
+      r.Omega.issue = reference_eval_with_entry machine dag entry order)
+
+(* Multi-pipe oracle: the demo machine with random pipeline choices. *)
+let omega_multi_pipe_matches_reference =
+  qtest ~count:300 "evaluate_with_pipes agrees with a per-choice oracle"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 12))
+    (fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    (fun (seed, n) ->
+      let m = Machine.Presets.demo in
+      let rng = Rng.create seed in
+      let blk = random_block rng n in
+      let dag = Dag.of_block blk in
+      let order = random_legal_order rng dag in
+      let choice =
+        Array.init n (fun pos ->
+            match
+              Machine.candidates m (Block.tuple_at blk pos).Tuple.op
+            with
+            | [] -> None
+            | cands -> Some (Rng.choose rng (Array.of_list cands)))
+      in
+      let r = Omega.evaluate_with_pipes m dag ~order ~choice in
+      (* Oracle with explicit choices. *)
+      let issue = Array.make n 0 in
+      let new_pos = Array.make n (-1) in
+      Array.iteri (fun k pos -> new_pos.(pos) <- k) order;
+      let lat_of pos =
+        match choice.(pos) with
+        | Some p -> (Machine.pipe m p).Pipe.latency
+        | None -> 1
+      in
+      for k = 0 to n - 1 do
+        let pos = order.(k) in
+        let t = ref (if k = 0 then 0 else issue.(k - 1) + 1) in
+        List.iter
+          (fun u ->
+            let c = issue.(new_pos.(u)) + lat_of u in
+            if c > !t then t := c)
+          (Dag.preds dag pos);
+        (match choice.(pos) with
+         | Some p ->
+           let enq = (Machine.pipe m p).Pipe.enqueue in
+           for j = 0 to k - 1 do
+             if choice.(order.(j)) = Some p then begin
+               let c = issue.(j) + enq in
+               if c > !t then t := c
+             end
+           done
+         | None -> ());
+        issue.(k) <- !t
+      done;
+      r.Omega.issue = issue)
+
+(* ------------------------------------------------------------------ *)
+(* Explain                                                             *)
+
+let explain_accounts_for_all_stalls =
+  qtest ~count:300 "explain covers every stall with a valid cause"
+    gen_block_and_order print_block_and_order
+    (fun (blk, dag, order) ->
+      let r = Omega.evaluate machine dag ~order in
+      let explained = Omega.explain machine dag r in
+      let covered = Hashtbl.create 8 in
+      let valid =
+        List.for_all
+          (fun (k, eta, cause) ->
+            Hashtbl.replace covered k ();
+            eta = r.Omega.eta.(k)
+            &&
+            match cause with
+            | Omega.Dependence u -> List.mem u (Dag.preds dag order.(k))
+            | Omega.Conflict p ->
+              Machine.default_pipe machine
+                (Block.tuple_at blk order.(k)).Tuple.op
+              = Some p)
+          explained
+      in
+      (* Cold evaluations have an in-block culprit for every stall. *)
+      let all_covered = ref true in
+      Array.iteri
+        (fun k eta ->
+          if eta > 0 && not (Hashtbl.mem covered k) then all_covered := false)
+        r.Omega.eta;
+      valid && !all_covered)
+
+let test_explain_examples () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Neg (Operand.Ref 1) Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate machine dag ~order:[| 0; 1 |] in
+  (match Omega.explain machine dag r with
+   | [ (1, 1, Omega.Dependence 0) ] -> ()
+   | _ -> Alcotest.fail "expected one dependence stall");
+  let text = Omega.explain_to_string machine dag r in
+  check bool_t "mentions the load" true
+    (let needle = "Load #x" in
+     let h = String.length text and n = String.length needle in
+     let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+     go 0)
+
+let test_explain_conflict () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Mul (Operand.Imm 2) (Operand.Imm 3);
+        tu ~id:2 Op.Mul (Operand.Imm 4) (Operand.Imm 5) ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate machine dag ~order:[| 0; 1 |] in
+  match Omega.explain machine dag r with
+  | [ (1, 1, Omega.Conflict 1) ] -> ()
+  | _ -> Alcotest.fail "expected a multiplier conflict stall"
+
+(* ------------------------------------------------------------------ *)
+(* Omega.State: push/pop discipline                                    *)
+
+let state_push_pop_roundtrip =
+  qtest ~count:200 "push-all/pop-all restores a pristine state"
+    gen_block_and_order print_block_and_order
+    (fun (_, dag, order) ->
+      let st = Omega.State.create machine dag in
+      let ready0 = Omega.State.ready_list st in
+      Array.iter (fun pos -> Omega.State.push st pos) order;
+      let nops_full = Omega.State.nops st in
+      let r = Omega.evaluate machine dag ~order in
+      let ok1 = nops_full = r.Omega.nops in
+      Array.iter (fun _ -> Omega.State.pop st) order;
+      ok1
+      && Omega.State.depth st = 0
+      && Omega.State.nops st = 0
+      && Omega.State.ready_list st = ready0)
+
+let state_interleaved =
+  qtest ~count:100 "interleaved push/pop agrees with from-scratch evaluation"
+    QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 2 12))
+    (fun (seed, n) -> Printf.sprintf "seed=%d n=%d" seed n)
+    (fun (seed, n) ->
+      let rng = Rng.create seed in
+      let blk = random_block rng n in
+      let dag = Dag.of_block blk in
+      let st = Omega.State.create machine dag in
+      (* Random walk: push a random ready instruction or pop. *)
+      let ok = ref true in
+      for _ = 1 to 40 do
+        let ready = Omega.State.ready_list st in
+        let can_push = ready <> [] && Omega.State.depth st < n in
+        let do_push =
+          if Omega.State.depth st = 0 then can_push
+          else if not can_push then false
+          else Rng.bool rng
+        in
+        if do_push then
+          Omega.State.push st (Rng.choose rng (Array.of_list ready))
+        else if Omega.State.depth st > 0 then Omega.State.pop st;
+        (* Invariant: partial nops equal evaluating the prefix from
+           scratch. *)
+        let prefix = Omega.State.prefix st in
+        let st2 = Omega.State.create machine dag in
+        Array.iter (fun pos -> Omega.State.push st2 pos) prefix;
+        if Omega.State.nops st2 <> Omega.State.nops st then ok := false
+      done;
+      !ok)
+
+let test_state_guards () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Neg (Operand.Ref 1) Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  let st = Omega.State.create machine dag in
+  Alcotest.check_raises "push not-ready"
+    (Invalid_argument "Omega.State.push: instruction not ready") (fun () ->
+      Omega.State.push st 1);
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Omega.State.pop: empty schedule") (fun () ->
+      Omega.State.pop st);
+  Omega.State.push st 0;
+  Alcotest.check_raises "push scheduled"
+    (Invalid_argument "Omega.State.push: instruction not ready") (fun () ->
+      Omega.State.push st 0);
+  check bool_t "ready after push" true (Omega.State.is_ready st 1)
+
+let test_complete_greedily_preserves_state () =
+  let rng = Rng.create 77 in
+  let blk = random_block rng 10 in
+  let dag = Dag.of_block blk in
+  let st = Omega.State.create machine dag in
+  (match Omega.State.ready_list st with
+   | pos :: _ -> Omega.State.push st pos
+   | [] -> Alcotest.fail "no ready instruction");
+  let depth = Omega.State.depth st in
+  let nops = Omega.State.nops st in
+  let r = Omega.State.complete_greedily st in
+  check int_t "complete schedule length" (Block.length blk)
+    (Array.length r.Omega.order);
+  check int_t "depth preserved" depth (Omega.State.depth st);
+  check int_t "nops preserved" nops (Omega.State.nops st)
+
+let test_push_on_validation () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 1) Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  let st = Omega.State.create machine dag in
+  Alcotest.check_raises "load needs a pipe"
+    (Invalid_argument "Omega.State.push: operation requires a pipeline")
+    (fun () -> Omega.State.push_on st 0 ~pipe:None);
+  Alcotest.check_raises "load on wrong pipe"
+    (Invalid_argument "Omega.State.push: pipeline is not a candidate")
+    (fun () -> Omega.State.push_on st 0 ~pipe:(Some 1));
+  Alcotest.check_raises "const takes no pipe"
+    (Invalid_argument "Omega.State.push: pipeline is not a candidate")
+    (fun () -> Omega.State.push_on st 1 ~pipe:(Some 0))
+
+(* ------------------------------------------------------------------ *)
+(* Interlock models                                                    *)
+
+let interlock_models_agree =
+  qtest ~count:300 "NOP padding, implicit and explicit interlocks agree"
+    gen_block_and_order print_block_and_order
+    (fun (_, dag, order) ->
+      let r = Omega.evaluate machine dag ~order in
+      let n = Array.length order in
+      let padded = Interlock.nop_padded dag r in
+      let t_padded = Interlock.execute_padded padded in
+      let stalls, t_implicit =
+        Interlock.implicit_interlock machine dag ~order
+      in
+      let tags = Interlock.explicit_tags machine dag r in
+      let t_tagged = Interlock.execute_tagged tags in
+      t_padded = n + r.Omega.nops
+      && t_implicit = t_padded
+      && t_tagged = t_padded
+      && stalls = r.Omega.eta)
+
+let test_padded_structure () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Neg (Operand.Ref 1) Operand.Null ]
+  in
+  let dag = Dag.of_block blk in
+  let r = Omega.evaluate machine dag ~order:[| 0; 1 |] in
+  let padded = Interlock.nop_padded dag r in
+  (* Load (latency 2) then Neg: one NOP between them. *)
+  match padded with
+  | [ Interlock.Insn l; Interlock.Nop; Interlock.Insn g ] ->
+    check bool_t "load first" true (l.Tuple.op = Op.Load);
+    check bool_t "neg last" true (g.Tuple.op = Op.Neg)
+  | _ -> Alcotest.fail "unexpected padded shape"
+
+let () =
+  Alcotest.run "machine"
+    [ ( "descriptions",
+        [ Alcotest.test_case "pipe validation" `Quick test_pipe_validation;
+          Alcotest.test_case "simulation machine (table 4/5)" `Quick
+            test_machine_tables;
+          Alcotest.test_case "machine validation" `Quick
+            test_machine_validation;
+          Alcotest.test_case "demo machine (table 2/3)" `Quick
+            test_demo_machine_multi;
+          Alcotest.test_case "preset lookup" `Quick test_presets_find;
+          Alcotest.test_case "text roundtrip" `Quick
+            test_machine_text_roundtrip;
+          Alcotest.test_case "text format" `Quick test_machine_parse_format;
+          Alcotest.test_case "text errors" `Quick test_machine_parse_errors;
+          machine_text_roundtrip_random ] );
+      ( "omega",
+        [ Alcotest.test_case "dependence delay (2.1)" `Quick
+            test_dependence_delay;
+          Alcotest.test_case "conflict delay (2.1)" `Quick
+            test_conflict_delay;
+          Alcotest.test_case "latency hidden by useful work" `Quick
+            test_no_delay_when_hidden;
+          Alcotest.test_case "rejects illegal orders" `Quick
+            test_evaluate_rejects_illegal;
+          Alcotest.test_case "empty block" `Quick test_empty_block;
+          Alcotest.test_case "span" `Quick test_span;
+          omega_matches_reference;
+          omega_invariants;
+          omega_minimal;
+          omega_entry_matches_reference;
+          omega_multi_pipe_matches_reference ] );
+      ( "explain",
+        [ explain_accounts_for_all_stalls;
+          Alcotest.test_case "dependence example" `Quick
+            test_explain_examples;
+          Alcotest.test_case "conflict example" `Quick test_explain_conflict
+        ] );
+      ( "state",
+        [ state_push_pop_roundtrip;
+          state_interleaved;
+          Alcotest.test_case "guards" `Quick test_state_guards;
+          Alcotest.test_case "complete_greedily non-destructive" `Quick
+            test_complete_greedily_preserves_state;
+          Alcotest.test_case "push_on validation" `Quick
+            test_push_on_validation ] );
+      ( "interlock",
+        [ interlock_models_agree;
+          Alcotest.test_case "padded structure" `Quick test_padded_structure
+        ] ) ]

@@ -1,0 +1,219 @@
+(* Tests for Pipesched_prelude: Bitset and Rng. *)
+
+module Bitset = Pipesched_prelude.Bitset
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Bitset                                                              *)
+
+let test_empty () =
+  let s = Bitset.create 100 in
+  check int_t "cardinal" 0 (Bitset.cardinal s);
+  for i = 0 to 99 do
+    check bool_t "mem" false (Bitset.mem s i)
+  done
+
+let test_add_remove () =
+  let s = Bitset.create 200 in
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 199;
+  check int_t "cardinal" 4 (Bitset.cardinal s);
+  check bool_t "mem 63" true (Bitset.mem s 63);
+  check bool_t "mem 64" true (Bitset.mem s 64);
+  check bool_t "mem 65" false (Bitset.mem s 65);
+  Bitset.remove s 63;
+  check bool_t "removed" false (Bitset.mem s 63);
+  check int_t "cardinal after remove" 3 (Bitset.cardinal s)
+
+let test_add_idempotent () =
+  let s = Bitset.create 10 in
+  Bitset.add s 5;
+  Bitset.add s 5;
+  check int_t "cardinal" 1 (Bitset.cardinal s)
+
+let test_out_of_range () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "negative" (Invalid_argument "Bitset: index out of range")
+    (fun () -> Bitset.add s (-1));
+  Alcotest.check_raises "too large" (Invalid_argument "Bitset: index out of range")
+    (fun () -> ignore (Bitset.mem s 10))
+
+let test_union_inter_subset () =
+  let a = Bitset.create 70 and b = Bitset.create 70 in
+  List.iter (Bitset.add a) [ 1; 3; 5; 64 ];
+  List.iter (Bitset.add b) [ 3; 5; 7 ];
+  let i = Bitset.inter a b in
+  check (Alcotest.list int_t) "inter" [ 3; 5 ] (Bitset.elements i);
+  check bool_t "subset inter a" true (Bitset.subset i a);
+  check bool_t "subset inter b" true (Bitset.subset i b);
+  check bool_t "not subset a b" false (Bitset.subset a b);
+  Bitset.union_into ~into:b a;
+  check (Alcotest.list int_t) "union" [ 1; 3; 5; 7; 64 ] (Bitset.elements b);
+  check bool_t "a subset union" true (Bitset.subset a b)
+
+let test_copy_independent () =
+  let a = Bitset.create 10 in
+  Bitset.add a 1;
+  let b = Bitset.copy a in
+  Bitset.add b 2;
+  check bool_t "copy has 2" true (Bitset.mem b 2);
+  check bool_t "original lacks 2" false (Bitset.mem a 2);
+  check bool_t "equal after clear" false (Bitset.equal a b);
+  Bitset.clear b;
+  check int_t "cleared" 0 (Bitset.cardinal b)
+
+let test_capacity_mismatch () =
+  let a = Bitset.create 10 and b = Bitset.create 11 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Bitset: capacity mismatch")
+    (fun () -> ignore (Bitset.subset a b))
+
+let bitset_model =
+  qtest ~count:300 "bitset matches a list-set model"
+    QCheck2.Gen.(list (pair (int_bound 99) bool))
+    (fun ops ->
+      String.concat ";"
+        (List.map (fun (i, add) -> Printf.sprintf "%d%b" i add) ops))
+    (fun ops ->
+      let s = Bitset.create 100 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (i, add) ->
+          if add then begin
+            Bitset.add s i;
+            Hashtbl.replace model i ()
+          end
+          else begin
+            Bitset.remove s i;
+            Hashtbl.remove model i
+          end)
+        ops;
+      Bitset.cardinal s = Hashtbl.length model
+      && List.for_all (fun i -> Hashtbl.mem model i) (Bitset.elements s))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check int_t "same stream" (Rng.bits a) (Rng.bits b)
+  done
+
+let test_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.bits a = Rng.bits b then incr same
+  done;
+  check bool_t "streams differ" true (!same < 5)
+
+let test_copy () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits a);
+  let b = Rng.copy a in
+  check int_t "copy continues identically" (Rng.bits a) (Rng.bits b)
+
+let test_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.bits a) in
+  let ys = List.init 20 (fun _ -> Rng.bits b) in
+  check bool_t "split streams differ" true (xs <> ys)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 7 in
+    check bool_t "in range" true (v >= 0 && v < 7)
+  done;
+  Alcotest.check_raises "zero bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    check bool_t "in closed range" true (v >= -5 && v <= 5)
+  done
+
+let test_int_uniformish () =
+  let rng = Rng.create 5 in
+  let counts = Array.make 10 0 in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      (* each bucket within 20% of the expected 2000 *)
+      check bool_t "roughly uniform" true (c > 1600 && c < 2400))
+    counts
+
+let test_float_range () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 1000 do
+    let f = Rng.float rng in
+    check bool_t "in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_weighted () =
+  let rng = Rng.create 8 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.weighted rng [ (1, "a"); (9, "b"); (0, "c") ] in
+    Hashtbl.replace counts x
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let get k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  check int_t "zero-weight never drawn" 0 (get "c");
+  check bool_t "ratio approx 1:9" true
+    (get "b" > 7 * get "a" && get "b" < 12 * get "a")
+
+let test_shuffle_permutes () =
+  let rng = Rng.create 9 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check bool_t "same elements" true (sorted = Array.init 50 (fun i -> i));
+  check bool_t "actually moved" true (arr <> Array.init 50 (fun i -> i))
+
+let test_choose () =
+  let rng = Rng.create 10 in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng [| 1; 2; 3 |] in
+    check bool_t "member" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
+    (fun () -> ignore (Rng.choose rng [||]))
+
+let () =
+  Alcotest.run "prelude"
+    [ ( "bitset",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "add/remove" `Quick test_add_remove;
+          Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+          Alcotest.test_case "out of range" `Quick test_out_of_range;
+          Alcotest.test_case "union/inter/subset" `Quick
+            test_union_inter_subset;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          Alcotest.test_case "capacity mismatch" `Quick
+            test_capacity_mismatch;
+          bitset_model ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "different seeds" `Quick test_different_seeds;
+          Alcotest.test_case "copy" `Quick test_copy;
+          Alcotest.test_case "split" `Quick test_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "uniformity" `Quick test_int_uniformish;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "weighted" `Quick test_weighted;
+          Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+          Alcotest.test_case "choose" `Quick test_choose ] ) ]

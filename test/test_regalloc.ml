@@ -1,0 +1,332 @@
+(* Tests for Pipesched_regalloc: Liveness, Alloc, Codegen. *)
+
+open Pipesched_ir
+open Pipesched_frontend
+module Regalloc = Pipesched_regalloc
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+let tu ~id op a b = Tuple.make ~id op a b
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+
+let test_ranges_basic () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:4 Op.Store (Operand.Var "x") (Operand.Ref 3) ]
+  in
+  let ranges = Regalloc.Liveness.ranges blk in
+  let r id = List.assoc id ranges in
+  check int_t "const1 def" 0 (r 1).Regalloc.Liveness.def_pos;
+  check int_t "const1 last use" 2 (r 1).Regalloc.Liveness.last_use_pos;
+  check int_t "add last use" 3 (r 3).Regalloc.Liveness.last_use_pos;
+  check bool_t "store absent" true (List.assoc_opt 4 ranges = None)
+
+let test_unused_value_range () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Store (Operand.Var "x") (Operand.Imm 5) ]
+  in
+  let r = List.assoc 1 (Regalloc.Liveness.ranges blk) in
+  check int_t "dies at definition" 0 r.Regalloc.Liveness.last_use_pos
+
+let test_pressure () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:4 Op.Store (Operand.Var "x") (Operand.Ref 3) ]
+  in
+  check (Alcotest.array int_t) "pressure profile" [| 0; 1; 2; 1 |]
+    (Regalloc.Liveness.pressure blk);
+  check int_t "max" 2 (Regalloc.Liveness.max_pressure blk)
+
+(* ------------------------------------------------------------------ *)
+(* Alloc                                                               *)
+
+(* Validity oracle: two values with overlapping live ranges never share a
+   register. *)
+let allocation_valid blk alloc =
+  let ranges = Regalloc.Liveness.ranges blk in
+  List.for_all
+    (fun (id1, (r1 : Regalloc.Liveness.range)) ->
+      List.for_all
+        (fun (id2, (r2 : Regalloc.Liveness.range)) ->
+          id1 >= id2
+          || Regalloc.Alloc.register_of alloc id1
+             <> Regalloc.Alloc.register_of alloc id2
+          || r1.Regalloc.Liveness.last_use_pos
+             <= r2.Regalloc.Liveness.def_pos
+          || r2.Regalloc.Liveness.last_use_pos
+             <= r1.Regalloc.Liveness.def_pos)
+        ranges)
+    ranges
+
+let alloc_valid_when_enough_regs =
+  qtest ~count:300 "allocation with ample registers is interference-free"
+    (block_gen ~max_size:16 ()) block_print
+    (fun blk ->
+      match Regalloc.Alloc.allocate blk ~registers:64 with
+      | Ok alloc -> allocation_valid blk alloc
+      | Error _ -> false)
+
+let alloc_uses_few_registers =
+  qtest ~count:300 "registers used never exceed max pressure + 1"
+    (block_gen ~max_size:16 ()) block_print
+    (fun blk ->
+      match Regalloc.Alloc.allocate blk ~registers:64 with
+      | Ok alloc ->
+        Regalloc.Alloc.registers_used alloc
+        <= Regalloc.Liveness.max_pressure blk + 1
+      | Error _ -> false)
+
+let test_alloc_overflow () =
+  (* Three simultaneously-live values cannot fit two registers. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Const (Operand.Imm 3) Operand.Null;
+        tu ~id:4 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:5 Op.Add (Operand.Ref 4) (Operand.Ref 3);
+        tu ~id:6 Op.Store (Operand.Var "x") (Operand.Ref 5) ]
+  in
+  (match Regalloc.Alloc.allocate blk ~registers:2 with
+   | Error (pos, demand) ->
+     check int_t "overflow position" 2 pos;
+     check int_t "demand" 3 demand
+   | Ok _ -> Alcotest.fail "expected overflow");
+  match Regalloc.Alloc.allocate blk ~registers:3 with
+  | Ok alloc -> check bool_t "three registers suffice" true
+                  (allocation_valid blk alloc)
+  | Error _ -> Alcotest.fail "three registers should be enough"
+
+let test_rematerialize_consts () =
+  (* The overflowing block above is fixable: constants re-materialize. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Const (Operand.Imm 1) Operand.Null;
+        tu ~id:2 Op.Const (Operand.Imm 2) Operand.Null;
+        tu ~id:3 Op.Const (Operand.Imm 3) Operand.Null;
+        tu ~id:4 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        tu ~id:5 Op.Add (Operand.Ref 4) (Operand.Ref 3);
+        tu ~id:6 Op.Store (Operand.Var "x") (Operand.Ref 5) ]
+  in
+  match Regalloc.Alloc.rematerialize blk ~registers:2 with
+  | None -> Alcotest.fail "expected a re-materialized fix"
+  | Some blk' ->
+    (match Regalloc.Alloc.allocate blk' ~registers:2 with
+     | Ok alloc -> check bool_t "fixed block allocates" true
+                     (allocation_valid blk' alloc)
+     | Error _ -> Alcotest.fail "fix did not allocate");
+    (* Semantics preserved. *)
+    let before = Interp.run_block blk ~env:(fun _ -> 0) in
+    let after = Interp.run_block blk' ~env:(fun _ -> 0) in
+    check bool_t "same final memory" true (before = after)
+
+let rematerialize_preserves_semantics =
+  qtest ~count:300 "rematerialize preserves block semantics"
+    (block_gen ~max_size:14 ()) block_print
+    (fun blk ->
+      match Regalloc.Alloc.rematerialize blk ~registers:3 with
+      | None -> true (* not fixable is an acceptable outcome *)
+      | Some blk' ->
+        let env = env_of_seed 5 in
+        Interp.run_block blk ~env = Interp.run_block blk' ~env
+        && Regalloc.Alloc.allocate blk' ~registers:3 |> Result.is_ok)
+
+let test_rematerialize_unfixable () =
+  (* Four live arithmetic results cannot be re-materialized into 2 regs:
+     chain of adds all still live at the end. *)
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "a") Operand.Null;
+        tu ~id:2 Op.Add (Operand.Ref 1) (Operand.Imm 1);
+        tu ~id:3 Op.Add (Operand.Ref 1) (Operand.Imm 2);
+        tu ~id:4 Op.Add (Operand.Ref 1) (Operand.Imm 3);
+        tu ~id:5 Op.Store (Operand.Var "a") (Operand.Imm 0);
+        tu ~id:6 Op.Xor (Operand.Ref 2) (Operand.Ref 3);
+        tu ~id:7 Op.Xor (Operand.Ref 6) (Operand.Ref 4);
+        tu ~id:8 Op.Store (Operand.Var "x") (Operand.Ref 7) ]
+  in
+  match Regalloc.Alloc.rematerialize blk ~registers:2 with
+  | None -> ()
+  | Some blk' ->
+    (* If it claims success, it must actually allocate. *)
+    check bool_t "claimed fix allocates" true
+      (Regalloc.Alloc.allocate blk' ~registers:2 |> Result.is_ok)
+
+(* ------------------------------------------------------------------ *)
+(* Codegen                                                             *)
+
+let test_codegen_output () =
+  let blk = Compile.compile "b = 15; a = b * a;" in
+  let alloc =
+    match Regalloc.Alloc.allocate blk ~registers:8 with
+    | Ok a -> a
+    | Error _ -> Alcotest.fail "allocation failed"
+  in
+  let eta = Array.make (Block.length blk) 0 in
+  eta.(Block.length blk - 1) <- 2;
+  let lines = Regalloc.Codegen.lines blk ~eta ~alloc in
+  check int_t "line count" (Block.length blk + 2) (List.length lines);
+  let text = Regalloc.Codegen.emit blk ~eta ~alloc in
+  check bool_t "mentions Load" true
+    (String.length text > 0
+     && Array.exists
+          (fun t -> t.Tuple.op = Op.Load)
+          (Block.tuples blk)
+     = (let re = "Load" in
+        let rec contains i =
+          i + String.length re <= String.length text
+          && (String.sub text i (String.length re) = re || contains (i + 1))
+        in
+        contains 0))
+
+let test_codegen_ticks () =
+  let blk = Compile.compile "x = a + b;" in
+  let alloc =
+    match Regalloc.Alloc.allocate blk ~registers:8 with
+    | Ok a -> a
+    | Error _ -> Alcotest.fail "allocation failed"
+  in
+  let n = Block.length blk in
+  let eta = Array.make n 0 in
+  if n > 1 then eta.(1) <- 1;
+  let lines = Regalloc.Codegen.lines blk ~eta ~alloc in
+  (* Ticks are consecutive from 0. *)
+  List.iteri
+    (fun i l -> check int_t "tick" i l.Regalloc.Codegen.tick)
+    lines;
+  (* Exactly one NOP line. *)
+  check int_t "nop count" (if n > 1 then 1 else 0)
+    (List.length
+       (List.filter (fun l -> l.Regalloc.Codegen.source = None) lines))
+
+let test_codegen_eta_mismatch () =
+  let blk = Compile.compile "x = 1;" in
+  let alloc =
+    match Regalloc.Alloc.allocate blk ~registers:4 with
+    | Ok a -> a
+    | Error _ -> Alcotest.fail "allocation failed"
+  in
+  Alcotest.check_raises "eta length"
+    (Invalid_argument "Codegen.lines: eta length") (fun () ->
+      ignore (Regalloc.Codegen.lines blk ~eta:[| 0; 0 |] ~alloc))
+
+(* ------------------------------------------------------------------ *)
+(* Assembly parser and executor                                        *)
+
+let test_asm_parse () =
+  let text = "Load  r0, a   ; t=0\nNop ; t=1\nMul   r1, r0, #3 ; t=2\nStore b, r1" in
+  match Regalloc.Asm.parse text with
+  | Error (line, msg) -> Alcotest.failf "parse failed line %d: %s" line msg
+  | Ok instrs ->
+    check int_t "count" 4 (List.length instrs);
+    (match instrs with
+     | [ l; n; m; s ] ->
+       check bool_t "load" true
+         (l = { Regalloc.Asm.mnemonic = "Load";
+                operands = [ Regalloc.Asm.Reg 0; Regalloc.Asm.Mem "a" ] });
+       check bool_t "nop" true (n.Regalloc.Asm.mnemonic = "Nop");
+       check bool_t "mul operands" true
+         (m.Regalloc.Asm.operands
+          = [ Regalloc.Asm.Reg 1; Regalloc.Asm.Reg 0; Regalloc.Asm.Imm 3 ]);
+       check bool_t "store" true
+         (s.Regalloc.Asm.operands
+          = [ Regalloc.Asm.Mem "b"; Regalloc.Asm.Reg 1 ])
+     | _ -> Alcotest.fail "wrong shape")
+
+let test_asm_execute () =
+  let text = "Li    r0, #5\nLoad  r1, x\nAdd   r2, r0, r1\nStore y, r2\nNop" in
+  match Regalloc.Asm.parse text with
+  | Error _ -> Alcotest.fail "parse failed"
+  | Ok instrs ->
+    let result, ticks =
+      Regalloc.Asm.execute instrs ~env:(fun v -> if v = "x" then 37 else 0)
+    in
+    check int_t "ticks" 5 ticks;
+    check bool_t "y = 42" true (List.assoc "y" result = 42)
+
+let test_asm_rejects () =
+  (match Regalloc.Asm.parse "Add r0, r1, r2" with
+   | Ok [ i ] ->
+     (match Regalloc.Asm.execute [ { i with Regalloc.Asm.mnemonic = "Bogus" } ]
+              ~env:(fun _ -> 0)
+      with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail "executed unknown mnemonic")
+   | _ -> Alcotest.fail "parse shape");
+  match Regalloc.Asm.parse "Store x" with
+  | Ok [ i ] ->
+    (match Regalloc.Asm.execute [ i ] ~env:(fun _ -> 0) with
+     | exception Invalid_argument _ -> ()
+     | _ -> Alcotest.fail "executed malformed store")
+  | _ -> Alcotest.fail "parse shape"
+
+(* The full back end round-trips through text: emitted assembly executes
+   to the same memory as the tuple interpreter. *)
+let asm_roundtrip =
+  qtest ~count:300 "emit -> parse -> execute matches the tuple interpreter"
+    QCheck2.Gen.(int_bound 10_000_000)
+    string_of_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let prog =
+        Pipesched_synth.Generator.program rng
+          { Pipesched_synth.Generator.statements = 1 + Rng.int rng 6;
+            variables = 1 + Rng.int rng 4;
+            constants = 1 + Rng.int rng 3 }
+      in
+      let blk = Compile.compile_program prog in
+      match Regalloc.Alloc.allocate blk ~registers:64 with
+      | Error _ -> false
+      | Ok alloc ->
+        let eta = Array.make (Block.length blk) 0 in
+        if Block.length blk > 1 then eta.(1) <- 1;
+        let text = Regalloc.Codegen.emit blk ~eta ~alloc in
+        (match Regalloc.Asm.parse text with
+         | Error _ -> false
+         | Ok instrs ->
+           let env = env_of_seed 11 in
+           let result, ticks = Regalloc.Asm.execute instrs ~env in
+           let expected = Interp.run_block blk ~env in
+           let agree (v, x) =
+             match List.assoc_opt v result with
+             | Some y -> x = y
+             | None -> false
+           in
+           ticks = Block.length blk + (if Block.length blk > 1 then 1 else 0)
+           && List.for_all agree expected))
+
+let () =
+  Alcotest.run "regalloc"
+    [ ( "liveness",
+        [ Alcotest.test_case "ranges" `Quick test_ranges_basic;
+          Alcotest.test_case "unused value" `Quick test_unused_value_range;
+          Alcotest.test_case "pressure" `Quick test_pressure ] );
+      ( "alloc",
+        [ alloc_valid_when_enough_regs;
+          alloc_uses_few_registers;
+          Alcotest.test_case "overflow detection" `Quick test_alloc_overflow;
+          Alcotest.test_case "rematerialize constants" `Quick
+            test_rematerialize_consts;
+          rematerialize_preserves_semantics;
+          Alcotest.test_case "unfixable pressure" `Quick
+            test_rematerialize_unfixable ] );
+      ( "codegen",
+        [ Alcotest.test_case "output" `Quick test_codegen_output;
+          Alcotest.test_case "ticks" `Quick test_codegen_ticks;
+          Alcotest.test_case "eta validation" `Quick
+            test_codegen_eta_mismatch ] );
+      ( "asm",
+        [ Alcotest.test_case "parse" `Quick test_asm_parse;
+          Alcotest.test_case "execute" `Quick test_asm_execute;
+          Alcotest.test_case "rejects" `Quick test_asm_rejects;
+          asm_roundtrip ] ) ]

@@ -1,0 +1,216 @@
+(* Tests for Pipesched_synth: Frequency and Generator. *)
+
+open Pipesched_ir
+open Pipesched_frontend
+open Pipesched_synth
+module Rng = Pipesched_prelude.Rng
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Frequency                                                           *)
+
+let test_default_valid () =
+  ignore (Frequency.check Frequency.default);
+  ignore (Frequency.check Frequency.mul_heavy)
+
+let test_check_rejects () =
+  Alcotest.check_raises "empty ops"
+    (Invalid_argument "Frequency.check: op weights must have positive total")
+    (fun () ->
+      ignore
+        (Frequency.check { Frequency.default with Frequency.op_weights = [] }));
+  Alcotest.check_raises "non-binary op"
+    (Invalid_argument "Frequency.check: not a binary operator: Load")
+    (fun () ->
+      ignore
+        (Frequency.check
+           { Frequency.default with
+             Frequency.op_weights = [ (1, Op.Load) ] }))
+
+(* ------------------------------------------------------------------ *)
+(* Generator                                                           *)
+
+let test_determinism () =
+  let p = { Generator.statements = 10; variables = 4; constants = 3 } in
+  let b1 = Generator.block (Rng.create 5) p in
+  let b2 = Generator.block (Rng.create 5) p in
+  check bool_t "same seed, same block" true (Block.equal b1 b2);
+  let b3 = Generator.block (Rng.create 6) p in
+  check bool_t "different seed differs" true (not (Block.equal b1 b3))
+
+let test_respects_parameters () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 50 do
+    let p =
+      { Generator.statements = 1 + Rng.int rng 10;
+        variables = 1 + Rng.int rng 5;
+        constants = 1 + Rng.int rng 4 }
+    in
+    let prog = Generator.program rng p in
+    check int_t "statement count" p.Generator.statements (List.length prog);
+    let vars =
+      List.sort_uniq compare
+        (Ast.read_vars prog @ Ast.written_vars prog)
+    in
+    check bool_t "variable pool bound" true
+      (List.length vars <= p.Generator.variables);
+    List.iter
+      (fun v -> check bool_t "pool naming" true (String.length v >= 2 && v.[0] = 'v'))
+      vars
+  done
+
+let test_rejects_bad_params () =
+  Alcotest.check_raises "zero statements"
+    (Invalid_argument "Generator: parameters must be positive") (fun () ->
+      ignore
+        (Generator.program (Rng.create 1)
+           { Generator.statements = 0; variables = 1; constants = 1 }))
+
+let generated_blocks_valid =
+  qtest ~count:200 "generated blocks are valid and nonempty"
+    QCheck2.Gen.(int_bound 1_000_000)
+    string_of_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = Generator.sample_params rng in
+      let blk = Generator.block rng p in
+      Block.length blk > 0)
+
+let generated_programs_compile_faithfully =
+  qtest ~count:200 "generated programs survive the full front end"
+    QCheck2.Gen.(int_bound 1_000_000)
+    string_of_int
+    (fun seed ->
+      let rng = Rng.create seed in
+      let p = Generator.sample_params rng in
+      let prog = Generator.program rng p in
+      let blk = Compile.compile_program prog in
+      let vars =
+        List.sort_uniq compare (Ast.read_vars prog @ Ast.written_vars prog)
+      in
+      Interp.equivalent_on prog blk ~env:(env_of_seed 6) ~vars)
+
+let test_op_mix_follows_frequency () =
+  (* With the mul-heavy table, multiplies should clearly outnumber what
+     the default table produces. *)
+  let count_muls freq seed =
+    let rng = Rng.create seed in
+    let total = ref 0 in
+    for _ = 1 to 200 do
+      let prog =
+        Generator.program ~freq rng
+          { Generator.statements = 10; variables = 5; constants = 3 }
+      in
+      let rec count_expr = function
+        | Ast.Int _ | Ast.Var _ -> 0
+        | Ast.Unop (_, e) -> count_expr e
+        | Ast.Binop (op, e1, e2) ->
+          (if op = Op.Mul then 1 else 0) + count_expr e1 + count_expr e2
+      in
+      List.iter
+        (function
+          | Ast.Assign (_, e) -> total := !total + count_expr e
+          | Ast.If _ | Ast.While _ -> ())
+        prog
+    done;
+    !total
+  in
+  let default = count_muls Frequency.default 3 in
+  let heavy = count_muls Frequency.mul_heavy 3 in
+  check bool_t "mul-heavy has more multiplies" true (heavy > default * 2)
+
+let test_size_mix_shape () =
+  (* The calibrated mix: mean optimized size near 20, spread past 40. *)
+  let rng = Rng.create 2024 in
+  let sizes =
+    List.init 600 (fun _ ->
+        Block.length (Generator.block rng (Generator.sample_params rng)))
+  in
+  let mean =
+    float_of_int (List.fold_left ( + ) 0 sizes) /. float_of_int 600
+  in
+  check bool_t "mean near 20" true (mean > 15.0 && mean < 25.0);
+  check bool_t "has large blocks" true (List.exists (fun s -> s > 35) sizes);
+  check bool_t "has small blocks" true (List.exists (fun s -> s < 8) sizes)
+
+let test_batch () =
+  let blocks = Generator.batch (Rng.create 9) ~count:25 in
+  check int_t "count" 25 (List.length blocks);
+  let blocks' = Generator.batch (Rng.create 9) ~count:25 in
+  check bool_t "deterministic" true
+    (List.for_all2 Block.equal blocks blocks')
+
+(* ------------------------------------------------------------------ *)
+(* Kernels                                                             *)
+
+let test_kernels_parse () =
+  List.iter
+    (fun (k : Kernels.t) ->
+      match Parser.parse k.Kernels.source with
+      | prog ->
+        check bool_t (k.Kernels.name ^ " loopedness") k.Kernels.looped
+          (not (Ast.straight_line prog))
+      | exception Parser.Error msg ->
+        Alcotest.failf "%s: %s" k.Kernels.name msg)
+    Kernels.all;
+  let names = List.map (fun k -> k.Kernels.name) Kernels.all in
+  check bool_t "unique names" true
+    (List.length names = List.length (List.sort_uniq compare names));
+  check bool_t "find" true (Kernels.find "dot4" <> None);
+  check bool_t "find missing" true (Kernels.find "nope" = None)
+
+let test_kernels_compile_faithfully () =
+  List.iter
+    (fun ((k : Kernels.t), prog) ->
+      let blk = Compile.compile_program prog in
+      let vars =
+        List.sort_uniq compare (Ast.read_vars prog @ Ast.written_vars prog)
+      in
+      check bool_t (k.Kernels.name ^ " faithful") true
+        (Interp.equivalent_on prog blk ~env:(env_of_seed 27) ~vars))
+    (Kernels.straight_line ())
+
+let test_kernels_looped_run () =
+  (* Positive inputs guarantee termination of the branchy kernels. *)
+  let env v = 1 + (Hashtbl.hash v mod 7) in
+  List.iter
+    (fun (k : Kernels.t) ->
+      if k.Kernels.looped then begin
+        let prog = Parser.parse k.Kernels.source in
+        let reference = Interp.run_program ~fuel:100_000 prog ~env in
+        let cfg = Pipesched_cflow.Lower.lower prog in
+        let got = Pipesched_cflow.Cfg.run ~fuel:100_000 cfg ~env in
+        List.iter
+          (fun (v, x) ->
+            if v.[0] <> '$' then
+              check bool_t
+                (Printf.sprintf "%s: %s" k.Kernels.name v)
+                true
+                (Option.value ~default:(env v) (List.assoc_opt v got) = x))
+          reference
+      end)
+    Kernels.all
+
+let () =
+  Alcotest.run "synth"
+    [ ( "frequency",
+        [ Alcotest.test_case "defaults valid" `Quick test_default_valid;
+          Alcotest.test_case "check rejects" `Quick test_check_rejects ] );
+      ( "generator",
+        [ Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "respects parameters" `Quick
+            test_respects_parameters;
+          Alcotest.test_case "rejects bad parameters" `Quick
+            test_rejects_bad_params;
+          generated_blocks_valid;
+          generated_programs_compile_faithfully;
+          Alcotest.test_case "op mix follows frequency" `Quick
+            test_op_mix_follows_frequency;
+          Alcotest.test_case "size mix shape" `Quick test_size_mix_shape;
+          Alcotest.test_case "batch" `Quick test_batch ] );
+      ( "kernels",
+        [ Alcotest.test_case "parse" `Quick test_kernels_parse;
+          Alcotest.test_case "compile faithfully" `Quick
+            test_kernels_compile_faithfully;
+          Alcotest.test_case "looped kernels run" `Quick
+            test_kernels_looped_run ] ) ]
