@@ -1,11 +1,19 @@
 (* Benchmark harness: one Bechamel micro-benchmark per table/figure
    workload of the paper, followed by the full regeneration of every
-   table and figure (paper-vs-measured).
+   table and figure (paper-vs-measured).  Besides the human-readable
+   output, the estimates are written to BENCH_results.json so the perf
+   trajectory is machine-checkable across PRs.
 
-   Run with:  dune exec bench/main.exe
+   Run with:  dune exec bench/main.exe -- [--jobs N]
    Environment:
      PIPESCHED_STUDY_COUNT  blocks in the main study (default 16000)
-     PIPESCHED_BENCH_QUOTA  seconds per micro-benchmark (default 0.5) *)
+     PIPESCHED_BENCH_QUOTA  seconds per micro-benchmark (default 0.5)
+     PIPESCHED_JOBS         worker domains for the study (default: the
+                            recommended domain count; --jobs wins) *)
+
+(* Alias before [open Toolkit], which shadows [Monotonic_clock] with the
+   bechamel measure of the same name. *)
+module Mclock = Monotonic_clock
 
 open Bechamel
 open Toolkit
@@ -169,6 +177,7 @@ let run_benchmarks () =
   Printf.printf
     "Micro-benchmarks (one per table/figure workload; ns per run):\n";
   Printf.printf "  %-36s %14s\n" "benchmark" "ns/run";
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -176,17 +185,78 @@ let run_benchmarks () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-36s %14.1f\n" name est
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Printf.printf "  %-36s %14.1f\n" name est
           | Some _ | None -> Printf.printf "  %-36s %14s\n" name "n/a")
         analyzed)
     tests;
-  Printf.printf "\n%!"
+  Printf.printf "\n%!";
+  List.rev !estimates
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results                                            *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"jobs\": %d,\n" jobs;
+  p "  \"study\": { \"count\": %d, \"wall_s\": %.6f },\n" study_count
+    study_wall_s;
+  p "  \"benchmarks\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      p "    \"%s\": %.1f%s\n" (json_escape name) est
+        (if i = List.length estimates - 1 then "" else ","))
+    estimates;
+  p "  }\n";
+  p "}\n";
+  close_out oc;
+  Printf.printf "Wrote %s\n%!" path
 
 let () =
-  run_benchmarks ();
+  let jobs_flag = ref 0 in
+  Arg.parse
+    [ ("--jobs", Arg.Set_int jobs_flag,
+       "N  worker domains for the study (default: PIPESCHED_JOBS or the \
+        recommended domain count)") ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "dune exec bench/main.exe -- [--jobs N]";
+  let jobs =
+    if !jobs_flag > 0 then !jobs_flag
+    else Pipesched_parallel.Pool.default_jobs ()
+  in
+  let estimates = run_benchmarks () in
   let count =
     match Sys.getenv_opt "PIPESCHED_STUDY_COUNT" with
     | Some s -> int_of_string s
     | None -> 16_000
   in
-  Harness.Experiments.run_all ~count Format.std_formatter
+  (* The headline wall-clock number: the §5.3 study, timed with the
+     monotonic clock, on [jobs] domains. *)
+  let t0 = Mclock.now () in
+  let study = Harness.Experiments.run_study ~count ~jobs () in
+  let t1 = Mclock.now () in
+  let study_wall_s = Int64.to_float (Int64.sub t1 t0) /. 1e9 in
+  Printf.printf "Study: scheduled %d blocks in %.2f s on %d domain%s\n%!"
+    count study_wall_s jobs
+    (if jobs = 1 then "" else "s");
+  write_results_json ~path:"BENCH_results.json" ~jobs ~study_count:count
+    ~study_wall_s estimates;
+  Harness.Experiments.run_all ~count ~jobs ~study Format.std_formatter

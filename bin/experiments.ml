@@ -7,11 +7,12 @@ let sections =
     "fig6"; "fig7"; "ablation"; "machine-sweep"; "structure-sweep"; "windowed"; "region";
     "heuristics"; "kernels"; "pressure"; "dynamic" ]
 
-let run count seed quick lambda strong only =
+let run count seed quick lambda strong jobs only =
   let count = if quick then min count 1_000 else count in
+  let jobs = if jobs <= 0 then None else Some jobs in
   let fmt = Format.std_formatter in
   (match only with
-   | [] -> E.run_all ~seed ~count ~lambda ~strong fmt
+   | [] -> E.run_all ~seed ~count ~lambda ~strong ?jobs fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -21,7 +22,7 @@ let run count seed quick lambda strong only =
            exit 2
          end)
        wanted;
-     let study = lazy (E.run_study ~seed ~count ~lambda ~strong ()) in
+     let study = lazy (E.run_study ~seed ~count ~lambda ~strong ?jobs ()) in
      List.iter
        (fun section ->
          match section with
@@ -36,13 +37,13 @@ let run count seed quick lambda strong only =
          | "fig7" -> E.print_fig7 fmt (Lazy.force study)
          | "ablation" ->
            Pipesched_harness.Ablation.print fmt
-             (Pipesched_harness.Ablation.run ~seed:(seed + 1)
+             (Pipesched_harness.Ablation.run ?jobs ~seed:(seed + 1)
                 ~count:(max 200 (count / 8))
                 ~lambda:20_000 Pipesched_machine.Machine.Presets.simulation)
          | "machine-sweep" ->
-           E.print_machine_sweep ~count:(max 200 (count / 16)) fmt
+           E.print_machine_sweep ~count:(max 200 (count / 16)) ?jobs fmt
          | "structure-sweep" ->
-           E.print_structure_sweep ~count:(max 100 (count / 50)) fmt
+           E.print_structure_sweep ~count:(max 100 (count / 50)) ?jobs fmt
          | "windowed" -> E.print_windowed_study ~count:(max 50 (count / 100)) fmt
          | "region" -> E.print_region_study ~count:(max 50 (count / 100)) fmt
          | "heuristics" ->
@@ -79,6 +80,14 @@ let strong =
   in
   Arg.(value & flag & info [ "strong" ] ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for the studies (0 = auto: \\$(b,PIPESCHED_JOBS) or \
+     the recommended domain count).  Results are identical at any job \
+     count; only wall-clock time changes."
+  in
+  Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
+
 let only =
   let doc =
     Printf.sprintf "Run only the named sections (repeatable): %s."
@@ -92,6 +101,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "pipesched-experiments" ~doc)
-    Term.(const run $ count $ seed $ quick $ lambda $ strong $ only)
+    Term.(const run $ count $ seed $ quick $ lambda $ strong $ jobs $ only)
 
 let () = exit (Cmd.eval' cmd)

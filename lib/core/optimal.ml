@@ -39,8 +39,14 @@ type search_env = {
   n : int;
   st : Omega.State.t;
   cand_order : int array;
+  rank : int array;                (* inverse of cand_order *)
+  ready : Pipesched_prelude.Bitset.t;
+      (* ranks of the currently ready positions, maintained
+         incrementally by [dfs] as instructions are pushed and popped *)
+  preds : int array array;         (* Dag adjacency, flattened *)
+  succs : int array array;
   is_free : bool array;
-  signature : (int * int list * int list) array;
+  signature : (int * int array * int array) array;
   (* Critical-path bound ingredients (admissible for any pipe choice). *)
   min_lat : int array;
   tail : int array;
@@ -90,10 +96,24 @@ let make_env ?entry ?(multi = false) machine dag options =
     Array.init (Machine.pipe_count machine) (fun p ->
         (Machine.pipe machine p).Pipe.enqueue)
   in
+  let preds = Array.init n (fun pos -> Dag.preds_arr dag pos) in
+  let succs = Array.init n (fun pos -> Dag.succs_arr dag pos) in
+  let cand_order = List_sched.order_by_priority options.seed dag in
+  let rank = Array.make n 0 in
+  Array.iteri (fun r pos -> rank.(pos) <- r) cand_order;
+  let ready = Pipesched_prelude.Bitset.create (max n 1) in
+  for pos = 0 to n - 1 do
+    if Array.length preds.(pos) = 0 then
+      Pipesched_prelude.Bitset.add ready rank.(pos)
+  done;
   {
     n;
     st = Omega.State.create ?entry machine dag;
-    cand_order = List_sched.order_by_priority options.seed dag;
+    cand_order;
+    rank;
+    ready;
+    preds;
+    succs;
     (* [5c] needs the successor-free refinement: two resource-free,
        predecessor-free instructions are only interchangeable in every
        completion when neither constrains anything downstream.  Without
@@ -102,13 +122,13 @@ let make_env ?entry ?(multi = false) machine dag options =
     is_free =
       Array.init n (fun pos ->
           pipe_of pos = None
-          && Dag.preds dag pos = []
-          && Dag.succs dag pos = []);
+          && Array.length preds.(pos) = 0
+          && Array.length succs.(pos) = 0);
     signature =
       Array.init n (fun pos ->
           ( (match pipe_of pos with Some p -> p | None -> -1),
-            Dag.preds dag pos,
-            Dag.succs dag pos ));
+            preds.(pos),
+            succs.(pos) ));
     min_lat;
     tail;
     forced_pipe;
@@ -143,7 +163,7 @@ let critical_path_bound env =
           remaining_on.(env.forced_pipe.(v)) <-
             remaining_on.(env.forced_pipe.(v)) + 1;
         let e = ref (last_issue + 1) in
-        List.iter
+        Array.iter
           (fun u ->
             let avail =
               if Omega.State.is_scheduled st u then
@@ -151,7 +171,7 @@ let critical_path_bound env =
               else est.(u) + env.min_lat.(u)
             in
             if avail > !e then e := avail)
-          (Dag.preds env.dag v);
+          env.preds.(v);
         est.(v) <- !e;
         let b = !e + env.tail.(v) - (env.n - 1) in
         if b > !bound then bound := b
@@ -186,6 +206,15 @@ let bound_value env options =
    once per non-symmetric candidate pipe for the multi-pipe search), with
    the instruction pushed for the dynamic extent of the call. *)
 let dfs env options ~push_candidates ~on_complete =
+  let module Bitset = Pipesched_prelude.Bitset in
+  (* Per-depth scratch, allocated once per search: a snapshot buffer for
+     the ready set (as ranks, so snapshots come out in priority order)
+     and, for the strong-equivalence pruning, a table of signatures
+     already expanded at this node.  Using [env.ready] incrementally
+     replaces the old O(n) scan of [cand_order] at every node with a
+     word-skipping walk over the ready positions only. *)
+  let snapshot = Array.make_matrix (env.n + 1) (max env.n 1) 0 in
+  let sig_tbls = Array.init (env.n + 1) (fun _ -> Hashtbl.create 8) in
   let rec go depth =
     if depth = env.n then begin
       env.schedules_completed <- env.schedules_completed + 1;
@@ -196,28 +225,47 @@ let dfs env options ~push_candidates ~on_complete =
       end
     end
     else begin
+      (* The ready set is restored after each child, so this snapshot is
+         exactly the set of positions the old full scan would accept. *)
+      let buf = snapshot.(depth) in
+      let count = Bitset.to_buffer env.ready buf in
       let tried_free = ref false in
-      let tried_sigs = ref [] in
-      Array.iter
-        (fun pos ->
-          if Omega.State.is_ready env.st pos then begin
-            let skip =
-              (options.equivalence && env.is_free.(pos) && !tried_free)
-              || (options.strong_equivalence
-                  && List.mem env.signature.(pos) !tried_sigs)
-            in
-            if not skip then begin
-              if env.is_free.(pos) then tried_free := true;
-              if options.strong_equivalence then
-                tried_sigs := env.signature.(pos) :: !tried_sigs;
-              push_candidates pos (fun () ->
-                  if
-                    (not options.alpha_beta)
-                    || bound_value env options < env.best_nops
-                  then go (depth + 1))
-            end
-          end)
-        env.cand_order
+      let tried_sigs = sig_tbls.(depth) in
+      if options.strong_equivalence then Hashtbl.reset tried_sigs;
+      for i = 0 to count - 1 do
+        let rk = buf.(i) in
+        let pos = env.cand_order.(rk) in
+        let skip =
+          (options.equivalence && env.is_free.(pos) && !tried_free)
+          || (options.strong_equivalence
+              && Hashtbl.mem tried_sigs env.signature.(pos))
+        in
+        if not skip then begin
+          if env.is_free.(pos) then tried_free := true;
+          if options.strong_equivalence then
+            Hashtbl.replace tried_sigs env.signature.(pos) ();
+          push_candidates pos (fun () ->
+              (* [pos] is pushed for the extent of this callback: drop it
+                 from the ready set and admit any successor whose last
+                 unscheduled predecessor it was, then undo. *)
+              Bitset.remove env.ready rk;
+              Array.iter
+                (fun s ->
+                  if Omega.State.is_ready env.st s then
+                    Bitset.add env.ready env.rank.(s))
+                env.succs.(pos);
+              (if
+                 (not options.alpha_beta)
+                 || bound_value env options < env.best_nops
+               then go (depth + 1));
+              Array.iter
+                (fun s ->
+                  if Omega.State.is_ready env.st s then
+                    Bitset.remove env.ready env.rank.(s))
+                env.succs.(pos);
+              Bitset.add env.ready rk)
+        end
+      done
     end
   in
   go 0
@@ -278,6 +326,9 @@ let schedule_multi ?(options = default_options) ?entry machine dag =
     let pipe = Machine.pipe machine p in
     (pipe.Pipe.latency, pipe.Pipe.enqueue)
   in
+  (* Per-depth tables for the symmetric-pipe pruning, reset on entry;
+     preallocated so the hot path never re-scans a membership list. *)
+  let tried_tbls = Array.init (n + 1) (fun _ -> Hashtbl.create 8) in
   let push_candidates pos k =
     match candidates_of.(pos) with
     | [] ->
@@ -289,12 +340,13 @@ let schedule_multi ?(options = default_options) ?entry machine dag =
     | pids ->
       (* Symmetric-pipe pruning: two candidate pipes with equal parameters
          and equal last-use tick lead to identical subtrees. *)
-      let tried = ref [] in
+      let tried = tried_tbls.(Omega.State.depth env.st) in
+      Hashtbl.reset tried;
       List.iter
         (fun p ->
           let key = (pipe_params p, Omega.State.last_use env.st p) in
-          if not (List.mem key !tried) then begin
-            tried := key :: !tried;
+          if not (Hashtbl.mem tried key) then begin
+            Hashtbl.add tried key ();
             count_call env options;
             Omega.State.push_on env.st pos ~pipe:(Some p);
             choice.(pos) <- Some p;
@@ -331,8 +383,9 @@ let schedule_multi ?(options = default_options) ?entry machine dag =
    (read-then-write, matching Regalloc.Alloc). *)
 module Pressure = struct
   type t = {
-    uses : (int * int) list array;
-        (* per position: (producer position, multiplicity) it reads *)
+    uses : (int * int) array array;
+        (* per position: (producer position, multiplicity) it reads;
+           flattened for the per-push/pop traversals of the search *)
     produces : bool array;
     consumer_count : int array; (* total reads of each position's value *)
     remaining : int array;      (* mutable during search *)
@@ -356,11 +409,15 @@ module Pressure = struct
               Hashtbl.replace tbl u
                 (1 + Option.value ~default:0 (Hashtbl.find_opt tbl u)))
             refs;
-          Hashtbl.fold (fun u m acc -> (u, m) :: acc) tbl [])
+          let a =
+            Array.of_list (Hashtbl.fold (fun u m acc -> (u, m) :: acc) tbl [])
+          in
+          Array.sort compare a;
+          a)
     in
-    Array.iteri
-      (fun _pos pairs ->
-        List.iter
+    Array.iter
+      (fun pairs ->
+        Array.iter
           (fun (u, m) -> consumer_count.(u) <- consumer_count.(u) + m)
           pairs)
       uses;
@@ -377,14 +434,14 @@ module Pressure = struct
   (* Register demand if [pos] were scheduled next. *)
   let demand p pos =
     let deaths =
-      List.fold_left
+      Array.fold_left
         (fun acc (u, m) -> if p.remaining.(u) = m then acc + 1 else acc)
         0 p.uses.(pos)
     in
     p.live - deaths + (if p.produces.(pos) then 1 else 0)
 
   let push p pos =
-    List.iter
+    Array.iter
       (fun (u, m) ->
         if p.remaining.(u) = m then p.live <- p.live - 1;
         p.remaining.(u) <- p.remaining.(u) - m)
@@ -395,7 +452,7 @@ module Pressure = struct
   let pop p pos =
     if p.produces.(pos) && p.consumer_count.(pos) > 0 then
       p.live <- p.live - 1;
-    List.iter
+    Array.iter
       (fun (u, m) ->
         p.remaining.(u) <- p.remaining.(u) + m;
         if p.remaining.(u) = m then p.live <- p.live + 1)

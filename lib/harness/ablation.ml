@@ -34,16 +34,16 @@ type row = {
   avg_time_s : float;
 }
 
-let run ~seed ~count ~lambda machine =
+let run ?jobs ~seed ~count ~lambda machine =
   let rng = Rng.create seed in
   let blocks =
-    List.init count (fun _ ->
+    Stats.sequential_init count (fun _ ->
         Generator.block rng (Generator.sample_params rng))
   in
   List.map
     (fun cfg ->
       let records =
-        List.map
+        Pipesched_parallel.Pool.parallel_map ?jobs
           (fun blk -> Study.run_block ~options:cfg.options machine blk)
           blocks
       in

@@ -23,9 +23,13 @@ type row = {
   avg_time_s : float;
 }
 
-(** [run ~seed ~count ~lambda machine] evaluates {!standard_configs} on a
-    shared population. *)
+(** [run ?jobs ~seed ~count ~lambda machine] evaluates
+    {!standard_configs} on a shared population, scheduling the blocks of
+    each configuration across [jobs] domains (default: [PIPESCHED_JOBS]
+    or the recommended domain count).  The population and every reported
+    number except [avg_time_s] are independent of [jobs]. *)
 val run :
+  ?jobs:int ->
   seed:int -> count:int -> lambda:int -> Pipesched_machine.Machine.t ->
   row list
 

@@ -11,13 +11,13 @@ type study = Study.record list
 let machine = Machine.Presets.simulation
 
 let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
-    ?(strong = false) () =
+    ?(strong = false) ?jobs () =
   let options =
     { Optimal.default_options with
       Optimal.lambda;
       Optimal.strong_equivalence = strong }
   in
-  Study.run ~options ~seed ~count machine
+  Study.run ~options ?jobs ~seed ~count machine
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -238,7 +238,7 @@ let omega_cost ?(seed = 15) () =
 (* ------------------------------------------------------------------ *)
 (* Extension studies (§5.3, §6 "ongoing work", footnote 1)             *)
 
-let print_machine_sweep ?(seed = 1991) ?(count = 1_000) fmt =
+let print_machine_sweep ?(seed = 1991) ?(count = 1_000) ?jobs fmt =
   Format.fprintf fmt
     "@.Extension: the same study on other pipeline structures (§6 \
      'ongoing work'):@.";
@@ -255,11 +255,11 @@ let print_machine_sweep ?(seed = 1991) ?(count = 1_000) fmt =
   in
   List.iter
     (fun (name, m) ->
-      let records = Study.run ~seed ~count m in
+      let records = Study.run ?jobs ~seed ~count m in
       let total = List.length records in
       let completed = List.filter (fun r -> r.Study.completed) records in
       let agg = Study.aggregate ~total records in
-      let ext = Study.run ~options:ext_options ~seed ~count m in
+      let ext = Study.run ~options:ext_options ?jobs ~seed ~count m in
       let ext_completed = List.filter (fun r -> r.Study.completed) ext in
       Format.fprintf fmt "  %-12s %10.2f %12.2f %12.2f %12.1f %12.2f@." name
         (100.0 *. float_of_int (List.length completed) /. float_of_int total)
@@ -274,13 +274,13 @@ let print_machine_sweep ?(seed = 1991) ?(count = 1_000) fmt =
    pipeline structures" to later work; this grid is that study in
    miniature: one multiplier-style pipeline swept over latency and
    enqueue, reporting how much of the delay an optimal schedule can hide. *)
-let print_structure_sweep ?(seed = 1997) ?(count = 300) fmt =
+let print_structure_sweep ?(seed = 1997) ?(count = 300) ?jobs fmt =
   Format.fprintf fmt
     "@.Extension: pipeline-structure grid (optimal avg NOPs as the \
      multiplier's latency L and enqueue E vary; loader fixed at 2/1):@.";
   let rng = Rng.create seed in
   let blocks =
-    List.init count (fun _ ->
+    Stats.sequential_init count (fun _ ->
         Generator.block rng (Generator.sample_params rng))
   in
   let latencies = [ 1; 2; 4; 6; 8 ] in
@@ -303,7 +303,7 @@ let print_structure_sweep ?(seed = 1997) ?(count = 300) fmt =
                         (Op.Mod, [ 1 ]) ]
           in
           let nops =
-            List.map
+            Pipesched_parallel.Pool.parallel_map ?jobs
               (fun blk ->
                 float_of_int
                   (Optimal.schedule
@@ -326,7 +326,7 @@ let print_windowed_study ?(seed = 1992) ?(count = 150) fmt =
     "@.Extension: windowed scheduling of very large blocks (§5.3):@.";
   let rng = Rng.create seed in
   let dags =
-    List.init count (fun _ ->
+    Stats.sequential_init count (fun _ ->
         Dag.of_block
           (Generator.block rng
              { Generator.statements = 45 + Rng.int rng 25;
@@ -388,7 +388,7 @@ let print_region_study ?(seed = 1993) ?(count = 150) fmt =
     let hazards = ref 0 and blocks = ref 0 in
     for _ = 1 to count do
       let dags =
-        List.init
+        Stats.sequential_init
           (2 + Rng.int rng 4)
           (fun _ ->
             Dag.of_block
@@ -428,7 +428,7 @@ let print_heuristic_study ?(seed = 1995) ?(count = 2_000) fmt =
      the search against):@.";
   let rng = Rng.create seed in
   let dags =
-    List.init count (fun _ ->
+    Stats.sequential_init count (fun _ ->
         Dag.of_block (Generator.block rng (Generator.sample_params rng)))
   in
   let eval name f =
@@ -518,7 +518,7 @@ let print_pressure_study ?(seed = 1996) ?(count = 1_000) fmt =
   let module Liveness = Pipesched_regalloc.Liveness in
   let rng = Rng.create seed in
   let blocks =
-    List.init count (fun _ ->
+    Stats.sequential_init count (fun _ ->
         Generator.block rng (Generator.sample_params rng))
   in
   let pressure_of blk order =
@@ -645,14 +645,19 @@ let print_dynamic_study ?(seed = 1994) ?(count = 120) fmt =
         static.(i))
     schedulers
 
-let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong fmt =
+let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?jobs ?study
+    fmt =
   Format.fprintf fmt
     "Reproduction: Nisar & Dietz, Optimal Code Scheduling for \
      Multiple-Pipeline Processors (1990)@.";
   print_machines fmt;
   print_table6 fmt;
   print_table1 fmt ();
-  let study = run_study ~seed ~count ?lambda ?strong () in
+  let study =
+    match study with
+    | Some s -> s
+    | None -> run_study ~seed ~count ?lambda ?strong ?jobs ()
+  in
   print_table7 fmt study;
   print_fig1 fmt study;
   print_fig4 fmt study;
@@ -666,10 +671,10 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong fmt =
     c;
   let ablation_count = max 200 (count / 8) in
   Ablation.print fmt
-    (Ablation.run ~seed:(seed + 1) ~count:ablation_count ~lambda:20_000
-       machine);
-  print_machine_sweep ~count:(max 200 (count / 16)) fmt;
-  print_structure_sweep ~count:(max 100 (count / 50)) fmt;
+    (Ablation.run ?jobs ~seed:(seed + 1) ~count:ablation_count
+       ~lambda:20_000 machine);
+  print_machine_sweep ~count:(max 200 (count / 16)) ?jobs fmt;
+  print_structure_sweep ~count:(max 100 (count / 50)) ?jobs fmt;
   print_windowed_study ~count:(max 50 (count / 100)) fmt;
   print_region_study ~count:(max 50 (count / 100)) fmt;
   print_heuristic_study ~count:(max 200 (count / 8)) fmt;

@@ -12,9 +12,12 @@ type study = Study.record list
 (** [run_study ~seed ~count ()] runs the §5.3 study (16,000 blocks in the
     paper) on the simulation machine.  [lambda] is the curtail point
     (default 50,000 Omega calls); [strong] additionally enables the
-    strong-equivalence pruning extension (default off = paper mode). *)
+    strong-equivalence pruning extension (default off = paper mode).
+    [jobs] sets the number of worker domains blocks are scheduled
+    across; results are identical at any job count (see Study.run). *)
 val run_study :
-  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool -> unit -> study
+  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool -> ?jobs:int ->
+  unit -> study
 
 (** Table 1: search-space sizes for representative blocks (exhaustive vs
     illegal-pruned vs proposed).  Generates blocks matching the paper's
@@ -54,14 +57,16 @@ val print_fig7 : Format.formatter -> study -> unit
 val omega_cost : ?seed:int -> unit -> float
 
 (** Extension: the study repeated on every preset machine (§6's "ongoing
-    work examines more complex pipeline structures"). *)
+    work examines more complex pipeline structures").  Blocks are
+    scheduled across [jobs] domains. *)
 val print_machine_sweep :
-  ?seed:int -> ?count:int -> Format.formatter -> unit
+  ?seed:int -> ?count:int -> ?jobs:int -> Format.formatter -> unit
 
 (** Extension: optimal NOPs over a grid of multiplier latency and enqueue
-    values (the paper's deferred pipeline-structure study in miniature). *)
+    values (the paper's deferred pipeline-structure study in miniature).
+    Each grid cell's population is scheduled across [jobs] domains. *)
 val print_structure_sweep :
-  ?seed:int -> ?count:int -> Format.formatter -> unit
+  ?seed:int -> ?count:int -> ?jobs:int -> Format.formatter -> unit
 
 (** Extension: windowed scheduling of very large blocks (§5.3's suggested
     splitting), comparing quality and Omega calls against the full search
@@ -96,7 +101,10 @@ val print_pressure_study :
 val print_dynamic_study :
   ?seed:int -> ?count:int -> Format.formatter -> unit
 
-(** Run everything in order with the given study size (default 16,000). *)
+(** Run everything in order with the given study size (default 16,000).
+    [jobs] is threaded to the main study, the ablation, and the machine
+    and structure sweeps.  Pass [study] to reuse records already
+    computed (the bench harness does, to time the study separately). *)
 val run_all :
-  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
-  Format.formatter -> unit
+  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool -> ?jobs:int ->
+  ?study:study -> Format.formatter -> unit

@@ -1,3 +1,9 @@
+(* [List.init] with a guaranteed left-to-right evaluation order, for
+   initializers with side effects (drawing from a stateful RNG). *)
+let sequential_init count f =
+  let rec go i acc = if i >= count then List.rev acc else go (i + 1) (f i :: acc) in
+  go 0 []
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

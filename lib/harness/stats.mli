@@ -1,5 +1,11 @@
 (** Small statistics helpers for the experiment harness. *)
 
+(** [sequential_init count f] is [List.init count f] with [f] guaranteed
+    to be evaluated left-to-right ([List.init]'s order is unspecified).
+    Use whenever [f] draws from a stateful RNG, so populations are
+    reproducible. *)
+val sequential_init : int -> (int -> 'a) -> 'a list
+
 (** Arithmetic mean; 0 on the empty list. *)
 val mean : float list -> float
 

@@ -2,6 +2,7 @@ open Pipesched_ir
 open Pipesched_machine
 open Pipesched_core
 module Rng = Pipesched_prelude.Rng
+module Pool = Pipesched_parallel.Pool
 
 type record = {
   size : int;
@@ -32,14 +33,28 @@ let run_block ?(options = default_options) machine blk =
     time_s = t1 -. t0;
   }
 
-let run ?(options = default_options) ?freq ~seed ~count machine =
+(* Per-block seeds are pre-drawn serially (an explicit left-to-right
+   loop: [List.init]'s evaluation order is unspecified, and the RNG is
+   stateful), so the block population depends only on [seed] and [count]
+   — never on the number of domains.  Each block is then generated and
+   scheduled from its own seed, and [Pool.parallel_map] returns records
+   in input order, making the study record-for-record identical at any
+   job count (modulo the wall-clock [time_s] field). *)
+let run ?(options = default_options) ?freq ?jobs ~seed ~count machine =
   let rng = Rng.create seed in
-  List.init count (fun _ ->
+  let seeds = Array.make (max count 1) 0 in
+  for i = 0 to count - 1 do
+    seeds.(i) <- Rng.bits rng
+  done;
+  Pool.parallel_map ?jobs
+    (fun block_seed ->
+      let rng = Rng.create block_seed in
       let blk =
         Pipesched_synth.Generator.block ?freq rng
           (Pipesched_synth.Generator.sample_params rng)
       in
       run_block ~options machine blk)
+    (Array.to_list (Array.sub seeds 0 count))
 
 type aggregate = {
   runs : int;

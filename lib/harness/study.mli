@@ -21,13 +21,22 @@ type record = {
 (** [run_block ?options machine blk] schedules one block and records it. *)
 val run_block : ?options:Optimal.options -> Machine.t -> Block.t -> record
 
-(** [run ?options ?freq ~seed ~count machine] generates [count] blocks with
-    the paper's size mix and schedules each.  The default [options] use
-    [lambda = 50_000] (large relative to a typical complete search, per
-    §5.3). *)
+(** [run ?options ?freq ?jobs ~seed ~count machine] generates [count]
+    blocks with the paper's size mix and schedules each, distributing
+    blocks over [jobs] domains (default: [PIPESCHED_JOBS] or the
+    machine's recommended domain count; see Pipesched_parallel.Pool).
+
+    Deterministic at any job count: every block's RNG seed is pre-drawn
+    serially from [seed] before any parallel work starts, so the records
+    are identical — field for field, in order — whether [jobs] is 1 or
+    64.  The only exception is the wall-clock [time_s] field.
+
+    The default [options] use [lambda = 50_000] (large relative to a
+    typical complete search, per §5.3). *)
 val run :
   ?options:Optimal.options ->
   ?freq:Pipesched_synth.Frequency.t ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   Machine.t ->

@@ -2,10 +2,14 @@ module Bitset = Pipesched_prelude.Bitset
 
 type edge_kind = Data | Mem_flow | Mem_anti | Mem_output
 
+(* Adjacency is stored flattened as sorted [int array]s: the search
+   kernels (Omega.State, Optimal) iterate predecessors and successors on
+   every push/pop, and arrays keep that traversal allocation-free and
+   cache-friendly.  The list accessors below are derived views. *)
 type t = {
   blk : Block.t;
-  preds : int list array;
-  succs : int list array;
+  preds : int array array;
+  succs : int array array;
   kinds : (int * int, edge_kind) Hashtbl.t;
   ancestors : Bitset.t array;
   descendants : Bitset.t array;
@@ -54,19 +58,26 @@ let of_block blk =
         Hashtbl.replace loads_since x (v :: prev)
       end
   done;
-  let preds = Array.make n [] and succs = Array.make n [] in
+  let pred_lists = Array.make n [] and succ_lists = Array.make n [] in
   List.iter
     (fun (u, v) ->
-      preds.(v) <- u :: preds.(v);
-      succs.(u) <- v :: succs.(u))
+      pred_lists.(v) <- u :: pred_lists.(v);
+      succ_lists.(u) <- v :: succ_lists.(u))
     !edges;
-  Array.iteri (fun i l -> preds.(i) <- List.sort compare l) preds;
-  Array.iteri (fun i l -> succs.(i) <- List.sort compare l) succs;
+  let freeze lists =
+    Array.map
+      (fun l ->
+        let a = Array.of_list l in
+        Array.sort compare a;
+        a)
+      lists
+  in
+  let preds = freeze pred_lists and succs = freeze succ_lists in
   (* Transitive closures.  Block order is a topological order, so a single
      forward pass computes ancestors and a backward pass descendants. *)
   let ancestors = Array.init n (fun _ -> Bitset.create n) in
   for v = 0 to n - 1 do
-    List.iter
+    Array.iter
       (fun u ->
         Bitset.add ancestors.(v) u;
         Bitset.union_into ~into:ancestors.(v) ancestors.(u))
@@ -74,7 +85,7 @@ let of_block blk =
   done;
   let descendants = Array.init n (fun _ -> Bitset.create n) in
   for u = n - 1 downto 0 do
-    List.iter
+    Array.iter
       (fun v ->
         Bitset.add descendants.(u) v;
         Bitset.union_into ~into:descendants.(u) descendants.(v))
@@ -84,8 +95,10 @@ let of_block blk =
 
 let block d = d.blk
 let length d = Array.length d.preds
-let preds d i = d.preds.(i)
-let succs d i = d.succs.(i)
+let preds d i = Array.to_list d.preds.(i)
+let succs d i = Array.to_list d.succs.(i)
+let preds_arr d i = d.preds.(i)
+let succs_arr d i = d.succs.(i)
 let edge_kind d u v = Hashtbl.find_opt d.kinds (u, v)
 let ancestors d i = d.ancestors.(i)
 let descendants d i = d.descendants.(i)
@@ -106,7 +119,7 @@ let is_legal_order d order =
     !ok
     && (let legal = ref true in
         for v = 0 to n - 1 do
-          List.iter
+          Array.iter
             (fun u -> if new_pos.(u) >= new_pos.(v) then legal := false)
             d.preds.(v)
         done;
@@ -117,7 +130,7 @@ let heights d ~edge_weight =
   let n = length d in
   let h = Array.make n 0 in
   for u = n - 1 downto 0 do
-    List.iter
+    Array.iter
       (fun v -> h.(u) <- max h.(u) (edge_weight ~src:u ~dst:v + h.(v)))
       d.succs.(u)
   done;
@@ -126,7 +139,7 @@ let heights d ~edge_weight =
 let roots d =
   let acc = ref [] in
   for i = length d - 1 downto 0 do
-    if d.preds.(i) = [] then acc := i :: !acc
+    if Array.length d.preds.(i) = 0 then acc := i :: !acc
   done;
   !acc
 

@@ -27,11 +27,22 @@ val block : t -> Block.t
 (** Number of nodes. *)
 val length : t -> int
 
-(** Immediate predecessors of a position — the paper's [rho].  Sorted. *)
+(** Immediate predecessors of a position — the paper's [rho].  Sorted.
+    Allocates a fresh list; hot paths should use {!preds_arr}. *)
 val preds : t -> int -> int list
 
-(** Immediate successors of a position.  Sorted. *)
+(** Immediate successors of a position.  Sorted.  Allocates a fresh
+    list; hot paths should use {!succs_arr}. *)
 val succs : t -> int -> int list
+
+(** Flattened adjacency: the predecessors of a position as a sorted
+    array.  This is the DAG's own storage — O(1), no allocation — used
+    by the scheduling kernels (Omega.State, Optimal).  Do not mutate. *)
+val preds_arr : t -> int -> int array
+
+(** Flattened adjacency: the successors of a position as a sorted
+    array.  Do not mutate. *)
+val succs_arr : t -> int -> int array
 
 (** [edge_kind d u v] is the kind of edge [u -> v], if present. *)
 val edge_kind : t -> int -> int -> edge_kind option

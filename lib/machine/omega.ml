@@ -20,6 +20,8 @@ module State = struct
   type t = {
     dag : Dag.t;
     n : int;
+    preds : int array array;       (* Dag adjacency, flattened *)
+    succs : int array array;
     default_pipe : int array;      (* by original position; -1 = none *)
     candidate_ok : bool array array; (* [pos].(pipe) valid choice *)
     pipe_latency : int array;      (* by pipeline id *)
@@ -61,9 +63,13 @@ module State = struct
     let pipe_enqueue =
       Array.init npipes (fun p -> (Machine.pipe machine p).Pipe.enqueue)
     in
+    let preds = Array.init n (fun i -> Dag.preds_arr dag i) in
+    let succs = Array.init n (fun i -> Dag.succs_arr dag i) in
     {
       dag;
       n;
+      preds;
+      succs;
       default_pipe;
       candidate_ok;
       pipe_latency;
@@ -71,7 +77,7 @@ module State = struct
       issue = Array.make n 0;
       prod_latency = Array.make n 1;
       scheduled = Array.make n false;
-      unsched_preds = Array.init n (fun i -> List.length (Dag.preds dag i));
+      unsched_preds = Array.init n (fun i -> Array.length preds.(i));
       last_on_pipe =
         (match entry with
          | None -> Array.make (max npipes 1) neg_inf
@@ -118,18 +124,18 @@ module State = struct
       let c = st.last_on_pipe.(p) + st.pipe_enqueue.(p) in
       if c > !t then t := c
     end;
-    List.iter
+    Array.iter
       (fun u ->
         let c = st.issue.(u) + st.prod_latency.(u) in
         if c > !t then t := c)
-      (Dag.preds st.dag pos);
+      st.preds.(pos);
     let eta = !t - base in
     st.issue.(pos) <- !t;
     st.prod_latency.(pos) <- (if p >= 0 then st.pipe_latency.(p) else 1);
     st.scheduled.(pos) <- true;
-    List.iter
+    Array.iter
       (fun v -> st.unsched_preds.(v) <- st.unsched_preds.(v) - 1)
-      (Dag.succs st.dag pos);
+      st.succs.(pos);
     st.stack.(st.sp) <- pos;
     st.eta_stack.(st.sp) <- eta;
     st.pipe_stack.(st.sp) <- p;
@@ -149,9 +155,9 @@ module State = struct
     let p = st.pipe_stack.(st.sp) in
     st.total_nops <- st.total_nops - st.eta_stack.(st.sp);
     if p >= 0 then st.last_on_pipe.(p) <- st.undo_last.(st.sp);
-    List.iter
+    Array.iter
       (fun v -> st.unsched_preds.(v) <- st.unsched_preds.(v) + 1)
-      (Dag.succs st.dag pos);
+      st.succs.(pos);
     st.scheduled.(pos) <- false
 
   let last_eta st =

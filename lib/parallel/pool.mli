@@ -1,0 +1,58 @@
+(** Deterministic chunked work pool over OCaml 5 domains.
+
+    [parallel_map] and [map_reduce] distribute independent items across
+    worker domains.  Results are always delivered in input order, and the
+    functions applied must be pure with respect to shared state, so the
+    value computed is {e identical at every job count} — parallelism only
+    changes wall-clock time.  This is the determinism contract the study
+    driver (Harness.Study) builds on: anything derived from a
+    [parallel_map] is reproducible bit-for-bit whether run with 1 job on
+    a laptop or 64 in CI.
+
+    Scheduling is dynamic: workers repeatedly grab the next chunk of
+    indices from a mutex-protected counter, so a heavy-tailed workload
+    (e.g. branch-and-bound searches whose cost varies by orders of
+    magnitude per block) still balances.  Chunking only affects load
+    balance, never results.
+
+    The pool is safe under nested use: a call made from inside a worker
+    domain runs serially in that worker instead of spawning further
+    domains, so no lock ordering between pools can deadlock. *)
+
+(** [default_jobs ()] is the worker count used when [?jobs] is omitted:
+    the value of the [PIPESCHED_JOBS] environment variable when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [resolve_jobs jobs] normalizes an optional CLI-style job count:
+    [Some j] clamps to at least 1, [None] falls back to
+    {!default_jobs}. *)
+val resolve_jobs : int option -> int
+
+(** [parallel_map ?jobs ?chunk f xs] is [List.map f xs] computed on
+    [jobs] domains (default {!resolve_jobs}[ None]), with [f] applied to
+    each element exactly once and results in input order.  [f] is
+    evaluated left-to-right when running serially ([jobs <= 1], a
+    single-element list, or a nested call from a worker).
+
+    If any application of [f] raises, the first exception (in completion
+    order) is re-raised in the caller after all workers have stopped;
+    remaining unstarted items are abandoned.
+
+    [chunk] is the number of consecutive indices a worker claims per
+    counter access (default: scaled to [length xs / (jobs * 32)],
+    clamped to [1 .. 64]). *)
+val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [map_reduce ?jobs ?chunk ~map ~reduce ~init xs] maps in parallel,
+    then folds the mapped results {e in input order} with [reduce],
+    starting from [init].  Deterministic for any [reduce], associative
+    or not, at any job count. *)
+val map_reduce :
+  ?jobs:int ->
+  ?chunk:int ->
+  map:('a -> 'b) ->
+  reduce:('acc -> 'b -> 'acc) ->
+  init:'acc ->
+  'a list ->
+  'acc

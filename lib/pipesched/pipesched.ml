@@ -18,6 +18,8 @@
 module Bitset = Pipesched_prelude.Bitset
 module Rng = Pipesched_prelude.Rng
 
+module Pool = Pipesched_parallel.Pool
+
 module Op = Pipesched_ir.Op
 module Operand = Pipesched_ir.Operand
 module Tuple = Pipesched_ir.Tuple

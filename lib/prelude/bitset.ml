@@ -58,11 +58,41 @@ let subset s1 s2 =
   done;
   !ok
 
+(* Number of trailing zeros of a one-bit word (binary search). *)
+let ntz b =
+  let n = ref 0 and x = ref b in
+  if !x land 0xFFFFFFFF = 0 then begin n := !n + 32; x := !x lsr 32 end;
+  if !x land 0xFFFF = 0 then begin n := !n + 16; x := !x lsr 16 end;
+  if !x land 0xFF = 0 then begin n := !n + 8; x := !x lsr 8 end;
+  if !x land 0xF = 0 then begin n := !n + 4; x := !x lsr 4 end;
+  if !x land 0x3 = 0 then begin n := !n + 2; x := !x lsr 2 end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
 let iter f s =
-  for i = 0 to s.n - 1 do
-    if s.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then
-      f i
+  for w = 0 to Array.length s.words - 1 do
+    let x = ref s.words.(w) in
+    let base = w * bits_per_word in
+    while !x <> 0 do
+      let b = !x land (- !x) in
+      f (base + ntz b);
+      x := !x lxor b
+    done
   done
+
+let to_buffer s buf =
+  let k = ref 0 in
+  for w = 0 to Array.length s.words - 1 do
+    let x = ref s.words.(w) in
+    let base = w * bits_per_word in
+    while !x <> 0 do
+      let b = !x land (- !x) in
+      buf.(!k) <- base + ntz b;
+      incr k;
+      x := !x lxor b
+    done
+  done;
+  !k
 
 let elements s =
   let acc = ref [] in

@@ -37,8 +37,15 @@ val inter : t -> t -> t
 (** [subset s1 s2] is true when every element of [s1] is in [s2]. *)
 val subset : t -> t -> bool
 
-(** [iter f s] applies [f] to every member in increasing order. *)
+(** [iter f s] applies [f] to every member in increasing order.
+    Skips empty words, so cost is O(capacity/63 + cardinal). *)
 val iter : (int -> unit) -> t -> unit
+
+(** [to_buffer s buf] writes the members into [buf] in increasing order
+    and returns how many were written.  [buf] must have room for
+    [cardinal s] elements; entries past the returned count are left
+    untouched.  Allocation-free: the search's ready-set snapshot. *)
+val to_buffer : t -> int array -> int
 
 (** Members in increasing order. *)
 val elements : t -> int list

@@ -1,0 +1,124 @@
+(* Tests for Pipesched_parallel.Pool and the determinism contract of the
+   parallel study driver (Study.run is record-for-record identical at any
+   job count, modulo wall-clock time). *)
+
+open Pipesched_ir
+module Pool = Pipesched_parallel.Pool
+module Rng = Pipesched_prelude.Rng
+module Study = Pipesched_harness.Study
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Pool unit tests                                                     *)
+
+let test_empty () =
+  check bool_t "empty list" true (Pool.parallel_map ~jobs:4 succ [] = [])
+
+let test_singleton () =
+  check bool_t "one item" true (Pool.parallel_map ~jobs:4 succ [ 41 ] = [ 42 ])
+
+let test_order_preserved () =
+  let xs = List.init 1000 (fun i -> i) in
+  List.iter
+    (fun jobs ->
+      check bool_t
+        (Printf.sprintf "order at jobs=%d" jobs)
+        true
+        (Pool.parallel_map ~jobs ~chunk:7 (fun x -> x * x) xs
+         = List.map (fun x -> x * x) xs))
+    [ 1; 2; 3; 8 ]
+
+exception Boom of int
+
+let test_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Pool.parallel_map ~jobs ~chunk:1
+          (fun x -> if x = 37 then raise (Boom x) else x)
+          (List.init 100 (fun i -> i))
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 37 -> ())
+    [ 1; 4 ]
+
+let test_nested_no_deadlock () =
+  (* A worker calling parallel_map again must fall back to the serial
+     path rather than spawn (or wait on) further domains. *)
+  let inner x = Pool.parallel_map ~jobs:4 succ [ x; x + 1 ] in
+  let got = Pool.parallel_map ~jobs:4 inner [ 10; 20; 30 ] in
+  check bool_t "nested result" true
+    (got = [ [ 11; 12 ]; [ 21; 22 ]; [ 31; 32 ] ])
+
+let test_map_reduce () =
+  let xs = List.init 101 (fun i -> i) in
+  let sum =
+    Pool.map_reduce ~jobs:4 ~map:(fun x -> x) ~reduce:( + ) ~init:0 xs
+  in
+  check int_t "sum 0..100" 5050 sum
+
+let test_resolve_jobs () =
+  check bool_t "explicit wins" true (Pool.resolve_jobs (Some 3) = 3);
+  check bool_t "floor of 1" true (Pool.resolve_jobs (Some 0) >= 1);
+  check bool_t "default positive" true (Pool.resolve_jobs None >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of the parallel study (the acceptance criterion)        *)
+
+let strip r = { r with Study.time_s = 0.0 }
+
+let test_study_jobs_1_vs_4 () =
+  let a = List.map strip (Study.run ~jobs:1 ~seed:1990 ~count:40 machine) in
+  let b = List.map strip (Study.run ~jobs:4 ~seed:1990 ~count:40 machine) in
+  check int_t "record count" 40 (List.length a);
+  check bool_t "jobs=1 equals jobs=4" true (a = b)
+
+let study_jobs_invariance =
+  qtest ~count:8 "study records are independent of the job count"
+    QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 8))
+    (fun (seed, jobs) -> Printf.sprintf "seed=%d jobs=%d" seed jobs)
+    (fun (seed, jobs) ->
+      let serial = List.map strip (Study.run ~jobs:1 ~seed ~count:12 machine) in
+      let par = List.map strip (Study.run ~jobs ~seed ~count:12 machine) in
+      serial = par)
+
+(* ------------------------------------------------------------------ *)
+(* Flattened adjacency agrees with the list API                        *)
+
+let adjacency_agreement =
+  qtest ~count:300 "preds_arr/succs_arr match preds/succs"
+    (block_gen ~max_size:16 ())
+    block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let n = Dag.length dag in
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let pa = Array.to_list (Dag.preds_arr dag i) in
+        let sa = Array.to_list (Dag.succs_arr dag i) in
+        ok :=
+          !ok
+          && List.sort compare pa = List.sort compare (Dag.preds dag i)
+          && List.sort compare sa = List.sort compare (Dag.succs dag i)
+          (* arrays are sorted increasing *)
+          && pa = List.sort compare pa
+          && sa = List.sort compare sa
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "parallel"
+    [ ( "pool",
+        [ Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "singleton" `Quick test_singleton;
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "nested no deadlock" `Quick
+            test_nested_no_deadlock;
+          Alcotest.test_case "map_reduce" `Quick test_map_reduce;
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs 1 vs 4" `Quick test_study_jobs_1_vs_4;
+          study_jobs_invariance ] );
+      ( "adjacency", [ adjacency_agreement ] ) ]
