@@ -124,6 +124,26 @@ let tests =
               (with_options (fun o ->
                    { o with Optimal.seed = List_sched.Source_order }))
             dag20));
+    (* Dominance memoization on a deep search: same block, memo forced
+       on from the first Omega call vs fully off. *)
+    Test.make ~name:"memo/search-n30-on"
+      (Staged.stage
+         (search
+            ~options:
+              (with_options (fun o ->
+                   { o with
+                     Optimal.memo =
+                       { o.Optimal.memo with Optimal.memo_activation = 0 } }))
+            dag30));
+    Test.make ~name:"memo/search-n30-off"
+      (Staged.stage
+         (search
+            ~options:
+              (with_options (fun o ->
+                   { o with
+                     Optimal.memo =
+                       { o.Optimal.memo with Optimal.memo_enabled = false } }))
+            dag30));
     (* Baseline one-pass schedulers. *)
     Test.make ~name:"baseline/greedy-n20"
       (Staged.stage (fun () -> ignore (Baselines.greedy machine dag20)));
@@ -211,7 +231,29 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Deterministic evidence that the dominance memo is a pure search
+   accelerator: the deep fixture searched with the memo forced on vs
+   off must agree on the optimum while spending fewer Omega calls. *)
+let memo_evidence () =
+  let outcome memo =
+    Optimal.schedule
+      ~options:
+        { Optimal.default_options with Optimal.lambda = 50_000;
+          Optimal.memo = memo }
+      machine dag30
+  in
+  let on =
+    outcome { Optimal.default_memo with Optimal.memo_activation = 0 }
+  in
+  let off =
+    outcome { Optimal.default_memo with Optimal.memo_enabled = false }
+  in
+  if on.Optimal.best.Omega.nops <> off.Optimal.best.Omega.nops then
+    failwith "memo changed the reported optimum on the n30 fixture";
+  (on, off)
+
 let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
+  let memo_on, memo_off = memo_evidence () in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -219,6 +261,14 @@ let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
   p "  \"jobs\": %d,\n" jobs;
   p "  \"study\": { \"count\": %d, \"wall_s\": %.6f },\n" study_count
     study_wall_s;
+  p
+    "  \"memo\": { \"nops\": %d, \"calls_on\": %d, \"calls_off\": %d, \
+     \"hits\": %d, \"entries\": %d, \"evictions\": %d },\n"
+    memo_on.Optimal.best.Omega.nops memo_on.Optimal.stats.Optimal.omega_calls
+    memo_off.Optimal.stats.Optimal.omega_calls
+    memo_on.Optimal.stats.Optimal.memo_hits
+    memo_on.Optimal.stats.Optimal.memo_entries
+    memo_on.Optimal.stats.Optimal.memo_evictions;
   p "  \"benchmarks\": {\n";
   List.iteri
     (fun i (name, est) ->

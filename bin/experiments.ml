@@ -7,12 +7,17 @@ let sections =
     "fig6"; "fig7"; "ablation"; "machine-sweep"; "structure-sweep"; "windowed"; "region";
     "heuristics"; "kernels"; "pressure"; "dynamic" ]
 
-let run count seed quick lambda strong jobs only =
+let run count seed quick lambda strong no_memo memo_capacity jobs only =
   let count = if quick then min count 1_000 else count in
   let jobs = if jobs <= 0 then None else Some jobs in
+  let memo =
+    { Pipesched_core.Optimal.default_memo with
+      Pipesched_core.Optimal.memo_enabled = not no_memo;
+      Pipesched_core.Optimal.memo_capacity }
+  in
   let fmt = Format.std_formatter in
   (match only with
-   | [] -> E.run_all ~seed ~count ~lambda ~strong ?jobs fmt
+   | [] -> E.run_all ~seed ~count ~lambda ~strong ~memo ?jobs fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -22,7 +27,9 @@ let run count seed quick lambda strong jobs only =
            exit 2
          end)
        wanted;
-     let study = lazy (E.run_study ~seed ~count ~lambda ~strong ?jobs ()) in
+     let study =
+       lazy (E.run_study ~seed ~count ~lambda ~strong ~memo ?jobs ())
+     in
      List.iter
        (fun section ->
          match section with
@@ -80,6 +87,21 @@ let strong =
   in
   Arg.(value & flag & info [ "strong" ] ~doc)
 
+let no_memo =
+  let doc =
+    "Disable the dominance-memoization extension (the transposition \
+     table over scheduled-sets).  The memo never changes reported \
+     optima, only the Omega calls spent reaching them."
+  in
+  Arg.(value & flag & info [ "no-memo" ] ~doc)
+
+let memo_capacity =
+  let doc =
+    "Capacity (entries, rounded up to a power of two) of the dominance \
+     memo table."
+  in
+  Arg.(value & opt int 4_096 & info [ "memo-capacity" ] ~doc)
+
 let jobs =
   let doc =
     "Worker domains for the studies (0 = auto: \\$(b,PIPESCHED_JOBS) or \
@@ -101,6 +123,8 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "pipesched-experiments" ~doc)
-    Term.(const run $ count $ seed $ quick $ lambda $ strong $ jobs $ only)
+    Term.(
+      const run $ count $ seed $ quick $ lambda $ strong $ no_memo
+      $ memo_capacity $ jobs $ only)
 
 let () = exit (Cmd.eval' cmd)

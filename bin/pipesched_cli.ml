@@ -53,10 +53,18 @@ let read_input file expr =
     In_channel.input_all In_channel.stdin
   | Some f, _ -> In_channel.with_open_text f In_channel.input_all
 
-let run file expr machine machine_file sched lambda registers optimize
-    tuples_in show_tuples show_asm show_tables show_timeline show_dot
-    show_explain =
+let run file expr machine machine_file sched lambda no_memo memo_capacity
+    registers optimize tuples_in show_tuples show_asm show_tables
+    show_timeline show_dot show_explain =
   try
+    let options =
+      { Optimal.default_options with
+        Optimal.lambda;
+        Optimal.memo =
+          { Optimal.default_memo with
+            Optimal.memo_enabled = not no_memo;
+            Optimal.memo_capacity } }
+    in
     let machine =
       match machine_file with
       | None -> machine
@@ -78,7 +86,6 @@ let run file expr machine machine_file sched lambda registers optimize
         exit 1
       | Ok blk ->
         let dag = Dag.of_block blk in
-        let options = { Optimal.default_options with Optimal.lambda } in
         let o = Optimal.schedule ~options machine dag in
         Format.printf
           "%d instructions: list %d NOPs, optimal %d NOPs (%s)@."
@@ -97,7 +104,6 @@ let run file expr machine machine_file sched lambda registers optimize
       let module Cfl = Pipesched_cflow in
       let cfg = Cfl.Cfg.merge_chains (Cfl.Lower.lower ~optimize program) in
       let cfg = if optimize then Cfl.Cfg.optimize_blocks cfg else cfg in
-      let options = { Optimal.default_options with Optimal.lambda } in
       let s = Cfl.Schedule.schedule ~options machine cfg in
       if show_tuples then Format.printf "%a@." Cfl.Cfg.pp cfg;
       Format.printf "%d blocks, %d instructions, %d static NOPs@."
@@ -120,7 +126,6 @@ let run file expr machine machine_file sched lambda registers optimize
     if show_tables then Machine.pp_tables Format.std_formatter machine;
     if show_tuples then
       Format.printf "tuples:@.%a@.@." Block.pp blk;
-    let options = { Optimal.default_options with Optimal.lambda } in
     let describe label (r : Omega.result) =
       Format.printf "%s: %d instructions, %d NOPs@." label
         (Array.length r.Omega.order) r.Omega.nops
@@ -243,6 +248,22 @@ let lambda =
     value & opt int 100_000
     & info [ "lambda" ] ~doc:"Curtail point (max omega calls).")
 
+let no_memo =
+  Arg.(
+    value & flag
+    & info [ "no-memo" ]
+        ~doc:
+          "Disable the dominance-memoization extension.  The memo never \
+           changes the schedule found, only the search effort.")
+
+let memo_capacity =
+  Arg.(
+    value & opt int 4_096
+    & info [ "memo-capacity" ]
+        ~doc:
+          "Capacity (entries, rounded up to a power of two) of the \
+           dominance memo table.")
+
 let registers =
   Arg.(
     value & opt int 16
@@ -284,7 +305,8 @@ let cmd =
        ~doc:"optimally schedule a basic block for pipelined machines")
     Term.(
       const run $ file $ expr $ machine $ machine_file $ sched $ lambda
-      $ registers $ optimize $ tuples_in $ show_tuples $ show_asm
-      $ show_tables $ show_timeline $ show_dot $ show_explain)
+      $ no_memo $ memo_capacity $ registers $ optimize $ tuples_in
+      $ show_tuples $ show_asm $ show_tables $ show_timeline $ show_dot
+      $ show_explain)
 
 let () = exit (Cmd.eval' cmd)

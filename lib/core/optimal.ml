@@ -4,6 +4,12 @@ open Pipesched_sched
 
 type lower_bound = Partial_nops | Critical_path
 
+type memo_options = {
+  memo_enabled : bool;
+  memo_capacity : int;
+  memo_activation : int;
+}
+
 type options = {
   lambda : int;
   seed : List_sched.heuristic;
@@ -11,7 +17,11 @@ type options = {
   strong_equivalence : bool;
   alpha_beta : bool;
   lower_bound : lower_bound;
+  memo : memo_options;
 }
+
+let default_memo =
+  { memo_enabled = true; memo_capacity = 4_096; memo_activation = 256 }
 
 let default_options =
   {
@@ -21,6 +31,7 @@ let default_options =
     strong_equivalence = false;
     alpha_beta = true;
     lower_bound = Partial_nops;
+    memo = default_memo;
   }
 
 type stats = {
@@ -28,6 +39,10 @@ type stats = {
   schedules_completed : int;
   improvements : int;
   completed : bool;
+  memo_hits : int;
+  memo_misses : int;
+  memo_entries : int;
+  memo_evictions : int;
 }
 
 type outcome = { best : Omega.result; initial : Omega.result; stats : stats }
@@ -57,6 +72,22 @@ type search_env = {
   forced_pipe : int array;
   pipe_enqueue : int array;
   dag : Dag.t;
+  (* Dominance-memoization state: the scheduled-set key (maintained
+     incrementally by [dfs]), the normalized-fingerprint scratch, and the
+     transposition table itself (created lazily once the search has done
+     [memo_activation] Omega calls, so tiny searches never pay the
+     allocation). *)
+  sched_set : Pipesched_prelude.Bitset.t;
+  fp : int array;
+  mutable memo_tbl : Pipesched_prelude.Memo_table.t option;
+  mutable memo_hits : int;
+  mutable memo_misses : int;
+  (* Critical-path-bound scratch, preallocated so the bound is not
+     O(n) in fresh arrays per node; [cp_bound.(d)] caches the admissible
+     bound computed for the node currently open at depth [d]. *)
+  cp_est : int array;
+  cp_remaining : int array;
+  cp_bound : int array;
   mutable omega_calls : int;
   mutable schedules_completed : int;
   mutable improvements : int;
@@ -134,6 +165,14 @@ let make_env ?entry ?(multi = false) machine dag options =
     forced_pipe;
     pipe_enqueue;
     dag;
+    sched_set = Pipesched_prelude.Bitset.create (max n 1);
+    fp = Array.make (1 + Array.length pipe_enqueue + n) 0;
+    memo_tbl = None;
+    memo_hits = 0;
+    memo_misses = 0;
+    cp_est = Array.make (max n 1) 0;
+    cp_remaining = Array.make (max (Array.length pipe_enqueue) 1) 0;
+    cp_bound = Array.make (n + 1) 0;
     omega_calls = 0;
     schedules_completed = 0;
     improvements = 0;
@@ -144,19 +183,30 @@ let make_env ?entry ?(multi = false) machine dag options =
    current partial schedule: mu(Phi) refined with the earliest possible
    issue of each unscheduled instruction plus its latency-weighted tail
    (see optimal.mli).  est is computed over unscheduled positions in block
-   order, which is topological. *)
-let critical_path_bound env =
+   order, which is topological.
+
+   [floor] is a bound already known to be admissible for this node — the
+   caller passes the parent's cached bound: the child's completions are a
+   subset of the parent's, so any lower bound on the parent also bounds
+   the child, and taking the max only tightens the result.
+
+   The scratch arrays live in [search_env]: [cp_est] needs no clearing
+   because every unscheduled position is written before it is read (block
+   order is topological, and scheduled slots are never read); only the
+   per-pipe [cp_remaining] counters are zeroed. *)
+let critical_path_bound env ~floor =
   let st = env.st in
   let depth = Omega.State.depth st in
-  if depth = env.n then Omega.State.nops st
+  if depth = env.n then max floor (Omega.State.nops st)
   else begin
-    let est = Array.make env.n 0 in
+    let est = env.cp_est in
     let last_issue =
       if depth = 0 then -1
       else Omega.State.issue_of st (Omega.State.at_depth st (depth - 1))
     in
-    let bound = ref (Omega.State.nops st) in
-    let remaining_on = Array.make (Array.length env.pipe_enqueue) 0 in
+    let bound = ref (max floor (Omega.State.nops st)) in
+    let remaining_on = env.cp_remaining in
+    Array.fill remaining_on 0 (Array.length remaining_on) 0;
     for v = 0 to env.n - 1 do
       if not (Omega.State.is_scheduled st v) then begin
         if env.forced_pipe.(v) >= 0 then
@@ -196,10 +246,135 @@ let critical_path_bound env =
     !bound
   end
 
-let bound_value env options =
+let bound_value env options ~floor =
   match options.lower_bound with
-  | Partial_nops -> Omega.State.nops env.st
-  | Critical_path -> critical_path_bound env
+  | Partial_nops -> max floor (Omega.State.nops env.st)
+  | Critical_path -> critical_path_bound env ~floor
+
+(* Normalized state fingerprint for the dominance check, written into
+   [env.fp].  All ticks are expressed relative to [base], the earliest
+   tick the next instruction could issue at ([issue(last) + 1], or 0 for
+   the empty prefix), so prefixes reaching the same scheduled set at
+   different absolute ticks but with the same *shape* compare equal.
+
+     fp.(0)                = mu(Phi), the NOPs accumulated so far
+     fp.(1 + p)            = per-pipe last-use tick relative to base,
+                             clamped below at -enqueue_p: anything
+                             earlier imposes no conflict constraint on
+                             issues >= base, so distinguishing such
+                             values would only weaken the dominance test
+     fp.(1 + npipes + v)   = residual latency of the value produced at
+                             position v — how many ticks past base until
+                             it becomes available — clamped at 0, and 0
+                             whenever v is unscheduled or every consumer
+                             of v is already scheduled (then it can no
+                             longer stall anything)
+
+   Which components are "relevant" (scheduled producers with unscheduled
+   consumers; pipes) is a function of the scheduled *set* alone, so two
+   fingerprints for the same key are always componentwise comparable. *)
+let fingerprint env =
+  let st = env.st in
+  let depth = Omega.State.depth st in
+  let base =
+    if depth = 0 then 0
+    else Omega.State.issue_of st (Omega.State.at_depth st (depth - 1)) + 1
+  in
+  let fp = env.fp in
+  fp.(0) <- Omega.State.nops st;
+  let npipes = Array.length env.pipe_enqueue in
+  for p = 0 to npipes - 1 do
+    fp.(1 + p) <-
+      max (Omega.State.last_use st p - base) (- env.pipe_enqueue.(p))
+  done;
+  for v = 0 to env.n - 1 do
+    let residual =
+      if not (Omega.State.is_scheduled st v) then 0
+      else begin
+        let pending = ref false in
+        Array.iter
+          (fun s ->
+            if not (Omega.State.is_scheduled st s) then pending := true)
+          env.succs.(v);
+        if !pending then max 0 (Omega.State.avail_of st v - base) else 0
+      end
+    in
+    fp.(1 + npipes + v) <- residual
+  done
+
+(* Dominance cut over the transposition table.  Returns [true] when the
+   current node may be pruned without affecting the reported optimum.
+
+   Soundness: the key is the scheduled *set*, and legality of a suffix
+   depends only on that set, so every completion available below the
+   stored prefix B is also available below the current prefix A and vice
+   versa.  The stored fingerprint dominating the current one
+   componentwise means B had accumulated no more NOPs AND imposed
+   constraints on the future (pipe last-uses, unconsumed producer
+   availabilities, all relative to the next issue slot) that are no
+   tighter than A's.  Omega is monotone in those constraints: relaxing
+   any of them can only lower each suffix instruction's forced issue
+   tick, hence each eta, hence the final NOP total.  So for every
+   completion, B's total <= A's total: the best completion below A
+   cannot beat the best below B.
+
+   Under alpha-beta this composes, even though B's subtree may itself
+   have been pruned: the incumbent only ever decreases, and both the
+   lower bounds and this dominance cut only discard subtrees whose every
+   completion is >= some schedule already found or still reachable.  By
+   induction over the order nodes are closed, when B's subtree finished,
+   either it had established incumbent <= (best completion below B) or
+   the incumbent was already that good; either way the incumbent at any
+   later point is <= best-below-B <= best-below-A, so pruning A loses
+   nothing.  The same argument covers the equivalence prunings (they
+   only drop schedules whose NOP totals are matched by a retained
+   sibling) and the register-bounded search (Pressure's live/remaining
+   state is a pure function of the scheduled set, so A and B admit the
+   same feasible suffixes).  Curtailment aborts the whole search, so a
+   wrongly-kept entry can at worst have made the curtailed prefix
+   smaller — completed searches are unaffected.
+
+   Misses store the current state; on a key match the entry is
+   overwritten unconditionally, which is always sound (any stored,
+   actually-explored state yields a valid dominance witness). *)
+let memo_cut env =
+  match env.memo_tbl with
+  | None -> false
+  | Some tbl ->
+    let module Bitset = Pipesched_prelude.Bitset in
+    let module Memo_table = Pipesched_prelude.Memo_table in
+    fingerprint env;
+    let hash = Bitset.hash env.sched_set in
+    let key = Bitset.raw_words env.sched_set in
+    let slot = Memo_table.find tbl ~hash key in
+    if slot >= 0 && Memo_table.dominates tbl slot env.fp then begin
+      env.memo_hits <- env.memo_hits + 1;
+      true
+    end
+    else begin
+      env.memo_misses <- env.memo_misses + 1;
+      ignore
+        (Memo_table.store tbl ~hash
+           ~depth:(Omega.State.depth env.st)
+           ~key ~value:env.fp
+          : bool);
+      false
+    end
+
+let maybe_activate_memo env options =
+  if
+    env.memo_tbl = None
+    && options.memo.memo_enabled
+    && env.n > 1
+    && env.omega_calls >= options.memo.memo_activation
+  then
+    env.memo_tbl <-
+      Some
+        (Pipesched_prelude.Memo_table.create
+           ~capacity:options.memo.memo_capacity
+           ~key_words:
+             (Array.length (Pipesched_prelude.Bitset.raw_words env.sched_set))
+           ~value_words:(Array.length env.fp))
 
 (* The search skeleton.  [push_candidates f pos] must invoke [f] once per
    distinct way of scheduling [pos] next (once for the single-pipe search;
@@ -224,6 +399,7 @@ let dfs env options ~push_candidates ~on_complete =
         on_complete ()
       end
     end
+    else if depth > 0 && memo_cut env then ()
     else begin
       (* The ready set is restored after each child, so this snapshot is
          exactly the set of positions the old full scan would accept. *)
@@ -246,33 +422,68 @@ let dfs env options ~push_candidates ~on_complete =
             Hashtbl.replace tried_sigs env.signature.(pos) ();
           push_candidates pos (fun () ->
               (* [pos] is pushed for the extent of this callback: drop it
-                 from the ready set and admit any successor whose last
-                 unscheduled predecessor it was, then undo. *)
+                 from the ready set (and add it to the scheduled-set key)
+                 and admit any successor whose last unscheduled
+                 predecessor it was, then undo. *)
               Bitset.remove env.ready rk;
+              Bitset.add env.sched_set pos;
               Array.iter
                 (fun s ->
                   if Omega.State.is_ready env.st s then
                     Bitset.add env.ready env.rank.(s))
                 env.succs.(pos);
-              (if
-                 (not options.alpha_beta)
-                 || bound_value env options < env.best_nops
-               then go (depth + 1));
+              (if not options.alpha_beta then go (depth + 1)
+               else begin
+                 (* The parent's bound is an admissible floor for every
+                    child (completions below a child are a subset of
+                    those below the parent), so when the incumbent has
+                    improved past it since the parent was expanded, all
+                    remaining siblings fail without recomputation. *)
+                 let parent_bound = env.cp_bound.(depth) in
+                 if parent_bound < env.best_nops then begin
+                   let b = bound_value env options ~floor:parent_bound in
+                   env.cp_bound.(depth + 1) <- b;
+                   if b < env.best_nops then go (depth + 1)
+                 end
+               end);
               Array.iter
                 (fun s ->
                   if Omega.State.is_ready env.st s then
                     Bitset.remove env.ready env.rank.(s))
                 env.succs.(pos);
+              Bitset.remove env.sched_set pos;
               Bitset.add env.ready rk)
         end
       done
     end
   in
+  (* A floor of 0 NOPs is trivially admissible for the root. *)
+  env.cp_bound.(0) <- 0;
   go 0
 
 let count_call env options =
   if env.omega_calls >= options.lambda then raise Curtailed;
-  env.omega_calls <- env.omega_calls + 1
+  env.omega_calls <- env.omega_calls + 1;
+  maybe_activate_memo env options
+
+let stats_of env ~completed =
+  let entries, evictions =
+    match env.memo_tbl with
+    | None -> (0, 0)
+    | Some tbl ->
+      ( Pipesched_prelude.Memo_table.entries tbl,
+        Pipesched_prelude.Memo_table.evictions tbl )
+  in
+  {
+    omega_calls = env.omega_calls;
+    schedules_completed = env.schedules_completed;
+    improvements = env.improvements;
+    completed;
+    memo_hits = env.memo_hits;
+    memo_misses = env.memo_misses;
+    memo_entries = entries;
+    memo_evictions = evictions;
+  }
 
 let schedule ?(options = default_options) ?entry machine dag =
   let seed_order = List_sched.schedule options.seed dag in
@@ -292,17 +503,7 @@ let schedule ?(options = default_options) ?entry machine dag =
     | () -> true
     | exception Curtailed -> false
   in
-  {
-    best = !best;
-    initial;
-    stats =
-      {
-        omega_calls = env.omega_calls;
-        schedules_completed = env.schedules_completed;
-        improvements = env.improvements;
-        completed;
-      };
-  }
+  { best = !best; initial; stats = stats_of env ~completed }
 
 let schedule_multi ?(options = default_options) ?entry machine dag =
   let n = Dag.length dag in
@@ -364,18 +565,7 @@ let schedule_multi ?(options = default_options) ?entry machine dag =
     | () -> true
     | exception Curtailed -> false
   in
-  ( {
-      best = !best;
-      initial;
-      stats =
-        {
-          omega_calls = env.omega_calls;
-          schedules_completed = env.schedules_completed;
-          improvements = env.improvements;
-          completed;
-        };
-    },
-    !best_choice )
+  ({ best = !best; initial; stats = stats_of env ~completed }, !best_choice)
 
 (* Incremental register-demand bookkeeping for the bounded search.  A
    value is live from its definition until its last remaining consumer is
@@ -463,9 +653,11 @@ let schedule_bounded ?(options = default_options) ~registers machine dag =
   if registers < 1 then
     invalid_arg "Optimal.schedule_bounded: registers must be >= 1";
   let seed_order = List_sched.schedule options.seed dag in
-  let initial = Omega.evaluate machine dag ~order:seed_order in
+  (* The seed is only a reference point, never an incumbent: it may
+     violate the register bound.  Evaluating it is pure waste when the
+     search comes up empty, so force it only on success. *)
+  let initial = lazy (Omega.evaluate machine dag ~order:seed_order) in
   let env = make_env machine dag options in
-  (* No incumbent: the seed might violate the register bound. *)
   let pressure = Pressure.create dag in
   let best = ref None in
   let push_candidates pos k =
@@ -484,16 +676,9 @@ let schedule_bounded ?(options = default_options) ~registers machine dag =
     | () -> true
     | exception Curtailed -> false
   in
-  let stats =
-    {
-      omega_calls = env.omega_calls;
-      schedules_completed = env.schedules_completed;
-      improvements = env.improvements;
-      completed;
-    }
-  in
+  let stats = stats_of env ~completed in
   match !best with
-  | Some best -> Ok { best; initial; stats }
+  | Some best -> Ok { best; initial = Lazy.force initial; stats }
   | None -> Error ()
 
 let verify_optimal machine dag (outcome : outcome) =

@@ -49,6 +49,29 @@ type lower_bound =
           unscheduled suffix (extension; strictly stronger, still never
           prunes all optima) *)
 
+(** Dominance-memoization settings (extension).  The search keeps a
+    bounded transposition table keyed by the {e set} of scheduled
+    positions; a node is pruned when a previously explored prefix over
+    the same set left the machine in a componentwise no-worse normalized
+    state (no more NOPs, no later pipe last-uses, no larger residual
+    producer latencies — all relative to the next issue slot).  The cut
+    is exact: it never changes the reported optimum, only the number of
+    Omega calls spent reaching it (see the soundness argument in
+    optimal.ml). *)
+type memo_options = {
+  memo_enabled : bool;  (** master switch for the dominance cut *)
+  memo_capacity : int;
+      (** table capacity in entries, rounded up to a power of two;
+          bounded — old entries are evicted (deepest first), never
+          grown *)
+  memo_activation : int;
+      (** create the table only once this many Omega calls have been
+          spent, so trivial searches never pay the allocation *)
+}
+
+(** Memoization on, 4096 entries, activation after 256 Omega calls. *)
+val default_memo : memo_options
+
 type options = {
   lambda : int;
       (** curtail point: maximum Omega calls (incremental NOP insertions)
@@ -61,11 +84,12 @@ type options = {
           (fully interchangeable instructions; extension) *)
   alpha_beta : bool;            (** step [6] on/off *)
   lower_bound : lower_bound;
+  memo : memo_options;          (** dominance memoization (extension) *)
 }
 
 (** The paper's configuration: [lambda = 100_000], {!List_sched.Max_distance}
     seed, equivalence and alpha-beta pruning on, [Partial_nops] bound,
-    strong equivalence off. *)
+    strong equivalence off, {!default_memo} memoization. *)
 val default_options : options
 
 type stats = {
@@ -79,6 +103,13 @@ type stats = {
   completed : bool;
       (** true: termination case [1], the result is provably optimal;
           false: case [2], curtailed at [lambda] *)
+  memo_hits : int;
+      (** nodes pruned by the dominance cut (subtrees never entered) *)
+  memo_misses : int;
+      (** dominance lookups that found no dominating entry *)
+  memo_entries : int;  (** entries resident in the table at the end *)
+  memo_evictions : int;
+      (** entries displaced by the bounded table's eviction policy *)
 }
 
 type outcome = {
@@ -116,8 +147,10 @@ val schedule_multi :
     ([outcome.stats.completed] means provably optimal {e among feasible
     schedules}), or [Error ()] when no feasible complete schedule was
     found within [lambda] (the block needs §3.1 spill rewriting first).
-    Note the seed list schedule may itself be infeasible; it still
-    initializes [outcome.initial], but the incumbent starts empty. *)
+    Note the seed list schedule may itself be infeasible — it is {e not}
+    used as an incumbent, and is only evaluated (to fill
+    [outcome.initial], as a reference point) when the search succeeds;
+    on [Error ()] no Omega evaluation of the seed happens at all. *)
 val schedule_bounded :
   ?options:options -> registers:int -> Machine.t -> Dag.t ->
   (outcome, unit) result

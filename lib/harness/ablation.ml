@@ -16,6 +16,11 @@ let standard_configs ~lambda =
       options = { base with Optimal.seed = List_sched.Source_order } };
     { label = "- list seed (random order)";
       options = { base with Optimal.seed = List_sched.Random_order 99 } };
+    { label = "- dominance memo (ext)";
+      options =
+        { base with
+          Optimal.memo =
+            { base.Optimal.memo with Optimal.memo_enabled = false } } };
     { label = "+ strong equivalence (ext)";
       options = { base with Optimal.strong_equivalence = true } };
     { label = "+ critical-path bound (ext)";
@@ -30,6 +35,7 @@ type row = {
   label : string;
   completed_pct : float;
   avg_calls_completed : float;
+  avg_memo_hits : float;
   avg_final_nops : float;
   avg_time_s : float;
 }
@@ -59,6 +65,9 @@ let run ?jobs ~seed ~count ~lambda machine =
             (List.map
                (fun r -> float_of_int r.Study.omega_calls)
                completed);
+        avg_memo_hits =
+          Stats.mean
+            (List.map (fun r -> float_of_int r.Study.memo_hits) records);
         avg_final_nops =
           Stats.mean (List.map (fun r -> float_of_int r.Study.final_nops) records);
         avg_time_s = Stats.mean (List.map (fun r -> r.Study.time_s) records);
@@ -67,10 +76,11 @@ let run ?jobs ~seed ~count ~lambda machine =
 
 let print fmt rows =
   Format.fprintf fmt "@.Ablation of the search ingredients:@.";
-  Format.fprintf fmt "  %-34s %10s %14s %11s %11s@." "configuration"
-    "% optimal" "calls (compl.)" "final NOPs" "time (s)";
+  Format.fprintf fmt "  %-34s %10s %14s %10s %11s %11s@." "configuration"
+    "% optimal" "calls (compl.)" "memo hits" "final NOPs" "time (s)";
   List.iter
     (fun r ->
-      Format.fprintf fmt "  %-34s %10.2f %14.1f %11.3f %11.5f@." r.label
-        r.completed_pct r.avg_calls_completed r.avg_final_nops r.avg_time_s)
+      Format.fprintf fmt "  %-34s %10.2f %14.1f %10.1f %11.3f %11.5f@."
+        r.label r.completed_pct r.avg_calls_completed r.avg_memo_hits
+        r.avg_final_nops r.avg_time_s)
     rows

@@ -19,6 +19,7 @@ type row = {
   label : string;
   completed_pct : float;
   avg_calls_completed : float;
+  avg_memo_hits : float;  (** mean dominance-memo prunes per block *)
   avg_final_nops : float;
   avg_time_s : float;
 }

@@ -11,11 +11,12 @@ type study = Study.record list
 let machine = Machine.Presets.simulation
 
 let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
-    ?(strong = false) ?jobs () =
+    ?(strong = false) ?(memo = Optimal.default_memo) ?jobs () =
   let options =
     { Optimal.default_options with
       Optimal.lambda;
-      Optimal.strong_equivalence = strong }
+      Optimal.strong_equivalence = strong;
+      Optimal.memo = memo }
   in
   Study.run ~options ?jobs ~seed ~count machine
 
@@ -130,6 +131,11 @@ let print_table7 fmt study =
     (ff1 t.Study.avg_omega_calls)
     (ff1 p_c.Paper.avg_omega_calls)
     (ff1 p_t.Paper.avg_omega_calls);
+  let memo_mean rs =
+    Stats.mean (List.map (fun r -> float_of_int r.Study.memo_hits) rs)
+  in
+  row "Avg. Memo Hits (ext)" (ff1 (memo_mean completed))
+    (ff1 (memo_mean truncated)) "-" "-";
   row "Avg. Search Time (s)"
     (Printf.sprintf "%.4f" c.Study.avg_time_s)
     (Printf.sprintf "%.4f" t.Study.avg_time_s)
@@ -645,8 +651,8 @@ let print_dynamic_study ?(seed = 1994) ?(count = 120) fmt =
         static.(i))
     schedulers
 
-let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?jobs ?study
-    fmt =
+let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo ?jobs
+    ?study fmt =
   Format.fprintf fmt
     "Reproduction: Nisar & Dietz, Optimal Code Scheduling for \
      Multiple-Pipeline Processors (1990)@.";
@@ -656,7 +662,7 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?jobs ?study
   let study =
     match study with
     | Some s -> s
-    | None -> run_study ~seed ~count ?lambda ?strong ?jobs ()
+    | None -> run_study ~seed ~count ?lambda ?strong ?memo ?jobs ()
   in
   print_table7 fmt study;
   print_fig1 fmt study;

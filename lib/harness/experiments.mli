@@ -13,10 +13,14 @@ type study = Study.record list
     paper) on the simulation machine.  [lambda] is the curtail point
     (default 50,000 Omega calls); [strong] additionally enables the
     strong-equivalence pruning extension (default off = paper mode).
-    [jobs] sets the number of worker domains blocks are scheduled
-    across; results are identical at any job count (see Study.run). *)
+    [memo] configures the dominance-memoization extension (default
+    {!Pipesched_core.Optimal.default_memo}; the cut never changes the
+    reported optima, only the Omega calls spent).  [jobs] sets the
+    number of worker domains blocks are scheduled across; results are
+    identical at any job count (see Study.run). *)
 val run_study :
-  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool -> ?jobs:int ->
+  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
+  ?memo:Pipesched_core.Optimal.memo_options -> ?jobs:int ->
   unit -> study
 
 (** Table 1: search-space sizes for representative blocks (exhaustive vs
@@ -106,5 +110,6 @@ val print_dynamic_study :
     and structure sweeps.  Pass [study] to reuse records already
     computed (the bench harness does, to time the study separately). *)
 val run_all :
-  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool -> ?jobs:int ->
+  ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
+  ?memo:Pipesched_core.Optimal.memo_options -> ?jobs:int ->
   ?study:study -> Format.formatter -> unit

@@ -10,6 +10,7 @@ type record = {
   final_nops : int;
   omega_calls : int;
   schedules_completed : int;
+  memo_hits : int;
   completed : bool;
   time_s : float;
 }
@@ -29,6 +30,7 @@ let run_block ?(options = default_options) machine blk =
     final_nops = outcome.Optimal.best.Omega.nops;
     omega_calls = outcome.Optimal.stats.Optimal.omega_calls;
     schedules_completed = outcome.Optimal.stats.Optimal.schedules_completed;
+    memo_hits = outcome.Optimal.stats.Optimal.memo_hits;
     completed = outcome.Optimal.stats.Optimal.completed;
     time_s = t1 -. t0;
   }

@@ -14,6 +14,7 @@ type record = {
   final_nops : int;         (** NOPs of the best schedule found *)
   omega_calls : int;
   schedules_completed : int;
+  memo_hits : int;          (** subtrees pruned by the dominance memo *)
   completed : bool;         (** search ran to completion (provably optimal) *)
   time_s : float;           (** wall-clock seconds for the search *)
 }

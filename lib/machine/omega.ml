@@ -187,6 +187,11 @@ module State = struct
       invalid_arg "Omega.State.issue_of: not scheduled";
     st.issue.(pos)
 
+  let avail_of st pos =
+    if not st.scheduled.(pos) then
+      invalid_arg "Omega.State.avail_of: not scheduled";
+    st.issue.(pos) + st.prod_latency.(pos)
+
   let snapshot st =
     let order = prefix st in
     let eta = Array.sub st.eta_stack 0 st.sp in

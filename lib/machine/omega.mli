@@ -139,6 +139,13 @@ module State : sig
   (** Issue tick of a scheduled original position. *)
   val issue_of : t -> int -> int
 
+  (** [avail_of st pos] is the tick at which the result of the scheduled
+      instruction at [pos] becomes available to consumers: its issue
+      tick plus the latency of the pipeline it was actually scheduled on
+      (1 when resource-free).  Requires [is_scheduled st pos].  Used by
+      the search's dominance fingerprint. *)
+  val avail_of : t -> int -> int
+
   (** [last_use st pid] is the issue tick of the most recent instruction
       scheduled on pipeline [pid], or a large negative sentinel when the
       pipeline is so far unused.  Used by the multi-pipe search to detect

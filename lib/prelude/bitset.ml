@@ -104,3 +104,15 @@ let clear s = Array.fill s.words 0 (Array.length s.words) 0
 let equal s1 s2 =
   same_capacity s1 s2;
   s1.words = s2.words
+
+let raw_words s = s.words
+
+let hash s =
+  let h = ref 0 in
+  for i = 0 to Array.length s.words - 1 do
+    (* Fold each word in with a distinct odd multiplier per position so
+       the same bits in different words hash apart; wrap-around is fine. *)
+    h := (!h * 0x3C79AC49) + s.words.(i) + i
+  done;
+  let x = !h lxor (!h lsr 29) in
+  (x * 0x2545F491) land max_int

@@ -55,3 +55,13 @@ val clear : t -> unit
 
 (** [equal s1 s2] tests extensional equality (same capacity required). *)
 val equal : t -> t -> bool
+
+(** The backing word array, shared with the set — read-only by
+    convention, never mutate it.  Allocation-free access for callers
+    that key hash tables by set contents (the search's transposition
+    table). *)
+val raw_words : t -> int array
+
+(** A word-mixing hash of the set's contents.  Allocation-free;
+    non-negative; equal sets of equal capacity hash equally. *)
+val hash : t -> int

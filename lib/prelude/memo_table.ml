@@ -1,0 +1,129 @@
+type t = {
+  key_words : int;
+  value_words : int;
+  mask : int;              (* capacity - 1; capacity is a power of two *)
+  probe : int;             (* linear-probe window length *)
+  depths : int array;      (* per slot; -1 = empty *)
+  hashes : int array;      (* per slot; quick reject before key compare *)
+  keys : int array;        (* capacity * key_words *)
+  values : int array;      (* capacity * value_words *)
+  mutable entries : int;
+  mutable evictions : int;
+}
+
+(* Bounding the probe window bounds both the lookup cost and the age of
+   what eviction can displace; 8 slots is plenty at sane load factors. *)
+let max_probe = 8
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ~capacity ~key_words ~value_words =
+  if capacity < 1 then invalid_arg "Memo_table.create: capacity must be >= 1";
+  if key_words < 1 then invalid_arg "Memo_table.create: key_words must be >= 1";
+  if value_words < 1 then
+    invalid_arg "Memo_table.create: value_words must be >= 1";
+  let cap = next_pow2 capacity in
+  {
+    key_words;
+    value_words;
+    mask = cap - 1;
+    probe = min cap max_probe;
+    depths = Array.make cap (-1);
+    hashes = Array.make cap 0;
+    keys = Array.make (cap * key_words) 0;
+    values = Array.make (cap * value_words) 0;
+    entries = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.mask + 1
+let entries t = t.entries
+let evictions t = t.evictions
+
+let check_key t key =
+  if Array.length key <> t.key_words then
+    invalid_arg "Memo_table: key length mismatch"
+
+let check_value t value =
+  if Array.length value <> t.value_words then
+    invalid_arg "Memo_table: value length mismatch"
+
+let key_eq t slot key =
+  let base = slot * t.key_words in
+  let ok = ref true in
+  for i = 0 to t.key_words - 1 do
+    if t.keys.(base + i) <> key.(i) then ok := false
+  done;
+  !ok
+
+let find t ~hash key =
+  check_key t key;
+  let found = ref (-1) in
+  let j = ref 0 in
+  while !found < 0 && !j < t.probe do
+    let s = (hash + !j) land t.mask in
+    if t.depths.(s) >= 0 && t.hashes.(s) = hash && key_eq t s key then
+      found := s;
+    incr j
+  done;
+  !found
+
+let dominates t slot value =
+  check_value t value;
+  if slot < 0 || slot > t.mask then invalid_arg "Memo_table.dominates: slot";
+  let base = slot * t.value_words in
+  let ok = ref true in
+  for i = 0 to t.value_words - 1 do
+    if t.values.(base + i) > value.(i) then ok := false
+  done;
+  !ok
+
+let depth_at t slot =
+  if slot < 0 || slot > t.mask then invalid_arg "Memo_table.depth_at: slot";
+  t.depths.(slot)
+
+let store t ~hash ~depth ~key ~value =
+  check_key t key;
+  check_value t value;
+  if depth < 0 then invalid_arg "Memo_table.store: negative depth";
+  let matching = ref (-1) and empty = ref (-1) and deepest = ref (-1) in
+  for j = 0 to t.probe - 1 do
+    let s = (hash + j) land t.mask in
+    if t.depths.(s) < 0 then begin
+      if !empty < 0 then empty := s
+    end
+    else begin
+      if !matching < 0 && t.hashes.(s) = hash && key_eq t s key then
+        matching := s;
+      if !deepest < 0 || t.depths.(s) > t.depths.(!deepest) then deepest := s
+    end
+  done;
+  let slot =
+    if !matching >= 0 then !matching
+    else if !empty >= 0 then begin
+      t.entries <- t.entries + 1;
+      !empty
+    end
+    else if t.depths.(!deepest) > depth then begin
+      (* Depth-preferring eviction: displace the guard of the smallest
+         subtree, and only for a shallower (more valuable) newcomer. *)
+      t.evictions <- t.evictions + 1;
+      !deepest
+    end
+    else -1
+  in
+  if slot < 0 then false
+  else begin
+    Array.blit key 0 t.keys (slot * t.key_words) t.key_words;
+    Array.blit value 0 t.values (slot * t.value_words) t.value_words;
+    t.depths.(slot) <- depth;
+    t.hashes.(slot) <- hash;
+    true
+  end
+
+let clear t =
+  Array.fill t.depths 0 (Array.length t.depths) (-1);
+  t.entries <- 0;
+  t.evictions <- 0

@@ -1,0 +1,57 @@
+(** Bounded open-addressing map from fixed-width integer keys to
+    fixed-width integer values, built for the optimal search's
+    state-dominance transposition table.
+
+    Everything lives in four flat [int array]s allocated at {!create}; no
+    further allocation happens on lookup or store, so the search hot path
+    produces no GC pressure.  Capacity is bounded: when the probe window
+    of a new entry is full, the entry at the {e deepest} recorded search
+    depth is evicted (a shallow entry guards a larger subtree, so it is
+    worth more), and an entry deeper than every incumbent is dropped
+    instead of stored.
+
+    Keys are compared for real equality (word by word), never only by
+    hash.  Values are plain int vectors; {!dominates} is the
+    componentwise-[<=] test the dominance pruning needs. *)
+
+type t
+
+(** [create ~capacity ~key_words ~value_words] — an empty table holding
+    at most [capacity] entries (rounded up to a power of two) of
+    [key_words]-word keys and [value_words]-word values.  Raises
+    [Invalid_argument] when any argument is [< 1]. *)
+val create : capacity:int -> key_words:int -> value_words:int -> t
+
+(** Entry capacity (after rounding up to a power of two). *)
+val capacity : t -> int
+
+(** Entries currently stored. *)
+val entries : t -> int
+
+(** Entries displaced by depth-preferring eviction so far. *)
+val evictions : t -> int
+
+(** [find t ~hash key] is the slot holding [key] (length [key_words];
+    [hash] must be the caller's hash of it), or [-1] when absent.  Slots
+    stay valid until the next [store] or [clear]. *)
+val find : t -> hash:int -> int array -> int
+
+(** [dominates t slot value] — is the stored value at [slot]
+    componentwise [<=] the candidate [value] (length [value_words])?
+    With the search's fingerprint encoding, [true] means the recorded
+    visit reached the same scheduled set in an equal-or-better state. *)
+val dominates : t -> int -> int array -> bool
+
+(** Search depth recorded with the entry at [slot]. *)
+val depth_at : t -> int -> int
+
+(** [store t ~hash ~depth ~key ~value] inserts or replaces the entry for
+    [key].  A matching key is overwritten in place; otherwise an empty
+    slot in the probe window is used; otherwise the deepest entry of the
+    window is evicted if it is deeper than [depth].  Returns [false] when
+    the entry was dropped (window full of shallower entries).  Raises
+    [Invalid_argument] on a negative [depth] or mis-sized arrays. *)
+val store : t -> hash:int -> depth:int -> key:int array -> value:int array -> bool
+
+(** Empty the table in place (counters reset too). *)
+val clear : t -> unit

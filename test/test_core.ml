@@ -20,7 +20,18 @@ let options_variants =
         Optimal.strong_equivalence = true;
         Optimal.lower_bound = Optimal.Critical_path } );
     ("source-seed", { base with Optimal.seed = List_sched.Source_order });
-    ("random-seed", { base with Optimal.seed = List_sched.Random_order 5 }) ]
+    ("random-seed", { base with Optimal.seed = List_sched.Random_order 5 });
+    (* The dominance memo, forced on from the first Omega call (the
+       default activation threshold would never trigger on oracle-sized
+       blocks) and fully off. *)
+    ( "memo-eager",
+      { base with
+        Optimal.memo =
+          { base.Optimal.memo with Optimal.memo_activation = 0 } } );
+    ( "no-memo",
+      { base with
+        Optimal.memo =
+          { base.Optimal.memo with Optimal.memo_enabled = false } } ) ]
 
 (* ------------------------------------------------------------------ *)
 (* Optimality against the exhaustive oracle                            *)
@@ -223,6 +234,139 @@ let alpha_beta_reduces_calls =
       (not off.Optimal.stats.Optimal.completed)
       || on.Optimal.stats.Optimal.omega_calls
          <= off.Optimal.stats.Optimal.omega_calls)
+
+(* ------------------------------------------------------------------ *)
+(* Dominance memoization                                               *)
+
+let memo_eager = { Optimal.default_memo with Optimal.memo_activation = 0 }
+
+let memo_off = { Optimal.default_memo with Optimal.memo_enabled = false }
+
+let memo_preserves_optimum =
+  qtest ~count:120 "memo on/off agree on the optimum (schedule)"
+    (block_gen ~min_size:1 ~max_size:10 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let run memo =
+        Optimal.schedule
+          ~options:{ Optimal.default_options with Optimal.memo = memo }
+          machine dag
+      in
+      let on = run memo_eager and off = run memo_off in
+      on.Optimal.stats.Optimal.completed
+      && off.Optimal.stats.Optimal.completed
+      && on.Optimal.best.Omega.nops = off.Optimal.best.Omega.nops
+      && off.Optimal.stats.Optimal.memo_hits = 0
+      (* exhaustive cross-check where it is affordable *)
+      && (Dag.length dag > 7 || Optimal.verify_optimal machine dag on))
+
+let memo_preserves_optimum_multi =
+  qtest ~count:60 "memo on/off agree on the optimum (schedule_multi)"
+    (block_gen ~min_size:1 ~max_size:6 ()) block_print
+    (fun blk ->
+      (* Critical-path bound keeps the demo machine's multi-pipe space
+         tractable (see the dot4 regression below). *)
+      let m = Machine.Presets.demo in
+      let dag = Dag.of_block blk in
+      let run memo =
+        fst
+          (Optimal.schedule_multi
+             ~options:
+               { Optimal.default_options with
+                 Optimal.lower_bound = Optimal.Critical_path;
+                 Optimal.memo = memo }
+             m dag)
+      in
+      let on = run memo_eager and off = run memo_off in
+      (not
+         (on.Optimal.stats.Optimal.completed
+          && off.Optimal.stats.Optimal.completed))
+      || on.Optimal.best.Omega.nops = off.Optimal.best.Omega.nops)
+
+let memo_preserves_bounded_result =
+  qtest ~count:80 "memo on/off agree for the register-bounded search"
+    QCheck2.Gen.(pair (block_gen ~min_size:1 ~max_size:7 ()) (int_range 1 4))
+    (fun (blk, k) -> Printf.sprintf "registers=%d\n%s" k (block_print blk))
+    (fun (blk, k) ->
+      let dag = Dag.of_block blk in
+      let run memo =
+        Optimal.schedule_bounded
+          ~options:{ Optimal.default_options with Optimal.memo = memo }
+          ~registers:k machine dag
+      in
+      match (run memo_eager, run memo_off) with
+      | Error (), Error () -> true
+      | Ok on, Ok off ->
+        on.Optimal.best.Omega.nops = off.Optimal.best.Omega.nops
+      | Ok _, Error () | Error (), Ok _ -> false)
+
+let test_memo_reduces_calls () =
+  (* The memo only fires on searches that revisit scheduled sets — easy
+     blocks (0-NOP optimum) alpha-beta-cut to nothing first.  Scan a
+     deterministic population for a block where it fires; on the way,
+     every block must satisfy the one-sided invariant that a memoized
+     search never explores more than the unmemoized one (a cut subtree
+     can contain no incumbent improvement — see optimal.ml). *)
+  let module Generator = Pipesched_synth.Generator in
+  let run dag memo =
+    Optimal.schedule
+      ~options:
+        { Optimal.default_options with
+          Optimal.lambda = 500_000;
+          Optimal.memo = memo }
+      machine dag
+  in
+  let rec find seed witnessed =
+    if seed > 2030 then witnessed
+    else begin
+      let rng = Rng.create seed in
+      let blk = Generator.block rng (Generator.sample_params rng) in
+      let dag = Dag.of_block blk in
+      let on = run dag memo_eager and off = run dag memo_off in
+      check bool_t "both complete" true
+        (on.Optimal.stats.Optimal.completed
+         && off.Optimal.stats.Optimal.completed);
+      check int_t "same optimum" off.Optimal.best.Omega.nops
+        on.Optimal.best.Omega.nops;
+      check bool_t "memo never explores more" true
+        (on.Optimal.stats.Optimal.omega_calls
+         <= off.Optimal.stats.Optimal.omega_calls);
+      check int_t "disabled memo records nothing" 0
+        (off.Optimal.stats.Optimal.memo_hits
+         + off.Optimal.stats.Optimal.memo_entries);
+      let witnessed =
+        witnessed
+        || (on.Optimal.stats.Optimal.memo_hits > 0
+            && on.Optimal.stats.Optimal.memo_entries > 0
+            && on.Optimal.stats.Optimal.omega_calls
+               < off.Optimal.stats.Optimal.omega_calls)
+      in
+      find (seed + 1) witnessed
+    end
+  in
+  check bool_t "memo fires and strictly saves calls on some block" true
+    (find 2000 false)
+
+let test_memo_activation_threshold () =
+  (* Below the activation threshold no table is ever created, so a tiny
+     search reports zero memo traffic even with the memo enabled. *)
+  let rng = Rng.create 7 in
+  let blk = random_block rng 6 in
+  let dag = Dag.of_block blk in
+  let o =
+    Optimal.schedule
+      ~options:
+        { Optimal.default_options with
+          Optimal.memo =
+            { Optimal.default_memo with Optimal.memo_activation = 1_000_000 }
+        }
+      machine dag
+  in
+  check bool_t "completed" true o.Optimal.stats.Optimal.completed;
+  check int_t "no memo traffic" 0
+    (o.Optimal.stats.Optimal.memo_hits
+     + o.Optimal.stats.Optimal.memo_misses
+     + o.Optimal.stats.Optimal.memo_entries)
 
 (* ------------------------------------------------------------------ *)
 (* Multi-pipe search                                                   *)
@@ -508,6 +652,14 @@ let () =
             test_stats_consistency ] );
       ( "pruning",
         [ pruning_off_matches_pruning_on; alpha_beta_reduces_calls ] );
+      ( "memoization",
+        [ memo_preserves_optimum;
+          memo_preserves_optimum_multi;
+          memo_preserves_bounded_result;
+          Alcotest.test_case "memo fires and reduces calls" `Quick
+            test_memo_reduces_calls;
+          Alcotest.test_case "activation threshold" `Quick
+            test_memo_activation_threshold ] );
       ( "pressure-bounded",
         [ bounded_matches_brute_force;
           bounded_never_beats_unbounded;

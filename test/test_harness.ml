@@ -79,8 +79,8 @@ let test_study_deterministic_results () =
 let test_aggregate () =
   let rec_ size initial final =
     { Study.size; initial_nops = initial; final_nops = final;
-      omega_calls = 10; schedules_completed = 1; completed = true;
-      time_s = 0.0 }
+      omega_calls = 10; schedules_completed = 1; memo_hits = 0;
+      completed = true; time_s = 0.0 }
   in
   let agg = Study.aggregate ~total:4 [ rec_ 10 5 1; rec_ 20 7 3 ] in
   check int_t "runs" 2 agg.Study.runs;
@@ -92,7 +92,8 @@ let test_aggregate () =
 let test_by_size () =
   let rec_ size =
     { Study.size; initial_nops = 0; final_nops = 0; omega_calls = 0;
-      schedules_completed = 0; completed = true; time_s = 0.0 }
+      schedules_completed = 0; memo_hits = 0; completed = true;
+      time_s = 0.0 }
   in
   let groups = Study.by_size [ rec_ 5; rec_ 3; rec_ 5 ] in
   check bool_t "keys sorted" true (List.map fst groups = [ 3; 5 ]);
@@ -116,7 +117,7 @@ let test_paper_data () =
 
 let test_ablation_smoke () =
   let rows = Ablation.run ~seed:1 ~count:20 ~lambda:5_000 machine in
-  check int_t "all configs" 8 (List.length rows);
+  check int_t "all configs" 9 (List.length rows);
   List.iter
     (fun r ->
       check bool_t "pct in range" true

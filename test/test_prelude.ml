@@ -93,6 +93,165 @@ let bitset_model =
       Bitset.cardinal s = Hashtbl.length model
       && List.for_all (fun i -> Hashtbl.mem model i) (Bitset.elements s))
 
+let test_hash_raw_words () =
+  let a = Bitset.create 100 and b = Bitset.create 100 in
+  List.iter (Bitset.add a) [ 2; 63; 64; 99 ];
+  List.iter (Bitset.add b) [ 99; 64; 63; 2 ];
+  check bool_t "equal sets hash equally" true (Bitset.hash a = Bitset.hash b);
+  check bool_t "non-negative" true (Bitset.hash a >= 0);
+  Bitset.remove b 64;
+  check bool_t "hash reflects membership" true
+    (Bitset.hash a <> Bitset.hash b);
+  (* raw_words is the live backing store, not a copy. *)
+  let w = Bitset.raw_words a in
+  Bitset.add a 7;
+  check bool_t "raw_words aliases the set" true (w == Bitset.raw_words a);
+  check bool_t "word updated" true (w.(0) land (1 lsl 7) <> 0)
+
+(* ------------------------------------------------------------------ *)
+(* Memo_table                                                          *)
+
+module Memo_table = Pipesched_prelude.Memo_table
+
+let test_memo_insert_lookup () =
+  let t = Memo_table.create ~capacity:16 ~key_words:2 ~value_words:3 in
+  check int_t "capacity" 16 (Memo_table.capacity t);
+  check int_t "empty" 0 (Memo_table.entries t);
+  check int_t "absent" (-1) (Memo_table.find t ~hash:5 [| 1; 2 |]);
+  check bool_t "store" true
+    (Memo_table.store t ~hash:5 ~depth:3 ~key:[| 1; 2 |]
+       ~value:[| 7; 0; 9 |]);
+  check int_t "one entry" 1 (Memo_table.entries t);
+  let slot = Memo_table.find t ~hash:5 [| 1; 2 |] in
+  check bool_t "found" true (slot >= 0);
+  check int_t "depth recorded" 3 (Memo_table.depth_at t slot);
+  (* Same hash, different key: open addressing must not lie. *)
+  check int_t "hash collision, other key" (-1)
+    (Memo_table.find t ~hash:5 [| 1; 3 |]);
+  (* Overwrite in place on key match: entry count stays put. *)
+  check bool_t "overwrite" true
+    (Memo_table.store t ~hash:5 ~depth:2 ~key:[| 1; 2 |]
+       ~value:[| 6; 0; 9 |]);
+  check int_t "still one entry" 1 (Memo_table.entries t);
+  let slot = Memo_table.find t ~hash:5 [| 1; 2 |] in
+  check int_t "depth replaced" 2 (Memo_table.depth_at t slot);
+  Memo_table.clear t;
+  check int_t "cleared" 0 (Memo_table.entries t);
+  check int_t "gone" (-1) (Memo_table.find t ~hash:5 [| 1; 2 |])
+
+let test_memo_dominance () =
+  let t = Memo_table.create ~capacity:8 ~key_words:1 ~value_words:3 in
+  ignore
+    (Memo_table.store t ~hash:1 ~depth:0 ~key:[| 42 |] ~value:[| 2; 5; 0 |]);
+  let slot = Memo_table.find t ~hash:1 [| 42 |] in
+  (* Componentwise <= truth table against the stored [2; 5; 0]. *)
+  List.iter
+    (fun (candidate, expect) ->
+      check bool_t
+        (Printf.sprintf "dominates [%s]"
+           (String.concat ";" (List.map string_of_int candidate)))
+        expect
+        (Memo_table.dominates t slot (Array.of_list candidate)))
+    [ ([ 2; 5; 0 ], true );   (* equal *)
+      ([ 3; 5; 0 ], true );   (* strictly worse first component *)
+      ([ 2; 9; 4 ], true );   (* worse everywhere else *)
+      ([ 1; 5; 0 ], false);   (* better nops *)
+      ([ 2; 4; 0 ], false);   (* better pipe state *)
+      ([ 2; 5; -1 ], false);  (* better residual *)
+      ([ 9; 9; -1 ], false) ] (* mixed: one better component kills it *)
+
+let test_memo_capacity_one () =
+  (* capacity 1 => probe window of 1 slot: the table still works, with
+     eviction strictly by depth. *)
+  let t = Memo_table.create ~capacity:1 ~key_words:1 ~value_words:1 in
+  check int_t "capacity" 1 (Memo_table.capacity t);
+  check bool_t "first store" true
+    (Memo_table.store t ~hash:0 ~depth:5 ~key:[| 10 |] ~value:[| 0 |]);
+  (* A deeper newcomer is dropped, the incumbent survives. *)
+  check bool_t "deeper dropped" false
+    (Memo_table.store t ~hash:0 ~depth:7 ~key:[| 11 |] ~value:[| 0 |]);
+  check bool_t "incumbent intact" true
+    (Memo_table.find t ~hash:0 [| 10 |] >= 0);
+  check int_t "no evictions yet" 0 (Memo_table.evictions t);
+  (* An equal-depth newcomer is also dropped (strict preference). *)
+  check bool_t "equal depth dropped" false
+    (Memo_table.store t ~hash:0 ~depth:5 ~key:[| 12 |] ~value:[| 0 |]);
+  (* A shallower newcomer evicts. *)
+  check bool_t "shallower evicts" true
+    (Memo_table.store t ~hash:0 ~depth:4 ~key:[| 13 |] ~value:[| 0 |]);
+  check int_t "evicted" 1 (Memo_table.evictions t);
+  check int_t "old key gone" (-1) (Memo_table.find t ~hash:0 [| 10 |]);
+  check bool_t "new key present" true
+    (Memo_table.find t ~hash:0 [| 13 |] >= 0);
+  check int_t "entries stable" 1 (Memo_table.entries t)
+
+let test_memo_eviction_prefers_deepest () =
+  (* Fill one probe window (capacity 8 => window 8) with depths 0..7 on
+     colliding hashes, then insert at depth 3: the depth-7 entry goes. *)
+  let t = Memo_table.create ~capacity:8 ~key_words:1 ~value_words:1 in
+  for d = 0 to 7 do
+    check bool_t "fill" true
+      (Memo_table.store t ~hash:0 ~depth:d ~key:[| 100 + d |] ~value:[| d |])
+  done;
+  check int_t "full" 8 (Memo_table.entries t);
+  check bool_t "evicting store" true
+    (Memo_table.store t ~hash:0 ~depth:3 ~key:[| 200 |] ~value:[| 0 |]);
+  check int_t "one eviction" 1 (Memo_table.evictions t);
+  check int_t "deepest displaced" (-1) (Memo_table.find t ~hash:0 [| 107 |]);
+  check bool_t "shallow survivors" true
+    (List.for_all
+       (fun d -> Memo_table.find t ~hash:0 [| 100 + d |] >= 0)
+       [ 0; 1; 2; 3; 4; 5; 6 ]);
+  check bool_t "newcomer stored" true (Memo_table.find t ~hash:0 [| 200 |] >= 0)
+
+let test_memo_rounding_and_errors () =
+  let t = Memo_table.create ~capacity:5 ~key_words:1 ~value_words:1 in
+  check int_t "rounded up" 8 (Memo_table.capacity t);
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Memo_table.create: capacity must be >= 1") (fun () ->
+      ignore (Memo_table.create ~capacity:0 ~key_words:1 ~value_words:1));
+  Alcotest.check_raises "key size"
+    (Invalid_argument "Memo_table: key length mismatch") (fun () ->
+      ignore (Memo_table.find t ~hash:0 [| 1; 2 |]));
+  Alcotest.check_raises "value size"
+    (Invalid_argument "Memo_table: value length mismatch") (fun () ->
+      ignore
+        (Memo_table.store t ~hash:0 ~depth:0 ~key:[| 1 |] ~value:[| 1; 2 |]));
+  Alcotest.check_raises "negative depth"
+    (Invalid_argument "Memo_table.store: negative depth") (fun () ->
+      ignore
+        (Memo_table.store t ~hash:0 ~depth:(-1) ~key:[| 1 |] ~value:[| 1 |]))
+
+let memo_model =
+  qtest ~count:300 "memo table find agrees with a model map"
+    QCheck2.Gen.(
+      list (triple (int_bound 30) (int_bound 7) (int_bound 100)))
+    (fun ops ->
+      String.concat ";"
+        (List.map (fun (k, d, v) -> Printf.sprintf "%d,%d,%d" k d v) ops))
+    (fun ops ->
+      (* Capacity ample (64 > 31 keys), so nothing is ever dropped or
+         evicted and every stored key must be findable with its last
+         value visible through [dominates] both ways (equality). *)
+      let t = Memo_table.create ~capacity:64 ~key_words:1 ~value_words:1 in
+      let model = Hashtbl.create 16 in
+      List.iter
+        (fun (k, d, v) ->
+          ignore (Memo_table.store t ~hash:k ~depth:d ~key:[| k |] ~value:[| v |]);
+          Hashtbl.replace model k v)
+        ops;
+      Memo_table.entries t = Hashtbl.length model
+      && Memo_table.evictions t = 0
+      && Hashtbl.fold
+           (fun k v ok ->
+             ok
+             &&
+             let slot = Memo_table.find t ~hash:k [| k |] in
+             slot >= 0
+             && Memo_table.dominates t slot [| v |]
+             && Memo_table.dominates t slot [| v - 1 |] = false)
+           model true)
+
 (* ------------------------------------------------------------------ *)
 (* Rng                                                                 *)
 
@@ -204,7 +363,20 @@ let () =
           Alcotest.test_case "copy independent" `Quick test_copy_independent;
           Alcotest.test_case "capacity mismatch" `Quick
             test_capacity_mismatch;
+          Alcotest.test_case "hash and raw_words" `Quick
+            test_hash_raw_words;
           bitset_model ] );
+      ( "memo_table",
+        [ Alcotest.test_case "insert/lookup/overwrite" `Quick
+            test_memo_insert_lookup;
+          Alcotest.test_case "dominance truth table" `Quick
+            test_memo_dominance;
+          Alcotest.test_case "capacity 1" `Quick test_memo_capacity_one;
+          Alcotest.test_case "eviction prefers deepest" `Quick
+            test_memo_eviction_prefers_deepest;
+          Alcotest.test_case "rounding and errors" `Quick
+            test_memo_rounding_and_errors;
+          memo_model ] );
       ( "rng",
         [ Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "different seeds" `Quick test_different_seeds;
