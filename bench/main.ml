@@ -252,8 +252,60 @@ let memo_evidence () =
     failwith "memo changed the reported optimum on the n30 fixture";
   (on, off)
 
+(* Anytime evidence: with a 50 ms wall-clock deadline and an effectively
+   unlimited lambda, every entry point must come back promptly with a
+   complete legal incumbent; the recorded status says whether the
+   deadline (rather than lambda) is what stopped the search.  The
+   fixture is 36 mutually independent, pairwise distinct instructions —
+   a search space equivalence pruning cannot collapse, so no budget this
+   side of the deadline proves the optimum. *)
+let deadline_evidence () =
+  let deadline_s = 0.05 in
+  let hard_dag =
+    let ops = [| Op.Load; Op.Mul; Op.Div; Op.Mod |] in
+    Dag.of_block
+      (Block.of_tuples_exn
+         (List.init 36 (fun i ->
+              match ops.(i mod 4) with
+              | Op.Load ->
+                Tuple.make ~id:(i + 1) Op.Load
+                  (Operand.Var (Printf.sprintf "v%d" i))
+                  Operand.Null
+              | op ->
+                Tuple.make ~id:(i + 1) op (Operand.Imm (i + 1))
+                  (Operand.Imm (i + 2)))))
+  in
+  let options =
+    { Optimal.default_options with
+      Optimal.lambda = max_int;
+      Optimal.deadline_s = Some deadline_s }
+  in
+  let timed f =
+    let t0 = Mclock.now () in
+    let status, nops = f () in
+    let wall_s = Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e9 in
+    (status, nops, wall_s)
+  in
+  ( deadline_s,
+    [ ("schedule",
+       timed (fun () ->
+           let o = Optimal.schedule ~options machine hard_dag in
+           (o.Optimal.stats.Optimal.status, o.Optimal.best.Omega.nops)));
+      ("schedule_bounded",
+       timed (fun () ->
+           match
+             Optimal.schedule_bounded ~options ~registers:16 machine hard_dag
+           with
+           | Ok o -> (o.Optimal.stats.Optimal.status, o.Optimal.best.Omega.nops)
+           | Error () -> (Pipesched_prelude.Budget.Curtailed_deadline, -1)));
+      ("windowed",
+       timed (fun () ->
+           let o = Windowed.schedule ~options ~window:20 machine hard_dag in
+           (o.Windowed.status, o.Windowed.best.Omega.nops))) ] )
+
 let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
   let memo_on, memo_off = memo_evidence () in
+  let deadline_s, deadline_entries = deadline_evidence () in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
@@ -269,6 +321,15 @@ let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
     memo_on.Optimal.stats.Optimal.memo_hits
     memo_on.Optimal.stats.Optimal.memo_entries
     memo_on.Optimal.stats.Optimal.memo_evictions;
+  p "  \"deadline\": { \"deadline_s\": %.3f" deadline_s;
+  List.iter
+    (fun (name, (status, nops, wall_s)) ->
+      p ", \"%s\": { \"status\": \"%s\", \"nops\": %d, \"wall_s\": %.6f }"
+        (json_escape name)
+        (Pipesched_prelude.Budget.status_to_string status)
+        nops wall_s)
+    deadline_entries;
+  p " },\n";
   p "  \"benchmarks\": {\n";
   List.iteri
     (fun i (name, est) ->

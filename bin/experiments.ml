@@ -7,9 +7,13 @@ let sections =
     "fig6"; "fig7"; "ablation"; "machine-sweep"; "structure-sweep"; "windowed"; "region";
     "heuristics"; "kernels"; "pressure"; "dynamic" ]
 
-let run count seed quick lambda strong no_memo memo_capacity jobs only =
+let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
+    memo_capacity jobs only =
   let count = if quick then min count 1_000 else count in
   let jobs = if jobs <= 0 then None else Some jobs in
+  let to_s ms = Option.map (fun m -> float_of_int m /. 1000.0) ms in
+  let deadline_s = to_s deadline_ms in
+  let block_deadline_s = to_s block_deadline_ms in
   let memo =
     { Pipesched_core.Optimal.default_memo with
       Pipesched_core.Optimal.memo_enabled = not no_memo;
@@ -17,7 +21,9 @@ let run count seed quick lambda strong no_memo memo_capacity jobs only =
   in
   let fmt = Format.std_formatter in
   (match only with
-   | [] -> E.run_all ~seed ~count ~lambda ~strong ~memo ?jobs fmt
+   | [] ->
+     E.run_all ~seed ~count ~lambda ~strong ~memo ?deadline_s
+       ?block_deadline_s ?jobs fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -28,7 +34,9 @@ let run count seed quick lambda strong no_memo memo_capacity jobs only =
          end)
        wanted;
      let study =
-       lazy (E.run_study ~seed ~count ~lambda ~strong ~memo ?jobs ())
+       lazy
+         (E.run_study ~seed ~count ~lambda ~strong ~memo ?deadline_s
+            ?block_deadline_s ?jobs ())
      in
      List.iter
        (fun section ->
@@ -81,6 +89,27 @@ let lambda =
   let doc = "Curtail point: maximum Omega calls per block." in
   Arg.(value & opt int 50_000 & info [ "lambda" ] ~doc)
 
+let deadline_ms =
+  let doc =
+    "Wall-clock deadline in milliseconds for the $(i,whole) main study \
+     (anytime mode): blocks whose turn comes after expiry record their \
+     list-schedule incumbents with a Curtailed_deadline status and the \
+     sweep still completes."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ]
+        ~env:(Cmd.Env.info "PIPESCHED_DEADLINE_MS")
+        ~doc)
+
+let block_deadline_ms =
+  let doc =
+    "Wall-clock deadline in milliseconds for $(i,each block's) search in \
+     the main study (anytime mode per block)."
+  in
+  Arg.(value & opt (some int) None & info [ "block-deadline-ms" ] ~doc)
+
 let strong =
   let doc =
     "Enable the strong-equivalence pruning extension (still optimal)."
@@ -124,7 +153,7 @@ let cmd =
   Cmd.v
     (Cmd.info "pipesched-experiments" ~doc)
     Term.(
-      const run $ count $ seed $ quick $ lambda $ strong $ no_memo
-      $ memo_capacity $ jobs $ only)
+      const run $ count $ seed $ quick $ lambda $ deadline_ms
+      $ block_deadline_ms $ strong $ no_memo $ memo_capacity $ jobs $ only)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,6 +5,7 @@ open Pipesched_ir
 open Pipesched_machine
 open Pipesched_sched
 open Pipesched_core
+module Budget = Pipesched_prelude.Budget
 module Frontend = Pipesched_frontend
 module Regalloc = Pipesched_regalloc
 
@@ -53,13 +54,15 @@ let read_input file expr =
     In_channel.input_all In_channel.stdin
   | Some f, _ -> In_channel.with_open_text f In_channel.input_all
 
-let run file expr machine machine_file sched lambda no_memo memo_capacity
-    registers optimize tuples_in show_tuples show_asm show_tables
-    show_timeline show_dot show_explain =
+let run file expr machine machine_file sched lambda deadline_ms no_memo
+    memo_capacity registers optimize tuples_in show_tuples show_asm
+    show_tables show_timeline show_dot show_explain =
   try
     let options =
       { Optimal.default_options with
         Optimal.lambda;
+        Optimal.deadline_s =
+          Option.map (fun ms -> float_of_int ms /. 1000.0) deadline_ms;
         Optimal.memo =
           { Optimal.default_memo with
             Optimal.memo_enabled = not no_memo;
@@ -91,8 +94,9 @@ let run file expr machine machine_file sched lambda no_memo memo_capacity
           "%d instructions: list %d NOPs, optimal %d NOPs (%s)@."
           (Block.length blk) o.Optimal.initial.Omega.nops
           o.Optimal.best.Omega.nops
-          (if o.Optimal.stats.Optimal.completed then "proved"
-           else "curtailed");
+          (match o.Optimal.stats.Optimal.status with
+           | Budget.Complete -> "proved"
+           | s -> "curtailed: " ^ Budget.status_to_string s);
         if show_timeline then
           Format.printf "@.%s@."
             (Timeline.render machine dag o.Optimal.best);
@@ -147,8 +151,11 @@ let run file expr machine machine_file sched lambda no_memo memo_capacity
           "search: %d omega calls, %d complete schedules, %s@."
           o.Optimal.stats.Optimal.omega_calls
           o.Optimal.stats.Optimal.schedules_completed
-          (if o.Optimal.stats.Optimal.completed then "provably optimal"
-           else "curtailed (possibly suboptimal)");
+          (match o.Optimal.stats.Optimal.status with
+           | Budget.Complete -> "provably optimal"
+           | s ->
+             Printf.sprintf "curtailed: %s (possibly suboptimal)"
+               (Budget.status_to_string s));
         o.Optimal.best
       | Optimal_multi ->
         let o, _choice = Optimal.schedule_multi ~options machine dag in
@@ -156,8 +163,11 @@ let run file expr machine machine_file sched lambda no_memo memo_capacity
         Format.printf
           "search: %d omega calls, %s@."
           o.Optimal.stats.Optimal.omega_calls
-          (if o.Optimal.stats.Optimal.completed then "provably optimal"
-           else "curtailed (possibly suboptimal)");
+          (match o.Optimal.stats.Optimal.status with
+           | Budget.Complete -> "provably optimal"
+           | s ->
+             Printf.sprintf "curtailed: %s (possibly suboptimal)"
+               (Budget.status_to_string s));
         o.Optimal.best
     in
     describe "final schedule" result;
@@ -248,6 +258,18 @@ let lambda =
     value & opt int 100_000
     & info [ "lambda" ] ~doc:"Curtail point (max omega calls).")
 
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ]
+        ~env:(Cmd.Env.info "PIPESCHED_DEADLINE_MS")
+        ~doc:
+          "Wall-clock deadline for the search in milliseconds (anytime \
+           mode): on expiry the best schedule found so far is emitted \
+           and the status reads Curtailed_deadline.  Unset: the search \
+           is bounded by --lambda only and is fully deterministic.")
+
 let no_memo =
   Arg.(
     value & flag
@@ -305,8 +327,8 @@ let cmd =
        ~doc:"optimally schedule a basic block for pipelined machines")
     Term.(
       const run $ file $ expr $ machine $ machine_file $ sched $ lambda
-      $ no_memo $ memo_capacity $ registers $ optimize $ tuples_in
-      $ show_tuples $ show_asm $ show_tables $ show_timeline $ show_dot
-      $ show_explain)
+      $ deadline_ms $ no_memo $ memo_capacity $ registers $ optimize
+      $ tuples_in $ show_tuples $ show_asm $ show_tables $ show_timeline
+      $ show_dot $ show_explain)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,6 +1,7 @@
 open Pipesched_ir
 open Pipesched_machine
 open Pipesched_sched
+module Budget = Pipesched_prelude.Budget
 
 type lower_bound = Partial_nops | Critical_path
 
@@ -12,6 +13,8 @@ type memo_options = {
 
 type options = {
   lambda : int;
+  deadline_s : float option;
+  cancel : Budget.token option;
   seed : List_sched.heuristic;
   equivalence : bool;
   strong_equivalence : bool;
@@ -26,6 +29,8 @@ let default_memo =
 let default_options =
   {
     lambda = 100_000;
+    deadline_s = None;
+    cancel = None;
     seed = List_sched.Max_distance;
     equivalence = true;
     strong_equivalence = false;
@@ -39,6 +44,8 @@ type stats = {
   schedules_completed : int;
   improvements : int;
   completed : bool;
+  status : Budget.status;
+  elapsed_s : float;
   memo_hits : int;
   memo_misses : int;
   memo_entries : int;
@@ -88,6 +95,7 @@ type search_env = {
   cp_est : int array;
   cp_remaining : int array;
   cp_bound : int array;
+  budget : Budget.t;
   mutable omega_calls : int;
   mutable schedules_completed : int;
   mutable improvements : int;
@@ -173,6 +181,13 @@ let make_env ?entry ?(multi = false) machine dag options =
     cp_est = Array.make (max n 1) 0;
     cp_remaining = Array.make (max (Array.length pipe_enqueue) 1) 0;
     cp_bound = Array.make (n + 1) 0;
+    budget =
+      Budget.start
+        {
+          Budget.calls = Some options.lambda;
+          deadline_s = options.deadline_s;
+          cancel = options.cancel;
+        };
     omega_calls = 0;
     schedules_completed = 0;
     improvements = 0;
@@ -461,8 +476,15 @@ let dfs env options ~push_candidates ~on_complete =
   env.cp_bound.(0) <- 0;
   go 0
 
+(* One Omega call: check the combined budget (lambda / deadline / token),
+   raising [Curtailed] once any limit trips — the search then unwinds and
+   reports the incumbent.  The check precedes the spend, matching the
+   paper's "curtail when Lambda reaches lambda" exactly. *)
 let count_call env options =
-  if env.omega_calls >= options.lambda then raise Curtailed;
+  (match Budget.exhausted env.budget with
+   | Some _ -> raise Curtailed
+   | None -> ());
+  Budget.spend env.budget;
   env.omega_calls <- env.omega_calls + 1;
   maybe_activate_memo env options
 
@@ -474,11 +496,20 @@ let stats_of env ~completed =
       ( Pipesched_prelude.Memo_table.entries tbl,
         Pipesched_prelude.Memo_table.evictions tbl )
   in
+  let status =
+    if completed then Budget.Complete
+    else
+      match Budget.exhausted env.budget with
+      | Some s -> s
+      | None -> Budget.Curtailed_lambda
+  in
   {
     omega_calls = env.omega_calls;
     schedules_completed = env.schedules_completed;
     improvements = env.improvements;
     completed;
+    status;
+    elapsed_s = Budget.elapsed_s env.budget;
     memo_hits = env.memo_hits;
     memo_misses = env.memo_misses;
     memo_entries = entries;

@@ -76,6 +76,16 @@ type options = {
   lambda : int;
       (** curtail point: maximum Omega calls (incremental NOP insertions)
           before the search gives up; the paper's user-supplied lambda *)
+  deadline_s : float option;
+      (** wall-clock deadline in seconds, measured from search start
+          (extension).  [None] (the default) means call-count-only
+          budgeting — the clock is then never read, so results are
+          bit-for-bit deterministic.  On expiry the search returns its
+          incumbent with status {!Pipesched_prelude.Budget.Curtailed_deadline}. *)
+  cancel : Pipesched_prelude.Budget.token option;
+      (** shared cancellation token, safe to trip from another domain
+          (extension); on cancellation the search returns its incumbent
+          with status {!Pipesched_prelude.Budget.Cancelled} *)
   seed : List_sched.heuristic;  (** initial-schedule heuristic *)
   equivalence : bool;           (** step [5c] on/off *)
   strong_equivalence : bool;
@@ -87,9 +97,10 @@ type options = {
   memo : memo_options;          (** dominance memoization (extension) *)
 }
 
-(** The paper's configuration: [lambda = 100_000], {!List_sched.Max_distance}
-    seed, equivalence and alpha-beta pruning on, [Partial_nops] bound,
-    strong equivalence off, {!default_memo} memoization. *)
+(** The paper's configuration: [lambda = 100_000], no deadline, no
+    cancellation token, {!List_sched.Max_distance} seed, equivalence and
+    alpha-beta pruning on, [Partial_nops] bound, strong equivalence off,
+    {!default_memo} memoization. *)
 val default_options : options
 
 type stats = {
@@ -102,7 +113,15 @@ type stats = {
           evaluation is not counted) *)
   completed : bool;
       (** true: termination case [1], the result is provably optimal;
-          false: case [2], curtailed at [lambda] *)
+          false: case [2], curtailed — see [status] for which limit *)
+  status : Pipesched_prelude.Budget.status;
+      (** how the search ended: [Complete] iff [completed]; otherwise
+          which budget limit stopped it (lambda, wall-clock deadline, or
+          cancellation token).  The returned incumbent is a legal
+          schedule in every case. *)
+  elapsed_s : float;
+      (** wall time spent in the search; [0.0] when no deadline was set
+          (the clock is not read at all then, for determinism) *)
   memo_hits : int;
       (** nodes pruned by the dominance cut (subtrees never entered) *)
   memo_misses : int;

@@ -1,6 +1,7 @@
 open Pipesched_ir
 open Pipesched_machine
 open Pipesched_sched
+module Budget = Pipesched_prelude.Budget
 
 type outcome = {
   best : Omega.result;
@@ -9,6 +10,7 @@ type outcome = {
   window_count : int;
   omega_calls : int;
   all_windows_completed : bool;
+  status : Budget.status;
 }
 
 exception Budget_exhausted
@@ -19,12 +21,32 @@ let schedule ?(options = Optimal.default_options) ?entry ~window machine dag =
   let seed_order = List_sched.schedule options.Optimal.seed dag in
   let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
   let st = Omega.State.create ?entry machine dag in
+  let budget =
+    Budget.start
+      {
+        Budget.calls = Some options.Optimal.lambda;
+        deadline_s = options.Optimal.deadline_s;
+        cancel = options.Optimal.cancel;
+      }
+  in
   let omega_calls = ref 0 in
   let all_completed = ref true in
-  let budget_push pos =
-    if !omega_calls >= options.Optimal.lambda then raise Budget_exhausted;
+  (* Every Omega push is one Omega call and is accounted as such — the
+     per-window incumbent evaluation and the committed best order
+     included.  Those pushes happen even once the budget has run out,
+     because committing each window is what keeps the final schedule
+     legal and complete (the anytime guarantee); only the per-window DFS
+     itself is interruptible. *)
+  let spend_push pos =
+    Budget.spend budget;
     incr omega_calls;
     Omega.State.push st pos
+  in
+  let budget_push pos =
+    (match Budget.exhausted budget with
+     | Some _ -> raise Budget_exhausted
+     | None -> ());
+    spend_push pos
   in
   (* Candidate iteration order within windows: list priority. *)
   let cand_order =
@@ -41,7 +63,7 @@ let schedule ?(options = Optimal.default_options) ?entry ~window machine dag =
     (* Incumbent: the window's slice of the list schedule. *)
     let incumbent = Array.sub seed_order first_k size in
     let base_depth = Omega.State.depth st in
-    Array.iter (fun pos -> Omega.State.push st pos) incumbent;
+    Array.iter spend_push incumbent;
     let best_nops = ref (Omega.State.nops st) in
     let best_order = ref (Array.copy incumbent) in
     for _ = 1 to size do
@@ -81,7 +103,7 @@ let schedule ?(options = Optimal.default_options) ?entry ~window machine dag =
         false
     in
     if not completed then all_completed := false;
-    Array.iter (fun pos -> Omega.State.push st pos) !best_order;
+    Array.iter spend_push !best_order;
     completed
   in
   let k = ref 0 in
@@ -89,11 +111,26 @@ let schedule ?(options = Optimal.default_options) ?entry ~window machine dag =
     ignore (schedule_window w !k);
     k := !k + window
   done;
+  (* Every window commits its full slice, so nothing is left for the
+     greedy completion here — but if it ever had work, its pushes would
+     be Omega calls too, so account for them. *)
+  let uncommitted = n - Omega.State.depth st in
+  for _ = 1 to uncommitted do
+    Budget.spend budget;
+    incr omega_calls
+  done;
   let best = Omega.State.complete_greedily st in
   (* Locally-optimal windows are not globally dominant: an improved early
      window can worsen a later window's context.  Never return something
      worse than the seed. *)
   let best = if best.Omega.nops > initial.Omega.nops then initial else best in
+  let status =
+    if !all_completed then Budget.Complete
+    else
+      match Budget.exhausted budget with
+      | Some s -> s
+      | None -> Budget.Curtailed_lambda
+  in
   {
     best;
     initial;
@@ -101,4 +138,5 @@ let schedule ?(options = Optimal.default_options) ?entry ~window machine dag =
     window_count;
     omega_calls = !omega_calls;
     all_windows_completed = !all_completed;
+    status;
   }

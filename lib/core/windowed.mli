@@ -32,16 +32,27 @@ type outcome = {
   window : int;
   window_count : int;
   omega_calls : int;
+      (** {e all} Omega pushes performed, including each window's
+          incumbent evaluation and the commit of its best order — not
+          just the DFS pushes (with [window = 1] this is exactly [3n]) *)
   all_windows_completed : bool;
       (** every per-window search ran to completion within its share of
-          lambda (each window's result then provably optimal {e given} the
-          committed prefix) *)
+          the budget (each window's result then provably optimal {e given}
+          the committed prefix) *)
+  status : Pipesched_prelude.Budget.status;
+      (** [Complete] iff [all_windows_completed]; otherwise which budget
+          limit (lambda, deadline, cancellation) curtailed the search.
+          The returned schedule is complete and legal in every case. *)
 }
 
 (** [schedule ?options ?entry ~window machine dag] runs the windowed
     search.  [options.lambda] bounds the {e total} Omega calls across all
-    windows; when exhausted, remaining windows fall back to their list
-    order.  Raises [Invalid_argument] if [window < 1]. *)
+    windows (every push counted, see [omega_calls]); [options.deadline_s]
+    and [options.cancel] additionally bound it in wall time.  When the
+    budget runs out mid-window, that window and all later ones fall back
+    to their list order — committing each window is mandatory, so the
+    result is always a complete legal schedule and only O(n) pushes
+    remain after expiry.  Raises [Invalid_argument] if [window < 1]. *)
 val schedule :
   ?options:Optimal.options ->
   ?entry:Omega.entry ->

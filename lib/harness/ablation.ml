@@ -1,5 +1,6 @@
 open Pipesched_core
 module Rng = Pipesched_prelude.Rng
+module Budget = Pipesched_prelude.Budget
 module Generator = Pipesched_synth.Generator
 module List_sched = Pipesched_sched.List_sched
 
@@ -38,9 +39,10 @@ type row = {
   avg_memo_hits : float;
   avg_final_nops : float;
   avg_time_s : float;
+  deadline_hits : int;
 }
 
-let run ?jobs ~seed ~count ~lambda machine =
+let run ?jobs ?block_deadline_s ~seed ~count ~lambda machine =
   let rng = Rng.create seed in
   let blocks =
     Stats.sequential_init count (fun _ ->
@@ -48,9 +50,14 @@ let run ?jobs ~seed ~count ~lambda machine =
   in
   List.map
     (fun cfg ->
+      let options =
+        match block_deadline_s with
+        | None -> cfg.options
+        | Some d -> { cfg.options with Optimal.deadline_s = Some d }
+      in
       let records =
         Pipesched_parallel.Pool.parallel_map ?jobs
-          (fun blk -> Study.run_block ~options:cfg.options machine blk)
+          (fun blk -> Study.run_block ~options machine blk)
           blocks
       in
       let completed = List.filter (fun r -> r.Study.completed) records in
@@ -71,16 +78,23 @@ let run ?jobs ~seed ~count ~lambda machine =
         avg_final_nops =
           Stats.mean (List.map (fun r -> float_of_int r.Study.final_nops) records);
         avg_time_s = Stats.mean (List.map (fun r -> r.Study.time_s) records);
+        deadline_hits =
+          List.length
+            (List.filter
+               (fun r -> r.Study.status = Budget.Curtailed_deadline)
+               records);
       })
     (standard_configs ~lambda)
 
 let print fmt rows =
   Format.fprintf fmt "@.Ablation of the search ingredients:@.";
-  Format.fprintf fmt "  %-34s %10s %14s %10s %11s %11s@." "configuration"
-    "% optimal" "calls (compl.)" "memo hits" "final NOPs" "time (s)";
+  Format.fprintf fmt "  %-34s %10s %14s %10s %11s %11s %9s@."
+    "configuration" "% optimal" "calls (compl.)" "memo hits" "final NOPs"
+    "time (s)" "ddl hits";
   List.iter
     (fun r ->
-      Format.fprintf fmt "  %-34s %10.2f %14.1f %10.1f %11.3f %11.5f@."
+      Format.fprintf fmt
+        "  %-34s %10.2f %14.1f %10.1f %11.3f %11.5f %9d@."
         r.label r.completed_pct r.avg_calls_completed r.avg_memo_hits
-        r.avg_final_nops r.avg_time_s)
+        r.avg_final_nops r.avg_time_s r.deadline_hits)
     rows

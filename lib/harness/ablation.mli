@@ -22,15 +22,21 @@ type row = {
   avg_memo_hits : float;  (** mean dominance-memo prunes per block *)
   avg_final_nops : float;
   avg_time_s : float;
+  deadline_hits : int;
+      (** blocks whose search a per-block deadline curtailed; always 0
+          when [block_deadline_s] is not passed to {!run} *)
 }
 
-(** [run ?jobs ~seed ~count ~lambda machine] evaluates
+(** [run ?jobs ?block_deadline_s ~seed ~count ~lambda machine] evaluates
     {!standard_configs} on a shared population, scheduling the blocks of
     each configuration across [jobs] domains (default: [PIPESCHED_JOBS]
-    or the recommended domain count).  The population and every reported
-    number except [avg_time_s] are independent of [jobs]. *)
+    or the recommended domain count).  [block_deadline_s] additionally
+    deadlines each block's search (anytime mode; curtailed blocks are
+    counted in [deadline_hits]).  Without it, the population and every
+    reported number except [avg_time_s] are independent of [jobs]. *)
 val run :
   ?jobs:int ->
+  ?block_deadline_s:float ->
   seed:int -> count:int -> lambda:int -> Pipesched_machine.Machine.t ->
   row list
 

@@ -11,14 +11,16 @@ type study = Study.record list
 let machine = Machine.Presets.simulation
 
 let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
-    ?(strong = false) ?(memo = Optimal.default_memo) ?jobs () =
+    ?(strong = false) ?(memo = Optimal.default_memo) ?deadline_s
+    ?block_deadline_s ?cancel ?jobs () =
   let options =
     { Optimal.default_options with
       Optimal.lambda;
       Optimal.strong_equivalence = strong;
       Optimal.memo = memo }
   in
-  Study.run ~options ?jobs ~seed ~count machine
+  Study.run ~options ?deadline_s ?block_deadline_s ?cancel ?jobs ~seed ~count
+    machine
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -136,6 +138,15 @@ let print_table7 fmt study =
   in
   row "Avg. Memo Hits (ext)" (ff1 (memo_mean completed))
     (ff1 (memo_mean truncated)) "-" "-";
+  (* Why each truncated run stopped (extension): the lambda call budget,
+     a wall-clock deadline, or a cancellation token.  All zeros in the
+     completed column by construction; with no deadline configured the
+     deadline and cancel counts are zero and the row is deterministic. *)
+  let curtails (a : Study.aggregate) =
+    Printf.sprintf "%d/%d/%d" a.Study.n_curtailed_lambda
+      a.Study.n_curtailed_deadline a.Study.n_cancelled
+  in
+  row "Curtailed lam/ddl/cancel" (curtails c) (curtails t) "-" "-";
   row "Avg. Search Time (s)"
     (Printf.sprintf "%.4f" c.Study.avg_time_s)
     (Printf.sprintf "%.4f" t.Study.avg_time_s)
@@ -651,8 +662,8 @@ let print_dynamic_study ?(seed = 1994) ?(count = 120) fmt =
         static.(i))
     schedulers
 
-let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo ?jobs
-    ?study fmt =
+let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
+    ?deadline_s ?block_deadline_s ?jobs ?study fmt =
   Format.fprintf fmt
     "Reproduction: Nisar & Dietz, Optimal Code Scheduling for \
      Multiple-Pipeline Processors (1990)@.";
@@ -662,7 +673,9 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo ?jobs
   let study =
     match study with
     | Some s -> s
-    | None -> run_study ~seed ~count ?lambda ?strong ?memo ?jobs ()
+    | None ->
+      run_study ~seed ~count ?lambda ?strong ?memo ?deadline_s
+        ?block_deadline_s ?jobs ()
   in
   print_table7 fmt study;
   print_fig1 fmt study;

@@ -15,12 +15,18 @@ type study = Study.record list
     strong-equivalence pruning extension (default off = paper mode).
     [memo] configures the dominance-memoization extension (default
     {!Pipesched_core.Optimal.default_memo}; the cut never changes the
-    reported optima, only the Omega calls spent).  [jobs] sets the
-    number of worker domains blocks are scheduled across; results are
-    identical at any job count (see Study.run). *)
+    reported optima, only the Omega calls spent).  [deadline_s] bounds
+    the whole sweep in wall-clock seconds and [block_deadline_s] each
+    block's search (anytime mode: curtailed blocks record their legal
+    incumbents — see Study.run); [cancel] is a shared cancellation
+    token.  [jobs] sets the number of worker domains blocks are
+    scheduled across; without deadlines, results are identical at any
+    job count (see Study.run). *)
 val run_study :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
-  ?memo:Pipesched_core.Optimal.memo_options -> ?jobs:int ->
+  ?memo:Pipesched_core.Optimal.memo_options ->
+  ?deadline_s:float -> ?block_deadline_s:float ->
+  ?cancel:Pipesched_prelude.Budget.token -> ?jobs:int ->
   unit -> study
 
 (** Table 1: search-space sizes for representative blocks (exhaustive vs
@@ -107,9 +113,12 @@ val print_dynamic_study :
 
 (** Run everything in order with the given study size (default 16,000).
     [jobs] is threaded to the main study, the ablation, and the machine
-    and structure sweeps.  Pass [study] to reuse records already
-    computed (the bench harness does, to time the study separately). *)
+    and structure sweeps; [deadline_s] / [block_deadline_s] deadline the
+    main study (see {!run_study}).  Pass [study] to reuse records
+    already computed (the bench harness does, to time the study
+    separately). *)
 val run_all :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
-  ?memo:Pipesched_core.Optimal.memo_options -> ?jobs:int ->
+  ?memo:Pipesched_core.Optimal.memo_options ->
+  ?deadline_s:float -> ?block_deadline_s:float -> ?jobs:int ->
   ?study:study -> Format.formatter -> unit

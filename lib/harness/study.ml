@@ -2,6 +2,7 @@ open Pipesched_ir
 open Pipesched_machine
 open Pipesched_core
 module Rng = Pipesched_prelude.Rng
+module Budget = Pipesched_prelude.Budget
 module Pool = Pipesched_parallel.Pool
 
 type record = {
@@ -12,6 +13,7 @@ type record = {
   schedules_completed : int;
   memo_hits : int;
   completed : bool;
+  status : Budget.status;
   time_s : float;
 }
 
@@ -32,6 +34,7 @@ let run_block ?(options = default_options) machine blk =
     schedules_completed = outcome.Optimal.stats.Optimal.schedules_completed;
     memo_hits = outcome.Optimal.stats.Optimal.memo_hits;
     completed = outcome.Optimal.stats.Optimal.completed;
+    status = outcome.Optimal.stats.Optimal.status;
     time_s = t1 -. t0;
   }
 
@@ -41,13 +44,45 @@ let run_block ?(options = default_options) machine blk =
    — never on the number of domains.  Each block is then generated and
    scheduled from its own seed, and [Pool.parallel_map] returns records
    in input order, making the study record-for-record identical at any
-   job count (modulo the wall-clock [time_s] field). *)
-let run ?(options = default_options) ?freq ?jobs ~seed ~count machine =
+   job count (modulo the wall-clock [time_s] field).
+
+   Deadlines degrade this gracefully rather than aborting: a sweep-wide
+   [deadline_s] is converted to an absolute end time up front, and each
+   block's search gets the time remaining (intersected with
+   [block_deadline_s]) as its own budget.  Every block still produces a
+   record — one whose search was cut short simply carries a curtailed
+   [status] and its (legal) incumbent's NOP count.  The clock is only
+   consulted when one of the deadlines is set, so deadline-free studies
+   keep the bit-for-bit determinism contract. *)
+let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
+    ?freq ?jobs ~seed ~count machine =
   let rng = Rng.create seed in
   let seeds = Array.make (max count 1) 0 in
   for i = 0 to count - 1 do
     seeds.(i) <- Rng.bits rng
   done;
+  let sweep_end =
+    match deadline_s with Some d -> Some (now () +. d) | None -> None
+  in
+  let cancel =
+    match cancel with Some _ -> cancel | None -> options.Optimal.cancel
+  in
+  let options_for_block () =
+    match (sweep_end, block_deadline_s, cancel) with
+    | None, None, None -> options
+    | _ ->
+      let remaining =
+        match sweep_end with
+        | None -> None
+        | Some e -> Some (max 0.0 (e -. now ()))
+      in
+      let eff =
+        match (remaining, block_deadline_s) with
+        | None, d | d, None -> d
+        | Some a, Some b -> Some (min a b)
+      in
+      { options with Optimal.deadline_s = eff; cancel }
+  in
   Pool.parallel_map ?jobs
     (fun block_seed ->
       let rng = Rng.create block_seed in
@@ -55,7 +90,7 @@ let run ?(options = default_options) ?freq ?jobs ~seed ~count machine =
         Pipesched_synth.Generator.block ?freq rng
           (Pipesched_synth.Generator.sample_params rng)
       in
-      run_block ~options machine blk)
+      run_block ~options:(options_for_block ()) machine blk)
     (Array.to_list (Array.sub seeds 0 count))
 
 type aggregate = {
@@ -66,10 +101,16 @@ type aggregate = {
   avg_final_nops : float;
   avg_omega_calls : float;
   avg_time_s : float;
+  n_curtailed_lambda : int;
+  n_curtailed_deadline : int;
+  n_cancelled : int;
 }
 
 let aggregate ~total records =
   let f sel = Stats.mean (List.map sel records) in
+  let count_status s =
+    List.length (List.filter (fun r -> r.status = s) records)
+  in
   {
     runs = List.length records;
     pct =
@@ -80,6 +121,9 @@ let aggregate ~total records =
     avg_final_nops = f (fun r -> float_of_int r.final_nops);
     avg_omega_calls = f (fun r -> float_of_int r.omega_calls);
     avg_time_s = f (fun r -> r.time_s);
+    n_curtailed_lambda = count_status Budget.Curtailed_lambda;
+    n_curtailed_deadline = count_status Budget.Curtailed_deadline;
+    n_cancelled = count_status Budget.Cancelled;
   }
 
 let by_size records = Stats.group_by (fun r -> r.size) records

@@ -16,26 +16,46 @@ type record = {
   schedules_completed : int;
   memo_hits : int;          (** subtrees pruned by the dominance memo *)
   completed : bool;         (** search ran to completion (provably optimal) *)
+  status : Pipesched_prelude.Budget.status;
+      (** [Complete] iff [completed]; otherwise which budget limit
+          (lambda, wall-clock deadline, cancellation) curtailed this
+          block's search — the record's [final_nops] is then the legal
+          incumbent's *)
   time_s : float;           (** wall-clock seconds for the search *)
 }
 
 (** [run_block ?options machine blk] schedules one block and records it. *)
 val run_block : ?options:Optimal.options -> Machine.t -> Block.t -> record
 
-(** [run ?options ?freq ?jobs ~seed ~count machine] generates [count]
-    blocks with the paper's size mix and schedules each, distributing
-    blocks over [jobs] domains (default: [PIPESCHED_JOBS] or the
-    machine's recommended domain count; see Pipesched_parallel.Pool).
+(** [run ?options ?deadline_s ?block_deadline_s ?cancel ?freq ?jobs ~seed
+    ~count machine] generates [count] blocks with the paper's size mix
+    and schedules each, distributing blocks over [jobs] domains (default:
+    [PIPESCHED_JOBS] or the machine's recommended domain count; see
+    Pipesched_parallel.Pool).
 
     Deterministic at any job count: every block's RNG seed is pre-drawn
     serially from [seed] before any parallel work starts, so the records
     are identical — field for field, in order — whether [jobs] is 1 or
     64.  The only exception is the wall-clock [time_s] field.
 
+    Deadlines make the study {e anytime} without breaking its shape:
+    [deadline_s] bounds the whole sweep (each block's search receives the
+    time remaining as its budget; once the sweep deadline passes,
+    remaining blocks return their list-schedule incumbents near
+    instantly), [block_deadline_s] bounds each block's search
+    individually, and [cancel] is a shared token polled by every search.
+    Every block always yields a record — curtailed ones are marked by
+    their [status].  When neither deadline is set the clock is never
+    consulted and the determinism contract above holds bit-for-bit;
+    with a deadline, which blocks get curtailed depends on wall time.
+
     The default [options] use [lambda = 50_000] (large relative to a
     typical complete search, per §5.3). *)
 val run :
   ?options:Optimal.options ->
+  ?deadline_s:float ->
+  ?block_deadline_s:float ->
+  ?cancel:Pipesched_prelude.Budget.token ->
   ?freq:Pipesched_synth.Frequency.t ->
   ?jobs:int ->
   seed:int ->
@@ -52,6 +72,9 @@ type aggregate = {
   avg_final_nops : float;
   avg_omega_calls : float;
   avg_time_s : float;
+  n_curtailed_lambda : int;   (** blocks stopped by the lambda budget *)
+  n_curtailed_deadline : int; (** blocks stopped by a wall-clock deadline *)
+  n_cancelled : int;          (** blocks stopped by the cancellation token *)
 }
 
 (** [aggregate ~total records] summarizes a sub-population against the

@@ -4,6 +4,7 @@ type result = {
   order : int array;
   eta : int array;
   issue : int array;
+  pipes : int array;
   nops : int;
 }
 
@@ -196,7 +197,8 @@ module State = struct
     let order = prefix st in
     let eta = Array.sub st.eta_stack 0 st.sp in
     let issue = Array.map (fun pos -> st.issue.(pos)) order in
-    { order; eta; issue; nops = st.total_nops }
+    let pipes = Array.sub st.pipe_stack 0 st.sp in
+    { order; eta; issue; pipes; nops = st.total_nops }
 
   let exit_state st =
     if st.sp <> st.n then
@@ -241,16 +243,22 @@ let evaluate ?entry machine dag ~order =
   Array.iter (fun pos -> State.push st pos) order;
   State.snapshot st
 
-let span machine dag r =
+(* Latency of the pipeline slot [k] actually ran on.  [r.pipes] records
+   the chosen pipeline per schedule position, so results produced by
+   [evaluate_with_pipes] (or the multi-pipe search) are measured on their
+   real pipelines, not the per-op default. *)
+let slot_latency machine r k =
+  match r.pipes.(k) with
+  | -1 -> 1
+  | p -> (Machine.pipe machine p).Pipe.latency
+
+let span machine _dag r =
   let n = Array.length r.order in
   if n = 0 then 0
   else begin
-    let blk = Dag.block dag in
     let finish = ref 0 in
     for k = 0 to n - 1 do
-      let pos = r.order.(k) in
-      let lat = Machine.latency machine (Block.tuple_at blk pos).Tuple.op in
-      let f = r.issue.(k) + lat in
+      let f = r.issue.(k) + slot_latency machine r k in
       if f > !finish then finish := f
     done;
     !finish
@@ -259,16 +267,14 @@ let span machine dag r =
 type stall_cause = Dependence of int | Conflict of int
 
 let explain machine dag (r : result) =
-  let blk = Dag.block dag in
   let n = Array.length r.order in
   let new_pos = Array.make (Dag.length dag) (-1) in
   Array.iteri (fun k pos -> new_pos.(pos) <- k) r.order;
-  let pipe_of pos =
-    Machine.default_pipe machine (Block.tuple_at blk pos).Tuple.op
-  in
-  let lat_of pos =
-    Machine.latency machine (Block.tuple_at blk pos).Tuple.op
-  in
+  (* The pipeline each slot actually ran on comes from the result itself
+     ([r.pipes]), so schedules produced with non-default pipeline choices
+     get their stalls attributed to the real culprit pipelines. *)
+  let pipe_at k = r.pipes.(k) in
+  let lat_of u = slot_latency machine r new_pos.(u) in
   let last_on_pipe = Array.make (max (Machine.pipe_count machine) 1) (-1) in
   let acc = ref [] in
   for k = 0 to n - 1 do
@@ -282,14 +288,14 @@ let explain machine dag (r : result) =
           if !cause = None && r.issue.(new_pos.(u)) + lat_of u = r.issue.(k)
           then cause := Some (Dependence u))
         (Dag.preds dag pos);
-      (match pipe_of pos with
-       | Some p when !cause = None ->
+      (match pipe_at k with
+       | p when p >= 0 && !cause = None ->
          let enq = (Machine.pipe machine p).Pipe.enqueue in
          if
            last_on_pipe.(p) >= 0
            && r.issue.(last_on_pipe.(p)) + enq = r.issue.(k)
          then cause := Some (Conflict p)
-       | Some _ | None -> ());
+       | _ -> ());
       match !cause with
       | Some c -> acc := (k, r.eta.(k), c) :: !acc
       | None ->
@@ -297,9 +303,9 @@ let explain machine dag (r : result) =
            state (evaluated with ~entry); no in-block culprit to report. *)
         ()
     end;
-    match pipe_of pos with
-    | Some p -> last_on_pipe.(p) <- k
-    | None -> ()
+    match pipe_at k with
+    | p when p >= 0 -> last_on_pipe.(p) <- k
+    | _ -> ()
   done;
   List.rev !acc
 

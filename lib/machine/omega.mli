@@ -30,6 +30,12 @@ type result = {
   order : int array;  (** new position -> original block position *)
   eta : int array;    (** NOPs inserted before each (new) position *)
   issue : int array;  (** issue tick of each (new) position *)
+  pipes : int array;
+      (** pipeline each (new) position was scheduled on; [-1] =
+          resource-free.  Recorded so {!span} and {!explain} measure the
+          pipelines a schedule {e actually} used (which differ from the
+          per-op defaults for {!evaluate_with_pipes} and the multi-pipe
+          search). *)
   nops : int;         (** total NOPs: the paper's mu *)
 }
 
@@ -66,9 +72,11 @@ val evaluate_with_pipes :
   ?entry:entry ->
   Machine.t -> Dag.t -> order:int array -> choice:int option array -> result
 
-(** Issue-time-based total execution span of a schedule: issue tick of the
-    last instruction plus the latency of its result (the tick at which the
-    block's last-issued value is available). *)
+(** Issue-time-based total execution span of a schedule: the largest
+    issue tick plus result latency over all instructions (the tick at
+    which the block's last value is available).  Latencies come from the
+    pipelines recorded in [result.pipes], so spans are correct for
+    non-default pipeline choices too. *)
 val span : Machine.t -> Dag.t -> result -> int
 
 (** Why an instruction could not issue earlier. *)

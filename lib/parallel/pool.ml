@@ -1,3 +1,7 @@
+module Budget = Pipesched_prelude.Budget
+
+exception Cancelled
+
 let default_jobs () =
   match Sys.getenv_opt "PIPESCHED_JOBS" with
   | Some s ->
@@ -17,12 +21,23 @@ let inside_worker = Domain.DLS.new_key (fun () -> false)
 (* Left-to-right serial map (List.map's evaluation order is unspecified). *)
 let map_lr f xs = List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
 
-let parallel_map ?jobs ?chunk f xs =
+let parallel_map ?jobs ?chunk ?cancel f xs =
+  let cancelled () =
+    match cancel with Some tok -> Budget.is_cancelled tok | None -> false
+  in
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = min (resolve_jobs jobs) n in
   if n = 0 then []
-  else if jobs <= 1 || Domain.DLS.get inside_worker then map_lr f xs
+  else if jobs <= 1 || Domain.DLS.get inside_worker then
+    (* The serial path honors the token between items, like the pool's
+       [take] does between chunks: items already mapped are kept, the
+       first un-started one raises. *)
+    map_lr
+      (fun x ->
+        if cancelled () then raise Cancelled;
+        f x)
+      xs
   else begin
     let chunk =
       match chunk with
@@ -36,10 +51,12 @@ let parallel_map ?jobs ?chunk f xs =
     let active = ref jobs in
     let error = ref None in
     (* [take] hands out the next chunk of indices, or the empty range once
-       the items are exhausted or a worker has failed. *)
+       the items are exhausted, a worker has failed, or the cancellation
+       token has been tripped — cancellation is cooperative: in-flight
+       items finish, un-started ones are never begun. *)
     let take () =
       Mutex.lock mu;
-      let lo = if !error = None then !next else n in
+      let lo = if !error = None && not (cancelled ()) then !next else n in
       let hi = min n (lo + chunk) in
       next := hi;
       Mutex.unlock mu;
@@ -84,11 +101,12 @@ let parallel_map ?jobs ?chunk f xs =
     match !error with
     | Some (exn, bt) -> Printexc.raise_with_backtrace exn bt
     | None ->
+      if Array.exists (fun r -> r = None) results then raise Cancelled;
       Array.to_list
         (Array.map
            (function Some y -> y | None -> assert false)
            results)
   end
 
-let map_reduce ?jobs ?chunk ~map ~reduce ~init xs =
-  List.fold_left reduce init (parallel_map ?jobs ?chunk map xs)
+let map_reduce ?jobs ?chunk ?cancel ~map ~reduce ~init xs =
+  List.fold_left reduce init (parallel_map ?jobs ?chunk ?cancel map xs)

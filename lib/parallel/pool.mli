@@ -29,9 +29,15 @@ val default_jobs : unit -> int
     {!default_jobs}. *)
 val resolve_jobs : int option -> int
 
-(** [parallel_map ?jobs ?chunk f xs] is [List.map f xs] computed on
-    [jobs] domains (default {!resolve_jobs}[ None]), with [f] applied to
-    each element exactly once and results in input order.  [f] is
+(** Raised by {!parallel_map} / {!map_reduce} when the [?cancel] token
+    was tripped before every item was mapped.  Items already in flight
+    finish first (cancellation is cooperative — no domain is killed), so
+    the raise happens only after all workers have drained. *)
+exception Cancelled
+
+(** [parallel_map ?jobs ?chunk ?cancel f xs] is [List.map f xs] computed
+    on [jobs] domains (default {!resolve_jobs}[ None]), with [f] applied
+    to each element exactly once and results in input order.  [f] is
     evaluated left-to-right when running serially ([jobs <= 1], a
     single-element list, or a nested call from a worker).
 
@@ -39,18 +45,33 @@ val resolve_jobs : int option -> int
     order) is re-raised in the caller after all workers have stopped;
     remaining unstarted items are abandoned.
 
+    [cancel] is an optional shared {!Pipesched_prelude.Budget.token}:
+    once tripped (from any domain), no further item is started, workers
+    drain, and {!Cancelled} is raised — unless every item had already
+    been mapped, in which case the full result is returned normally.
+    The serial path checks the token between items, so behavior is the
+    same at any job count.
+
     [chunk] is the number of consecutive indices a worker claims per
     counter access (default: scaled to [length xs / (jobs * 32)],
     clamped to [1 .. 64]). *)
-val parallel_map : ?jobs:int -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
+val parallel_map :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?cancel:Pipesched_prelude.Budget.token ->
+  ('a -> 'b) ->
+  'a list ->
+  'b list
 
-(** [map_reduce ?jobs ?chunk ~map ~reduce ~init xs] maps in parallel,
-    then folds the mapped results {e in input order} with [reduce],
-    starting from [init].  Deterministic for any [reduce], associative
-    or not, at any job count. *)
+(** [map_reduce ?jobs ?chunk ?cancel ~map ~reduce ~init xs] maps in
+    parallel, then folds the mapped results {e in input order} with
+    [reduce], starting from [init].  Deterministic for any [reduce],
+    associative or not, at any job count.  [cancel] as in
+    {!parallel_map}. *)
 val map_reduce :
   ?jobs:int ->
   ?chunk:int ->
+  ?cancel:Pipesched_prelude.Budget.token ->
   map:('a -> 'b) ->
   reduce:('acc -> 'b -> 'acc) ->
   init:'acc ->

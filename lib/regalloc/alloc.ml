@@ -95,7 +95,9 @@ let store_between blk var lo hi =
 (* Split the live range of [id]: insert a re-materialized copy of its
    producer just before position [u] and rewrite every use at positions
    >= u to the copy.  Caller guarantees the producer is a Const, or a Load
-   whose variable has no intervening Store before u. *)
+   whose variable is not stored to anywhere inside the value's live range
+   — every use >= u reads the copy, so a Store to the variable between
+   the copy and any rewritten use would change what that use observes. *)
 let split blk id u =
   let producer = Block.find blk id in
   let nid = fresh_id blk in
@@ -146,7 +148,13 @@ let rematerialize blk ~registers =
                     with
                     | Op.Const, _ -> true
                     | Op.Load, Some v ->
-                      not (store_between blk v r.def_pos u)
+                      (* The copy at [u] must read the same value as the
+                         original Load for EVERY rewritten use, not just
+                         the first: a Store to [v] between [u] and a
+                         later use would be observed by the copy's
+                         consumers but not by the original's.  Checking
+                         up to the last use rejects such candidates. *)
+                      not (store_between blk v r.def_pos r.last_use_pos)
                     | _ -> false
                   in
                   if ok && u > r.def_pos + 1 then Some (id, u) else None

@@ -8,9 +8,11 @@
 
     If demand exceeds the register file, {!allocate} fails and
     {!rematerialize} implements §3.1's spill strategy: values whose
-    producer is a [Const] or [Load] (of a variable not stored to since) are
-    split — the value is re-materialized just before a later use, shrinking
-    live ranges.  Store instructions "typically do not interfere with any
+    producer is a [Const] or [Load] (of a variable with no Store anywhere
+    inside the value's live range — a Store between the re-load point and
+    {e any} remaining use would change what that use reads) are split —
+    the value is re-materialized just before a later use, shrinking live
+    ranges.  Store instructions "typically do not interfere with any
     pipelined operations", so the paper notes such fixes usually keep the
     schedule valid; re-running the scheduler afterwards is the caller's
     choice. *)
@@ -35,7 +37,9 @@ val registers_used : t -> int
 
 (** [rematerialize blk ~registers] rewrites the block so that {!allocate}
     succeeds with the given register count, by re-issuing [Const]s and
-    re-loading variables whose memory is still current at the new position.
+    re-loading variables whose memory is current at the new position {e
+    and stays current through the value's last use} (no intervening
+    Store), so every rewritten use reads the same value as before.
     Returns [None] when the block cannot be fixed this way (a live value
     produced by an arithmetic tuple would have to spill to memory, which
     the prototype — like the paper's — does not implement). *)

@@ -389,6 +389,30 @@ let delay_slots_preserve_semantics =
             agree_on prog mem env)
         [ 1; 2 ])
 
+(* Filling is purely a latency optimization: across random structured
+   programs the filled and Nop-padded emissions execute to identical
+   final memory, and filling never costs dynamic cycles. *)
+let delay_slot_filling_is_semantics_neutral =
+  qtest ~count:200 "filled vs padded delay slots reach identical memory"
+    structured_gen Ast.program_to_string
+    (fun prog ->
+      let cfg = Cfg.merge_chains (Lower.lower prog) in
+      let s = Schedule.schedule machine cfg in
+      List.for_all
+        (fun delay_slots ->
+          match
+            ( Emit.emit ~registers:64 ~delay_slots ~fill:true s,
+              Emit.emit ~registers:64 ~delay_slots ~fill:false s )
+          with
+          | Ok filled, Ok padded ->
+            let env = env_of_seed 29 in
+            let mem_f, ticks_f = Emit.execute ~delay_slots filled ~env in
+            let mem_p, ticks_p = Emit.execute ~delay_slots padded ~env in
+            List.sort compare mem_f = List.sort compare mem_p
+            && ticks_f <= ticks_p
+          | _ -> false)
+        [ 1; 2 ])
+
 let test_delay_slot_filling_saves_cycles () =
   let cfg =
     Cfg.merge_chains
@@ -478,6 +502,7 @@ let () =
         [ emitted_programs_execute_correctly;
           Alcotest.test_case "loop program" `Quick test_emit_loop_program;
           delay_slots_preserve_semantics;
+          delay_slot_filling_is_semantics_neutral;
           Alcotest.test_case "delay-slot filling saves cycles" `Quick
             test_delay_slot_filling_saves_cycles;
           Alcotest.test_case "delay-slot condition safety" `Quick

@@ -190,6 +190,78 @@ let lambda_monotone =
       let c = nops_at 10_000 in
       a >= b && b >= c)
 
+module Budget = Pipesched_prelude.Budget
+
+(* Anytime mode: with an effectively unlimited lambda and a short
+   wall-clock deadline, every entry point must come back promptly with a
+   complete legal schedule and a [Curtailed_deadline] status.  The block
+   is far too large for the search to finish inside the deadline. *)
+let test_deadline_anytime () =
+  (* 36 mutually independent, pairwise distinct instructions: the search
+     space is astronomically large and equivalence pruning cannot
+     collapse it, so no budget this side of the deadline finishes. *)
+  let blk =
+    let ops = [| Op.Load; Op.Mul; Op.Div; Op.Mod |] in
+    Block.of_tuples_exn
+      (List.init 36 (fun i ->
+           match ops.(i mod 4) with
+           | Op.Load ->
+             tu ~id:(i + 1) Op.Load
+               (Operand.Var (Printf.sprintf "v%d" i))
+               Operand.Null
+           | op -> tu ~id:(i + 1) op (Operand.Imm (i + 1)) (Operand.Imm (i + 2))))
+  in
+  let dag = Dag.of_block blk in
+  let deadline = 0.05 in
+  let options =
+    { Optimal.default_options with
+      Optimal.lambda = max_int;
+      Optimal.deadline_s = Some deadline }
+  in
+  let run name f =
+    let t0 = Unix.gettimeofday () in
+    let status, order = f () in
+    let wall = Unix.gettimeofday () -. t0 in
+    check bool_t (name ^ ": curtailed by the deadline") true
+      (status = Budget.Curtailed_deadline);
+    check bool_t (name ^ ": legal complete schedule") true
+      (Dag.is_legal_order dag order);
+    check bool_t (name ^ ": within twice the deadline") true
+      (wall <= 2.0 *. deadline)
+  in
+  run "schedule" (fun () ->
+      let o = Optimal.schedule ~options machine dag in
+      (o.Optimal.stats.Optimal.status, o.Optimal.best.Omega.order));
+  run "schedule_bounded" (fun () ->
+      match Optimal.schedule_bounded ~options ~registers:64 machine dag with
+      | Ok o -> (o.Optimal.stats.Optimal.status, o.Optimal.best.Omega.order)
+      | Error () -> Alcotest.fail "bounded search found no schedule");
+  run "windowed" (fun () ->
+      let w = Windowed.schedule ~options ~window:18 machine dag in
+      (w.Windowed.status, w.Windowed.best.Omega.order))
+
+(* The determinism contract behind byte-identical deadline-free runs:
+   without a deadline the searches never consult the clock. *)
+let test_no_deadline_reads_no_clock () =
+  Budget.set_clock (fun () ->
+      Alcotest.fail "clock read by a deadline-free search");
+  Fun.protect
+    ~finally:(fun () -> Budget.set_clock Unix.gettimeofday)
+    (fun () ->
+      let rng = Rng.create 51 in
+      let blk = random_block rng 12 in
+      let dag = Dag.of_block blk in
+      let o = Optimal.schedule machine dag in
+      check bool_t "elapsed not measured" true
+        (o.Optimal.stats.Optimal.elapsed_s = 0.0);
+      check bool_t "status agrees with completed" true
+        (Budget.is_complete o.Optimal.stats.Optimal.status
+         = o.Optimal.stats.Optimal.completed);
+      let w = Windowed.schedule ~window:4 machine dag in
+      check bool_t "windowed status" true
+        (Budget.is_complete w.Windowed.status
+         = w.Windowed.all_windows_completed))
+
 let test_stats_consistency () =
   let rng = Rng.create 99 in
   let blk = random_block rng 10 in
@@ -648,6 +720,9 @@ let () =
         [ Alcotest.test_case "lambda stops the search" `Quick
             test_lambda_curtails;
           lambda_monotone;
+          Alcotest.test_case "deadline anytime" `Quick test_deadline_anytime;
+          Alcotest.test_case "no deadline, no clock" `Quick
+            test_no_deadline_reads_no_clock;
           Alcotest.test_case "stats consistency" `Quick
             test_stats_consistency ] );
       ( "pruning",

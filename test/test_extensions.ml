@@ -170,6 +170,19 @@ let test_windowed_window_count () =
     (Invalid_argument "Windowed.schedule: window must be >= 1") (fun () ->
       ignore (Windowed.schedule ~window:0 machine dag))
 
+(* Accounting parity: [omega_calls] counts every push — each window's
+   incumbent evaluation, its DFS, and the commit of its best order.
+   With [window = 1] each of the n windows evaluates its single
+   instruction once, searches it once and commits it once: exactly 3n. *)
+let windowed_counts_all_pushes =
+  qtest ~count:100 "window = 1 spends exactly 3n omega pushes"
+    (block_gen ~min_size:1 ~max_size:12 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let w = Windowed.schedule ~window:1 machine dag in
+      w.Windowed.omega_calls = 3 * Block.length blk
+      && w.Windowed.status = Pipesched_prelude.Budget.Complete)
+
 let test_windowed_budget_exhaustion () =
   let rng = Rng.create 32 in
   let blk = random_block rng 20 in
@@ -398,6 +411,7 @@ let () =
         [ windowed_full_window_is_optimal;
           windowed_one_is_list_schedule;
           windowed_legal_and_bounded;
+          windowed_counts_all_pushes;
           Alcotest.test_case "window count" `Quick
             test_windowed_window_count;
           Alcotest.test_case "budget exhaustion" `Quick

@@ -80,7 +80,8 @@ let test_aggregate () =
   let rec_ size initial final =
     { Study.size; initial_nops = initial; final_nops = final;
       omega_calls = 10; schedules_completed = 1; memo_hits = 0;
-      completed = true; time_s = 0.0 }
+      completed = true; status = Pipesched_prelude.Budget.Complete;
+      time_s = 0.0 }
   in
   let agg = Study.aggregate ~total:4 [ rec_ 10 5 1; rec_ 20 7 3 ] in
   check int_t "runs" 2 agg.Study.runs;
@@ -93,6 +94,7 @@ let test_by_size () =
   let rec_ size =
     { Study.size; initial_nops = 0; final_nops = 0; omega_calls = 0;
       schedules_completed = 0; memo_hits = 0; completed = true;
+      status = Pipesched_prelude.Budget.Complete;
       time_s = 0.0 }
   in
   let groups = Study.by_size [ rec_ 5; rec_ 3; rec_ 5 ] in

@@ -528,6 +528,63 @@ let test_explain_conflict () =
   | [ (1, 1, Omega.Conflict 1) ] -> ()
   | _ -> Alcotest.fail "expected a multiplier conflict stall"
 
+(* Regression: span and explain must measure the pipelines a schedule
+   actually ran on (recorded in [result.pipes]), not the per-op
+   defaults.  On a machine whose Load has a fast and a slow candidate
+   pipeline the two disagree. *)
+let twin =
+  Machine.make ~name:"twin"
+    [| Pipe.make ~label:"fast" ~latency:2 ~enqueue:2;
+       Pipe.make ~label:"slow" ~latency:5 ~enqueue:2 |]
+    ~assign:[ (Op.Load, [ 0; 1 ]) ]
+
+let two_loads =
+  Block.of_tuples_exn
+    [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+      tu ~id:2 Op.Load (Operand.Var "y") Operand.Null ]
+
+let test_pipes_recorded_in_result () =
+  let dag = Dag.of_block two_loads in
+  let r =
+    Omega.evaluate_with_pipes twin dag ~order:[| 0; 1 |]
+      ~choice:[| Some 0; Some 1 |]
+  in
+  check (Alcotest.array int_t) "pipes recorded" [| 0; 1 |] r.Omega.pipes;
+  check int_t "no conflict across distinct pipes" 0 r.Omega.nops;
+  (* The second load issues at 1 on the slow pipe: result at 1 + 5 = 6.
+     Pricing it at the default (fast) pipe would report 3. *)
+  check int_t "span uses the chosen pipe's latency" 6 (Omega.span twin dag r);
+  let d = Omega.evaluate twin dag ~order:[| 0; 1 |] in
+  check (Alcotest.array int_t) "default choice recorded" [| 0; 0 |]
+    d.Omega.pipes;
+  check int_t "default-pipe span" 4 (Omega.span twin dag d)
+
+let test_explain_uses_recorded_pipes () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "x") Operand.Null;
+        tu ~id:2 Op.Store (Operand.Var "o") (Operand.Ref 1) ]
+  in
+  let dag = Dag.of_block blk in
+  let r =
+    Omega.evaluate_with_pipes twin dag ~order:[| 0; 1 |]
+      ~choice:[| Some 1; None |]
+  in
+  (* On the slow pipe the store waits latency 5 for the load: eta = 4;
+     the default fast pipe would stall it only 1. *)
+  check int_t "eta from the slow pipe" 4 r.Omega.eta.(1);
+  (match Omega.explain twin dag r with
+   | [ (1, 4, Omega.Dependence 0) ] -> ()
+   | _ -> Alcotest.fail "expected a 4-NOP dependence stall");
+  let dag2 = Dag.of_block two_loads in
+  let c =
+    Omega.evaluate_with_pipes twin dag2 ~order:[| 0; 1 |]
+      ~choice:[| Some 1; Some 1 |]
+  in
+  match Omega.explain twin dag2 c with
+  | [ (1, 1, Omega.Conflict 1) ] -> ()
+  | _ -> Alcotest.fail "expected a conflict attributed to the slow pipe"
+
 (* ------------------------------------------------------------------ *)
 (* Omega.State: push/pop discipline                                    *)
 
@@ -705,8 +762,11 @@ let () =
         [ explain_accounts_for_all_stalls;
           Alcotest.test_case "dependence example" `Quick
             test_explain_examples;
-          Alcotest.test_case "conflict example" `Quick test_explain_conflict
-        ] );
+          Alcotest.test_case "conflict example" `Quick test_explain_conflict;
+          Alcotest.test_case "pipes recorded in result" `Quick
+            test_pipes_recorded_in_result;
+          Alcotest.test_case "explain uses recorded pipes" `Quick
+            test_explain_uses_recorded_pipes ] );
       ( "state",
         [ state_push_pop_roundtrip;
           state_interleaved;

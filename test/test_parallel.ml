@@ -63,6 +63,53 @@ let test_resolve_jobs () =
   check bool_t "default positive" true (Pool.resolve_jobs None >= 1)
 
 (* ------------------------------------------------------------------ *)
+(* Cooperative cancellation                                            *)
+
+module Budget = Pipesched_prelude.Budget
+
+let test_cancel_pre_tripped () =
+  (* A token tripped before the map starts: no item is begun, both the
+     serial and the pooled path raise. *)
+  let tok = Budget.token () in
+  Budget.cancel tok;
+  List.iter
+    (fun jobs ->
+      match
+        Pool.parallel_map ~jobs ~cancel:tok succ (List.init 100 Fun.id)
+      with
+      | _ -> Alcotest.fail "expected Cancelled"
+      | exception Pool.Cancelled -> ())
+    [ 1; 4 ]
+
+let test_cancel_mid_map () =
+  (* Tripping the token from inside the map: items already mapped
+     finish, the first un-started one raises (serial path, so the
+     schedule of checks is deterministic). *)
+  let tok = Budget.token () in
+  let seen = ref 0 in
+  match
+    Pool.parallel_map ~jobs:1 ~cancel:tok
+      (fun x ->
+        incr seen;
+        if x = 5 then Budget.cancel tok;
+        x)
+      (List.init 100 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Cancelled"
+  | exception Pool.Cancelled -> check int_t "stopped after item 5" 6 !seen
+
+let test_cancel_untripped_token_is_free () =
+  let tok = Budget.token () in
+  List.iter
+    (fun jobs ->
+      check bool_t
+        (Printf.sprintf "untripped token at jobs=%d" jobs)
+        true
+        (Pool.parallel_map ~jobs ~cancel:tok succ (List.init 50 Fun.id)
+         = List.init 50 succ))
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
 (* Determinism of the parallel study (the acceptance criterion)        *)
 
 let strip r = { r with Study.time_s = 0.0 }
@@ -117,7 +164,12 @@ let () =
           Alcotest.test_case "nested no deadlock" `Quick
             test_nested_no_deadlock;
           Alcotest.test_case "map_reduce" `Quick test_map_reduce;
-          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs ] );
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+          Alcotest.test_case "cancel before start" `Quick
+            test_cancel_pre_tripped;
+          Alcotest.test_case "cancel mid-map" `Quick test_cancel_mid_map;
+          Alcotest.test_case "untripped token" `Quick
+            test_cancel_untripped_token_is_free ] );
       ( "determinism",
         [ Alcotest.test_case "jobs 1 vs 4" `Quick test_study_jobs_1_vs_4;
           study_jobs_invariance ] );

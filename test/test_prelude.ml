@@ -351,6 +351,99 @@ let test_choose () =
   Alcotest.check_raises "empty" (Invalid_argument "Rng.choose: empty array")
     (fun () -> ignore (Rng.choose rng [||]))
 
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+
+module Budget = Pipesched_prelude.Budget
+
+let budget ?calls ?deadline_s ?cancel () =
+  Budget.start { Budget.calls; deadline_s; cancel }
+
+let test_budget_lambda_parity () =
+  (* Checked before each spend, [calls = Some l] admits exactly [l]
+     units of work — the same accounting as the paper's lambda. *)
+  let b = budget ~calls:5 () in
+  for _ = 1 to 5 do
+    check bool_t "not exhausted before the spend" true
+      (Budget.exhausted b = None);
+    Budget.spend b
+  done;
+  check bool_t "exhausted after 5 spends" true
+    (Budget.exhausted b = Some Budget.Curtailed_lambda);
+  check int_t "spent" 5 (Budget.spent b)
+
+let test_budget_sticky () =
+  let tok = Budget.token () in
+  let b = budget ~calls:1 ~cancel:tok () in
+  Budget.spend b;
+  check bool_t "lambda trips first" true
+    (Budget.exhausted b = Some Budget.Curtailed_lambda);
+  (* A later cancellation does not change the recorded reason. *)
+  Budget.cancel tok;
+  check bool_t "reason is sticky" true
+    (Budget.exhausted b = Some Budget.Curtailed_lambda)
+
+let test_budget_cancellation_first () =
+  let tok = Budget.token () in
+  check bool_t "fresh token" false (Budget.is_cancelled tok);
+  Budget.cancel tok;
+  check bool_t "cancelled" true (Budget.is_cancelled tok);
+  (* Cancellation outranks an already-tripped call budget. *)
+  let b = budget ~calls:0 ~cancel:tok () in
+  check bool_t "cancellation wins" true
+    (Budget.exhausted b = Some Budget.Cancelled)
+
+let test_budget_deadline_strided_clock () =
+  let now = ref 100.0 in
+  let reads = ref 0 in
+  Budget.set_clock (fun () ->
+      incr reads;
+      !now);
+  Fun.protect
+    ~finally:(fun () -> Budget.set_clock Unix.gettimeofday)
+    (fun () ->
+      let b = budget ~deadline_s:1.0 () in
+      check bool_t "within the deadline" true (Budget.exhausted b = None);
+      (* Off-stride spends never consult the clock. *)
+      let r0 = !reads in
+      for _ = 1 to Budget.check_stride - 1 do
+        Budget.spend b;
+        check bool_t "still running" true (Budget.exhausted b = None)
+      done;
+      check int_t "no clock reads off-stride" r0 !reads;
+      now := 102.0;
+      Budget.spend b;
+      (* spent is a stride multiple again: the expiry is noticed. *)
+      check bool_t "deadline tripped" true
+        (Budget.exhausted b = Some Budget.Curtailed_deadline);
+      check bool_t "elapsed reflects the fake clock" true
+        (Budget.elapsed_s b >= 2.0))
+
+let test_budget_no_deadline_never_reads_clock () =
+  (* The determinism contract: without a deadline the clock must never
+     be consulted, so call-bounded searches are bit-for-bit stable. *)
+  Budget.set_clock (fun () ->
+      Alcotest.fail "clock read by a deadline-free budget");
+  Fun.protect
+    ~finally:(fun () -> Budget.set_clock Unix.gettimeofday)
+    (fun () ->
+      let tok = Budget.token () in
+      let b = budget ~calls:40 ~cancel:tok () in
+      for _ = 1 to 64 do
+        Budget.spend b;
+        ignore (Budget.exhausted b)
+      done;
+      check bool_t "lambda still enforced" true
+        (Budget.exhausted b = Some Budget.Curtailed_lambda);
+      check bool_t "elapsed is 0.0" true (Budget.elapsed_s b = 0.0))
+
+let test_budget_unlimited () =
+  let b = Budget.start Budget.unlimited in
+  for _ = 1 to 1000 do
+    Budget.spend b
+  done;
+  check bool_t "never exhausted" true (Budget.exhausted b = None)
+
 let () =
   Alcotest.run "prelude"
     [ ( "bitset",
@@ -388,4 +481,14 @@ let () =
           Alcotest.test_case "float range" `Quick test_float_range;
           Alcotest.test_case "weighted" `Quick test_weighted;
           Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
-          Alcotest.test_case "choose" `Quick test_choose ] ) ]
+          Alcotest.test_case "choose" `Quick test_choose ] );
+      ( "budget",
+        [ Alcotest.test_case "lambda parity" `Quick test_budget_lambda_parity;
+          Alcotest.test_case "sticky reason" `Quick test_budget_sticky;
+          Alcotest.test_case "cancellation outranks" `Quick
+            test_budget_cancellation_first;
+          Alcotest.test_case "strided deadline clock" `Quick
+            test_budget_deadline_strided_clock;
+          Alcotest.test_case "no deadline, no clock" `Quick
+            test_budget_no_deadline_never_reads_clock;
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited ] ) ]

@@ -141,6 +141,61 @@ let rematerialize_preserves_semantics =
         Interp.run_block blk ~env = Interp.run_block blk' ~env
         && Regalloc.Alloc.allocate blk' ~registers:3 |> Result.is_ok)
 
+(* Regression: a re-materialized Load must read the same value as the
+   original for EVERY rewritten use.  Belady prefers the candidate with
+   the farthest next use; here that is x = Load v, whose re-materialized
+   copy would span the Store to v (positions 5..7 around the Store at 6).
+   The candidate check must look at the whole remaining live range — not
+   just up to the next use — and reject x, fixing the block by splitting
+   y and z instead. *)
+let test_remat_rejects_crossing_store () =
+  let blk =
+    Block.of_tuples_exn
+      [ tu ~id:1 Op.Load (Operand.Var "v") Operand.Null;
+        tu ~id:2 Op.Load (Operand.Var "w") Operand.Null;
+        tu ~id:3 Op.Load (Operand.Var "q") Operand.Null;
+        tu ~id:4 Op.Store (Operand.Var "o1") (Operand.Ref 2);
+        tu ~id:5 Op.Store (Operand.Var "o2") (Operand.Ref 3);
+        tu ~id:6 Op.Add (Operand.Ref 1) (Operand.Imm 1);
+        tu ~id:7 Op.Store (Operand.Var "v") (Operand.Ref 6);
+        tu ~id:8 Op.Add (Operand.Ref 1) (Operand.Imm 2);
+        tu ~id:9 Op.Store (Operand.Var "o3") (Operand.Ref 8) ]
+  in
+  let max_orig =
+    Array.fold_left
+      (fun acc (t : Tuple.t) -> max acc t.Tuple.id)
+      0 (Block.tuples blk)
+  in
+  match Regalloc.Alloc.rematerialize blk ~registers:2 with
+  | None -> Alcotest.fail "block is fixable by splitting y and z"
+  | Some blk' ->
+    let env = env_of_seed 3 in
+    check bool_t "same final memory" true
+      (Interp.run_block blk ~env = Interp.run_block blk' ~env);
+    (* No inserted copy's live range may cross a Store to its variable:
+       such a copy is only accidentally correct under the current block
+       order and breaks as soon as the block is re-scheduled. *)
+    let ranges = Regalloc.Liveness.ranges blk' in
+    Array.iteri
+      (fun p (t : Tuple.t) ->
+        if t.Tuple.id > max_orig && t.Tuple.op = Op.Load then
+          match Tuple.memory_var t with
+          | None -> ()
+          | Some v -> (
+            match List.assoc_opt t.Tuple.id ranges with
+            | None -> ()
+            | Some r ->
+              for i = p + 1 to r.Regalloc.Liveness.last_use_pos - 1 do
+                let s = Block.tuple_at blk' i in
+                if s.Tuple.op = Op.Store && Tuple.memory_var s = Some v then
+                  Alcotest.failf
+                    "re-materialized Load of %s at %d crosses a Store at %d"
+                    v p i
+              done))
+      (Block.tuples blk');
+    check bool_t "fixed block allocates" true
+      (Regalloc.Alloc.allocate blk' ~registers:2 |> Result.is_ok)
+
 let test_rematerialize_unfixable () =
   (* Four live arithmetic results cannot be re-materialized into 2 regs:
      chain of adds all still live at the end. *)
@@ -318,6 +373,8 @@ let () =
           Alcotest.test_case "rematerialize constants" `Quick
             test_rematerialize_consts;
           rematerialize_preserves_semantics;
+          Alcotest.test_case "remat rejects store-crossing Load" `Quick
+            test_remat_rejects_crossing_store;
           Alcotest.test_case "unfixable pressure" `Quick
             test_rematerialize_unfixable ] );
       ( "codegen",
