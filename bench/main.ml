@@ -303,7 +303,8 @@ let deadline_evidence () =
            let o = Windowed.schedule ~options ~window:20 machine hard_dag in
            (o.Windowed.status, o.Windowed.best.Omega.nops))) ] )
 
-let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
+let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
+    estimates =
   let memo_on, memo_off = memo_evidence () in
   let deadline_s, deadline_entries = deadline_evidence () in
   let oc = open_out path in
@@ -311,8 +312,8 @@ let write_results_json ~path ~jobs ~study_count ~study_wall_s estimates =
   p "{\n";
   p "  \"schema\": 1,\n";
   p "  \"jobs\": %d,\n" jobs;
-  p "  \"study\": { \"count\": %d, \"wall_s\": %.6f },\n" study_count
-    study_wall_s;
+  p "  \"study\": { \"count\": %d, \"failures\": %d, \"wall_s\": %.6f },\n"
+    study_count study_failures study_wall_s;
   p
     "  \"memo\": { \"nops\": %d, \"calls_on\": %d, \"calls_off\": %d, \
      \"hits\": %d, \"entries\": %d, \"evictions\": %d },\n"
@@ -365,9 +366,12 @@ let () =
   let study = Harness.Experiments.run_study ~count ~jobs () in
   let t1 = Mclock.now () in
   let study_wall_s = Int64.to_float (Int64.sub t1 t0) /. 1e9 in
-  Printf.printf "Study: scheduled %d blocks in %.2f s on %d domain%s\n%!"
-    count study_wall_s jobs
+  let study_failures = List.length (Harness.Study.failures study) in
+  Printf.printf
+    "Study: scheduled %d blocks (%d contained failures) in %.2f s on %d \
+     domain%s\n%!"
+    count study_failures study_wall_s jobs
     (if jobs = 1 then "" else "s");
   write_results_json ~path:"BENCH_results.json" ~jobs ~study_count:count
-    ~study_wall_s estimates;
+    ~study_failures ~study_wall_s estimates;
   Harness.Experiments.run_all ~count ~jobs ~study Format.std_formatter

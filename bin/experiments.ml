@@ -8,7 +8,7 @@ let sections =
     "heuristics"; "kernels"; "pressure"; "dynamic" ]
 
 let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
-    memo_capacity jobs only =
+    memo_capacity jobs strict certify only =
   let count = if quick then min count 1_000 else count in
   let jobs = if jobs <= 0 then None else Some jobs in
   let to_s ms = Option.map (fun m -> float_of_int m /. 1000.0) ms in
@@ -23,7 +23,7 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
   (match only with
    | [] ->
      E.run_all ~seed ~count ~lambda ~strong ~memo ?deadline_s
-       ?block_deadline_s ?jobs fmt
+       ?block_deadline_s ?jobs ~strict ~certify fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -36,7 +36,7 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
      let study =
        lazy
          (E.run_study ~seed ~count ~lambda ~strong ~memo ?deadline_s
-            ?block_deadline_s ?jobs ())
+            ?block_deadline_s ?jobs ~strict ~certify ())
      in
      List.iter
        (fun section ->
@@ -139,6 +139,22 @@ let jobs =
   in
   Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
 
+let strict =
+  let doc =
+    "Fail fast: let the first per-block exception in the main study kill \
+     the sweep instead of being contained as a Failed record."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let certify =
+  let doc =
+    "Re-check every schedule in the main study with the independent \
+     certifier (constraints, NOP accounting, ordering, semantics).  A \
+     certification failure is contained as a Failed record (or kills \
+     the sweep under $(b,--strict))."
+  in
+  Arg.(value & flag & info [ "certify" ] ~doc)
+
 let only =
   let doc =
     Printf.sprintf "Run only the named sections (repeatable): %s."
@@ -154,6 +170,7 @@ let cmd =
     (Cmd.info "pipesched-experiments" ~doc)
     Term.(
       const run $ count $ seed $ quick $ lambda $ deadline_ms
-      $ block_deadline_ms $ strong $ no_memo $ memo_capacity $ jobs $ only)
+      $ block_deadline_ms $ strong $ no_memo $ memo_capacity $ jobs
+      $ strict $ certify $ only)
 
 let () = exit (Cmd.eval' cmd)

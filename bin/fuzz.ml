@@ -1,0 +1,259 @@
+(* Differential fuzzing harness: random machine descriptions x random
+   compiled blocks, every scheduler, every result independently
+   certified.  A failing case is shrunk greedily and written to
+   fuzz-repro-<seed>.json so it can be replayed and minimized further by
+   hand.  Exit status: 0 = all cases clean, 1 = at least one failure. *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_sched
+open Pipesched_core
+module Rng = Pipesched_prelude.Rng
+module Generator = Pipesched_synth.Generator
+module Certify = Pipesched_verify.Certify
+
+(* ------------------------------------------------------------------ *)
+(* One case: run every scheduler and collect labelled violations.      *)
+
+let run_case ~lambda machine blk =
+  let violations = ref [] in
+  let add label vs =
+    List.iter (fun v -> violations := (label, Certify.explain v) :: !violations) vs
+  in
+  (try
+     let dag = Dag.of_block blk in
+     let options = { Optimal.default_options with Optimal.lambda } in
+     let certify label (r : Omega.result) =
+       add label (Certify.check machine blk r);
+       add (label ^ " semantics") (Certify.check_semantics blk ~order:r.Omega.order)
+     in
+     let opt = Optimal.schedule ~options machine dag in
+     certify "optimal" opt.Optimal.best;
+     certify "optimal initial" opt.Optimal.initial;
+     let multi, _choice = Optimal.schedule_multi ~options machine dag in
+     certify "optimal-multi" multi.Optimal.best;
+     let win = Windowed.schedule ~options ~window:4 machine dag in
+     certify "windowed" win.Windowed.best;
+     let evaluate label order =
+       let r = Omega.evaluate machine dag ~order in
+       certify label r;
+       r
+     in
+     let list_r = evaluate "list" (List_sched.schedule List_sched.Max_distance dag) in
+     let greedy_r = evaluate "greedy" (Baselines.greedy machine dag) in
+     let gross_r = evaluate "gross" (Baselines.gross machine dag) in
+     (match Optimal.schedule_bounded ~options ~registers:8 machine dag with
+      | Ok bounded -> certify "optimal bounded(8)" bounded.Optimal.best
+      | Error () -> ());
+     (* NOP-count ordering.  The optimal and windowed searches both seed
+        from the list schedule, so these hold even when curtailed. *)
+     let nops (r : Omega.result) = r.Omega.nops in
+     add "ordering"
+       (Certify.check_ordering
+          [ ("optimal", nops opt.Optimal.best); ("list", nops list_r) ]);
+     add "ordering"
+       (Certify.check_ordering
+          [ ("optimal-multi", nops multi.Optimal.best); ("list", nops list_r) ]);
+     add "ordering"
+       (Certify.check_ordering
+          [ ("windowed", nops win.Windowed.best); ("list", nops list_r) ]);
+     (* A completed search is provably optimal: no other scheduler may
+        beat it.  (Windowed vs greedy/gross is unordered — both are
+        heuristics — so only optimal-vs-each is checked.) *)
+     if opt.Optimal.stats.Optimal.completed then
+       List.iter
+         (fun other ->
+           add "ordering"
+             (Certify.check_ordering
+                [ ("optimal", nops opt.Optimal.best); other ]))
+         [ ("windowed", nops win.Windowed.best);
+           ("greedy", nops greedy_r);
+           ("gross", nops gross_r) ]
+   with exn ->
+     add "scheduler crash"
+       [ Certify.Check_crashed { what = Printexc.to_string exn } ]);
+  List.rev !violations
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking: greedily drop whole instructions (references to the
+   dropped value become the constant 1), then individual reference
+   edges, as long as the case keeps failing.  Both steps strictly
+   decrease (length, reference count), so the loop terminates. *)
+
+let cut_ref id op =
+  match op with Operand.Ref id' when id' = id -> Operand.Imm 1 | _ -> op
+
+let drop_instruction blk i =
+  let tus = Array.to_list (Block.tuples blk) in
+  let victim = List.nth tus i in
+  let rest = List.filteri (fun j _ -> j <> i) tus in
+  let rewired =
+    List.map
+      (fun (tu : Tuple.t) ->
+        Tuple.make ~id:tu.id tu.op (cut_ref victim.Tuple.id tu.a)
+          (cut_ref victim.Tuple.id tu.b))
+      rest
+  in
+  match Block.of_tuples rewired with Ok b -> Some b | Error _ -> None
+
+let drop_edges blk i =
+  (* Every single-edge cut of instruction [i] (left and/or right). *)
+  let tus = Array.to_list (Block.tuples blk) in
+  let tu = List.nth tus i in
+  let variants =
+    (match tu.Tuple.a with
+     | Operand.Ref _ -> [ { tu with Tuple.a = Operand.Imm 1 } ]
+     | _ -> [])
+    @
+    match tu.Tuple.b with
+    | Operand.Ref _ -> [ { tu with Tuple.b = Operand.Imm 1 } ]
+    | _ -> []
+  in
+  List.filter_map
+    (fun tu' ->
+      match
+        Block.of_tuples
+          (List.mapi (fun j old -> if j = i then tu' else old) tus)
+      with
+      | Ok b -> Some b
+      | Error _ -> None)
+    variants
+
+let shrink ~lambda machine blk =
+  let fails b = run_case ~lambda machine b <> [] in
+  let rec go blk =
+    let n = Block.length blk in
+    let drops =
+      List.filter_map (drop_instruction blk) (List.init n Fun.id)
+    in
+    match List.find_opt fails drops with
+    | Some smaller -> go smaller
+    | None -> (
+      let cuts = List.concat_map (drop_edges blk) (List.init n Fun.id) in
+      match List.find_opt fails cuts with
+      | Some smaller -> go smaller
+      | None -> blk)
+  in
+  go blk
+
+(* ------------------------------------------------------------------ *)
+(* Repro files (hand-rolled JSON, as in bench/main.ml).               *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_repro ~dir ~master_seed ~case ~case_seed machine blk shrunk
+    violations =
+  let path = Filename.concat dir (Printf.sprintf "fuzz-repro-%d.json" case_seed) in
+  let oc = open_out path in
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": 1,\n";
+  p "  \"master_seed\": %d,\n" master_seed;
+  p "  \"case\": %d,\n" case;
+  p "  \"case_seed\": %d,\n" case_seed;
+  p "  \"machine\": \"%s\",\n" (json_escape (Machine.to_text machine));
+  p "  \"block\": \"%s\",\n" (json_escape (Block.to_string blk));
+  p "  \"shrunk_block\": \"%s\",\n" (json_escape (Block.to_string shrunk));
+  p "  \"violations\": [\n";
+  List.iteri
+    (fun i (label, msg) ->
+      p "    { \"scheduler\": \"%s\", \"message\": \"%s\" }%s\n"
+        (json_escape label) (json_escape msg)
+        (if i = List.length violations - 1 then "" else ","))
+    violations;
+  p "  ]\n";
+  p "}\n";
+  close_out oc;
+  path
+
+(* ------------------------------------------------------------------ *)
+
+let run seed cases lambda out =
+  let master = Rng.create seed in
+  (* Pre-draw per-case seeds so a repro depends only on its case seed,
+     not on how many cases ran before it. *)
+  let case_seeds = Array.init cases (fun _ -> Rng.bits master) in
+  let failures = ref 0 in
+  Array.iteri
+    (fun case case_seed ->
+      let rng = Rng.create case_seed in
+      let machine = Generator.random_machine rng in
+      let params =
+        { Generator.statements = 2 + Rng.int rng 10;
+          variables = 2 + Rng.int rng 5;
+          constants = 1 + Rng.int rng 3 }
+      in
+      let blk = Generator.block rng params in
+      match run_case ~lambda machine blk with
+      | [] -> ()
+      | violations ->
+        incr failures;
+        let shrunk = shrink ~lambda machine blk in
+        let shrunk_violations = run_case ~lambda machine shrunk in
+        let reported =
+          if shrunk_violations = [] then violations else shrunk_violations
+        in
+        let path =
+          write_repro ~dir:out ~master_seed:seed ~case ~case_seed machine
+            blk shrunk reported
+        in
+        Printf.printf "case %d/%d (seed %d): FAILED, %d violation(s), repro %s\n%!"
+          (case + 1) cases case_seed
+          (List.length reported) path;
+        List.iter
+          (fun (label, msg) -> Printf.printf "  [%s] %s\n%!" label msg)
+          reported)
+    case_seeds;
+  if !failures = 0 then begin
+    Printf.printf "fuzz: %d cases clean (seed %d, lambda %d)\n" cases seed
+      lambda;
+    0
+  end
+  else begin
+    Printf.printf "fuzz: %d of %d cases FAILED (seed %d)\n" !failures cases
+      seed;
+    1
+  end
+
+open Cmdliner
+
+let seed =
+  Arg.(
+    value & opt int 1990
+    & info [ "seed" ] ~doc:"Master seed; per-case seeds derive from it.")
+
+let cases =
+  Arg.(value & opt int 500 & info [ "cases"; "n" ] ~doc:"Cases to run.")
+
+let lambda =
+  Arg.(
+    value & opt int 10_000
+    & info [ "lambda" ] ~doc:"Curtail point per search (max Omega calls).")
+
+let out =
+  Arg.(
+    value & opt string "."
+    & info [ "out" ] ~doc:"Directory for fuzz-repro-<seed>.json files.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pipesched-fuzz"
+       ~doc:
+         "differentially fuzz every scheduler against the independent \
+          certifier")
+    Term.(const run $ seed $ cases $ lambda $ out)
+
+let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,17 @@ open Pipesched_core
 module Budget = Pipesched_prelude.Budget
 module Frontend = Pipesched_frontend
 module Regalloc = Pipesched_regalloc
+module Certify = Pipesched_verify.Certify
+
+(* Print certification violations and fail, or stay silent. *)
+let enforce_certified label violations =
+  if not (Certify.certified violations) then begin
+    Format.eprintf "certification FAILED (%s):@." label;
+    List.iter
+      (fun v -> Format.eprintf "  %s@." (Certify.explain v))
+      violations;
+    exit 1
+  end
 
 type scheduler = Optimal_s | Optimal_multi | List_s | Greedy | Gross | Source
 
@@ -55,7 +66,7 @@ let read_input file expr =
   | Some f, _ -> In_channel.with_open_text f In_channel.input_all
 
 let run file expr machine machine_file sched lambda deadline_ms no_memo
-    memo_capacity registers optimize tuples_in show_tuples show_asm
+    memo_capacity registers optimize tuples_in certify show_tuples show_asm
     show_tables show_timeline show_dot show_explain =
   try
     let options =
@@ -78,8 +89,18 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
         | Ok m -> m
         | Error (line, msg) ->
           Format.eprintf "%s:%d: %s@." path line msg;
-          exit 1)
+          exit 2)
     in
+    (match Machine.validate machine with
+     | [] -> ()
+     | diagnostics ->
+       Format.eprintf "invalid machine description %S:@."
+         (Machine.name machine);
+       List.iter
+         (fun d ->
+           Format.eprintf "  %s@." (Machine.diagnostic_to_string d))
+         diagnostics;
+       exit 2);
     let src = read_input file expr in
     if tuples_in then begin
       (* Input is tuple-block text (e.g. from pipesched-synthgen). *)
@@ -90,6 +111,18 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
       | Ok blk ->
         let dag = Dag.of_block blk in
         let o = Optimal.schedule ~options machine dag in
+        if certify then begin
+          (* Hand-written tuple blocks need not be interpretable, so the
+             semantic check is reserved for frontend-compiled input. *)
+          enforce_certified "optimal result"
+            (Certify.check machine blk o.Optimal.best);
+          enforce_certified "initial list schedule"
+            (Certify.check machine blk o.Optimal.initial);
+          enforce_certified "optimal <= list"
+            (Certify.check_ordering
+               [ ("optimal", o.Optimal.best.Omega.nops);
+                 ("list", o.Optimal.initial.Omega.nops) ])
+        end;
         Format.printf
           "%d instructions: list %d NOPs, optimal %d NOPs (%s)@."
           (Block.length blk) o.Optimal.initial.Omega.nops
@@ -134,16 +167,20 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
       Format.printf "%s: %d instructions, %d NOPs@." label
         (Array.length r.Omega.order) r.Omega.nops
     in
-    let result =
+    let result, ordering =
       match sched with
       | Source ->
-        Omega.evaluate machine dag
-          ~order:(Omega.identity_order (Block.length blk))
+        ( Omega.evaluate machine dag
+            ~order:(Omega.identity_order (Block.length blk)),
+          [] )
       | List_s ->
-        Omega.evaluate machine dag
-          ~order:(List_sched.schedule List_sched.Max_distance dag)
-      | Greedy -> Omega.evaluate machine dag ~order:(Baselines.greedy machine dag)
-      | Gross -> Omega.evaluate machine dag ~order:(Baselines.gross machine dag)
+        ( Omega.evaluate machine dag
+            ~order:(List_sched.schedule List_sched.Max_distance dag),
+          [] )
+      | Greedy ->
+        (Omega.evaluate machine dag ~order:(Baselines.greedy machine dag), [])
+      | Gross ->
+        (Omega.evaluate machine dag ~order:(Baselines.gross machine dag), [])
       | Optimal_s ->
         let o = Optimal.schedule ~options machine dag in
         describe "initial (list) schedule" o.Optimal.initial;
@@ -156,7 +193,9 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
            | s ->
              Printf.sprintf "curtailed: %s (possibly suboptimal)"
                (Budget.status_to_string s));
-        o.Optimal.best
+        ( o.Optimal.best,
+          [ ("optimal", o.Optimal.best.Omega.nops);
+            ("list", o.Optimal.initial.Omega.nops) ] )
       | Optimal_multi ->
         let o, _choice = Optimal.schedule_multi ~options machine dag in
         describe "initial (list) schedule" o.Optimal.initial;
@@ -168,9 +207,19 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
            | s ->
              Printf.sprintf "curtailed: %s (possibly suboptimal)"
                (Budget.status_to_string s));
-        o.Optimal.best
+        ( o.Optimal.best,
+          [ ("optimal-multi", o.Optimal.best.Omega.nops);
+            ("list", o.Optimal.initial.Omega.nops) ] )
     in
     describe "final schedule" result;
+    if certify then begin
+      enforce_certified "schedule constraints"
+        (Certify.check machine blk result);
+      enforce_certified "scheduler ordering" (Certify.check_ordering ordering);
+      enforce_certified "semantic equivalence"
+        (Certify.check_semantics blk ~order:result.Omega.order);
+      Format.printf "certified: constraints, ordering, semantics@."
+    end;
     if show_explain then begin
       let text = Omega.explain_to_string machine dag result in
       if text = "" then Format.printf "no stalls to explain@."
@@ -296,6 +345,17 @@ let optimize =
     value & opt bool true
     & info [ "optimize" ] ~doc:"Run front-end optimizations.")
 
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Re-check the final schedule with the independent certifier \
+           (dependence, conflict and legality constraints; claimed NOP \
+           counts; scheduler-quality ordering; semantic equivalence for \
+           compiled source).  Any violation is printed and the exit \
+           status is 1.")
+
 let show_tuples =
   Arg.(value & flag & info [ "tuples" ] ~doc:"Print the tuple IR.")
 
@@ -328,7 +388,7 @@ let cmd =
     Term.(
       const run $ file $ expr $ machine $ machine_file $ sched $ lambda
       $ deadline_ms $ no_memo $ memo_capacity $ registers $ optimize
-      $ tuples_in $ show_tuples $ show_asm $ show_tables $ show_timeline
-      $ show_dot $ show_explain)
+      $ tuples_in $ certify $ show_tuples $ show_asm $ show_tables
+      $ show_timeline $ show_dot $ show_explain)
 
 let () = exit (Cmd.eval' cmd)

@@ -59,36 +59,43 @@ let run_block blk ~env =
     Hashtbl.replace touched v ();
     Hashtbl.replace mem v x
   in
-  let operand = function
+  (* Errors carry the instruction index and the offending tuple, so a
+     failure inside generated or fuzzed code is actionable. *)
+  let malformed what i tu =
+    invalid_arg
+      (Printf.sprintf "Interp.run_block: %s at instruction %d [%s]" what i
+         (Tuple.to_string tu))
+  in
+  let operand i (tu : Tuple.t) = function
     | Operand.Imm n -> n
     | Operand.Ref id -> (
       match Hashtbl.find_opt values id with
       | Some x -> x
-      | None -> invalid_arg "Interp.run_block: dangling reference")
-    | Operand.Var _ | Operand.Null ->
-      invalid_arg "Interp.run_block: non-value operand"
+      | None ->
+        malformed (Printf.sprintf "dangling reference t%d" id) i tu)
+    | Operand.Var _ | Operand.Null -> malformed "non-value operand" i tu
   in
-  Array.iter
-    (fun (tu : Tuple.t) ->
+  Array.iteri
+    (fun i (tu : Tuple.t) ->
       match tu.op with
       | Op.Const -> (
         match tu.a with
         | Operand.Imm n -> Hashtbl.replace values tu.id n
-        | _ -> invalid_arg "Interp.run_block: malformed Const")
+        | _ -> malformed "malformed Const" i tu)
       | Op.Load -> (
         match tu.a with
         | Operand.Var v -> Hashtbl.replace values tu.id (read v)
-        | _ -> invalid_arg "Interp.run_block: malformed Load")
+        | _ -> malformed "malformed Load" i tu)
       | Op.Store -> (
         match tu.a with
-        | Operand.Var v -> write v (operand tu.b)
-        | _ -> invalid_arg "Interp.run_block: malformed Store")
+        | Operand.Var v -> write v (operand i tu tu.b)
+        | _ -> malformed "malformed Store" i tu)
       | Op.Mov | Op.Neg ->
-        Hashtbl.replace values tu.id (Op.eval1 tu.op (operand tu.a))
+        Hashtbl.replace values tu.id (Op.eval1 tu.op (operand i tu tu.a))
       | Op.Add | Op.Sub | Op.Mul | Op.Div | Op.Mod | Op.And | Op.Or
       | Op.Xor | Op.Shl | Op.Shr ->
         Hashtbl.replace values tu.id
-          (Op.eval2 tu.op (operand tu.a) (operand tu.b)))
+          (Op.eval2 tu.op (operand i tu tu.a) (operand i tu tu.b)))
     (Block.tuples blk);
   Hashtbl.fold (fun v () acc -> (v, read v) :: acc) touched []
   |> List.sort compare

@@ -6,21 +6,21 @@ module Rng = Pipesched_prelude.Rng
 module Generator = Pipesched_synth.Generator
 module Frequency = Pipesched_synth.Frequency
 
-type study = Study.record list
+type study = Study.result list
 
 let machine = Machine.Presets.simulation
 
 let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
     ?(strong = false) ?(memo = Optimal.default_memo) ?deadline_s
-    ?block_deadline_s ?cancel ?jobs () =
+    ?block_deadline_s ?cancel ?jobs ?strict ?certify () =
   let options =
     { Optimal.default_options with
       Optimal.lambda;
       Optimal.strong_equivalence = strong;
       Optimal.memo = memo }
   in
-  Study.run ~options ?deadline_s ?block_deadline_s ?cancel ?jobs ~seed ~count
-    machine
+  Study.run ~options ?deadline_s ?block_deadline_s ?cancel ?jobs ?strict
+    ?certify ~seed ~count machine
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -32,7 +32,17 @@ let block_of_size rng target =
   let attempts = 4000 in
   let rec go i =
     if i >= attempts then
-      match !best with Some (_, b) -> b | None -> assert false
+      match !best with
+      | Some (_, b) -> b
+      | None ->
+        (* Unreachable — the first attempt always records a candidate —
+           but name the failing request instead of asserting, so a
+           future generator change surfaces as an actionable error. *)
+        invalid_arg
+          (Printf.sprintf
+             "Experiments.block_of_size: no synthetic block near %d \
+              instructions after %d attempts"
+             target attempts)
     else begin
       let p = Generator.sample_params rng in
       let blk = Generator.block rng p in
@@ -98,8 +108,9 @@ let print_table6 fmt =
 
 let print_table7 fmt study =
   let total = List.length study in
+  let failed = List.length (Study.failures study) in
   let completed, truncated =
-    List.partition (fun r -> r.Study.completed) study
+    List.partition (fun r -> r.Study.completed) (Study.records study)
   in
   let c = Study.aggregate ~total completed in
   let t = Study.aggregate ~total truncated in
@@ -147,6 +158,11 @@ let print_table7 fmt study =
       a.Study.n_curtailed_deadline a.Study.n_cancelled
   in
   row "Curtailed lam/ddl/cancel" (curtails c) (curtails t) "-" "-";
+  (* Fault isolation (extension): blocks whose search raised and were
+     contained as Failed results rather than killing the sweep.  Always
+     0 unless something is genuinely broken — the row is the evidence
+     that a long study did not silently drop work. *)
+  row "Failed (contained) blocks" (fint failed) "-" "-" "-";
   row "Avg. Search Time (s)"
     (Printf.sprintf "%.4f" c.Study.avg_time_s)
     (Printf.sprintf "%.4f" t.Study.avg_time_s)
@@ -157,7 +173,7 @@ let print_table7 fmt study =
 (* Figures: per-size series                                            *)
 
 let bucketed study =
-  Stats.group_by (fun r -> r.Study.size / 5 * 5) study
+  Stats.group_by (fun r -> r.Study.size / 5 * 5) (Study.records study)
 
 let claim fmt key =
   match List.assoc_opt key Paper.figure_claims with
@@ -201,12 +217,13 @@ let print_fig4 fmt study =
 let print_fig5 fmt study =
   Format.fprintf fmt "@.Figure 5: Distribution of Sample Block Sizes@.";
   claim fmt "fig5";
-  let sizes = List.map (fun r -> r.Study.size) study in
+  let recs = Study.records study in
+  let sizes = List.map (fun r -> r.Study.size) recs in
   let mean = Stats.mean (List.map float_of_int sizes) in
   Format.fprintf fmt "  mean size = %.2f (paper: 20.6)@." mean;
   List.iter
     (fun (b, count) ->
-      let bar = String.make (min 60 (count * 200 / List.length study)) '#' in
+      let bar = String.make (min 60 (count * 200 / List.length recs)) '#' in
       Format.fprintf fmt "  %3d-%3d %6d %s@." b (b + 4) count bar)
     (Stats.histogram ~bucket:5 sizes)
 
@@ -272,11 +289,13 @@ let print_machine_sweep ?(seed = 1991) ?(count = 1_000) ?jobs fmt =
   in
   List.iter
     (fun (name, m) ->
-      let records = Study.run ?jobs ~seed ~count m in
+      let records = Study.records (Study.run ?jobs ~seed ~count m) in
       let total = List.length records in
       let completed = List.filter (fun r -> r.Study.completed) records in
       let agg = Study.aggregate ~total records in
-      let ext = Study.run ~options:ext_options ?jobs ~seed ~count m in
+      let ext =
+        Study.records (Study.run ~options:ext_options ?jobs ~seed ~count m)
+      in
       let ext_completed = List.filter (fun r -> r.Study.completed) ext in
       Format.fprintf fmt "  %-12s %10.2f %12.2f %12.2f %12.1f %12.2f@." name
         (100.0 *. float_of_int (List.length completed) /. float_of_int total)
@@ -663,7 +682,7 @@ let print_dynamic_study ?(seed = 1994) ?(count = 120) fmt =
     schedulers
 
 let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
-    ?deadline_s ?block_deadline_s ?jobs ?study fmt =
+    ?deadline_s ?block_deadline_s ?jobs ?strict ?certify ?study fmt =
   Format.fprintf fmt
     "Reproduction: Nisar & Dietz, Optimal Code Scheduling for \
      Multiple-Pipeline Processors (1990)@.";
@@ -675,7 +694,7 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
     | Some s -> s
     | None ->
       run_study ~seed ~count ?lambda ?strong ?memo ?deadline_s
-        ?block_deadline_s ?jobs ()
+        ?block_deadline_s ?jobs ?strict ?certify ()
   in
   print_table7 fmt study;
   print_fig1 fmt study;

@@ -5,9 +5,11 @@
     [run_all] executes everything (EXPERIMENTS.md is produced from its
     output). *)
 
-(** Records from the main scheduling study, shared by Table 7 and
-    Figures 1 and 4-7. *)
-type study = Study.record list
+(** Per-block results from the main scheduling study, shared by Table 7
+    and Figures 1 and 4-7.  Fault-isolated: a block whose search raised
+    appears as a [Study.Failed] entry (counted by Table 7) instead of
+    killing the sweep. *)
+type study = Study.result list
 
 (** [run_study ~seed ~count ()] runs the §5.3 study (16,000 blocks in the
     paper) on the simulation machine.  [lambda] is the curtail point
@@ -21,12 +23,15 @@ type study = Study.record list
     incumbents — see Study.run); [cancel] is a shared cancellation
     token.  [jobs] sets the number of worker domains blocks are
     scheduled across; without deadlines, results are identical at any
-    job count (see Study.run). *)
+    job count (see Study.run).  [strict] disables per-block fault
+    containment (fail-fast); [certify] re-checks every schedule with the
+    independent certifier (see Study.run_block). *)
 val run_study :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float ->
   ?cancel:Pipesched_prelude.Budget.token -> ?jobs:int ->
+  ?strict:bool -> ?certify:bool ->
   unit -> study
 
 (** Table 1: search-space sizes for representative blocks (exhaustive vs
@@ -121,4 +126,5 @@ val run_all :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float -> ?jobs:int ->
+  ?strict:bool -> ?certify:bool ->
   ?study:study -> Format.formatter -> unit

@@ -5,6 +5,8 @@ module Rng = Pipesched_prelude.Rng
 module Budget = Pipesched_prelude.Budget
 module Pool = Pipesched_parallel.Pool
 
+module Certify = Pipesched_verify.Certify
+
 type record = {
   size : int;
   initial_nops : int;
@@ -17,15 +19,38 @@ type record = {
   time_s : float;
 }
 
+type failure = { exn : string; backtrace : string }
+type result = Scheduled of record | Failed of failure
+
+exception Certification_failed of string
+
+let records results =
+  List.filter_map (function Scheduled r -> Some r | Failed _ -> None) results
+
+let failures results =
+  List.filter_map (function Failed f -> Some f | Scheduled _ -> None) results
+
 let default_options = { Optimal.default_options with Optimal.lambda = 50_000 }
 
 let now () = Unix.gettimeofday ()
 
-let run_block ?(options = default_options) machine blk =
+let certify_outcome machine blk (outcome : Optimal.outcome) =
+  let violations =
+    Certify.check machine blk outcome.Optimal.best
+    @ Certify.check_ordering
+        [ ("optimal", outcome.Optimal.best.Omega.nops);
+          ("list", outcome.Optimal.initial.Omega.nops) ]
+    @ Certify.check_semantics blk ~order:outcome.Optimal.best.Omega.order
+  in
+  if violations <> [] then
+    raise (Certification_failed (Certify.explain_all violations))
+
+let run_block ?(options = default_options) ?(certify = false) machine blk =
   let dag = Dag.of_block blk in
   let t0 = now () in
   let outcome = Optimal.schedule ~options machine dag in
   let t1 = now () in
+  if certify then certify_outcome machine blk outcome;
   {
     size = Block.length blk;
     initial_nops = outcome.Optimal.initial.Omega.nops;
@@ -54,8 +79,23 @@ let run_block ?(options = default_options) machine blk =
    [status] and its (legal) incumbent's NOP count.  The clock is only
    consulted when one of the deadlines is set, so deadline-free studies
    keep the bit-for-bit determinism contract. *)
+(* The fault-containment boundary shared by every corpus-shaped driver:
+   non-strict, one item raising becomes one [Failed] entry (exception
+   text + backtrace) and every other item still runs, in order; strict
+   restores fail-fast (the first exception tears the whole map down).
+   Containment happens per item inside the pool, so a deterministic
+   workload fails identically at any job count. *)
+let run_protected ?(strict = false) ?jobs f xs =
+  if strict then Pool.parallel_map ?jobs (fun x -> Scheduled (f x)) xs
+  else
+    List.map
+      (function
+        | Ok r -> Scheduled r
+        | Error { Pool.exn; backtrace } -> Failed { exn; backtrace })
+      (Pool.parallel_map_result ?jobs f xs)
+
 let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
-    ?freq ?jobs ~seed ~count machine =
+    ?freq ?jobs ?strict ?certify ~seed ~count machine =
   let rng = Rng.create seed in
   let seeds = Array.make (max count 1) 0 in
   for i = 0 to count - 1 do
@@ -83,14 +123,14 @@ let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
       in
       { options with Optimal.deadline_s = eff; cancel }
   in
-  Pool.parallel_map ?jobs
+  run_protected ?strict ?jobs
     (fun block_seed ->
       let rng = Rng.create block_seed in
       let blk =
         Pipesched_synth.Generator.block ?freq rng
           (Pipesched_synth.Generator.sample_params rng)
       in
-      run_block ~options:(options_for_block ()) machine blk)
+      run_block ~options:(options_for_block ()) ?certify machine blk)
     (Array.to_list (Array.sub seeds 0 count))
 
 type aggregate = {

@@ -24,8 +24,44 @@ type record = {
   time_s : float;           (** wall-clock seconds for the search *)
 }
 
-(** [run_block ?options machine blk] schedules one block and records it. *)
-val run_block : ?options:Optimal.options -> Machine.t -> Block.t -> record
+(** One contained per-block fault: the exception text and the backtrace
+    captured in the worker that hit it. *)
+type failure = { exn : string; backtrace : string }
+
+(** One block's fate in a fault-isolated study: a record, or the
+    contained failure that replaced it. *)
+type result = Scheduled of record | Failed of failure
+
+(** Raised by {!run_block} when [certify] is set and the independent
+    certifier ({!Pipesched_verify.Certify}) rejects the schedule; the
+    payload is the violation explanations, one per line.  Inside
+    {!run}'s non-strict mode this is contained into a {!Failed} entry
+    like any other per-block exception. *)
+exception Certification_failed of string
+
+(** The [Scheduled] records of a result list, in order. *)
+val records : result list -> record list
+
+(** The [Failed] entries of a result list, in order. *)
+val failures : result list -> failure list
+
+(** [run_block ?options ?certify machine blk] schedules one block and
+    records it.  With [certify] (default false), the best schedule is
+    re-checked by the independent certifier — machine-model replay,
+    optimal-vs-list NOP ordering, and interpreter semantics on the
+    reordered block — and {!Certification_failed} is raised on any
+    violation. *)
+val run_block :
+  ?options:Optimal.options -> ?certify:bool -> Machine.t -> Block.t -> record
+
+(** [run_protected ?strict ?jobs f xs] is the study's fault-containment
+    boundary, exposed for corpus-shaped drivers and tests: maps [f] over
+    [xs] across [jobs] domains; by default an item that raises becomes
+    one [Failed] entry (exception + backtrace) and the rest of the
+    corpus still runs, in input order.  [strict] restores fail-fast: the
+    first exception propagates to the caller. *)
+val run_protected :
+  ?strict:bool -> ?jobs:int -> ('a -> record) -> 'a list -> result list
 
 (** [run ?options ?deadline_s ?block_deadline_s ?cancel ?freq ?jobs ~seed
     ~count machine] generates [count] blocks with the paper's size mix
@@ -49,6 +85,12 @@ val run_block : ?options:Optimal.options -> Machine.t -> Block.t -> record
     consulted and the determinism contract above holds bit-for-bit;
     with a deadline, which blocks get curtailed depends on wall time.
 
+    Fault isolation: a raise inside one block's generation, search or
+    certification becomes one [Failed] entry and the study continues
+    ({!run_protected}); [strict] (default false) restores fail-fast.
+    [certify] runs the independent certifier on every block's result
+    (see {!run_block}).
+
     The default [options] use [lambda = 50_000] (large relative to a
     typical complete search, per §5.3). *)
 val run :
@@ -58,10 +100,12 @@ val run :
   ?cancel:Pipesched_prelude.Budget.token ->
   ?freq:Pipesched_synth.Frequency.t ->
   ?jobs:int ->
+  ?strict:bool ->
+  ?certify:bool ->
   seed:int ->
   count:int ->
   Machine.t ->
-  record list
+  result list
 
 (** Aggregates of a record sub-population (one Table 7 column). *)
 type aggregate = {

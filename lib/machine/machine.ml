@@ -39,6 +39,51 @@ let latency m op =
   | None -> 1
   | Some pid -> (pipe m pid).Pipe.latency
 
+type diagnostic =
+  | No_pipes
+  | Bad_latency of { pipe : int; label : string; latency : int }
+  | Bad_enqueue of { pipe : int; label : string; enqueue : int }
+  | No_candidates of { op : Op.t }
+  | Duplicate_candidate of { op : Op.t; pipe : int }
+
+let diagnostic_to_string = function
+  | No_pipes -> "machine has no pipelines"
+  | Bad_latency { pipe; label; latency } ->
+    Printf.sprintf "pipe %d (%s): non-positive latency %d" pipe label latency
+  | Bad_enqueue { pipe; label; enqueue } ->
+    Printf.sprintf "pipe %d (%s): non-positive enqueue %d" pipe label enqueue
+  | No_candidates { op } ->
+    Printf.sprintf
+      "operation %s is mapped to an empty pipeline set (drop the line to \
+       make it resource-free)"
+      (Op.to_string op)
+  | Duplicate_candidate { op; pipe } ->
+    Printf.sprintf "operation %s lists pipe %d more than once"
+      (Op.to_string op) pipe
+
+let validate m =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  if Array.length m.pipes = 0 then add No_pipes;
+  Array.iteri
+    (fun pid (p : Pipe.t) ->
+      if p.Pipe.latency <= 0 then
+        add (Bad_latency { pipe = pid; label = p.Pipe.label; latency = p.Pipe.latency });
+      if p.Pipe.enqueue <= 0 then
+        add (Bad_enqueue { pipe = pid; label = p.Pipe.label; enqueue = p.Pipe.enqueue }))
+    m.pipes;
+  List.iter
+    (fun (op, pids) ->
+      if pids = [] then add (No_candidates { op });
+      let seen = Hashtbl.create 4 in
+      List.iter
+        (fun pid ->
+          if Hashtbl.mem seen pid then add (Duplicate_candidate { op; pipe = pid })
+          else Hashtbl.replace seen pid ())
+        pids)
+    m.table;
+  List.rev !diags
+
 module Presets = struct
   let simulation =
     make ~name:"simulation"

@@ -42,6 +42,35 @@ val default_pipe : t -> Op.t -> int option
     operations). *)
 val latency : t -> Op.t -> int
 
+(** {2 Validation}
+
+    Structured validation of machine descriptions, for surfacing
+    description mistakes as CLI diagnostics (exit code 2) instead of a
+    crash — or a silent misinterpretation — deep inside the search.
+    {!make} already rejects out-of-range pipe indices and duplicate
+    [assign] keys by raising; {!validate} covers the cases [make]
+    accepts but that almost certainly indicate a broken description. *)
+
+type diagnostic =
+  | No_pipes  (** the pipeline table is empty *)
+  | Bad_latency of { pipe : int; label : string; latency : int }
+      (** defensive: unreachable through {!Pipe.make} *)
+  | Bad_enqueue of { pipe : int; label : string; enqueue : int }
+      (** defensive: unreachable through {!Pipe.make} *)
+  | No_candidates of { op : Op.t }
+      (** an operation explicitly mapped to the {e empty} pipe set —
+          legal (resource-free) but a likely typo in a description file,
+          since omitting the op entirely means the same thing *)
+  | Duplicate_candidate of { op : Op.t; pipe : int }
+      (** the same pipe id listed twice for one operation *)
+
+(** Human-readable one-line rendering of a diagnostic. *)
+val diagnostic_to_string : diagnostic -> string
+
+(** [validate m] returns every diagnostic for the description ([[]] =
+    clean).  Never raises. *)
+val validate : t -> diagnostic list
+
 (** {2 Presets} *)
 
 module Presets : sig

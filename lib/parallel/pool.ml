@@ -110,3 +110,17 @@ let parallel_map ?jobs ?chunk ?cancel f xs =
 
 let map_reduce ?jobs ?chunk ?cancel ~map ~reduce ~init xs =
   List.fold_left reduce init (parallel_map ?jobs ?chunk ?cancel map xs)
+
+type failure = { exn : string; backtrace : string }
+
+let parallel_map_result ?jobs ?chunk ?cancel f xs =
+  parallel_map ?jobs ?chunk ?cancel
+    (fun x ->
+      match f x with
+      | y -> Ok y
+      | exception exn ->
+        let backtrace =
+          Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+        in
+        Error { exn = Printexc.to_string exn; backtrace })
+    xs

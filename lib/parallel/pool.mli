@@ -63,6 +63,27 @@ val parallel_map :
   'a list ->
   'b list
 
+(** One contained per-item failure: the exception rendered with
+    [Printexc.to_string] plus the backtrace captured in the worker (empty
+    when backtrace recording is off). *)
+type failure = { exn : string; backtrace : string }
+
+(** [parallel_map_result ?jobs ?chunk ?cancel f xs] is {!parallel_map}
+    with per-item fault containment: an application of [f] that raises
+    yields [Error failure] for that item instead of tearing down the
+    whole map, and every other item still runs.  Results stay in input
+    order, so the determinism contract is preserved — a deterministic
+    [f] fails (or succeeds) identically at any job count.  [cancel]
+    still aborts the map as a whole via {!Cancelled} (cancellation is a
+    caller decision, not an item fault). *)
+val parallel_map_result :
+  ?jobs:int ->
+  ?chunk:int ->
+  ?cancel:Pipesched_prelude.Budget.token ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, failure) result list
+
 (** [map_reduce ?jobs ?chunk ?cancel ~map ~reduce ~init xs] maps in
     parallel, then folds the mapped results {e in input order} with
     [reduce], starting from [init].  Deterministic for any [reduce],

@@ -11,6 +11,7 @@
        extensions.}
     {- {!Liveness}, {!Alloc}, {!Codegen}, {!Asm} — the back end.}
     {- {!Frequency}, {!Generator} — synthetic benchmarks.}
+    {- {!Certify} — the independent schedule certifier (trust boundary).}
     {- {!Cfg}, {!Lower}, {!Cfg_schedule}, {!Emit} — whole programs.}
     {- {!Stats}, {!Study}, {!Experiments}, {!Ablation}, {!Paper} — the
        reproduction harness.}} *)
@@ -54,6 +55,8 @@ module Asm = Pipesched_regalloc.Asm
 
 module Frequency = Pipesched_synth.Frequency
 module Generator = Pipesched_synth.Generator
+
+module Certify = Pipesched_verify.Certify
 
 module Cfg = Pipesched_cflow.Cfg
 module Lower = Pipesched_cflow.Lower

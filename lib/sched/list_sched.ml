@@ -51,7 +51,50 @@ let schedule heuristic dag =
          && (!best = -1 || prio.(i) >= prio.(!best))
       then best := i
     done;
-    if !best = -1 then invalid_arg "List_sched.schedule: cyclic DAG";
+    if !best = -1 then begin
+      (* Unemitted instructions remain but none is ready: every one of
+         them waits on another unemitted one, i.e. the dependence graph
+         has a cycle.  Walk unemitted-predecessor links until a node
+         repeats and report that cycle (by original position and tuple
+         id) so the offending input is identifiable. *)
+      let blk = Dag.block dag in
+      let name i = Printf.sprintf "%d(t%d)" i (Block.tuple_at blk i).Tuple.id in
+      let next i =
+        List.find_opt (fun u -> not emitted.(u)) (Dag.preds dag i)
+      in
+      let start =
+        let s = ref (-1) in
+        for i = n - 1 downto 0 do
+          if (not emitted.(i)) && next i <> None then s := i
+        done;
+        !s
+      in
+      let witness =
+        if start < 0 then "unavailable"
+        else begin
+          let rec chase seen i =
+            if List.mem i seen then
+              (* Drop the walk-in prefix: the cycle is the path from the
+                 first occurrence of [i] back to [i]. *)
+              let rec from_first = function
+                | [] -> []
+                | j :: rest -> if j = i then j :: rest else from_first rest
+              in
+              from_first (List.rev (i :: seen))
+            else
+              match next i with
+              | Some u -> chase (i :: seen) u
+              | None -> List.rev (i :: seen)
+          in
+          String.concat " -> " (List.map name (chase [] start))
+        end
+      in
+      invalid_arg
+        (Printf.sprintf
+           "List_sched.schedule: cyclic DAG — %d of %d instructions \
+            scheduled, no ready candidate; cycle witness: %s"
+           k n witness)
+    end;
     order.(k) <- !best;
     emitted.(!best) <- true;
     List.iter

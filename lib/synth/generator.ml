@@ -1,4 +1,5 @@
 open Pipesched_ir
+open Pipesched_machine
 open Pipesched_frontend
 module Rng = Pipesched_prelude.Rng
 
@@ -51,6 +52,33 @@ let sample_params rng =
 
 let batch ?freq rng ~count =
   List.init count (fun _ -> block ?freq rng (sample_params rng))
+
+let random_machine rng =
+  let pipe_count = 1 + Rng.int rng 4 in
+  let pipes =
+    Array.init pipe_count (fun i ->
+        Pipe.make
+          ~label:(Printf.sprintf "p%d" i)
+          ~latency:(1 + Rng.int rng 6)
+          ~enqueue:(1 + Rng.int rng 6))
+  in
+  (* Each candidate op either stays resource-free (skipped) or draws a
+     random non-empty subset of the pipelines. *)
+  let subset () =
+    let picked =
+      List.filter (fun _ -> Rng.bool rng) (List.init pipe_count Fun.id)
+    in
+    match picked with [] -> [ Rng.int rng pipe_count ] | _ -> picked
+  in
+  let assign =
+    List.filter_map
+      (fun op -> if Rng.int rng 3 = 0 then None else Some (op, subset ()))
+      [
+        Op.Load; Op.Store; Op.Mov; Op.Neg; Op.Add; Op.Sub; Op.Mul;
+        Op.Div; Op.Mod; Op.And; Op.Or; Op.Xor; Op.Shl; Op.Shr;
+      ]
+  in
+  Machine.make ~name:"fuzz" pipes ~assign
 
 let structured_program ?(freq = Frequency.default) rng p ~depth =
   validate p;

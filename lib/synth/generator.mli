@@ -8,6 +8,7 @@
     generation is deterministic per seed. *)
 
 open Pipesched_ir
+open Pipesched_machine
 open Pipesched_frontend
 module Rng = Pipesched_prelude.Rng
 
@@ -39,6 +40,12 @@ val sample_params : Rng.t -> params
     {!sample_params}-drawn parameters — the population used for the
     16,000-run study (Table 7, Figures 1 and 4-7). *)
 val batch : ?freq:Frequency.t -> Rng.t -> count:int -> Block.t list
+
+(** [random_machine rng] draws a random machine description for
+    differential testing: 1-4 pipelines with latencies and enqueue times
+    in 1..6, each operation either resource-free or mapped to a random
+    non-empty pipeline subset.  Always satisfies {!Machine.validate}. *)
+val random_machine : Rng.t -> Machine.t
 
 (** [structured_program ?freq rng p ~depth] is a random program {e with
     control flow} (for the whole-program extension): assignment statements

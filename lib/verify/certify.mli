@@ -1,0 +1,112 @@
+(** Independent schedule certification (the trust boundary; DESIGN §8).
+
+    The search machinery both {e chooses} and {e scores} NOP placement:
+    Omega inserts the padding and reports the count the branch-and-bound
+    minimizes.  Nothing inside that loop can catch a systematic modelling
+    bug — a wrong answer would be scored by the same wrong model.  This
+    module re-derives everything a finished schedule claims from first
+    principles, sharing {e no} timeline code with {!Pipesched_machine.Omega}:
+
+    - the dependence set is recomputed directly from the tuples (value
+      references and memory order), not taken from {!Pipesched_ir.Dag};
+    - issue ticks are replayed by a from-scratch simulator over the
+      machine description (per-pipe last-enqueue clocks, producer
+      availability times);
+    - for frontend-compiled blocks, the reordered block is executed by
+      the reference interpreter and compared against the original.
+
+    Every failure is a structured {!violation} carrying the evidence; no
+    function in this interface raises — internal surprises surface as
+    {!Check_crashed}. *)
+
+open Pipesched_ir
+open Pipesched_machine
+
+(** One certification failure.  All positions are {e original block
+    positions} unless a field is named [slot] (schedule position). *)
+type violation =
+  | Shape of { what : string; expected : int; got : int }
+      (** a result array has the wrong length for the block *)
+  | Not_permutation of { slot : int; pos : int }
+      (** [order.(slot) = pos] is out of range or a duplicate *)
+  | Illegal_pipe of { slot : int; pos : int; pipe : int }
+      (** the recorded pipeline is not a candidate for the op (or a pipe
+          was recorded for a resource-free op, or none for a piped op) *)
+  | Dependence_order of {
+      producer : int;
+      consumer : int;
+      producer_slot : int;
+      consumer_slot : int;
+    }  (** a consumer is scheduled before its producer *)
+  | Dependence_stall of {
+      producer : int;
+      consumer : int;
+      available : int;
+      issued : int;
+    }
+      (** the claimed issue tick violates the producer's pipe latency:
+          the consumer issued at [issued] but the producer's result is
+          only available at [available] *)
+  | Conflict_stall of {
+      pipe : int;
+      earlier : int;
+      later : int;
+      ready : int;
+      issued : int;
+    }
+      (** two instructions entered pipeline [pipe] closer together than
+          its enqueue time: [later] issued at [issued] but the pipe only
+          re-accepts at [ready] *)
+  | Issue_not_monotonic of { slot : int; prev : int; cur : int }
+      (** claimed issue ticks go backwards (or collide) between
+          consecutive slots *)
+  | Eta_mismatch of { slot : int; claimed : int; actual : int }
+      (** the claimed NOP count before this slot differs from the
+          replayed minimal one *)
+  | Nop_mismatch of { claimed : int; replayed : int }
+      (** the claimed total NOP count differs from the replayed total *)
+  | Ordering_violated of {
+      stronger : string;
+      stronger_nops : int;
+      weaker : string;
+      weaker_nops : int;
+    }
+      (** the invariant [stronger <= weaker] between two schedulers'
+          NOP counts does not hold (e.g. optimal > windowed) *)
+  | Semantics_diverged of { var : string; reference : int; scheduled : int }
+      (** the reordered block computes a different final value for [var] *)
+  | Check_crashed of { what : string }
+      (** a sub-check raised — reported as data, never re-raised *)
+
+(** Human-readable one-line explanation of a violation. *)
+val explain : violation -> string
+
+val pp : Format.formatter -> violation -> unit
+
+(** [check machine blk result] certifies one finished schedule of [blk]
+    against [machine]: shape, permutation validity, pipeline legality,
+    producer-before-consumer order, dependence (latency) and conflict
+    (enqueue) constraints on the claimed issue ticks, and agreement of
+    the claimed [eta]/[issue]/[nops] with an independent cold-start
+    replay.  [[]] means certified.  Never raises. *)
+val check : Machine.t -> Block.t -> Omega.result -> violation list
+
+(** [check_ordering pairs] checks the cross-scheduler invariant on a
+    best-first list of [(label, nops)] pairs: each entry must have no
+    more NOPs than every later one (e.g.
+    [[("optimal", o); ("windowed", w); ("list", l)]] demands
+    [o <= w <= l]).  Never raises. *)
+val check_ordering : (string * int) list -> violation list
+
+(** [check_semantics blk ~order] executes [blk] and its reordering under
+    deterministic environments (one per seed, default [[1; 2; 3]]) with
+    the reference interpreter and compares every touched variable.
+    Meaningful for frontend-compiled blocks; never raises (interpreter
+    or permutation failures become {!Check_crashed}). *)
+val check_semantics : ?seeds:int list -> Block.t -> order:int array -> violation list
+
+(** [certified vs] is [vs = []]. *)
+val certified : violation list -> bool
+
+(** All explanations, one per line. *)
+val explain_all : violation list -> string

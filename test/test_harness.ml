@@ -72,9 +72,13 @@ let test_run_block_record () =
 let test_study_deterministic_results () =
   (* Modulo wall-clock, two same-seed studies agree. *)
   let strip r = { r with Study.time_s = 0.0 } in
-  let a = List.map strip (Study.run ~seed:3 ~count:30 machine) in
-  let b = List.map strip (Study.run ~seed:3 ~count:30 machine) in
-  check bool_t "deterministic" true (a = b)
+  let study () =
+    let results = Study.run ~seed:3 ~count:30 machine in
+    check int_t "no contained failures" 0
+      (List.length (Study.failures results));
+    List.map strip (Study.records results)
+  in
+  check bool_t "deterministic" true (study () = study ())
 
 let test_aggregate () =
   let rec_ size initial final =

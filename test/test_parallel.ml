@@ -113,10 +113,11 @@ let test_cancel_untripped_token_is_free () =
 (* Determinism of the parallel study (the acceptance criterion)        *)
 
 let strip r = { r with Study.time_s = 0.0 }
+let stripped results = List.map strip (Study.records results)
 
 let test_study_jobs_1_vs_4 () =
-  let a = List.map strip (Study.run ~jobs:1 ~seed:1990 ~count:40 machine) in
-  let b = List.map strip (Study.run ~jobs:4 ~seed:1990 ~count:40 machine) in
+  let a = stripped (Study.run ~jobs:1 ~seed:1990 ~count:40 machine) in
+  let b = stripped (Study.run ~jobs:4 ~seed:1990 ~count:40 machine) in
   check int_t "record count" 40 (List.length a);
   check bool_t "jobs=1 equals jobs=4" true (a = b)
 
@@ -125,8 +126,8 @@ let study_jobs_invariance =
     QCheck2.Gen.(pair (int_bound 10_000) (int_range 1 8))
     (fun (seed, jobs) -> Printf.sprintf "seed=%d jobs=%d" seed jobs)
     (fun (seed, jobs) ->
-      let serial = List.map strip (Study.run ~jobs:1 ~seed ~count:12 machine) in
-      let par = List.map strip (Study.run ~jobs ~seed ~count:12 machine) in
+      let serial = stripped (Study.run ~jobs:1 ~seed ~count:12 machine) in
+      let par = stripped (Study.run ~jobs ~seed ~count:12 machine) in
       serial = par)
 
 (* ------------------------------------------------------------------ *)
