@@ -8,9 +8,14 @@ let sections =
     "heuristics"; "kernels"; "pressure"; "dynamic" ]
 
 let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
-    memo_capacity jobs strict certify only =
+    memo_capacity jobs search_jobs strict certify only =
   let count = if quick then min count 1_000 else count in
   let jobs = if jobs <= 0 then None else Some jobs in
+  let search_jobs =
+    Some
+      (Pipesched_parallel.Pool.resolve_search_jobs
+         (if search_jobs <= 0 then None else Some search_jobs))
+  in
   let to_s ms = Option.map (fun m -> float_of_int m /. 1000.0) ms in
   let deadline_s = to_s deadline_ms in
   let block_deadline_s = to_s block_deadline_ms in
@@ -23,7 +28,7 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
   (match only with
    | [] ->
      E.run_all ~seed ~count ~lambda ~strong ~memo ?deadline_s
-       ?block_deadline_s ?jobs ~strict ~certify fmt
+       ?block_deadline_s ?jobs ?search_jobs ~strict ~certify fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -36,7 +41,7 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
      let study =
        lazy
          (E.run_study ~seed ~count ~lambda ~strong ~memo ?deadline_s
-            ?block_deadline_s ?jobs ~strict ~certify ())
+            ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ())
      in
      List.iter
        (fun section ->
@@ -139,6 +144,21 @@ let jobs =
   in
   Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~doc)
 
+let search_jobs =
+  let doc =
+    "Worker domains $(i,inside each block's) branch-and-bound search \
+     (two-level scheme; 0 = auto: \\$(b,PIPESCHED_SEARCH_JOBS) or 1, the \
+     serial search).  The reported schedules and NOP counts are \
+     identical at any value; only wall-clock time and the exploration \
+     counters change."
+  in
+  Arg.(
+    value
+    & opt int 0
+    & info [ "search-jobs" ]
+        ~env:(Cmd.Env.info "PIPESCHED_SEARCH_JOBS")
+        ~doc)
+
 let strict =
   let doc =
     "Fail fast: let the first per-block exception in the main study kill \
@@ -171,6 +191,6 @@ let cmd =
     Term.(
       const run $ count $ seed $ quick $ lambda $ deadline_ms
       $ block_deadline_ms $ strong $ no_memo $ memo_capacity $ jobs
-      $ strict $ certify $ only)
+      $ search_jobs $ strict $ certify $ only)
 
 let () = exit (Cmd.eval' cmd)

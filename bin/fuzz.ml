@@ -15,14 +15,24 @@ module Certify = Pipesched_verify.Certify
 (* ------------------------------------------------------------------ *)
 (* One case: run every scheduler and collect labelled violations.      *)
 
-let run_case ~lambda machine blk =
+let run_case ~lambda ~search_jobs machine blk =
   let violations = ref [] in
   let add label vs =
     List.iter (fun v -> violations := (label, Certify.explain v) :: !violations) vs
   in
   (try
      let dag = Dag.of_block blk in
-     let options = { Optimal.default_options with Optimal.lambda } in
+     let options =
+       { Optimal.default_options with
+         Optimal.lambda;
+         Optimal.search_jobs;
+         (* Escalate early so the parallel machinery actually gets
+            fuzzed on moderately hard cases, not just pathological
+            ones. *)
+         Optimal.parallel_activation =
+           (if search_jobs > 1 then 64
+            else Optimal.default_options.Optimal.parallel_activation) }
+     in
      let certify label (r : Omega.result) =
        add label (Certify.check machine blk r);
        add (label ^ " semantics") (Certify.check_semantics blk ~order:r.Omega.order)
@@ -119,8 +129,8 @@ let drop_edges blk i =
       | Error _ -> None)
     variants
 
-let shrink ~lambda machine blk =
-  let fails b = run_case ~lambda machine b <> [] in
+let shrink ~lambda ~search_jobs machine blk =
+  let fails b = run_case ~lambda ~search_jobs machine b <> [] in
   let rec go blk =
     let n = Block.length blk in
     let drops =
@@ -181,7 +191,11 @@ let write_repro ~dir ~master_seed ~case ~case_seed machine blk shrunk
 
 (* ------------------------------------------------------------------ *)
 
-let run seed cases lambda out =
+let run seed cases lambda search_jobs out =
+  let search_jobs =
+    Pipesched_parallel.Pool.resolve_search_jobs
+      (if search_jobs <= 0 then None else Some search_jobs)
+  in
   let master = Rng.create seed in
   (* Pre-draw per-case seeds so a repro depends only on its case seed,
      not on how many cases ran before it. *)
@@ -197,12 +211,12 @@ let run seed cases lambda out =
           constants = 1 + Rng.int rng 3 }
       in
       let blk = Generator.block rng params in
-      match run_case ~lambda machine blk with
+      match run_case ~lambda ~search_jobs machine blk with
       | [] -> ()
       | violations ->
         incr failures;
-        let shrunk = shrink ~lambda machine blk in
-        let shrunk_violations = run_case ~lambda machine shrunk in
+        let shrunk = shrink ~lambda ~search_jobs machine blk in
+        let shrunk_violations = run_case ~lambda ~search_jobs machine shrunk in
         let reported =
           if shrunk_violations = [] then violations else shrunk_violations
         in
@@ -243,6 +257,17 @@ let lambda =
     value & opt int 10_000
     & info [ "lambda" ] ~doc:"Curtail point per search (max Omega calls).")
 
+let search_jobs =
+  Arg.(
+    value & opt int 0
+    & info [ "search-jobs" ]
+        ~env:(Cmd.Env.info "PIPESCHED_SEARCH_JOBS")
+        ~doc:
+          "Worker domains inside each optimal search (0 = auto: \
+           \\$(b,PIPESCHED_SEARCH_JOBS) or 1).  At > 1 the parallel \
+           branch-and-bound path is exercised (with an early escalation \
+           threshold) and its results certified like any other.")
+
 let out =
   Arg.(
     value & opt string "."
@@ -254,6 +279,6 @@ let cmd =
        ~doc:
          "differentially fuzz every scheduler against the independent \
           certifier")
-    Term.(const run $ seed $ cases $ lambda $ out)
+    Term.(const run $ seed $ cases $ lambda $ search_jobs $ out)
 
 let () = exit (Cmd.eval' cmd)

@@ -2,6 +2,9 @@ open Pipesched_ir
 open Pipesched_machine
 open Pipesched_sched
 module Budget = Pipesched_prelude.Budget
+module Incumbent = Pipesched_prelude.Incumbent
+module Memo_table = Pipesched_prelude.Memo_table
+module Pool = Pipesched_parallel.Pool
 
 type lower_bound = Partial_nops | Critical_path
 
@@ -21,6 +24,8 @@ type options = {
   alpha_beta : bool;
   lower_bound : lower_bound;
   memo : memo_options;
+  search_jobs : int;
+  parallel_activation : int;
 }
 
 let default_memo =
@@ -37,6 +42,8 @@ let default_options =
     alpha_beta = true;
     lower_bound = Partial_nops;
     memo = default_memo;
+    search_jobs = 1;
+    parallel_activation = 4_096;
   }
 
 type stats = {
@@ -68,7 +75,11 @@ type search_env = {
   preds : int array array;         (* Dag adjacency, flattened *)
   succs : int array array;
   is_free : bool array;
-  signature : (int * int array * int array) array;
+  (* Strong-equivalence class of each position, interned to a dense int
+     in [make_env] so the per-node tried-signature check is an int-array
+     probe instead of polymorphic hashing of array tuples. *)
+  signature : int array;
+  nsigs : int;
   (* Critical-path bound ingredients (admissible for any pipe choice). *)
   min_lat : int array;
   tail : int array;
@@ -86,7 +97,11 @@ type search_env = {
      allocation). *)
   sched_set : Pipesched_prelude.Bitset.t;
   fp : int array;
-  mutable memo_tbl : Pipesched_prelude.Memo_table.t option;
+  mutable memo_tbl : Memo_table.t option;
+  (* Where an activated table is parked between searches: a parallel
+     worker passes the same ref to every task's env, so the (cleared)
+     table allocation is reused instead of re-created per subtree. *)
+  memo_cache : Memo_table.t option ref;
   mutable memo_hits : int;
   mutable memo_misses : int;
   (* Critical-path-bound scratch, preallocated so the bound is not
@@ -96,6 +111,12 @@ type search_env = {
   cp_remaining : int array;
   cp_bound : int array;
   budget : Budget.t;
+  (* Parallel search: the shared incumbent's atomic bound and this
+     searcher's rank in the lexicographic task order ([-1] for the
+     serial probe; [None]/[-1] for a plain serial search, which then
+     behaves exactly as before). *)
+  inc_gate : Incumbent.gate option;
+  task_index : int;
   mutable omega_calls : int;
   mutable schedules_completed : int;
   mutable improvements : int;
@@ -104,8 +125,12 @@ type search_env = {
 
 (* [multi]: the search may choose among candidate pipelines, so only
    single-candidate operations may be charged to a pipe in the resource
-   bound; the single-pipe search pins every operation to its default. *)
-let make_env ?entry ?(multi = false) machine dag options =
+   bound; the single-pipe search pins every operation to its default.
+   [budget]/[memo_cache]/[gate]/[task_index] let the parallel driver give
+   each worker env a pool-carved budget, a reusable memo table slot, and
+   the shared incumbent; omitted, the env is a plain serial one. *)
+let make_env ?entry ?(multi = false) ?budget ?memo_cache ?gate
+    ?(task_index = -1) machine dag options =
   let n = Dag.length dag in
   let blk = Dag.block dag in
   let pipe_of pos =
@@ -140,6 +165,27 @@ let make_env ?entry ?(multi = false) machine dag options =
   let cand_order = List_sched.order_by_priority options.seed dag in
   let rank = Array.make n 0 in
   Array.iteri (fun r pos -> rank.(pos) <- r) cand_order;
+  (* Intern the strong-equivalence signatures — (pipe, preds, succs) —
+     to dense ints once at construction (polymorphic hashing is fine
+     here, off the search hot path), so the per-node check in [dfs]
+     probes an int matrix. *)
+  let sig_ids = Hashtbl.create (max n 1) in
+  let nsigs = ref 0 in
+  let signature =
+    Array.init n (fun pos ->
+        let key =
+          ( (match pipe_of pos with Some p -> p | None -> -1),
+            preds.(pos),
+            succs.(pos) )
+        in
+        match Hashtbl.find_opt sig_ids key with
+        | Some id -> id
+        | None ->
+          let id = !nsigs in
+          Hashtbl.add sig_ids key id;
+          incr nsigs;
+          id)
+  in
   let ready = Pipesched_prelude.Bitset.create (max n 1) in
   for pos = 0 to n - 1 do
     if Array.length preds.(pos) = 0 then
@@ -163,11 +209,8 @@ let make_env ?entry ?(multi = false) machine dag options =
           pipe_of pos = None
           && Array.length preds.(pos) = 0
           && Array.length succs.(pos) = 0);
-    signature =
-      Array.init n (fun pos ->
-          ( (match pipe_of pos with Some p -> p | None -> -1),
-            preds.(pos),
-            succs.(pos) ));
+    signature;
+    nsigs = !nsigs;
     min_lat;
     tail;
     forced_pipe;
@@ -176,18 +219,24 @@ let make_env ?entry ?(multi = false) machine dag options =
     sched_set = Pipesched_prelude.Bitset.create (max n 1);
     fp = Array.make (1 + Array.length pipe_enqueue + n) 0;
     memo_tbl = None;
+    memo_cache = (match memo_cache with Some r -> r | None -> ref None);
     memo_hits = 0;
     memo_misses = 0;
     cp_est = Array.make (max n 1) 0;
     cp_remaining = Array.make (max (Array.length pipe_enqueue) 1) 0;
     cp_bound = Array.make (n + 1) 0;
     budget =
-      Budget.start
-        {
-          Budget.calls = Some options.lambda;
-          deadline_s = options.deadline_s;
-          cancel = options.cancel;
-        };
+      (match budget with
+       | Some b -> b
+       | None ->
+         Budget.start
+           {
+             Budget.calls = Some options.lambda;
+             deadline_s = options.deadline_s;
+             cancel = options.cancel;
+           });
+    inc_gate = gate;
+    task_index;
     omega_calls = 0;
     schedules_completed = 0;
     improvements = 0;
@@ -306,11 +355,13 @@ let fingerprint env =
     let residual =
       if not (Omega.State.is_scheduled st v) then 0
       else begin
+        (* Plain loop, not [Array.iter]: runs per memoized node, and the
+           closure would be one heap allocation per position per call. *)
+        let succs = env.succs.(v) in
         let pending = ref false in
-        Array.iter
-          (fun s ->
-            if not (Omega.State.is_scheduled st s) then pending := true)
-          env.succs.(v);
+        for i = 0 to Array.length succs - 1 do
+          if not (Omega.State.is_scheduled st succs.(i)) then pending := true
+        done;
         if !pending then max 0 (Omega.State.avail_of st v - base) else 0
       end
     in
@@ -382,99 +433,167 @@ let maybe_activate_memo env options =
     && options.memo.memo_enabled
     && env.n > 1
     && env.omega_calls >= options.memo.memo_activation
-  then
-    env.memo_tbl <-
-      Some
-        (Pipesched_prelude.Memo_table.create
-           ~capacity:options.memo.memo_capacity
-           ~key_words:
-             (Array.length (Pipesched_prelude.Bitset.raw_words env.sched_set))
-           ~value_words:(Array.length env.fp))
+  then begin
+    let tbl =
+      match !(env.memo_cache) with
+      | Some tbl ->
+        (* Reuse the previous task's table; [clear] also resets its
+           entry/eviction counters, so per-env stats stay per-task. *)
+        Memo_table.clear tbl;
+        tbl
+      | None ->
+        let tbl =
+          Memo_table.create ~capacity:options.memo.memo_capacity
+            ~key_words:
+              (Array.length
+                 (Pipesched_prelude.Bitset.raw_words env.sched_set))
+            ~value_words:(Array.length env.fp)
+        in
+        env.memo_cache := Some tbl;
+        tbl
+    in
+    env.memo_tbl <- Some tbl
+  end
+
+(* Exclusive pruning limit: the tighter of this searcher's own best and
+   the shared incumbent's gate (when parallel).  Reading the gate is one
+   atomic load; staleness is sound — see Incumbent. *)
+let prune_limit env =
+  match env.inc_gate with
+  | None -> env.best_nops
+  | Some g ->
+    let s = Incumbent.limit g ~task:env.task_index in
+    if s < env.best_nops then s else env.best_nops
 
 (* The search skeleton.  [push_candidates f pos] must invoke [f] once per
    distinct way of scheduling [pos] next (once for the single-pipe search;
    once per non-symmetric candidate pipe for the multi-pipe search), with
-   the instruction pushed for the dynamic extent of the call. *)
-let dfs env options ~push_candidates ~on_complete =
+   the instruction pushed for the dynamic extent of the call.
+
+   [start_depth]: the caller has already replayed a prefix of that length
+   into the env (parallel subtree tasks); the search explores below it.
+   [stop = (d, record)]: instead of descending past depth [d], call
+   [record] with the prefix in place and backtrack — this enumerates the
+   depth-[d] frontier (with the equivalence prunings applied), which is
+   how the parallel driver builds its task set. *)
+let dfs ?(start_depth = 0) ?stop env options ~push_candidates ~on_complete =
   let module Bitset = Pipesched_prelude.Bitset in
   (* Per-depth scratch, allocated once per search: a snapshot buffer for
      the ready set (as ranks, so snapshots come out in priority order)
-     and, for the strong-equivalence pruning, a table of signatures
-     already expanded at this node.  Using [env.ready] incrementally
-     replaces the old O(n) scan of [cand_order] at every node with a
-     word-skipping walk over the ready positions only. *)
+     and, for the strong-equivalence pruning, a generation-stamped matrix
+     of signature classes already expanded at this node (int probes; the
+     signatures were interned in [make_env]).  Using [env.ready]
+     incrementally replaces the old O(n) scan of [cand_order] at every
+     node with a word-skipping walk over the ready positions only. *)
   let snapshot = Array.make_matrix (env.n + 1) (max env.n 1) 0 in
-  let sig_tbls = Array.init (env.n + 1) (fun _ -> Hashtbl.create 8) in
+  let sig_rows = if options.strong_equivalence then env.n + 1 else 1 in
+  let sig_seen = Array.make_matrix sig_rows (max env.nsigs 1) 0 in
+  let sig_gen = ref 0 in
+  let stop_depth, stop_record =
+    match stop with Some (d, f) -> (d, f) | None -> (-1, ignore)
+  in
+  (* Per-depth slots for the candidate being expanded plus one callback
+     closure per depth ([cbs], filled below): expanding a node allocates
+     nothing.  An inline callback would capture the loop variables and
+     cost one heap allocation per Omega call — enough to dominate minor
+     GC, which at [search_jobs > 1] means stop-the-world barriers across
+     every worker domain. *)
+  let cb_rank = Array.make (env.n + 1) 0 in
+  let cb_pos = Array.make (env.n + 1) 0 in
+  let cbs = Array.make (env.n + 1) ignore in
   let rec go depth =
     if depth = env.n then begin
       env.schedules_completed <- env.schedules_completed + 1;
-      if Omega.State.nops env.st < env.best_nops then begin
-        env.best_nops <- Omega.State.nops env.st;
+      let nops = Omega.State.nops env.st in
+      if
+        nops < env.best_nops
+        && (match env.inc_gate with
+           | None -> true
+           | Some g -> Incumbent.admits g ~nops ~task:env.task_index)
+      then begin
+        env.best_nops <- nops;
         env.improvements <- env.improvements + 1;
         on_complete ()
       end
     end
-    else if depth > 0 && memo_cut env then ()
+    else if depth = stop_depth then stop_record ()
+    else if depth > start_depth && memo_cut env then ()
     else begin
       (* The ready set is restored after each child, so this snapshot is
          exactly the set of positions the old full scan would accept. *)
       let buf = snapshot.(depth) in
       let count = Bitset.to_buffer env.ready buf in
       let tried_free = ref false in
-      let tried_sigs = sig_tbls.(depth) in
-      if options.strong_equivalence then Hashtbl.reset tried_sigs;
+      let node_gen =
+        if options.strong_equivalence then begin
+          incr sig_gen;
+          !sig_gen
+        end
+        else 0
+      in
       for i = 0 to count - 1 do
         let rk = buf.(i) in
         let pos = env.cand_order.(rk) in
         let skip =
           (options.equivalence && env.is_free.(pos) && !tried_free)
           || (options.strong_equivalence
-              && Hashtbl.mem tried_sigs env.signature.(pos))
+              && sig_seen.(depth).(env.signature.(pos)) = node_gen)
         in
         if not skip then begin
           if env.is_free.(pos) then tried_free := true;
           if options.strong_equivalence then
-            Hashtbl.replace tried_sigs env.signature.(pos) ();
-          push_candidates pos (fun () ->
-              (* [pos] is pushed for the extent of this callback: drop it
-                 from the ready set (and add it to the scheduled-set key)
-                 and admit any successor whose last unscheduled
-                 predecessor it was, then undo. *)
-              Bitset.remove env.ready rk;
-              Bitset.add env.sched_set pos;
-              Array.iter
-                (fun s ->
-                  if Omega.State.is_ready env.st s then
-                    Bitset.add env.ready env.rank.(s))
-                env.succs.(pos);
-              (if not options.alpha_beta then go (depth + 1)
-               else begin
-                 (* The parent's bound is an admissible floor for every
-                    child (completions below a child are a subset of
-                    those below the parent), so when the incumbent has
-                    improved past it since the parent was expanded, all
-                    remaining siblings fail without recomputation. *)
-                 let parent_bound = env.cp_bound.(depth) in
-                 if parent_bound < env.best_nops then begin
-                   let b = bound_value env options ~floor:parent_bound in
-                   env.cp_bound.(depth + 1) <- b;
-                   if b < env.best_nops then go (depth + 1)
-                 end
-               end);
-              Array.iter
-                (fun s ->
-                  if Omega.State.is_ready env.st s then
-                    Bitset.remove env.ready env.rank.(s))
-                env.succs.(pos);
-              Bitset.remove env.sched_set pos;
-              Bitset.add env.ready rk)
+            sig_seen.(depth).(env.signature.(pos)) <- node_gen;
+          cb_rank.(depth) <- rk;
+          cb_pos.(depth) <- pos;
+          push_candidates pos cbs.(depth)
         end
       done
     end
+  and expand depth () =
+    (* The candidate for this depth is pushed for the extent of this
+       callback (its rank/position are in the per-depth slots): drop it
+       from the ready set (and add it to the scheduled-set key) and admit
+       any successor whose last unscheduled predecessor it was, then
+       undo.  Plain loops over the successors, not [Array.iter]: each
+       would allocate a closure per expanded node. *)
+    let rk = cb_rank.(depth) in
+    let pos = cb_pos.(depth) in
+    let succs = env.succs.(pos) in
+    Bitset.remove env.ready rk;
+    Bitset.add env.sched_set pos;
+    for j = 0 to Array.length succs - 1 do
+      let s = succs.(j) in
+      if Omega.State.is_ready env.st s then Bitset.add env.ready env.rank.(s)
+    done;
+    (if not options.alpha_beta then go (depth + 1)
+     else begin
+       (* The parent's bound is an admissible floor for every child
+          (completions below a child are a subset of those below the
+          parent), so when the incumbent has improved past it since the
+          parent was expanded, all remaining siblings fail without
+          recomputation. *)
+       let parent_bound = env.cp_bound.(depth) in
+       if parent_bound < prune_limit env then begin
+         let b = bound_value env options ~floor:parent_bound in
+         env.cp_bound.(depth + 1) <- b;
+         if b < prune_limit env then go (depth + 1)
+       end
+     end);
+    for j = 0 to Array.length succs - 1 do
+      let s = succs.(j) in
+      if Omega.State.is_ready env.st s then Bitset.remove env.ready env.rank.(s)
+    done;
+    Bitset.remove env.sched_set pos;
+    Bitset.add env.ready rk
   in
-  (* A floor of 0 NOPs is trivially admissible for the root. *)
-  env.cp_bound.(0) <- 0;
-  go 0
+  for d = 0 to env.n do
+    cbs.(d) <- expand d
+  done;
+  if start_depth = 0 then
+    (* A floor of 0 NOPs is trivially admissible for the root; for a
+       replayed prefix the caller has filled [cp_bound.(0..start_depth)]. *)
+    env.cp_bound.(0) <- 0;
+  go start_depth
 
 (* One Omega call: check the combined budget (lambda / deadline / token),
    raising [Curtailed] once any limit trips — the search then unwinds and
@@ -492,16 +611,22 @@ let stats_of env ~completed =
   let entries, evictions =
     match env.memo_tbl with
     | None -> (0, 0)
-    | Some tbl ->
-      ( Pipesched_prelude.Memo_table.entries tbl,
-        Pipesched_prelude.Memo_table.evictions tbl )
+    | Some tbl -> (Memo_table.entries tbl, Memo_table.evictions tbl)
   in
   let status =
     if completed then Budget.Complete
     else
-      match Budget.exhausted env.budget with
+      (* [expiry] re-evaluates every limit without the strided deadline
+         gate, so the reported reason is the limit that actually tripped
+         (a deadline that passed between strided clock reads is no longer
+         misreported as lambda). *)
+      match Budget.expiry env.budget with
       | Some s -> s
-      | None -> Budget.Curtailed_lambda
+      | None ->
+        (* Unreachable when the search itself stopped us (Curtailed is
+           only raised after a limit trips, which is sticky); kept for
+           unwinds by foreign exceptions. *)
+        Budget.Curtailed_lambda
   in
   {
     omega_calls = env.omega_calls;
@@ -516,87 +641,576 @@ let stats_of env ~completed =
     memo_evictions = evictions;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Intra-block parallel branch-and-bound.                              *)
+(*                                                                     *)
+(* The driver below parallelizes one search across domains in three    *)
+(* stages:                                                             *)
+(*                                                                     *)
+(*   1. a serial PROBE — the unmodified serial search, capped at       *)
+(*      [parallel_activation] Omega calls.  Easy blocks finish here    *)
+(*      and take the exact serial path (same result, same stats);      *)
+(*   2. on lambda-cap expiry, a serial ENUMERATION of the depth-d      *)
+(*      frontier (equivalence prunings applied, bounds and memo off),  *)
+(*      deepening d until enough subtree tasks exist.  The task list   *)
+(*      is in lexicographic order and independent of the job count;    *)
+(*   3. a WORKER TEAM: each worker pulls tasks off an atomic counter   *)
+(*      (in a strided, diversified order — pure wall-clock heuristic), *)
+(*      replays the prefix into a fresh env and runs [dfs] below it,   *)
+(*      sharing the incumbent through [Incumbent] and drawing lambda   *)
+(*      from a shared [Budget.pool].                                   *)
+(*                                                                     *)
+(* Determinism of the reported result (DESIGN.md §9 for the full       *)
+(* argument): a completed search reports the seed when nothing beats   *)
+(* it, else the lexicographically least optimal completion — the       *)
+(* prunings keep the lex-least representative of every class they      *)
+(* collapse, a dominating memo entry always admits an equal-or-better  *)
+(* lex-earlier completion, and the Incumbent rank protocol resolves    *)
+(* equal-NOP ties toward the lex-earlier task — so serial and parallel *)
+(* agree byte-for-byte at any job count.  Stats other than the NOP     *)
+(* count (calls, completions, memo counters) aggregate worker          *)
+(* nondeterminism and DO vary run to run at [search_jobs > 1].         *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-entry-point adapter the driver drives a search through: a fresh
+   env, the candidate generator, a prefix-replay step, the pipe choices
+   of the current prefix (for task capture), and the payload to snapshot
+   when a completion wins. *)
+type 'a kit = {
+  kenv : search_env;
+  kpush : int -> (unit -> unit) -> unit;
+  kstep : int -> int option -> unit;
+  kpipes : int -> int option array;
+  kpayload : unit -> 'a;
+}
+
+type task = { t_order : int array; t_pipes : int option array }
+
+(* Stats are summed per-env as each env is retired (probe, enumeration
+   passes, every worker task); worker accs are merged after the join. *)
+type stats_acc = {
+  mutable a_calls : int;
+  mutable a_completed : int;
+  mutable a_improvements : int;
+  mutable a_hits : int;
+  mutable a_misses : int;
+  mutable a_entries : int;
+  mutable a_evictions : int;
+}
+
+let fresh_acc () =
+  {
+    a_calls = 0;
+    a_completed = 0;
+    a_improvements = 0;
+    a_hits = 0;
+    a_misses = 0;
+    a_entries = 0;
+    a_evictions = 0;
+  }
+
+let acc_env acc env =
+  acc.a_calls <- acc.a_calls + env.omega_calls;
+  acc.a_completed <- acc.a_completed + env.schedules_completed;
+  acc.a_improvements <- acc.a_improvements + env.improvements;
+  acc.a_hits <- acc.a_hits + env.memo_hits;
+  acc.a_misses <- acc.a_misses + env.memo_misses;
+  match env.memo_tbl with
+  | None -> ()
+  | Some tbl ->
+    (* Counters are per-task: activation [clear]s the cached table. *)
+    acc.a_entries <- acc.a_entries + Memo_table.entries tbl;
+    acc.a_evictions <- acc.a_evictions + Memo_table.evictions tbl
+
+let acc_merge acc other =
+  acc.a_calls <- acc.a_calls + other.a_calls;
+  acc.a_completed <- acc.a_completed + other.a_completed;
+  acc.a_improvements <- acc.a_improvements + other.a_improvements;
+  acc.a_hits <- acc.a_hits + other.a_hits;
+  acc.a_misses <- acc.a_misses + other.a_misses;
+  acc.a_entries <- acc.a_entries + other.a_entries;
+  acc.a_evictions <- acc.a_evictions + other.a_evictions
+
+let status_rank = function
+  | Budget.Complete -> 0
+  | Budget.Curtailed_deadline -> 1
+  | Budget.Curtailed_lambda -> 2
+  | Budget.Cancelled -> 3
+
+(* Enough tasks for dynamic balance across a few workers; the frontier
+   is deepened (up to the cap) until this many subtrees exist. *)
+let split_task_target = 64
+let split_depth_cap = 8
+
+(* The order workers pull tasks in: a strided interleave of the
+   lex-ordered task list, so early claims sample the whole frontier
+   instead of its lex-first corner.  Diversification finds a strong
+   incumbent sooner (the classic branch-and-bound acceleration), which
+   only changes wall time — the Incumbent rank protocol pins the
+   reported result to the lex order regardless. *)
+let interleave n =
+  let bands = if n < 16 then max n 1 else 16 in
+  let perm = Array.make (max n 1) 0 in
+  let j = ref 0 in
+  for b = 0 to bands - 1 do
+    let k = ref b in
+    while !k < n do
+      perm.(!j) <- !k;
+      incr j;
+      k := !k + bands
+    done
+  done;
+  perm
+
+type 'a par_result = { pr_best : (int * 'a) option; pr_stats : stats }
+
+let par_search (type a) ~options ~n
+    ~(mk_kit :
+        task_index:int ->
+        budget:Budget.t ->
+        memo_cache:Memo_table.t option ref ->
+        gate:Incumbent.gate option ->
+        a kit) ~(seed : (int * a) option) : a par_result =
+  let pool = Budget.pool ~calls:options.lambda in
+  let base_limits =
+    {
+      Budget.calls = None;
+      deadline_s = options.deadline_s;
+      cancel = options.cancel;
+    }
+  in
+  let acc = fresh_acc () in
+  let finish ~completed ~status ~elapsed best =
+    {
+      pr_best = best;
+      pr_stats =
+        {
+          omega_calls = acc.a_calls;
+          schedules_completed = acc.a_completed;
+          improvements = acc.a_improvements;
+          completed;
+          status;
+          elapsed_s = elapsed;
+          memo_hits = acc.a_hits;
+          memo_misses = acc.a_misses;
+          memo_entries = acc.a_entries;
+          memo_evictions = acc.a_evictions;
+        };
+    }
+  in
+  (* Stage 1: serial probe, capped at [parallel_activation] calls but
+     drawing them from the shared pool so they count against lambda. *)
+  let probe_budget =
+    Budget.start ~pool
+      {
+        base_limits with
+        Budget.calls = Some (max 0 options.parallel_activation);
+      }
+  in
+  let probe =
+    mk_kit ~task_index:(-1) ~budget:probe_budget ~memo_cache:(ref None)
+      ~gate:None
+  in
+  (match seed with
+   | Some (nops, _) -> probe.kenv.best_nops <- nops
+   | None -> ());
+  let probe_best = ref None in
+  let probe_result =
+    match
+      dfs probe.kenv options ~push_candidates:probe.kpush
+        ~on_complete:(fun () ->
+          probe_best := Some (probe.kenv.best_nops, probe.kpayload ()))
+    with
+    | () -> `Done
+    | exception Curtailed -> (
+      match Budget.expiry probe_budget with
+      | Some Budget.Curtailed_lambda when not (Budget.pool_exhausted pool)
+        ->
+        (* The probe's private activation cap tripped, not the search's
+           own limits: this block is hard — go parallel. *)
+        `Escalate
+      | Some s -> `Stopped s
+      | None -> `Stopped Budget.Curtailed_lambda)
+  in
+  acc_env acc probe.kenv;
+  let best_or_seed () =
+    match !probe_best with Some _ as b -> b | None -> seed
+  in
+  let elapsed () = Budget.elapsed_s probe_budget in
+  (* Workers' deadline budgets start their own clocks, so give them the
+     time remaining, not the original span.  Reads the clock iff a
+     deadline is set (determinism contract preserved). *)
+  let remaining_deadline () =
+    match options.deadline_s with
+    | None -> None
+    | Some d -> Some (Float.max 0.0 (d -. Budget.elapsed_s probe_budget))
+  in
+  match probe_result with
+  | `Done ->
+    finish ~completed:true ~status:Budget.Complete ~elapsed:(elapsed ())
+      (best_or_seed ())
+  | `Stopped s ->
+    finish ~completed:false ~status:s ~elapsed:(elapsed ()) (best_or_seed ())
+  | `Escalate ->
+    let inc = Incumbent.create () in
+    (match seed with
+     | Some (nops, p) ->
+       ignore (Incumbent.submit inc ~nops ~task:(-1) (fun () -> p) : bool)
+     | None -> ());
+    (match !probe_best with
+     | Some (nops, p) ->
+       ignore (Incumbent.submit inc ~nops ~task:(-1) (fun () -> p) : bool)
+     | None -> ());
+    (* Stage 2: enumerate the depth-d frontier.  Equivalence prunings on
+       (they define which subtrees exist at all — same classes the
+       serial search explores); alpha-beta and memo off (the frontier
+       must not depend on bound or table dynamics, so the task list is a
+       pure function of the block).  Deepen until enough tasks exist. *)
+    let enum_options =
+      {
+        options with
+        alpha_beta = false;
+        memo = { options.memo with memo_enabled = false };
+      }
+    in
+    let enum_limits =
+      { base_limits with Budget.deadline_s = remaining_deadline () }
+    in
+    let tasks = ref [] in
+    let ntasks = ref 0 in
+    let enum_status = ref None in
+    let depth_cap = max 1 (min split_depth_cap (n - 1)) in
+    let enumerate d =
+      tasks := [];
+      ntasks := 0;
+      let budget = Budget.start ~pool enum_limits in
+      let kit =
+        mk_kit ~task_index:(-1) ~budget ~memo_cache:(ref None) ~gate:None
+      in
+      let record () =
+        tasks :=
+          { t_order = Omega.State.prefix kit.kenv.st; t_pipes = kit.kpipes d }
+          :: !tasks;
+        incr ntasks
+      in
+      let ok =
+        match
+          dfs kit.kenv enum_options ~stop:(d, record)
+            ~push_candidates:kit.kpush ~on_complete:ignore
+        with
+        | () -> true
+        | exception Curtailed ->
+          enum_status :=
+            Some
+              (match Budget.expiry budget with
+               | Some s -> s
+               | None -> Budget.Curtailed_lambda);
+          false
+      in
+      acc_env acc kit.kenv;
+      ok
+    in
+    let d = ref 1 in
+    let ok = ref (enumerate !d) in
+    while !ok && !ntasks < split_task_target && !d < depth_cap do
+      incr d;
+      ok := enumerate !d
+    done;
+    if not !ok then
+      finish ~completed:false
+        ~status:
+          (match !enum_status with
+           | Some s -> s
+           | None -> Budget.Curtailed_lambda)
+        ~elapsed:(elapsed ()) (Incumbent.best inc)
+    else begin
+      let task_arr = Array.of_list (List.rev !tasks) in
+      let nt = Array.length task_arr in
+      if nt = 0 then
+        (* No legal depth-1 extension at all (register-bounded search):
+           the tree below the root is empty, so the probe saw it all. *)
+        finish ~completed:true ~status:Budget.Complete ~elapsed:(elapsed ())
+          (Incumbent.best inc)
+      else begin
+        (* Stage 3: the worker team. *)
+        let jobs = max 2 options.search_jobs in
+        let team_limits =
+          { base_limits with Budget.deadline_s = remaining_deadline () }
+        in
+        let perm = interleave nt in
+        let next = Atomic.make 0 in
+        let gate = Incumbent.gate inc in
+        let waccs = Array.init jobs (fun _ -> fresh_acc ()) in
+        let wstatus = Array.make jobs Budget.Complete in
+        (* Replay a task prefix into a fresh env, mirroring the
+           bookkeeping [dfs] does around each push.  Returns false when
+           the prefix's own bound already fails against the incumbent —
+           the whole subtree is then pruned without a search. *)
+        let replay kit task =
+          let env = kit.kenv in
+          env.cp_bound.(0) <- 0;
+          let d = Array.length task.t_order in
+          let ok = ref true in
+          let i = ref 0 in
+          while !ok && !i < d do
+            let pos = task.t_order.(!i) in
+            kit.kstep pos task.t_pipes.(!i);
+            Pipesched_prelude.Bitset.remove env.ready env.rank.(pos);
+            Pipesched_prelude.Bitset.add env.sched_set pos;
+            Array.iter
+              (fun s ->
+                if Omega.State.is_ready env.st s then
+                  Pipesched_prelude.Bitset.add env.ready env.rank.(s))
+              env.succs.(pos);
+            (if options.alpha_beta then begin
+               let b = bound_value env options ~floor:env.cp_bound.(!i) in
+               env.cp_bound.(!i + 1) <- b;
+               if b >= prune_limit env then ok := false
+             end);
+            incr i
+          done;
+          !ok
+        in
+        Pool.team ~jobs (fun w ->
+            let budget = Budget.start ~pool team_limits in
+            let memo_cache = ref None in
+            let wacc = waccs.(w) in
+            let rec loop () =
+              let k = Atomic.fetch_and_add next 1 in
+              if k < nt then begin
+                let ti = perm.(k) in
+                let task = task_arr.(ti) in
+                let kit =
+                  mk_kit ~task_index:ti ~budget ~memo_cache
+                    ~gate:(Some gate)
+                in
+                let curtailed =
+                  match
+                    if replay kit task then
+                      dfs ~start_depth:(Array.length task.t_order) kit.kenv
+                        options ~push_candidates:kit.kpush
+                        ~on_complete:(fun () ->
+                          ignore
+                            (Incumbent.submit inc
+                               ~nops:(Omega.State.nops kit.kenv.st)
+                               ~task:ti
+                               (fun () -> kit.kpayload ())
+                              : bool))
+                  with
+                  | () -> false
+                  | exception Curtailed -> true
+                in
+                acc_env wacc kit.kenv;
+                if curtailed then
+                  wstatus.(w) <-
+                    (match Budget.expiry budget with
+                     | Some s -> s
+                     | None -> Budget.Curtailed_lambda)
+                else loop ()
+              end
+            in
+            loop ());
+        Array.iter (acc_merge acc) waccs;
+        let completed = Array.for_all Budget.is_complete wstatus in
+        let status =
+          if completed then Budget.Complete
+          else
+            Array.fold_left
+              (fun a s -> if status_rank s > status_rank a then s else a)
+              Budget.Complete wstatus
+        in
+        finish ~completed ~status ~elapsed:(elapsed ()) (Incumbent.best inc)
+      end
+    end
+
+(* Below this size the enumeration/team overhead cannot pay off; the
+   serial path also keeps the parity tests' tiny DAGs trivially equal. *)
+let parallel_worthwhile options n = options.search_jobs > 1 && n > 4
+
 let schedule ?(options = default_options) ?entry machine dag =
   let seed_order = List_sched.schedule options.seed dag in
   let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
-  let env = make_env ?entry machine dag options in
-  env.best_nops <- initial.nops;
-  let best = ref initial in
-  let push_candidates pos k =
-    count_call env options;
-    Omega.State.push env.st pos;
-    k ();
-    Omega.State.pop env.st
-  in
-  let on_complete () = best := Omega.State.complete_greedily env.st in
-  let completed =
-    match dfs env options ~push_candidates ~on_complete with
-    | () -> true
-    | exception Curtailed -> false
-  in
-  { best = !best; initial; stats = stats_of env ~completed }
+  if not (parallel_worthwhile options (Dag.length dag)) then begin
+    let env = make_env ?entry machine dag options in
+    env.best_nops <- initial.nops;
+    let best = ref initial in
+    let push_candidates pos k =
+      count_call env options;
+      Omega.State.push env.st pos;
+      k ();
+      Omega.State.pop env.st
+    in
+    let on_complete () = best := Omega.State.complete_greedily env.st in
+    let completed =
+      match dfs env options ~push_candidates ~on_complete with
+      | () -> true
+      | exception Curtailed -> false
+    in
+    { best = !best; initial; stats = stats_of env ~completed }
+  end
+  else begin
+    let mk_kit ~task_index ~budget ~memo_cache ~gate =
+      let env =
+        make_env ?entry ~budget ~memo_cache ?gate ~task_index machine dag
+          options
+      in
+      {
+        kenv = env;
+        kpush =
+          (fun pos k ->
+            count_call env options;
+            Omega.State.push env.st pos;
+            k ();
+            Omega.State.pop env.st);
+        kstep =
+          (fun pos _pipe ->
+            count_call env options;
+            Omega.State.push env.st pos);
+        kpipes = (fun d -> Array.make d None);
+        kpayload = (fun () -> Omega.State.complete_greedily env.st);
+      }
+    in
+    let p =
+      par_search ~options ~n:(Dag.length dag) ~mk_kit
+        ~seed:(Some (initial.nops, initial))
+    in
+    let best = match p.pr_best with Some (_, b) -> b | None -> initial in
+    { best; initial; stats = p.pr_stats }
+  end
 
 let schedule_multi ?(options = default_options) ?entry machine dag =
   let n = Dag.length dag in
   let blk = Dag.block dag in
   let seed_order = List_sched.schedule options.seed dag in
   let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
-  let env = make_env ?entry ~multi:true machine dag options in
-  env.best_nops <- initial.nops;
-  let best = ref initial in
   let default_choice =
     Array.init n (fun pos ->
         Machine.default_pipe machine (Block.tuple_at blk pos).Tuple.op)
   in
-  let choice = Array.copy default_choice in
-  let best_choice = ref (Array.copy default_choice) in
   let candidates_of =
     Array.init n (fun pos ->
         Machine.candidates machine (Block.tuple_at blk pos).Tuple.op)
   in
-  let pipe_params p =
+  let npipes = Machine.pipe_count machine in
+  (* Dense id per distinct (latency, enqueue) pair, so the symmetric-pipe
+     pruning below keys on a small int instead of a nested tuple. *)
+  let param_id = Array.make (max npipes 1) 0 in
+  let nparams = ref 0 in
+  let param_seen = Hashtbl.create 8 in
+  for p = 0 to npipes - 1 do
     let pipe = Machine.pipe machine p in
-    (pipe.Pipe.latency, pipe.Pipe.enqueue)
+    let key = (pipe.Pipe.latency, pipe.Pipe.enqueue) in
+    match Hashtbl.find_opt param_seen key with
+    | Some id -> param_id.(p) <- id
+    | None ->
+      param_id.(p) <- !nparams;
+      Hashtbl.add param_seen key !nparams;
+      incr nparams
+  done;
+  let enqueue_of =
+    Array.init (max npipes 1) (fun p ->
+        if p < npipes then (Machine.pipe machine p).Pipe.enqueue else 0)
   in
-  (* Per-depth tables for the symmetric-pipe pruning, reset on entry;
-     preallocated so the hot path never re-scans a membership list. *)
-  let tried_tbls = Array.init (n + 1) (fun _ -> Hashtbl.create 8) in
-  let push_candidates pos k =
-    match candidates_of.(pos) with
-    | [] ->
-      count_call env options;
-      Omega.State.push_on env.st pos ~pipe:None;
-      choice.(pos) <- None;
-      k ();
-      Omega.State.pop env.st
-    | pids ->
-      (* Symmetric-pipe pruning: two candidate pipes with equal parameters
-         and equal last-use tick lead to identical subtrees. *)
-      let tried = tried_tbls.(Omega.State.depth env.st) in
-      Hashtbl.reset tried;
-      List.iter
-        (fun p ->
-          let key = (pipe_params p, Omega.State.last_use env.st p) in
-          if not (Hashtbl.mem tried key) then begin
-            Hashtbl.add tried key ();
+  (* One search instance: env + candidate generator + its choice array.
+     Shared by the serial path and by every parallel kit. *)
+  let mk_parts ?budget ?memo_cache ?gate ?task_index () =
+    let env =
+      make_env ?entry ~multi:true ?budget ?memo_cache ?gate ?task_index
+        machine dag options
+    in
+    let choice = Array.copy default_choice in
+    (* Per-depth scratch for the symmetric-pipe pruning: keys already
+       tried at this choice point, as ints, linear-scanned (candidate
+       lists are a handful of pipes at most). *)
+    let tried_buf = Array.make_matrix (n + 1) (max npipes 1) 0 in
+    let push_candidates pos k =
+      match candidates_of.(pos) with
+      | [] ->
+        count_call env options;
+        Omega.State.push_on env.st pos ~pipe:None;
+        choice.(pos) <- None;
+        k ();
+        Omega.State.pop env.st
+      | pids ->
+        (* Symmetric-pipe pruning: two candidate pipes with equal
+           parameters and equal effective last-use tick lead to identical
+           subtrees.  The key is one int, [(clamped last-use) * nparams +
+           param class]: a last use at or below [-enqueue] imposes no
+           conflict constraint on any issue tick >= 0, so all such values
+           collapse to [-enqueue] — never less pruning than the exact
+           tick, still only collapsing identical subtrees. *)
+        let buf = tried_buf.(Omega.State.depth env.st) in
+        let nseen = ref 0 in
+        List.iter
+          (fun p ->
+            let enq = enqueue_of.(p) in
+            let lu = Omega.State.last_use env.st p in
+            let lc = if lu < -enq then -enq else lu in
+            let key = (lc * !nparams) + param_id.(p) in
+            let dup = ref false in
+            for i = 0 to !nseen - 1 do
+              if buf.(i) = key then dup := true
+            done;
+            if not !dup then begin
+              buf.(!nseen) <- key;
+              incr nseen;
+              count_call env options;
+              Omega.State.push_on env.st pos ~pipe:(Some p);
+              choice.(pos) <- Some p;
+              k ();
+              Omega.State.pop env.st
+            end)
+          pids
+    in
+    (env, push_candidates, choice)
+  in
+  if not (parallel_worthwhile options n) then begin
+    let env, push_candidates, choice = mk_parts () in
+    env.best_nops <- initial.nops;
+    let best = ref initial in
+    let best_choice = ref (Array.copy default_choice) in
+    let on_complete () =
+      best := Omega.State.complete_greedily env.st;
+      best_choice := Array.copy choice
+    in
+    let completed =
+      match dfs env options ~push_candidates ~on_complete with
+      | () -> true
+      | exception Curtailed -> false
+    in
+    ({ best = !best; initial; stats = stats_of env ~completed }, !best_choice)
+  end
+  else begin
+    let mk_kit ~task_index ~budget ~memo_cache ~gate =
+      let env, push_candidates, choice =
+        mk_parts ~budget ~memo_cache ?gate ~task_index ()
+      in
+      {
+        kenv = env;
+        kpush = push_candidates;
+        kstep =
+          (fun pos pipe ->
             count_call env options;
-            Omega.State.push_on env.st pos ~pipe:(Some p);
-            choice.(pos) <- Some p;
-            k ();
-            Omega.State.pop env.st
-          end)
-        pids
-  in
-  let on_complete () =
-    best := Omega.State.complete_greedily env.st;
-    best_choice := Array.copy choice
-  in
-  let completed =
-    match dfs env options ~push_candidates ~on_complete with
-    | () -> true
-    | exception Curtailed -> false
-  in
-  ({ best = !best; initial; stats = stats_of env ~completed }, !best_choice)
+            Omega.State.push_on env.st pos ~pipe;
+            choice.(pos) <- pipe);
+        kpipes =
+          (fun d ->
+            Array.init d (fun i -> choice.(Omega.State.at_depth env.st i)));
+        kpayload =
+          (fun () -> (Omega.State.complete_greedily env.st, Array.copy choice));
+      }
+    in
+    let p =
+      par_search ~options ~n ~mk_kit
+        ~seed:(Some (initial.nops, (initial, Array.copy default_choice)))
+    in
+    let best, best_choice =
+      match p.pr_best with
+      | Some (_, bc) -> bc
+      | None -> (initial, Array.copy default_choice)
+    in
+    ({ best; initial; stats = p.pr_stats }, best_choice)
+  end
 
 (* Incremental register-demand bookkeeping for the bounded search.  A
    value is live from its definition until its last remaining consumer is
@@ -633,7 +1247,9 @@ module Pressure = struct
           let a =
             Array.of_list (Hashtbl.fold (fun u m acc -> (u, m) :: acc) tbl [])
           in
-          Array.sort compare a;
+          (* Monomorphic: producer positions are distinct Hashtbl keys,
+             so the first component alone orders the array. *)
+          Array.sort (fun ((u1 : int), _) ((u2 : int), _) -> compare u1 u2) a;
           a)
     in
     Array.iter
@@ -688,29 +1304,64 @@ let schedule_bounded ?(options = default_options) ~registers machine dag =
      violate the register bound.  Evaluating it is pure waste when the
      search comes up empty, so force it only on success. *)
   let initial = lazy (Omega.evaluate machine dag ~order:seed_order) in
-  let env = make_env machine dag options in
-  let pressure = Pressure.create dag in
-  let best = ref None in
-  let push_candidates pos k =
-    if Pressure.demand pressure pos <= registers then begin
-      count_call env options;
-      Omega.State.push env.st pos;
-      Pressure.push pressure pos;
-      k ();
-      Pressure.pop pressure pos;
-      Omega.State.pop env.st
-    end
+  let mk_parts ?budget ?memo_cache ?gate ?task_index () =
+    let env =
+      make_env ?budget ?memo_cache ?gate ?task_index machine dag options
+    in
+    let pressure = Pressure.create dag in
+    let push_candidates pos k =
+      if Pressure.demand pressure pos <= registers then begin
+        count_call env options;
+        Omega.State.push env.st pos;
+        Pressure.push pressure pos;
+        k ();
+        Pressure.pop pressure pos;
+        Omega.State.pop env.st
+      end
+    in
+    (env, push_candidates, pressure)
   in
-  let on_complete () = best := Some (Omega.State.complete_greedily env.st) in
-  let completed =
-    match dfs env options ~push_candidates ~on_complete with
-    | () -> true
-    | exception Curtailed -> false
-  in
-  let stats = stats_of env ~completed in
-  match !best with
-  | Some best -> Ok { best; initial = Lazy.force initial; stats }
-  | None -> Error ()
+  if not (parallel_worthwhile options (Dag.length dag)) then begin
+    let env, push_candidates, _pressure = mk_parts () in
+    let best = ref None in
+    let on_complete () =
+      best := Some (Omega.State.complete_greedily env.st)
+    in
+    let completed =
+      match dfs env options ~push_candidates ~on_complete with
+      | () -> true
+      | exception Curtailed -> false
+    in
+    let stats = stats_of env ~completed in
+    match !best with
+    | Some best -> Ok { best; initial = Lazy.force initial; stats }
+    | None -> Error ()
+  end
+  else begin
+    let mk_kit ~task_index ~budget ~memo_cache ~gate =
+      let env, push_candidates, pressure =
+        mk_parts ~budget ~memo_cache ?gate ~task_index ()
+      in
+      {
+        kenv = env;
+        kpush = push_candidates;
+        kstep =
+          (fun pos _pipe ->
+            (* Prefixes come from the register-feasible enumeration, so
+               the demand gate was already applied to every step. *)
+            count_call env options;
+            Omega.State.push env.st pos;
+            Pressure.push pressure pos);
+        kpipes = (fun d -> Array.make d None);
+        kpayload = (fun () -> Omega.State.complete_greedily env.st);
+      }
+    in
+    let p = par_search ~options ~n:(Dag.length dag) ~mk_kit ~seed:None in
+    match p.pr_best with
+    | Some (_, best) ->
+      Ok { best; initial = Lazy.force initial; stats = p.pr_stats }
+    | None -> Error ()
+  end
 
 let verify_optimal machine dag (outcome : outcome) =
   let r = Baselines.legal_only_search machine dag in

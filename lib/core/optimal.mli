@@ -95,14 +95,39 @@ type options = {
   alpha_beta : bool;            (** step [6] on/off *)
   lower_bound : lower_bound;
   memo : memo_options;          (** dominance memoization (extension) *)
+  search_jobs : int;
+      (** intra-block parallel branch-and-bound (extension): number of
+          domains searching {e this block's} tree together.  [1] (the
+          default) is the plain serial search.  At [>= 2] a hard block
+          is split at its root frontier into lexicographically ordered
+          subtree tasks, searched by a worker team sharing the incumbent
+          through an atomic bound ({!Pipesched_prelude.Incumbent}) and
+          drawing [lambda] from a shared pool
+          ({!Pipesched_prelude.Budget.pool}).  The reported schedule and
+          NOP count are {e identical at any job count} (see DESIGN.md
+          §9); [omega_calls] and the other exploration counters are not
+          — workers race, so the work actually done varies. *)
+  parallel_activation : int;
+      (** Omega calls the serial probe spends before a [search_jobs > 1]
+          search escalates to the worker team.  Blocks whose serial
+          search finishes within this cap take the exact serial path —
+          same result, same stats — so easy blocks never pay the
+          parallel overhead.  Ignored when [search_jobs <= 1]. *)
 }
 
 (** The paper's configuration: [lambda = 100_000], no deadline, no
     cancellation token, {!List_sched.Max_distance} seed, equivalence and
     alpha-beta pruning on, [Partial_nops] bound, strong equivalence off,
-    {!default_memo} memoization. *)
+    {!default_memo} memoization, serial search ([search_jobs = 1],
+    [parallel_activation = 4096]). *)
 val default_options : options
 
+(** Search statistics.  With [search_jobs > 1] these are summed over the
+    probe, the frontier enumeration, and every worker task; the
+    exploration counters ([omega_calls], [schedules_completed],
+    [improvements], memo counters) then depend on scheduling races and
+    vary run to run — only [completed], [status], and the reported
+    schedule itself are deterministic. *)
 type stats = {
   omega_calls : int;
       (** incremental NOP insertions performed (the paper's Lambda) *)

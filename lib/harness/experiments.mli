@@ -23,7 +23,10 @@ type study = Study.result list
     incumbents — see Study.run); [cancel] is a shared cancellation
     token.  [jobs] sets the number of worker domains blocks are
     scheduled across; without deadlines, results are identical at any
-    job count (see Study.run).  [strict] disables per-block fault
+    job count (see Study.run).  [search_jobs] sets the {e intra-block}
+    team size each block's branch-and-bound runs on (two-level scheme;
+    default 1 = serial search, results identical at any value — see
+    Study.run and Optimal.options).  [strict] disables per-block fault
     containment (fail-fast); [certify] re-checks every schedule with the
     independent certifier (see Study.run_block). *)
 val run_study :
@@ -31,7 +34,7 @@ val run_study :
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float ->
   ?cancel:Pipesched_prelude.Budget.token -> ?jobs:int ->
-  ?strict:bool -> ?certify:bool ->
+  ?search_jobs:int -> ?strict:bool -> ?certify:bool ->
   unit -> study
 
 (** Table 1: search-space sizes for representative blocks (exhaustive vs
@@ -118,13 +121,13 @@ val print_dynamic_study :
 
 (** Run everything in order with the given study size (default 16,000).
     [jobs] is threaded to the main study, the ablation, and the machine
-    and structure sweeps; [deadline_s] / [block_deadline_s] deadline the
-    main study (see {!run_study}).  Pass [study] to reuse records
-    already computed (the bench harness does, to time the study
-    separately). *)
+    and structure sweeps; [search_jobs] to the main study only;
+    [deadline_s] / [block_deadline_s] deadline the main study (see
+    {!run_study}).  Pass [study] to reuse records already computed (the
+    bench harness does, to time the study separately). *)
 val run_all :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float -> ?jobs:int ->
-  ?strict:bool -> ?certify:bool ->
+  ?search_jobs:int -> ?strict:bool -> ?certify:bool ->
   ?study:study -> Format.formatter -> unit

@@ -95,7 +95,16 @@ let run_protected ?(strict = false) ?jobs f xs =
       (Pool.parallel_map_result ?jobs f xs)
 
 let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
-    ?freq ?jobs ?strict ?certify ~seed ~count machine =
+    ?freq ?jobs ?search_jobs ?strict ?certify ~seed ~count machine =
+  (* Two-level scheduling: [jobs] block-level domains, each block's
+     search itself running on [search_jobs] team workers.  The search's
+     determinism contract (same result at any job count) keeps the
+     study's record-for-record reproducibility intact. *)
+  let options =
+    match search_jobs with
+    | None -> options
+    | Some sj -> { options with Optimal.search_jobs = max 1 sj }
+  in
   let rng = Rng.create seed in
   let seeds = Array.make (max count 1) 0 in
   for i = 0 to count - 1 do

@@ -91,6 +91,16 @@ val run_protected :
     [certify] runs the independent certifier on every block's result
     (see {!run_block}).
 
+    [search_jobs] overrides [options.search_jobs]: the number of
+    {e intra-block} team workers each block's branch-and-bound runs on
+    (second level of the two-level scheme; default 1, serial search —
+    see {!Optimal.options}).  Because the parallel search reports a
+    result identical to the serial one, the study's determinism
+    contract extends to it: records are field-for-field equal at any
+    ([jobs], [search_jobs]) combination except [omega_calls],
+    [schedules_completed] and [time_s], which at [search_jobs > 1]
+    reflect racing workers.
+
     The default [options] use [lambda = 50_000] (large relative to a
     typical complete search, per §5.3). *)
 val run :
@@ -100,6 +110,7 @@ val run :
   ?cancel:Pipesched_prelude.Budget.token ->
   ?freq:Pipesched_synth.Frequency.t ->
   ?jobs:int ->
+  ?search_jobs:int ->
   ?strict:bool ->
   ?certify:bool ->
   seed:int ->

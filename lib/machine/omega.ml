@@ -120,23 +120,28 @@ module State = struct
     let base =
       if st.sp = 0 then 0 else st.issue.(st.stack.(st.sp - 1)) + 1
     in
+    (* Plain loops, not [Array.iter]: this is the innermost search hot
+       path and each closure would be a heap allocation per Omega call. *)
     let t = ref base in
     if p >= 0 then begin
       let c = st.last_on_pipe.(p) + st.pipe_enqueue.(p) in
       if c > !t then t := c
     end;
-    Array.iter
-      (fun u ->
-        let c = st.issue.(u) + st.prod_latency.(u) in
-        if c > !t then t := c)
-      st.preds.(pos);
+    let preds = st.preds.(pos) in
+    for i = 0 to Array.length preds - 1 do
+      let u = preds.(i) in
+      let c = st.issue.(u) + st.prod_latency.(u) in
+      if c > !t then t := c
+    done;
     let eta = !t - base in
     st.issue.(pos) <- !t;
     st.prod_latency.(pos) <- (if p >= 0 then st.pipe_latency.(p) else 1);
     st.scheduled.(pos) <- true;
-    Array.iter
-      (fun v -> st.unsched_preds.(v) <- st.unsched_preds.(v) - 1)
-      st.succs.(pos);
+    let succs = st.succs.(pos) in
+    for i = 0 to Array.length succs - 1 do
+      let v = succs.(i) in
+      st.unsched_preds.(v) <- st.unsched_preds.(v) - 1
+    done;
     st.stack.(st.sp) <- pos;
     st.eta_stack.(st.sp) <- eta;
     st.pipe_stack.(st.sp) <- p;
@@ -156,9 +161,11 @@ module State = struct
     let p = st.pipe_stack.(st.sp) in
     st.total_nops <- st.total_nops - st.eta_stack.(st.sp);
     if p >= 0 then st.last_on_pipe.(p) <- st.undo_last.(st.sp);
-    Array.iter
-      (fun v -> st.unsched_preds.(v) <- st.unsched_preds.(v) + 1)
-      st.succs.(pos);
+    let succs = st.succs.(pos) in
+    for i = 0 to Array.length succs - 1 do
+      let v = succs.(i) in
+      st.unsched_preds.(v) <- st.unsched_preds.(v) + 1
+    done;
     st.scheduled.(pos) <- false
 
   let last_eta st =

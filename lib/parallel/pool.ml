@@ -14,6 +14,22 @@ let resolve_jobs = function
   | Some j -> max 1 j
   | None -> default_jobs ()
 
+(* Search workers default to 1 (serial), not the core count: intra-block
+   parallelism only pays off on hard blocks, and the block-level pool
+   above it already uses the cores.  Opt in via the env knob or the
+   --search-jobs flags. *)
+let default_search_jobs () =
+  match Sys.getenv_opt "PIPESCHED_SEARCH_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some j when j >= 1 -> j
+     | Some _ | None -> 1)
+  | None -> 1
+
+let resolve_search_jobs = function
+  | Some j -> max 1 j
+  | None -> default_search_jobs ()
+
 (* Set in every worker domain: a nested parallel_map runs serially there,
    so pools never wait on each other. *)
 let inside_worker = Domain.DLS.new_key (fun () -> false)
@@ -106,6 +122,42 @@ let parallel_map ?jobs ?chunk ?cancel f xs =
         (Array.map
            (function Some y -> y | None -> assert false)
            results)
+  end
+
+(* A fixed team of [jobs] collaborating workers (they share state by
+   design — e.g. an incumbent and a work counter — unlike the pure maps
+   above).  Worker 0 runs on the calling domain, so [team ~jobs:1 f] is
+   exactly [f 0] with no domain spawned and the caller's DLS untouched;
+   spawned workers get [inside_worker] set so any parallel_map they
+   reach runs serially.  All workers are joined before returning; the
+   first exception (worker 0 first, then spawn order) is re-raised. *)
+let team ~jobs f =
+  let jobs = max 1 jobs in
+  if jobs = 1 then f 0
+  else begin
+    let spawned =
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () ->
+              Domain.DLS.set inside_worker true;
+              f (i + 1)))
+    in
+    let err0 =
+      match f 0 with
+      | () -> None
+      | exception exn -> Some (exn, Printexc.get_raw_backtrace ())
+    in
+    let errs =
+      List.filter_map
+        (fun d ->
+          match Domain.join d with
+          | () -> None
+          | exception exn -> Some (exn, Printexc.get_raw_backtrace ()))
+        spawned
+    in
+    match (err0, errs) with
+    | Some (exn, bt), _ | None, (exn, bt) :: _ ->
+      Printexc.raise_with_backtrace exn bt
+    | None, [] -> ()
   end
 
 let map_reduce ?jobs ?chunk ?cancel ~map ~reduce ~init xs =

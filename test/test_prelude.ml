@@ -444,6 +444,177 @@ let test_budget_unlimited () =
   done;
   check bool_t "never exhausted" true (Budget.exhausted b = None)
 
+(* ------------------------------------------------------------------ *)
+(* Budget pools: one lambda split across workers                       *)
+
+(* Spend from a pool-attached budget until it refuses; count the spends. *)
+let drain_pool_budget pool =
+  let b = Budget.start ~pool Budget.unlimited in
+  let n = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match Budget.exhausted b with
+    | Some _ -> stop := true
+    | None ->
+      Budget.spend b;
+      incr n
+  done;
+  (!n, Budget.exhausted b)
+
+let test_pool_single_exact () =
+  (* A single consumer gets exactly [calls] spends — chunked claims must
+     not round the total up or down. *)
+  List.iter
+    (fun calls ->
+      let pool = Budget.pool ~calls in
+      let n, reason = drain_pool_budget pool in
+      check int_t (Printf.sprintf "exact at calls=%d" calls) calls n;
+      check bool_t "reason is lambda" true
+        (reason = Some Budget.Curtailed_lambda);
+      check bool_t "pool exhausted" true (Budget.pool_exhausted pool))
+    [ 0; 1; 63; 64; 65; 1000 ]
+
+let test_pool_split_never_overgrants () =
+  (* Several concurrent workers draining one pool: the spends must sum
+     to at most [calls] under any interleaving (and to exactly [calls]
+     when every worker drains to refusal, since refused workers leave no
+     allowance stranded). *)
+  let calls = 10_000 in
+  let pool = Budget.pool ~calls in
+  let counts = Array.make 4 0 in
+  let domains =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            let n, _ = drain_pool_budget pool in
+            counts.(w) <- n))
+  in
+  List.iter Domain.join domains;
+  let total = Array.fold_left ( + ) 0 counts in
+  check int_t "spends sum to lambda" calls total;
+  check bool_t "pool exhausted" true (Budget.pool_exhausted pool);
+  check bool_t "pool_spent >= granted" true (Budget.pool_spent pool = calls)
+
+let test_budget_expiry_unstrided_deadline () =
+  let now = ref 0.0 in
+  Budget.set_clock (fun () -> !now)
+  ;
+  Fun.protect
+    ~finally:(fun () -> Budget.set_clock Unix.gettimeofday)
+    (fun () ->
+      let b = budget ~deadline_s:1.0 () in
+      (* Move past the deadline at an off-stride spend count: [exhausted]
+         cannot see it, [expiry] must. *)
+      Budget.spend b;
+      now := 5.0;
+      check bool_t "exhausted blind off-stride" true
+        (Budget.exhausted b = None);
+      check bool_t "expiry sees the deadline" true
+        (Budget.expiry b = Some Budget.Curtailed_deadline);
+      (* And it is sticky like exhausted. *)
+      now := 0.0;
+      check bool_t "expiry sticky" true
+        (Budget.expiry b = Some Budget.Curtailed_deadline))
+
+let test_budget_expiry_lambda_only_when_tripped () =
+  (* expiry reports lambda only when the counter actually tripped. *)
+  let b = budget ~calls:5 () in
+  for _ = 1 to 4 do
+    Budget.spend b
+  done;
+  check bool_t "not yet" true (Budget.expiry b = None);
+  Budget.spend b;
+  check bool_t "tripped" true (Budget.expiry b = Some Budget.Curtailed_lambda)
+
+(* ------------------------------------------------------------------ *)
+(* Incumbent: shared bound + deterministic tie-break                   *)
+
+module Incumbent = Pipesched_prelude.Incumbent
+
+let test_incumbent_empty () =
+  let t : int Incumbent.t = Incumbent.create () in
+  let g = Incumbent.gate t in
+  check bool_t "no bound" true (Incumbent.bound g = None);
+  check bool_t "no best" true (Incumbent.best t = None);
+  check bool_t "limit is max_int" true (Incumbent.limit g ~task:0 = max_int);
+  check bool_t "anything admitted" true (Incumbent.admits g ~nops:1000 ~task:5)
+
+let test_incumbent_monotone () =
+  let t : string Incumbent.t = Incumbent.create () in
+  let g = Incumbent.gate t in
+  check bool_t "first accepted" true
+    (Incumbent.submit t ~nops:10 ~task:3 (fun () -> "a"));
+  check bool_t "bound set" true (Incumbent.bound g = Some (10, 3));
+  (* Worse value rejected; payload thunk never evaluated. *)
+  check bool_t "worse rejected" false
+    (Incumbent.submit t ~nops:11 ~task:0 (fun () ->
+         Alcotest.fail "payload evaluated on rejection"));
+  (* Equal value, higher rank rejected. *)
+  check bool_t "tie from higher rank rejected" false
+    (Incumbent.submit t ~nops:10 ~task:7 (fun () ->
+         Alcotest.fail "payload evaluated on tie rejection"));
+  (* Equal value, lower rank wins: the deterministic tie-break. *)
+  check bool_t "tie from lower rank wins" true
+    (Incumbent.submit t ~nops:10 ~task:1 (fun () -> "b"));
+  check bool_t "owner updated" true (Incumbent.bound g = Some (10, 1));
+  (* Strictly better value from any rank wins. *)
+  check bool_t "better wins" true
+    (Incumbent.submit t ~nops:9 ~task:7 (fun () -> "c"));
+  check bool_t "final" true (Incumbent.best t = Some (9, "c"))
+
+let test_incumbent_seed_precedes_all () =
+  let t : unit Incumbent.t = Incumbent.create () in
+  let g = Incumbent.gate t in
+  check bool_t "seed accepted" true
+    (Incumbent.submit t ~nops:4 ~task:(-1) (fun () -> ()));
+  (* No task can claim an equal-value tie against the seed. *)
+  check bool_t "tie vs seed rejected" false
+    (Incumbent.submit t ~nops:4 ~task:0 (fun () -> ()));
+  check bool_t "owner is seed" true (Incumbent.bound g = Some (4, -1))
+
+let test_incumbent_limit_tie_window () =
+  let t : unit Incumbent.t = Incumbent.create () in
+  let g = Incumbent.gate t in
+  ignore (Incumbent.submit t ~nops:6 ~task:5 (fun () -> ()) : bool);
+  (* Lower-ranked searchers may still explore value-6 ties (limit 7);
+     the owner itself and higher ranks may not (limit 6). *)
+  check int_t "lower rank keeps ties open" 7 (Incumbent.limit g ~task:2);
+  check int_t "owner closes ties" 6 (Incumbent.limit g ~task:5);
+  check int_t "higher rank closes ties" 6 (Incumbent.limit g ~task:9);
+  check int_t "seed outranks everyone" 7 (Incumbent.limit g ~task:(-1))
+
+let test_incumbent_concurrent_converges () =
+  (* Hammer one incumbent from several domains with the same value set;
+     the final owner must be the least rank regardless of interleaving. *)
+  let t : int Incumbent.t = Incumbent.create () in
+  let domains =
+    List.init 4 (fun w ->
+        Domain.spawn (fun () ->
+            for i = 0 to 99 do
+              let task = ((i * 7) + w) mod 64 in
+              ignore
+                (Incumbent.submit t ~nops:(20 + ((i + w) mod 10)) ~task
+                   (fun () -> task)
+                  : bool)
+            done))
+  in
+  List.iter Domain.join domains;
+  (* Minimum submitted value is 20; every task rank in 0..63 submits it
+     in some domain's sequence... the winner must be (20, least rank that
+     submitted 20).  Compute that reference serially. *)
+  let min_rank = ref max_int in
+  for w = 0 to 3 do
+    for i = 0 to 99 do
+      if 20 + ((i + w) mod 10) = 20 then begin
+        let task = ((i * 7) + w) mod 64 in
+        if task < !min_rank then min_rank := task
+      end
+    done
+  done;
+  check bool_t "converged to least rank" true
+    (Incumbent.bound (Incumbent.gate t) = Some (20, !min_rank));
+  check bool_t "payload matches owner" true
+    (Incumbent.best t = Some (20, !min_rank))
+
 let () =
   Alcotest.run "prelude"
     [ ( "bitset",
@@ -491,4 +662,21 @@ let () =
             test_budget_deadline_strided_clock;
           Alcotest.test_case "no deadline, no clock" `Quick
             test_budget_no_deadline_never_reads_clock;
-          Alcotest.test_case "unlimited" `Quick test_budget_unlimited ] ) ]
+          Alcotest.test_case "unlimited" `Quick test_budget_unlimited;
+          Alcotest.test_case "pool single exact" `Quick test_pool_single_exact;
+          Alcotest.test_case "pool split never overgrants" `Quick
+            test_pool_split_never_overgrants;
+          Alcotest.test_case "expiry unstrided deadline" `Quick
+            test_budget_expiry_unstrided_deadline;
+          Alcotest.test_case "expiry lambda only when tripped" `Quick
+            test_budget_expiry_lambda_only_when_tripped ] );
+      ( "incumbent",
+        [ Alcotest.test_case "empty" `Quick test_incumbent_empty;
+          Alcotest.test_case "monotone + tie-break" `Quick
+            test_incumbent_monotone;
+          Alcotest.test_case "seed precedes all" `Quick
+            test_incumbent_seed_precedes_all;
+          Alcotest.test_case "tie window by rank" `Quick
+            test_incumbent_limit_tie_window;
+          Alcotest.test_case "concurrent converges" `Quick
+            test_incumbent_concurrent_converges ] ) ]
