@@ -387,18 +387,162 @@ let search_speedup_evidence () =
     entries;
   (entries, identical)
 
+(* Serving evidence: a duplicate-heavy request stream (90% of requests
+   are isomorphic re-presentations of an earlier block) replayed against
+   the scheduling service twice — cache disabled ("cold": every request
+   is a fresh search) and cache enabled ("hot": repeats answered from
+   the canonical-form LRU).  Because both paths render the stored
+   canonical solution through the request's own permutation, the two
+   response streams must be byte-identical — asserted here, gated in
+   CI. *)
+let server_evidence () =
+  let module Server = Pipesched_serve.Server in
+  let module Json = Pipesched_prelude.Json in
+  let uniques = 20 and copies = 10 in
+  (* Isomorphic re-presentation k of a block: fresh ids, renamed
+     virtual registers, shifted immediates — canonically equal, not
+     textually equal. *)
+  let relabel k blk =
+    Block.of_tuples_exn
+      (List.map
+         (fun (tu : Tuple.t) ->
+           let operand = function
+             | Operand.Ref id -> Operand.Ref (id + (10_000 * k))
+             | Operand.Var s -> Operand.Var (Printf.sprintf "%s~%d" s k)
+             | Operand.Imm i -> Operand.Imm (i + k)
+             | Operand.Null -> Operand.Null
+           in
+           Tuple.make
+             ~id:(tu.Tuple.id + (10_000 * k))
+             tu.Tuple.op (operand tu.Tuple.a) (operand tu.Tuple.b))
+         (Array.to_list (Block.tuples blk)))
+  in
+  let rng = Rng.create 2026 in
+  (* Moderately hard uniques: each miss must cost a real search (a few
+     ms), while a hit costs one canonicalization + render (~50 us) —
+     otherwise the hot/cold ratio just measures JSON plumbing.  Blocks
+     are screened deterministically: kept only if the default search
+     completes (curtailed results are never cached) after a nontrivial
+     number of Omega calls. *)
+  let base =
+    let acc = ref [] and kept = ref 0 and drawn = ref 0 in
+    while !kept < uniques && !drawn < 50 * uniques do
+      incr drawn;
+      let blk =
+        Generator.block ~freq:Pipesched_synth.Frequency.mul_heavy rng
+          { Generator.statements = 15 + Rng.int rng 4;
+            variables = 5 + Rng.int rng 3;
+            constants = 2 + Rng.int rng 2 }
+      in
+      let stats =
+        (Optimal.schedule machine (Dag.of_block blk)).Optimal.stats
+      in
+      if stats.Optimal.completed && stats.Optimal.omega_calls >= 2000 then begin
+        incr kept;
+        acc := blk :: !acc
+      end
+    done;
+    if !kept < uniques then failwith "server: too few qualifying fixtures";
+    List.rev !acc
+  in
+  (* Interleave the classes so hits and misses mix the way a serving
+     workload would, rather than solving everything up front. *)
+  let requests =
+    List.concat
+      (List.init copies (fun k ->
+           List.mapi
+             (fun i blk ->
+               let id = (k * uniques) + i in
+               Json.to_string
+                 (Json.Assoc
+                    [ ("id", Json.Int id);
+                      ("machine", Json.String "simulation");
+                      ("block",
+                       Json.String (Block.to_string (relabel k blk))) ]))
+             base))
+  in
+  let n = List.length requests in
+  let replay server =
+    let lat = ref [] in
+    let responses =
+      List.map
+        (fun line ->
+          let t0 = Mclock.now () in
+          let r = Server.handle_line server line in
+          let ms =
+            Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e6
+          in
+          lat := ms :: !lat;
+          r)
+        requests
+    in
+    (responses, List.rev !lat)
+  in
+  let cold_server = Server.create ~cache_capacity:0 () in
+  let t0 = Mclock.now () in
+  let cold_responses, _ = replay cold_server in
+  let cold_s = Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e9 in
+  let hot_server = Server.create ~cache_capacity:4096 () in
+  let t0 = Mclock.now () in
+  let hot_responses, hot_lat = replay hot_server in
+  let hot_s = Int64.to_float (Int64.sub (Mclock.now ()) t0) /. 1e9 in
+  if not (List.for_all2 String.equal cold_responses hot_responses) then
+    failwith "server: cached response differed from a fresh solve";
+  List.iter
+    (fun r ->
+      if not (Json.member "ok" (Result.get_ok (Json.parse r)) = Some (Json.Bool true))
+      then failwith ("server: request failed: " ^ r))
+    hot_responses;
+  let hits = Server.cache_hits hot_server in
+  let misses = Server.cache_misses hot_server in
+  let hit_rate = float_of_int hits /. float_of_int n in
+  let evidence =
+    [ ("requests", float_of_int n);
+      ("unique_blocks", float_of_int uniques);
+      ("hit_rate", hit_rate);
+      ("hits", float_of_int hits);
+      ("misses", float_of_int misses);
+      ("req_per_s_cold", float_of_int n /. cold_s);
+      ("req_per_s_hot", float_of_int n /. hot_s);
+      ("speedup_hot_vs_cold", cold_s /. hot_s);
+      ("p50_ms", Harness.Stats.percentile 50.0 hot_lat);
+      ("p99_ms", Harness.Stats.percentile 99.0 hot_lat) ]
+  in
+  Printf.printf
+    "Server: %d requests (%d unique), hit rate %.2f, %.0f req/s hot vs \
+     %.0f req/s cold (%.1fx), byte-identical responses\n%!"
+    n uniques hit_rate
+    (float_of_int n /. hot_s)
+    (float_of_int n /. cold_s)
+    (cold_s /. hot_s);
+  evidence
+
 let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
-    estimates =
+    ~study_dedup estimates =
   let memo_on, memo_off = memo_evidence () in
   let deadline_s, deadline_entries = deadline_evidence () in
   let speedup_entries, speedup_identical = search_speedup_evidence () in
+  let server = server_evidence () in
+  let dedup_uniq, _, dedup_rate = study_dedup in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
   p "  \"schema\": 1,\n";
   p "  \"jobs\": %d,\n" jobs;
-  p "  \"study\": { \"count\": %d, \"failures\": %d, \"wall_s\": %.6f },\n"
-    study_count study_failures study_wall_s;
+  p
+    "  \"study\": { \"count\": %d, \"failures\": %d, \"wall_s\": %.6f, \
+     \"unique_blocks\": %d, \"dedup_rate\": %.4f },\n"
+    study_count study_failures study_wall_s dedup_uniq dedup_rate;
+  p "  \"server\": {";
+  List.iteri
+    (fun i (k, v) ->
+      p "%s \"%s\": %s"
+        (if i = 0 then "" else ",")
+        k
+        (if Float.is_integer v then Printf.sprintf "%.0f" v
+         else Printf.sprintf "%.4f" v))
+    server;
+  p " },\n";
   p
     "  \"memo\": { \"nops\": %d, \"calls_on\": %d, \"calls_off\": %d, \
      \"hits\": %d, \"entries\": %d, \"evictions\": %d },\n"
@@ -486,6 +630,8 @@ let () =
     (if jobs = 1 then "" else "s")
     search_jobs;
   write_results_json ~path:"BENCH_results.json" ~jobs ~study_count:count
-    ~study_failures ~study_wall_s estimates;
+    ~study_failures ~study_wall_s
+    ~study_dedup:(Harness.Study.dedup_stats study)
+    estimates;
   Harness.Experiments.run_all ~count ~jobs ~search_jobs ~study
     Format.std_formatter

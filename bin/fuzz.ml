@@ -1,8 +1,13 @@
 (* Differential fuzzing harness: random machine descriptions x random
    compiled blocks, every scheduler, every result independently
-   certified.  A failing case is shrunk greedily and written to
-   fuzz-repro-<seed>.json so it can be replayed and minimized further by
-   hand.  Exit status: 0 = all cases clean, 1 = at least one failure. *)
+   certified.  Cases whose (machine fingerprint, canonical block) pair
+   was already fuzzed are answered from the earlier verdict instead of
+   re-run — small random blocks recur, and certifying an isomorphic
+   presentation on the same machine proves nothing new.  A failing case
+   is shrunk greedily and written to fuzz-repro/fuzz-repro-<seed>.json
+   (directory created on demand) so it can be replayed and minimized
+   further by hand.  Exit status: 0 = all cases clean, 1 = at least one
+   failure. *)
 
 open Pipesched_ir
 open Pipesched_machine
@@ -164,14 +169,21 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_repro ~dir ~master_seed ~case ~case_seed machine blk shrunk
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "fuzz: %s exists and is not a directory" dir)
+
+let write_repro ~dir ~master_seed ~cases ~case ~case_seed machine blk shrunk
     violations =
+  ensure_dir dir;
   let path = Filename.concat dir (Printf.sprintf "fuzz-repro-%d.json" case_seed) in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
   p "{\n";
-  p "  \"schema\": 1,\n";
+  p "  \"schema\": 2,\n";
   p "  \"master_seed\": %d,\n" master_seed;
+  p "  \"cases\": %d,\n" cases;
   p "  \"case\": %d,\n" case;
   p "  \"case_seed\": %d,\n" case_seed;
   p "  \"machine\": \"%s\",\n" (json_escape (Machine.to_text machine));
@@ -191,7 +203,7 @@ let write_repro ~dir ~master_seed ~case ~case_seed machine blk shrunk
 
 (* ------------------------------------------------------------------ *)
 
-let run seed cases lambda search_jobs out =
+let run seed cases lambda search_jobs machines out =
   let search_jobs =
     Pipesched_parallel.Pool.resolve_search_jobs
       (if search_jobs <= 0 then None else Some search_jobs)
@@ -200,45 +212,94 @@ let run seed cases lambda search_jobs out =
   (* Pre-draw per-case seeds so a repro depends only on its case seed,
      not on how many cases ran before it. *)
   let case_seeds = Array.init cases (fun _ -> Rng.bits master) in
+  (* With [--machines M], cases draw their machine from a pre-generated
+     pool instead of a fresh one each: a small pool makes duplicate
+     (machine, block) pairs likely, so the dedup path does real work.
+     (Explicit loop: the master RNG is stateful and [Array.init]'s
+     evaluation order is unspecified.) *)
+  let pool =
+    if machines <= 0 then [||]
+    else begin
+      let a = Array.make machines (Generator.random_machine master) in
+      for i = 1 to machines - 1 do
+        a.(i) <- Generator.random_machine master
+      done;
+      a
+    end
+  in
   let failures = ref 0 in
+  (* Verdicts by (machine fingerprint, canonical block key): an
+     isomorphic duplicate inherits its representative's verdict instead
+     of being re-fuzzed — sound for the same reason the schedule cache
+     is (the searches and certifications are isomorphic). *)
+  let verdicts : (string, [ `Clean | `Failed of int ]) Hashtbl.t =
+    Hashtbl.create (2 * cases)
+  in
+  let unique = ref 0 in
   Array.iteri
     (fun case case_seed ->
       let rng = Rng.create case_seed in
-      let machine = Generator.random_machine rng in
+      let machine =
+        if machines <= 0 then Generator.random_machine rng
+        else pool.(Rng.int rng machines)
+      in
       let params =
         { Generator.statements = 2 + Rng.int rng 10;
           variables = 2 + Rng.int rng 5;
           constants = 1 + Rng.int rng 3 }
       in
       let blk = Generator.block rng params in
-      match run_case ~lambda ~search_jobs machine blk with
-      | [] -> ()
-      | violations ->
+      let key =
+        Machine.fingerprint machine ^ "\x00"
+        ^ (Canonical.of_block blk).Canonical.key
+      in
+      match Hashtbl.find_opt verdicts key with
+      | Some `Clean -> ()
+      | Some (`Failed rep_seed) ->
         incr failures;
-        let shrunk = shrink ~lambda ~search_jobs machine blk in
-        let shrunk_violations = run_case ~lambda ~search_jobs machine shrunk in
-        let reported =
-          if shrunk_violations = [] then violations else shrunk_violations
-        in
-        let path =
-          write_repro ~dir:out ~master_seed:seed ~case ~case_seed machine
-            blk shrunk reported
-        in
-        Printf.printf "case %d/%d (seed %d): FAILED, %d violation(s), repro %s\n%!"
-          (case + 1) cases case_seed
-          (List.length reported) path;
-        List.iter
-          (fun (label, msg) -> Printf.printf "  [%s] %s\n%!" label msg)
-          reported)
+        Printf.printf
+          "case %d/%d (seed %d): FAILED (duplicate of failing seed %d)\n%!"
+          (case + 1) cases case_seed rep_seed
+      | None -> (
+        incr unique;
+        match run_case ~lambda ~search_jobs machine blk with
+        | [] -> Hashtbl.add verdicts key `Clean
+        | violations ->
+          Hashtbl.add verdicts key (`Failed case_seed);
+          incr failures;
+          let shrunk = shrink ~lambda ~search_jobs machine blk in
+          let shrunk_violations =
+            run_case ~lambda ~search_jobs machine shrunk
+          in
+          let reported =
+            if shrunk_violations = [] then violations else shrunk_violations
+          in
+          let path =
+            write_repro ~dir:out ~master_seed:seed ~cases ~case ~case_seed
+              machine blk shrunk reported
+          in
+          Printf.printf
+            "case %d/%d (seed %d): FAILED, %d violation(s), repro %s\n%!"
+            (case + 1) cases case_seed
+            (List.length reported) path;
+          List.iter
+            (fun (label, msg) -> Printf.printf "  [%s] %s\n%!" label msg)
+            reported))
     case_seeds;
+  let dup_pct =
+    if cases = 0 then 0.0
+    else 100.0 *. float_of_int (cases - !unique) /. float_of_int cases
+  in
   if !failures = 0 then begin
-    Printf.printf "fuzz: %d cases clean (seed %d, lambda %d)\n" cases seed
-      lambda;
+    Printf.printf
+      "fuzz: %d cases clean (seed %d, lambda %d, %d unique / %.1f%% dedup)\n"
+      cases seed lambda !unique dup_pct;
     0
   end
   else begin
-    Printf.printf "fuzz: %d of %d cases FAILED (seed %d)\n" !failures cases
-      seed;
+    Printf.printf
+      "fuzz: %d of %d cases FAILED (seed %d, %d unique / %.1f%% dedup)\n"
+      !failures cases seed !unique dup_pct;
     1
   end
 
@@ -268,10 +329,24 @@ let search_jobs =
            branch-and-bound path is exercised (with an early escalation \
            threshold) and its results certified like any other.")
 
+let machines =
+  Arg.(
+    value & opt int 0
+    & info [ "machines" ] ~docv:"M"
+        ~doc:
+          "Draw each case's machine from a pool of $(docv) pre-generated \
+           random machines instead of a fresh machine per case (0 = \
+           fresh).  A small pool makes duplicate (machine, block) pairs \
+           likely, so the canonical-form dedup answers them from the \
+           earlier verdict.")
+
 let out =
   Arg.(
-    value & opt string "."
-    & info [ "out" ] ~doc:"Directory for fuzz-repro-<seed>.json files.")
+    value & opt string "fuzz-repro"
+    & info [ "out" ]
+        ~doc:
+          "Directory for fuzz-repro-<seed>.json files (created on demand, \
+           only when a case fails).")
 
 let cmd =
   Cmd.v
@@ -279,6 +354,6 @@ let cmd =
        ~doc:
          "differentially fuzz every scheduler against the independent \
           certifier")
-    Term.(const run $ seed $ cases $ lambda $ search_jobs $ out)
+    Term.(const run $ seed $ cases $ lambda $ search_jobs $ machines $ out)
 
 let () = exit (Cmd.eval' cmd)

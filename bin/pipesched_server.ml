@@ -1,0 +1,239 @@
+(* The scheduling daemon: line-delimited JSON requests over stdin/stdout
+   and (optionally) a Unix-domain socket, answered by a team of Pool
+   worker domains sharing one LRU schedule cache.
+
+   Threading model: I/O (the stdin reader, the socket acceptor, one
+   reader per connection) runs on systhreads, which park in blocking
+   calls without occupying a domain; compute runs on
+   [Pool.team ~jobs] worker domains that drain a shared job queue.
+   Responses go back through a per-channel mutex, so concurrent workers
+   never interleave bytes on one stream.
+
+   Shutdown: stdin EOF or SIGTERM stops intake (the listening socket is
+   closed), the workers drain every queued job, and the process exits 0.
+   In-flight connection readers are abandoned at exit — their requests
+   were either served or never fully submitted. *)
+
+module Pool = Pipesched_parallel.Pool
+module Server = Pipesched_serve.Server
+
+type job = { line : string; write : string -> unit }
+
+type state = {
+  server : Server.t;
+  queue : job Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  mutable draining : bool; (* no new jobs will be accepted *)
+  mutable listen_fd : Unix.file_descr option;
+  served : int Atomic.t;
+}
+
+let submit st job =
+  Mutex.lock st.qmutex;
+  let accepted = not st.draining in
+  if accepted then begin
+    Queue.push job st.queue;
+    Condition.signal st.qcond
+  end;
+  Mutex.unlock st.qmutex;
+  accepted
+
+let begin_shutdown st =
+  Mutex.lock st.qmutex;
+  st.draining <- true;
+  Condition.broadcast st.qcond;
+  let fd = st.listen_fd in
+  st.listen_fd <- None;
+  Mutex.unlock st.qmutex;
+  (* Closing the listener kicks the acceptor thread out of accept(2). *)
+  match fd with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ()
+
+(* Worker domain: drain jobs until the queue is empty *and* intake has
+   stopped. *)
+let worker st _rank =
+  let rec loop () =
+    Mutex.lock st.qmutex;
+    while Queue.is_empty st.queue && not st.draining do
+      Condition.wait st.qcond st.qmutex
+    done;
+    match Queue.take_opt st.queue with
+    | Some job ->
+      Mutex.unlock st.qmutex;
+      let response = Server.handle_line st.server job.line in
+      job.write response;
+      Atomic.incr st.served;
+      loop ()
+    | None ->
+      (* Empty and draining: done. *)
+      Mutex.unlock st.qmutex
+  in
+  loop ()
+
+(* A writer that frames one response per line under [mutex], ignoring
+   write failures (the peer may have hung up before its answer). *)
+let line_writer mutex oc response =
+  Mutex.lock mutex;
+  (try
+     output_string oc response;
+     output_char oc '\n';
+     flush oc
+   with Sys_error _ -> ());
+  Mutex.unlock mutex
+
+let reader_loop st ic write =
+  let rec go () =
+    match input_line ic with
+    | "" -> go ()
+    | line ->
+      ignore (submit st { line; write });
+      go ()
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+  in
+  go ()
+
+let stdin_reader st () =
+  let stdout_mutex = Mutex.create () in
+  reader_loop st stdin (line_writer stdout_mutex stdout);
+  (* stdin EOF is the daemon's stop signal. *)
+  begin_shutdown st
+
+let connection_thread st fd () =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let mutex = Mutex.create () in
+  reader_loop st ic (line_writer mutex oc);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let acceptor st listen_fd () =
+  let rec go () =
+    match Unix.accept ~cloexec:true listen_fd with
+    | fd, _ ->
+      ignore (Thread.create (connection_thread st fd) ());
+      go ()
+    | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> () (* closed *)
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+  in
+  go ()
+
+let run socket_path cache_capacity certify jobs lambda deadline_ms =
+  let server =
+    Server.create ~cache_capacity ~certify
+      ?lambda
+      ?deadline_ms
+      ()
+  in
+  let st =
+    {
+      server;
+      queue = Queue.create ();
+      qmutex = Mutex.create ();
+      qcond = Condition.create ();
+      draining = false;
+      listen_fd = None;
+      served = Atomic.make 0;
+    }
+  in
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Every thread of this process parks in blocking calls (cond waits,
+     read(2), accept(2)), so an asynchronous [Signal_handle] would never
+     reach a safe point.  Instead block the shutdown signals everywhere
+     and give them a dedicated watcher thread that receives them
+     synchronously. *)
+  ignore (Thread.sigmask SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+  ignore
+    (Thread.create
+       (fun () ->
+         let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+         begin_shutdown st)
+       ());
+  (match socket_path with
+  | None -> ()
+  | Some path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+    Unix.bind fd (ADDR_UNIX path);
+    Unix.listen fd 64;
+    st.listen_fd <- Some fd;
+    ignore (Thread.create (acceptor st fd) ()));
+  ignore (Thread.create (stdin_reader st) ());
+  let jobs = Pool.resolve_jobs jobs in
+  Pool.team ~jobs (fun rank -> worker st rank);
+  (match socket_path with
+  | None -> ()
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ()));
+  Printf.eprintf
+    "pipesched_server: served %d request(s), cache hits %d / misses %d\n%!"
+    (Atomic.get st.served) (Server.cache_hits server)
+    (Server.cache_misses server);
+  0
+
+open Cmdliner
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Also listen on a Unix-domain stream socket at $(docv) (stdin is \
+           always served).  The socket file is created at startup and \
+           removed on exit.")
+
+let cache_capacity =
+  Arg.(
+    value & opt int 4096
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:
+          "Schedule-cache capacity in entries (LRU eviction beyond it; 0 \
+           disables caching).")
+
+let certify =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Run the independent certifier on every fresh solve before it \
+           may enter the cache; a violation fails that request instead of \
+           poisoning the cache.")
+
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains answering requests concurrently (default: \
+           $(b,PIPESCHED_JOBS) or the machine's core count).")
+
+let lambda =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lambda" ] ~docv:"N"
+        ~doc:
+          "Default per-request Omega-call budget (requests may override \
+           with a \"lambda\" field).")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Default per-request wall-clock deadline for the anytime search \
+           (requests may override with a \"deadline_ms\" field).")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pipesched_server"
+       ~doc:
+         "long-lived scheduling service: line-delimited JSON requests on \
+          stdin and an optional Unix socket, duplicate blocks answered \
+          from a canonical-form schedule cache")
+    Term.(
+      const run $ socket $ cache_capacity $ certify $ jobs $ lambda
+      $ deadline_ms)
+
+let () = exit (Cmd.eval' cmd)

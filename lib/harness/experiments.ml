@@ -163,6 +163,14 @@ let print_table7 fmt study =
      0 unless something is genuinely broken — the row is the evidence
      that a long study did not silently drop work. *)
   row "Failed (contained) blocks" (fint failed) "-" "-" "-";
+  (* Duplicate elimination (extension): canonically equivalent blocks
+     are searched once and fanned out; this row reports how many
+     searches actually ran and the share saved. *)
+  let uniq, dtotal, rate = Study.dedup_stats study in
+  row "Unique Blocks (dedup)"
+    (Printf.sprintf "%d/%d" uniq dtotal)
+    (Printf.sprintf "%.1f%% dup" (100.0 *. rate))
+    "-" "-";
   row "Avg. Search Time (s)"
     (Printf.sprintf "%.4f" c.Study.avg_time_s)
     (Printf.sprintf "%.4f" t.Study.avg_time_s)

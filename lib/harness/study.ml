@@ -17,6 +17,7 @@ type record = {
   completed : bool;
   status : Budget.status;
   time_s : float;
+  unique : bool;
 }
 
 type failure = { exn : string; backtrace : string }
@@ -61,6 +62,7 @@ let run_block ?(options = default_options) ?(certify = false) machine blk =
     completed = outcome.Optimal.stats.Optimal.completed;
     status = outcome.Optimal.stats.Optimal.status;
     time_s = t1 -. t0;
+    unique = true;
   }
 
 (* Per-block seeds are pre-drawn serially (an explicit left-to-right
@@ -94,8 +96,61 @@ let run_protected ?(strict = false) ?jobs f xs =
         | Error { Pool.exn; backtrace } -> Failed { exn; backtrace })
       (Pool.parallel_map_result ?jobs f xs)
 
+(* Duplicate elimination via the canonical form (three phases, each one
+   deterministic at any job count, so callers' determinism contracts
+   survive):
+
+   1. the caller produces + keys every item in parallel (per-item fault
+      containment preserved — a failed item arrives as [Error]);
+   2. group by key serially, in input order — the first presentation of
+      each equivalence class becomes the class representative;
+   3. solve only the representatives in parallel, then fan each class's
+      record back out to every member, marked [unique = false] on the
+      copies.
+
+   A duplicate's record mirrors its representative's search (same NOP
+   counts by canonical-form soundness; the counters are the
+   representative's search, not a hypothetical re-search of the
+   duplicate's presentation).  [dedup_stats] reports the savings. *)
+let dedup_keyed ?strict ?jobs ~solve keyed =
+  let reps = Hashtbl.create 64 in
+  let uniques = ref [] in
+  let nuniq = ref 0 in
+  let tagged =
+    List.map
+      (function
+        | Error { Pool.exn; backtrace } -> `Failed { exn; backtrace }
+        | Ok (item, key) -> (
+          match Hashtbl.find_opt reps key with
+          | Some idx -> `Dup idx
+          | None ->
+            let idx = !nuniq in
+            incr nuniq;
+            Hashtbl.add reps key idx;
+            uniques := item :: !uniques;
+            `Rep idx))
+      keyed
+  in
+  let solved =
+    Array.of_list (run_protected ?strict ?jobs solve (List.rev !uniques))
+  in
+  List.map
+    (function
+      | `Failed f -> Failed f
+      | `Rep idx -> solved.(idx)
+      | `Dup idx -> (
+        match solved.(idx) with
+        | Scheduled r -> Scheduled { r with unique = false }
+        | Failed f -> Failed f))
+    tagged
+
+let run_dedup ?strict ?jobs ~key ~solve items =
+  dedup_keyed ?strict ?jobs ~solve
+    (Pool.parallel_map_result ?jobs (fun x -> (x, key x)) items)
+
 let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
-    ?freq ?jobs ?search_jobs ?strict ?certify ~seed ~count machine =
+    ?freq ?jobs ?search_jobs ?strict ?certify ?(dedup = true) ~seed ~count
+    machine =
   (* Two-level scheduling: [jobs] block-level domains, each block's
      search itself running on [search_jobs] team workers.  The search's
      determinism contract (same result at any job count) keeps the
@@ -132,15 +187,22 @@ let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
       in
       { options with Optimal.deadline_s = eff; cancel }
   in
-  run_protected ?strict ?jobs
-    (fun block_seed ->
-      let rng = Rng.create block_seed in
-      let blk =
-        Pipesched_synth.Generator.block ?freq rng
-          (Pipesched_synth.Generator.sample_params rng)
-      in
-      run_block ~options:(options_for_block ()) ?certify machine blk)
-    (Array.to_list (Array.sub seeds 0 count))
+  let generate block_seed =
+    let rng = Rng.create block_seed in
+    Pipesched_synth.Generator.block ?freq rng
+      (Pipesched_synth.Generator.sample_params rng)
+  in
+  let solve blk = run_block ~options:(options_for_block ()) ?certify machine blk in
+  let seed_list = Array.to_list (Array.sub seeds 0 count) in
+  if not dedup then
+    run_protected ?strict ?jobs (fun s -> solve (generate s)) seed_list
+  else
+    dedup_keyed ?strict ?jobs ~solve
+      (Pool.parallel_map_result ?jobs
+         (fun s ->
+           let blk = generate s in
+           (blk, (Canonical.of_block blk).Canonical.key))
+         seed_list)
 
 type aggregate = {
   runs : int;
@@ -176,3 +238,13 @@ let aggregate ~total records =
   }
 
 let by_size records = Stats.group_by (fun r -> r.size) records
+
+let dedup_stats results =
+  let recs = records results in
+  let total = List.length recs in
+  let uniq = List.length (List.filter (fun r -> r.unique) recs) in
+  let rate =
+    if total = 0 then 0.0
+    else 1.0 -. (float_of_int uniq /. float_of_int total)
+  in
+  (uniq, total, rate)

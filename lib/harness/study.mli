@@ -22,6 +22,11 @@ type record = {
           block's search — the record's [final_nops] is then the legal
           incumbent's *)
   time_s : float;           (** wall-clock seconds for the search *)
+  unique : bool;
+      (** true: this block's search was actually run (it was the first
+          presentation of its canonical equivalence class, or dedup was
+          off); false: the record was fanned out from a canonically
+          identical block solved earlier in the study *)
 }
 
 (** One contained per-block fault: the exception text and the backtrace
@@ -63,6 +68,24 @@ val run_block :
 val run_protected :
   ?strict:bool -> ?jobs:int -> ('a -> record) -> 'a list -> result list
 
+(** [run_dedup ?strict ?jobs ~key ~solve items] is the duplicate
+    elimination underneath {!run}, exposed for corpus-shaped drivers
+    (the fuzzer, tests): keys every item in parallel, groups equal keys
+    serially in input order, [solve]s only the first presentation of
+    each class across [jobs] domains, and fans its record back out to
+    the other members with [unique = false].  Sound whenever equal keys
+    imply equal search results — the intended key is
+    [Machine.fingerprint ^ Canonical.key].  Fault containment and the
+    [strict] switch behave as in {!run_protected} (a raise inside [key]
+    or [solve] fails that item, or its whole class, respectively). *)
+val run_dedup :
+  ?strict:bool ->
+  ?jobs:int ->
+  key:('a -> string) ->
+  solve:('a -> record) ->
+  'a list ->
+  result list
+
 (** [run ?options ?deadline_s ?block_deadline_s ?cancel ?freq ?jobs ~seed
     ~count machine] generates [count] blocks with the paper's size mix
     and schedules each, distributing blocks over [jobs] domains (default:
@@ -101,6 +124,19 @@ val run_protected :
     [schedules_completed] and [time_s], which at [search_jobs > 1]
     reflect racing workers.
 
+    Duplicate elimination (extension): with [dedup] (default true) the
+    population is grouped by {!Pipesched_ir.Canonical} key first and
+    only one representative per equivalence class is actually searched;
+    every other member receives a copy of its representative's record
+    with [unique = false].  Sound because canonically equal blocks have
+    isomorphic DAGs — the search result (NOP counts, status) transfers
+    exactly.  Still deterministic at any job count: generation +
+    canonicalization is a [parallel_map], grouping is serial in input
+    order, and representative solving is another [parallel_map].
+    [dedup:false] restores one search per block (the A/B lever for
+    testing the soundness claim).  {!dedup_stats} summarizes the
+    savings.
+
     The default [options] use [lambda = 50_000] (large relative to a
     typical complete search, per §5.3). *)
 val run :
@@ -113,6 +149,7 @@ val run :
   ?search_jobs:int ->
   ?strict:bool ->
   ?certify:bool ->
+  ?dedup:bool ->
   seed:int ->
   count:int ->
   Machine.t ->
@@ -138,3 +175,9 @@ val aggregate : total:int -> record list -> aggregate
 
 (** Per-block-size bucketing: [(size, records)] sorted by size. *)
 val by_size : record list -> (int * record list) list
+
+(** [(unique, total, dedup_rate)] over the scheduled records:
+    [unique] classes actually searched out of [total] blocks;
+    [dedup_rate = 1 - unique/total] (0 when dedup was off or every
+    block was distinct). *)
+val dedup_stats : result list -> int * int * float

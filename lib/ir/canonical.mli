@@ -1,0 +1,73 @@
+(** Isomorphism-stable canonical form of a block's dependence DAG.
+
+    Two blocks that differ only in {e scheduling-irrelevant} presentation
+    — instruction order (any topological reordering), tuple-id
+    ("virtual register") labels, variable names, or immediate values —
+    canonicalize to the same {!t}: the same canonical block, the same
+    {!key} string and the same {!val-hash}.  Everything Omega actually
+    consumes is preserved: operation kinds (hence pipeline candidates and
+    latencies, once a machine is fixed), the data-dependence edges, and
+    the memory-dependence structure — as the DAG records it.  Variable
+    sharing the DAG cannot see (unordered load pairs, or an anti
+    dependence collapsed into a coincident data edge) is deliberately
+    erased, which widens the equivalence class without changing any
+    edge.
+
+    The construction (see DESIGN.md §10):
+
+    + {b refinement}: each node gets a structural color, iteratively
+      refined from its operation kind and the sorted colors of its
+      predecessors and successors (with edge kinds), until the color
+      partition stabilizes — a Weisfeiler–Leman pass specialized to DAGs;
+    + {b canonical order}: a greedy topological order that always emits
+      the ready node with the least (placed-predecessor positions,
+      color, op) key.  Every component of the key is an isomorphism
+      invariant, so isomorphic presentations emit the same order; nodes
+      still tied are structurally interchangeable and either choice
+      yields the same canonical block;
+    + {b materialization}: the canonical {!block} is rebuilt in that
+      order with ids [1..n]; memory operations connected by {e recorded}
+      memory edges (flow/anti/output) form groups renamed by first
+      canonical occurrence ([s0, s1, ...]), while a memory op with no
+      recorded memory edge gets a private variable ([l<pos>] for loads,
+      [w<pos>] for stores) — reproducing the DAG's edge set exactly;
+      immediates are normalized to [0] and binary operands sorted by
+      canonical producer.
+
+    Soundness does not rest on the refinement being a complete
+    invariant: consumers (the schedule cache, the study/fuzz dedup) key
+    on the full {!key} string, so a hash collision — or an exotic pair
+    of non-isomorphic blocks the refinement cannot separate — can only
+    cost a missed dedup, never a wrong schedule.  [key]-equal blocks
+    have {e identical} canonical blocks, and a schedule of the canonical
+    block maps through {!perm} to a legal schedule of each original. *)
+
+type t = {
+  block : Block.t;  (** the canonical block: solve / hash this *)
+  perm : int array;
+      (** canonical position -> original block position (a bijection).
+          Do not mutate. *)
+  key : string;
+      (** the canonical block rendered as text — the exact cache /
+          dedup key (equality on [key] is equality of canonical forms) *)
+  hash : int;  (** 64-bit FNV-1a of [key] *)
+}
+
+(** Canonicalize a block (builds the DAG internally). *)
+val of_block : Block.t -> t
+
+(** Canonicalize an already-built DAG (avoids rebuilding it). *)
+val of_dag : Dag.t -> t
+
+(** [apply t corder] maps a schedule of the {e canonical} block (an
+    order array, new position -> canonical position) back onto the
+    original block: new position -> original position.  The result is a
+    legal order of the original block's DAG whenever [corder] is legal
+    for the canonical one, with identical NOP/issue behavior on any
+    machine. *)
+val apply : t -> int array -> int array
+
+(** FNV-1a (64-bit, as an OCaml [int]) of an arbitrary string — the hash
+    {!of_block} applies to {!key}.  Exposed for tests and for callers
+    that key auxiliary tables off precomputed key strings. *)
+val hash_string : string -> int

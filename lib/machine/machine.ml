@@ -39,6 +39,29 @@ let latency m op =
   | None -> 1
   | Some pid -> (pipe m pid).Pipe.latency
 
+let fingerprint m =
+  (* Everything scheduling observes, nothing it does not: pipe
+     parameters in id order (labels and the machine name are cosmetic)
+     and the op -> candidate-pipe map with ops in declaration order.
+     Candidate order is preserved — [default_pipe] is the first
+     candidate, so it is semantically load-bearing. *)
+  let buf = Buffer.create 64 in
+  Array.iter
+    (fun (p : Pipe.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "p%d,%d;" p.Pipe.latency p.Pipe.enqueue))
+    m.pipes;
+  List.iter
+    (fun op ->
+      match m.candidates op with
+      | [] -> ()
+      | pids ->
+        Buffer.add_string buf
+          (Printf.sprintf "%s:%s;" (Op.to_string op)
+             (String.concat "," (List.map string_of_int pids))))
+    Op.all;
+  Buffer.contents buf
+
 type diagnostic =
   | No_pipes
   | Bad_latency of { pipe : int; label : string; latency : int }

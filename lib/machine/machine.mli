@@ -42,6 +42,15 @@ val default_pipe : t -> Op.t -> int option
     operations). *)
 val latency : t -> Op.t -> int
 
+(** Structural fingerprint of the description: a compact string that is
+    identical for two machines exactly when scheduling cannot tell them
+    apart — same pipe parameters in the same id order, same
+    op-to-candidate-pipes map (candidate {e order} included, since the
+    first candidate is the default pipe).  Names and pipe labels are
+    ignored.  Used with {!Pipesched_ir.Canonical} as the schedule-cache
+    key. *)
+val fingerprint : t -> string
+
 (** {2 Validation}
 
     Structured validation of machine descriptions, for surfacing

@@ -1,0 +1,114 @@
+(* Hashtbl + doubly-linked recency list; every public operation holds
+   [lock], which is what makes the structure domain-safe (the server's
+   worker domains share one cache). *)
+
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option; (* toward MRU *)
+  mutable next : 'v node option; (* toward LRU *)
+}
+
+type 'v t = {
+  capacity : int;
+  tbl : (string, 'v node) Hashtbl.t;
+  mutable mru : 'v node option;
+  mutable lru : 'v node option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  lock : Mutex.t;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Lru.create: negative capacity";
+  {
+    capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    mru = None;
+    lru = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    lock = Mutex.create ();
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> Hashtbl.length t.tbl)
+
+(* Callers below hold the lock. *)
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.mru <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.lru <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.mru;
+  node.prev <- None;
+  (match t.mru with Some m -> m.prev <- Some node | None -> t.lru <- Some node);
+  t.mru <- Some node
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some node ->
+        t.hits <- t.hits + 1;
+        unlink t node;
+        push_front t node;
+        Some node.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
+
+let put t key v =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        (match Hashtbl.find_opt t.tbl key with
+        | Some node ->
+          node.value <- v;
+          unlink t node;
+          push_front t node
+        | None ->
+          let node = { key; value = v; prev = None; next = None } in
+          Hashtbl.replace t.tbl key node;
+          push_front t node);
+        if Hashtbl.length t.tbl > t.capacity then
+          match t.lru with
+          | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.tbl victim.key;
+            t.evictions <- t.evictions + 1
+          | None -> assert false)
+
+let hits t = locked t (fun () -> t.hits)
+let misses t = locked t (fun () -> t.misses)
+let evictions t = locked t (fun () -> t.evictions)
+
+let keys_mru t =
+  locked t (fun () ->
+      let rec go acc = function
+        | None -> List.rev acc
+        | Some node -> go (node.key :: acc) node.next
+      in
+      go [] t.mru)
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.mru <- None;
+      t.lru <- None;
+      t.hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)

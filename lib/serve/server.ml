@@ -1,0 +1,172 @@
+open Pipesched_ir
+open Pipesched_machine
+module Json = Pipesched_prelude.Json
+module Lru = Pipesched_prelude.Lru
+module Budget = Pipesched_prelude.Budget
+module Optimal = Pipesched_core.Optimal
+module Certify = Pipesched_verify.Certify
+
+(* Cached value: the solution of the *canonical* block.  Only Complete
+   solves are stored, so completed/status need not be remembered — a hit
+   renders exactly what the fresh Complete solve rendered. *)
+type t = {
+  cache : Omega.result Lru.t;
+  certify : bool;
+  lambda : int;
+  deadline_ms : float option;
+}
+
+let create ?(cache_capacity = 4096) ?(certify = false) ?lambda ?deadline_ms ()
+    =
+  let lambda =
+    match lambda with
+    | Some l -> l
+    | None -> Optimal.default_options.Optimal.lambda
+  in
+  { cache = Lru.create ~capacity:cache_capacity; certify; lambda; deadline_ms }
+
+let cache_hits t = Lru.hits t.cache
+let cache_misses t = Lru.misses t.cache
+let cache_evictions t = Lru.evictions t.cache
+let cache_length t = Lru.length t.cache
+
+(* ------------------------------------------------------------------ *)
+(* Request plumbing                                                    *)
+
+let error_response id msg =
+  Json.Assoc [ ("id", id); ("ok", Json.Bool false); ("error", Json.String msg) ]
+
+let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
+
+let render id (c : Canonical.t) (r : Omega.result) ~completed ~status =
+  Json.Assoc
+    [ ("id", id);
+      ("ok", Json.Bool true);
+      ("nops", Json.Int r.Omega.nops);
+      ("completed", Json.Bool completed);
+      ("status", Json.String (Budget.status_to_string status));
+      ("order", int_array (Canonical.apply c r.Omega.order));
+      ("eta", int_array r.Omega.eta);
+      ("issue", int_array r.Omega.issue);
+      ("pipes", int_array r.Omega.pipes) ]
+
+let resolve_machine json =
+  let of_text text =
+    match Machine.parse text with
+    | Ok m -> Ok m
+    | Error (line, msg) ->
+      Error (Printf.sprintf "machine description, line %d: %s" line msg)
+  in
+  match json with
+  | None -> Error "missing \"machine\" field"
+  | Some (Json.String s) -> (
+    match Machine.Presets.find s with
+    | Some m -> Ok m
+    | None ->
+      if String.contains s '\n' then of_text s
+      else
+        Error
+          (Printf.sprintf "unknown machine preset %S (presets: %s)" s
+             (String.concat ", " (List.map fst Machine.Presets.all))))
+  | Some json -> (
+    match Json.member "text" json with
+    | Some (Json.String text) -> of_text text
+    | _ -> Error "\"machine\" must be a preset name or {\"text\": ...}")
+
+let resolve_block json =
+  match json with
+  | None -> Error "missing \"block\" field"
+  | Some (Json.String text) -> (
+    match Block.parse text with
+    | Ok blk when Block.length blk > 0 -> Ok blk
+    | Ok _ -> Error "empty block"
+    | Error (line, msg) -> Error (Printf.sprintf "block, line %d: %s" line msg))
+  | Some _ -> Error "\"block\" must be a string"
+
+let stats_response t id =
+  Json.Assoc
+    [ ("id", id);
+      ("ok", Json.Bool true);
+      ("cache_length", Json.Int (cache_length t));
+      ("cache_capacity", Json.Int (Lru.capacity t.cache));
+      ("hits", Json.Int (cache_hits t));
+      ("misses", Json.Int (cache_misses t));
+      ("evictions", Json.Int (cache_evictions t)) ]
+
+let schedule_request t id req =
+  match resolve_machine (Json.member "machine" req) with
+  | Error msg -> error_response id msg
+  | Ok machine -> (
+    match Machine.validate machine with
+    | _ :: _ as diags ->
+      error_response id
+        ("invalid machine: "
+        ^ String.concat "; " (List.map Machine.diagnostic_to_string diags))
+    | [] -> (
+      match resolve_block (Json.member "block" req) with
+      | Error msg -> error_response id msg
+      | Ok blk -> (
+        let lambda =
+          match Option.bind (Json.member "lambda" req) Json.to_int_opt with
+          | Some l when l > 0 -> l
+          | _ -> t.lambda
+        in
+        let deadline_s =
+          match
+            Option.bind (Json.member "deadline_ms" req) Json.to_float_opt
+          with
+          | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
+          | _ -> Option.map (fun ms -> ms /. 1000.0) t.deadline_ms
+        in
+        let c = Canonical.of_block blk in
+        let key = Machine.fingerprint machine ^ "\x00" ^ c.Canonical.key in
+        match Lru.find t.cache key with
+        | Some result ->
+          render id c result ~completed:true ~status:Budget.Complete
+        | None -> (
+          let options =
+            { Optimal.default_options with Optimal.lambda; deadline_s }
+          in
+          let dag = Dag.of_block c.Canonical.block in
+          let o = Optimal.schedule ~options machine dag in
+          let result = o.Optimal.best in
+          let completed = o.Optimal.stats.Optimal.completed in
+          let status = o.Optimal.stats.Optimal.status in
+          let violations =
+            if t.certify then Certify.check machine c.Canonical.block result
+            else []
+          in
+          match violations with
+          | _ :: _ ->
+            error_response id
+              ("certification failed: "
+              ^ String.concat "; " (List.map Certify.explain violations))
+          | [] ->
+            (* Curtailed incumbents are served but never cached: a later
+               request with a looser budget must get its own solve. *)
+            if completed then Lru.put t.cache key result;
+            render id c result ~completed ~status))))
+
+let handle_request t req =
+  let id = Option.value ~default:Json.Null (Json.member "id" req) in
+  match Json.member "op" req with
+  | Some (Json.String "stats") -> stats_response t id
+  | Some (Json.String "ping") ->
+    Json.Assoc [ ("id", id); ("ok", Json.Bool true) ]
+  | Some (Json.String op) ->
+    error_response id (Printf.sprintf "unknown op %S" op)
+  | Some _ -> error_response id "\"op\" must be a string"
+  | None -> schedule_request t id req
+
+let handle_line t line =
+  let response =
+    match Json.parse line with
+    | Error msg -> error_response Json.Null msg
+    | Ok req -> (
+      match handle_request t req with
+      | resp -> resp
+      | exception exn ->
+        let id = Option.value ~default:Json.Null (Json.member "id" req) in
+        error_response id ("internal error: " ^ Printexc.to_string exn))
+  in
+  Json.to_string response

@@ -1,0 +1,92 @@
+(** The scheduling service behind [bin/pipesched_server]: request
+    handling, the schedule cache, and the line protocol — everything
+    except the I/O plumbing (stdin/socket loops live in the binary,
+    where they belong).
+
+    {2 Protocol}
+
+    One request per line, one response per line, both compact JSON.
+
+    A scheduling request:
+    {v
+      {"id": 1, "machine": "simulation",
+       "block": "1: Load #a\n2: Load #b\n3: Add t1, t2\n4: Store #c, t3",
+       "deadline_ms": 200, "lambda": 100000}
+    v}
+
+    [machine] is a preset name or an inline textual description
+    ({!Pipesched_machine.Machine.parse} format — either as the string
+    itself or as [{"text": "..."}]); [block] is
+    {!Pipesched_ir.Block.parse} format.  [id] is echoed back verbatim
+    and may be any JSON value (default [null]).  [deadline_ms] and
+    [lambda] are optional per-request budget overrides; a deadline maps
+    onto the anytime search, which then returns its best incumbent with
+    a non-["Complete"] status on expiry.
+
+    The response to a successful request:
+    {v
+      {"id": 1, "ok": true, "nops": 2, "completed": true,
+       "status": "Complete", "order": [0,1,2,3], "eta": [0,0,1,1],
+       "issue": [0,1,3,5], "pipes": [0,0,-1,-1]}
+    v}
+
+    [order] maps new position to position {e in the submitted block};
+    [eta]/[issue]/[pipes] are per new position, as in
+    {!Pipesched_machine.Omega.result}.  Failures (parse errors, invalid
+    machines, certification failures) are
+    [{"id": ..., "ok": false, "error": "..."}].
+
+    A [{"op": "stats"}] request returns cache occupancy and hit/miss
+    counters.
+
+    {2 Caching}
+
+    Responses are cached in a bounded {!Pipesched_prelude.Lru} keyed by
+    [Machine.fingerprint ^ "\x00" ^ Canonical.key]: everything the
+    search can observe and nothing it cannot.  The cached value is the
+    solution of the {e canonical} block; both the miss path (fresh
+    solve) and the hit path render responses by mapping that same
+    canonical solution through {!Pipesched_ir.Canonical.apply}, so a hit
+    is byte-identical to the fresh solve by construction — there is no
+    separate rendering to drift.  Only [Complete] results are inserted
+    (a curtailed incumbent is returned to its requester but never
+    poisons the cache), optionally gated by an independent
+    {!Pipesched_verify.Certify} pass.
+
+    {!handle_line} takes the cache's own mutex only; it is safe to call
+    concurrently from many domains (the daemon runs one
+    {!Pipesched_parallel.Pool.team} worker per job). *)
+
+type t
+
+(** [create ()] — a fresh server state.
+
+    [cache_capacity] bounds the schedule cache (entries; [0] disables
+    caching; default [4096]).  [certify] runs the independent checker on
+    every fresh solve before it may enter the cache, failing the request
+    on violations (default [false]).  [lambda] and [deadline_ms] are the
+    default per-request budgets ([lambda] default
+    {!Pipesched_core.Optimal.default_options}[.lambda]; no default
+    deadline); requests may override both. *)
+val create :
+  ?cache_capacity:int ->
+  ?certify:bool ->
+  ?lambda:int ->
+  ?deadline_ms:float ->
+  unit ->
+  t
+
+(** [handle_request t json] processes one parsed request. *)
+val handle_request : t -> Pipesched_prelude.Json.t -> Pipesched_prelude.Json.t
+
+(** [handle_line t line] parses and processes one protocol line,
+    returning the response line (no trailing newline).  Never raises:
+    malformed input yields an [ok: false] response. *)
+val handle_line : t -> string -> string
+
+(** {2 Cache counters} (monotone since {!create}) *)
+
+val cache_hits : t -> int
+val cache_misses : t -> int
+val cache_evictions : t -> int
+val cache_length : t -> int

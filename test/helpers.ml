@@ -98,3 +98,61 @@ let all_legal_orders dag =
   in
   go 0;
   !acc
+
+(* ------------------------------------------------------------------ *)
+(* Scheduling-irrelevant presentation changes (canonical-form tests and
+   the server's duplicate-traffic tests). *)
+
+(* A uniformly random legal topological reordering of [blk]. *)
+let random_topo_reorder rng blk =
+  let dag = Dag.of_block blk in
+  let n = Dag.length dag in
+  let indeg = Array.init n (fun v -> List.length (Dag.preds dag v)) in
+  let ready = ref (List.filter (fun v -> indeg.(v) = 0) (List.init n Fun.id)) in
+  let order = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let v = Rng.choose rng (Array.of_list !ready) in
+    ready := List.filter (fun w -> w <> v) !ready;
+    order.(j) <- v;
+    List.iter
+      (fun w ->
+        indeg.(w) <- indeg.(w) - 1;
+        if indeg.(w) = 0 then ready := w :: !ready)
+      (Dag.succs dag v)
+  done;
+  Block.permute blk order
+
+(* Relabel tuple ids by a random bijection, prefix every variable name,
+   shift immediates, and flip binary operand sides at random — all
+   scheduling-irrelevant presentation changes. *)
+let random_relabel rng blk =
+  let tus = Block.tuples blk in
+  let n = Array.length tus in
+  let fresh = Array.init (2 * n) (fun i -> i + 1) in
+  Rng.shuffle rng fresh;
+  let newid = Hashtbl.create n in
+  Array.iteri
+    (fun i (tu : Tuple.t) -> Hashtbl.replace newid tu.Tuple.id fresh.(i))
+    tus;
+  let value = function
+    | Operand.Ref id -> Operand.Ref (Hashtbl.find newid id)
+    | Operand.Imm k -> Operand.Imm (k + 1 + Rng.int rng 50)
+    | v -> v
+  in
+  let rename = function Operand.Var x -> Operand.Var ("r_" ^ x) | v -> v in
+  Block.of_tuples_exn
+    (Array.to_list tus
+    |> List.map (fun (tu : Tuple.t) ->
+           let id = Hashtbl.find newid tu.Tuple.id in
+           match tu.Tuple.op with
+           | Op.Const ->
+             Tuple.make ~id Op.Const (value tu.Tuple.a) Operand.Null
+           | Op.Load -> Tuple.make ~id Op.Load (rename tu.Tuple.a) Operand.Null
+           | Op.Store ->
+             Tuple.make ~id Op.Store (rename tu.Tuple.a) (value tu.Tuple.b)
+           | op when Op.value_arity op = 1 ->
+             Tuple.make ~id op (value tu.Tuple.a) Operand.Null
+           | op ->
+             let a = value tu.Tuple.a and b = value tu.Tuple.b in
+             let a, b = if Rng.bool rng then (a, b) else (b, a) in
+             Tuple.make ~id op a b))

@@ -80,12 +80,93 @@ let test_study_deterministic_results () =
   in
   check bool_t "deterministic" true (study () = study ())
 
+let test_study_dedup_sound () =
+  (* Dedup must not change what a study reports where transfer is sound:
+     same population, same per-block optimum and completion status.
+     (Counters like omega_calls describe the representative's search and
+     may legitimately differ from a duplicate's own would-be search.) *)
+  let with_d = Study.run ~dedup:true ~seed:11 ~count:40 machine in
+  let without = Study.run ~dedup:false ~seed:11 ~count:40 machine in
+  check int_t "same population" (List.length without) (List.length with_d);
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Study.Scheduled ra, Study.Scheduled rb ->
+        check int_t "same size" rb.Study.size ra.Study.size;
+        check bool_t "same completion" true
+          (ra.Study.completed = rb.Study.completed);
+        if ra.Study.completed then
+          check int_t "same optimal nops" rb.Study.final_nops
+            ra.Study.final_nops
+      | Study.Failed _, Study.Failed _ -> ()
+      | _ -> Alcotest.fail "dedup changed a block's fate")
+    with_d without;
+  (* dedup:false marks everything unique; the synthetic population may
+     or may not contain canonical duplicates (big random blocks rarely
+     collide) — run_dedup below tests the fan-out on guaranteed ones. *)
+  check bool_t "all unique without dedup" true
+    (List.for_all (fun r -> r.Study.unique) (Study.records without));
+  let uniq, total, rate = Study.dedup_stats with_d in
+  check int_t "total" 40 total;
+  check bool_t "uniques bounded" true (uniq <= total);
+  check bool_t "rate consistent" true
+    (Float.abs (rate -. (1.0 -. (float_of_int uniq /. float_of_int total)))
+    < 1e-9)
+
+let test_run_dedup_fanout () =
+  (* Guaranteed duplicates: isomorphic presentations (reordered +
+     relabeled) of a handful of base blocks.  run_dedup must solve one
+     representative per class and fan its record out byte-for-byte
+     (modulo time_s / unique). *)
+  let rng = Rng.create 77 in
+  let bases = List.init 4 (fun i -> random_block rng (6 + i)) in
+  let items =
+    List.concat_map
+      (fun b -> [ b; random_topo_reorder rng b; random_relabel rng b ])
+      bases
+  in
+  let key b = (Pipesched_ir.Canonical.of_block b).Pipesched_ir.Canonical.key in
+  let solve b = Study.run_block machine b in
+  let results = Study.run_dedup ~jobs:2 ~key ~solve items in
+  check int_t "population size" (List.length items) (List.length results);
+  check int_t "no failures" 0 (List.length (Study.failures results));
+  let uniq, total, rate = Study.dedup_stats results in
+  check int_t "classes" 4 uniq;
+  check int_t "total" 12 total;
+  feq "rate" (2.0 /. 3.0) rate;
+  (* Each class's three records agree where transfer is sound. *)
+  let recs = Array.of_list (Study.records results) in
+  List.iteri
+    (fun i _ ->
+      let rep = recs.(3 * i) in
+      check bool_t "rep unique" true rep.Study.unique;
+      List.iter
+        (fun j ->
+          let d = recs.((3 * i) + j) in
+          check bool_t "dup marked" false d.Study.unique;
+          check int_t "dup size" rep.Study.size d.Study.size;
+          check int_t "dup nops" rep.Study.final_nops d.Study.final_nops;
+          check int_t "dup calls" rep.Study.omega_calls d.Study.omega_calls;
+          check bool_t "dup status" true (d.Study.status = rep.Study.status))
+        [ 1; 2 ])
+    bases;
+  (* And the deduped optima match honest per-block searches. *)
+  List.iter2
+    (fun item r ->
+      match r with
+      | Study.Scheduled rec_ ->
+        let fresh = Study.run_block machine item in
+        check int_t "same optimum as fresh solve" fresh.Study.final_nops
+          rec_.Study.final_nops
+      | Study.Failed _ -> Alcotest.fail "unexpected failure")
+    items results
+
 let test_aggregate () =
   let rec_ size initial final =
     { Study.size; initial_nops = initial; final_nops = final;
       omega_calls = 10; schedules_completed = 1; memo_hits = 0;
       completed = true; status = Pipesched_prelude.Budget.Complete;
-      time_s = 0.0 }
+      time_s = 0.0; unique = true }
   in
   let agg = Study.aggregate ~total:4 [ rec_ 10 5 1; rec_ 20 7 3 ] in
   check int_t "runs" 2 agg.Study.runs;
@@ -99,7 +180,7 @@ let test_by_size () =
     { Study.size; initial_nops = 0; final_nops = 0; omega_calls = 0;
       schedules_completed = 0; memo_hits = 0; completed = true;
       status = Pipesched_prelude.Budget.Complete;
-      time_s = 0.0 }
+      time_s = 0.0; unique = true }
   in
   let groups = Study.by_size [ rec_ 5; rec_ 3; rec_ 5 ] in
   check bool_t "keys sorted" true (List.map fst groups = [ 3; 5 ]);
@@ -184,6 +265,8 @@ let () =
         [ Alcotest.test_case "run_block record" `Quick test_run_block_record;
           Alcotest.test_case "deterministic" `Quick
             test_study_deterministic_results;
+          Alcotest.test_case "dedup sound" `Quick test_study_dedup_sound;
+          Alcotest.test_case "run_dedup fanout" `Quick test_run_dedup_fanout;
           Alcotest.test_case "aggregate" `Quick test_aggregate;
           Alcotest.test_case "by_size" `Quick test_by_size ] );
       ( "paper",

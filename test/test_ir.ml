@@ -342,6 +342,160 @@ let permute_legal_orders =
           | exception Invalid_argument _ -> false)
         (all_legal_orders dag))
 
+(* ------------------------------------------------------------------ *)
+(* Canonical: isomorphism-stable form and hash.                        *)
+
+let seeded_block_gen =
+  QCheck2.Gen.(
+    pair (int_bound 1_000_000) (int_range 1 14)
+    |> map (fun (seed, n) ->
+           let rng = Rng.create seed in
+           (random_block rng n, seed)))
+
+let seeded_print (blk, seed) =
+  Printf.sprintf "seed %d:\n%s" seed (Block.to_string blk)
+
+(* Canonicalization is invariant under any composition of topological
+   reordering and relabeling, and idempotent (the canonical block is its
+   own canonical form). *)
+let canonical_invariance =
+  qtest ~count:300 "canonical key invariant under iso presentations"
+    seeded_block_gen seeded_print
+    (fun (blk, seed) ->
+      let rng = Rng.create (seed + 1) in
+      let c = Canonical.of_block blk in
+      let variants =
+        [ random_topo_reorder rng blk;
+          random_relabel rng blk;
+          random_relabel rng (random_topo_reorder rng blk);
+          c.Canonical.block ]
+      in
+      List.for_all
+        (fun v ->
+          let cv = Canonical.of_block v in
+          String.equal cv.Canonical.key c.Canonical.key
+          && cv.Canonical.hash = c.Canonical.hash
+          && Block.equal cv.Canonical.block c.Canonical.block)
+        variants)
+
+(* [apply] maps every legal order of the canonical block onto a legal
+   order of the original (small blocks, full enumeration). *)
+let canonical_apply_legal =
+  qtest ~count:60 "canonical apply maps legal orders to legal orders"
+    (block_gen ~max_size:7 ()) block_print
+    (fun blk ->
+      let dag = Dag.of_block blk in
+      let c = Canonical.of_block blk in
+      let cdag = Dag.of_block c.Canonical.block in
+      List.for_all
+        (fun corder -> Dag.is_legal_order dag (Canonical.apply c corder))
+        (all_legal_orders cdag))
+
+(* Flipping one op kind changes the op multiset, so the key must move. *)
+let canonical_detects_op_flip =
+  qtest ~count:200 "canonical key detects op-kind flips" seeded_block_gen
+    seeded_print
+    (fun (blk, _) ->
+      let tus = Block.tuples blk in
+      let site =
+        Array.to_list tus
+        |> List.find_opt (fun (tu : Tuple.t) -> Op.value_arity tu.Tuple.op = 2)
+      in
+      match site with
+      | None -> true (* vacuous: nothing to flip *)
+      | Some tu ->
+        let flip = if tu.Tuple.op = Op.Add then Op.Xor else Op.Add in
+        let blk' =
+          Block.of_tuples_exn
+            (Array.to_list tus
+            |> List.map (fun (t : Tuple.t) ->
+                   if t.Tuple.id = tu.Tuple.id then
+                     Tuple.make ~id:t.Tuple.id flip t.Tuple.a t.Tuple.b
+                   else t))
+        in
+        not
+          (String.equal (Canonical.of_block blk).Canonical.key
+             (Canonical.of_block blk').Canonical.key))
+
+(* Adding one data edge (immediate operand -> reference to a producer the
+   tuple does not already read) changes the data-edge count, so the key
+   must move. *)
+let canonical_detects_edge_add =
+  qtest ~count:200 "canonical key detects added dependences" seeded_block_gen
+    seeded_print
+    (fun (blk, _) ->
+      let tus = Block.tuples blk in
+      let producers_before i =
+        Array.to_list (Array.sub tus 0 i)
+        |> List.filter Tuple.produces_value
+        |> List.map (fun (t : Tuple.t) -> t.Tuple.id)
+      in
+      let site = ref None in
+      Array.iteri
+        (fun i (tu : Tuple.t) ->
+          if !site = None && Op.value_arity tu.Tuple.op = 2 then
+            match tu.Tuple.b with
+            | Operand.Imm _ ->
+              let avoid =
+                match tu.Tuple.a with Operand.Ref r -> Some r | _ -> None
+              in
+              (match
+                 List.filter (fun id -> Some id <> avoid) (producers_before i)
+               with
+              | id :: _ -> site := Some (tu, id)
+              | [] -> ())
+            | _ -> ())
+        tus;
+      match !site with
+      | None -> true (* vacuous: no place to add an edge *)
+      | Some (tu, target) ->
+        let blk' =
+          Block.of_tuples_exn
+            (Array.to_list tus
+            |> List.map (fun (t : Tuple.t) ->
+                   if t.Tuple.id = tu.Tuple.id then
+                     Tuple.make ~id:t.Tuple.id t.Tuple.op t.Tuple.a
+                       (Operand.Ref target)
+                   else t))
+        in
+        not
+          (String.equal (Canonical.of_block blk).Canonical.key
+             (Canonical.of_block blk').Canonical.key))
+
+let test_canonical_shapes () =
+  (* Two hand-written presentations of the same computation: different
+     ids, variable names, immediates, instruction order, operand sides. *)
+  let p1 =
+    Block.of_tuples_exn
+      [ Tuple.make ~id:1 Op.Load (Operand.Var "a") Operand.Null;
+        Tuple.make ~id:2 Op.Load (Operand.Var "b") Operand.Null;
+        Tuple.make ~id:3 Op.Add (Operand.Ref 1) (Operand.Ref 2);
+        Tuple.make ~id:4 Op.Store (Operand.Var "c") (Operand.Ref 3) ]
+  in
+  let p2 =
+    Block.of_tuples_exn
+      [ Tuple.make ~id:9 Op.Load (Operand.Var "y") Operand.Null;
+        Tuple.make ~id:4 Op.Load (Operand.Var "x") Operand.Null;
+        Tuple.make ~id:7 Op.Add (Operand.Ref 4) (Operand.Ref 9);
+        Tuple.make ~id:1 Op.Store (Operand.Var "z") (Operand.Ref 7) ]
+  in
+  let c1 = Canonical.of_block p1 and c2 = Canonical.of_block p2 in
+  check bool_t "same key" true (String.equal c1.Canonical.key c2.Canonical.key);
+  check bool_t "same hash" true (c1.Canonical.hash = c2.Canonical.hash);
+  (* A genuinely different computation (Mul instead of Add) separates. *)
+  let p3 =
+    Block.of_tuples_exn
+      [ Tuple.make ~id:1 Op.Load (Operand.Var "a") Operand.Null;
+        Tuple.make ~id:2 Op.Load (Operand.Var "b") Operand.Null;
+        Tuple.make ~id:3 Op.Mul (Operand.Ref 1) (Operand.Ref 2);
+        Tuple.make ~id:4 Op.Store (Operand.Var "c") (Operand.Ref 3) ]
+  in
+  check bool_t "mul differs" false
+    (String.equal c1.Canonical.key (Canonical.of_block p3).Canonical.key);
+  (* hash_string is the documented FNV-1a: fixed known vector. *)
+  check bool_t "fnv empty" true
+    (Canonical.hash_string "" = (0xcbf29ce4 lsl 32) lor 0x84222325)
+
 let () =
   Alcotest.run "ir"
     [ ( "op",
@@ -379,4 +533,10 @@ let () =
           Alcotest.test_case "is_legal_order" `Quick test_is_legal_order;
           closure_agrees;
           earliest_latest_bound;
-          permute_legal_orders ] ) ]
+          permute_legal_orders ] );
+      ( "canonical",
+        [ Alcotest.test_case "shapes" `Quick test_canonical_shapes;
+          canonical_invariance;
+          canonical_apply_legal;
+          canonical_detects_op_flip;
+          canonical_detects_edge_add ] ) ]

@@ -615,6 +615,114 @@ let test_incumbent_concurrent_converges () =
   check bool_t "payload matches owner" true
     (Incumbent.best t = Some (20, !min_rank))
 
+(* ------------------------------------------------------------------ *)
+(* Lru                                                                 *)
+
+module Lru = Pipesched_prelude.Lru
+
+let test_lru_capacity_bound () =
+  let c = Lru.create ~capacity:3 in
+  for i = 1 to 10 do
+    Lru.put c (string_of_int i) i
+  done;
+  check int_t "length stays at capacity" 3 (Lru.length c);
+  check int_t "evictions" 7 (Lru.evictions c);
+  check bool_t "newest survives" true (Lru.mem c "10");
+  check bool_t "oldest gone" false (Lru.mem c "1")
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  Lru.put c "a" 1;
+  Lru.put c "b" 2;
+  Lru.put c "c" 3;
+  (* Touch "a" so "b" becomes least-recent, then overflow. *)
+  check bool_t "hit a" true (Lru.find c "a" = Some 1);
+  Lru.put c "d" 4;
+  check bool_t "b evicted" false (Lru.mem c "b");
+  check bool_t "a kept" true (Lru.mem c "a");
+  check bool_t "mru order" true (Lru.keys_mru c = [ "d"; "a"; "c" ]);
+  (* Replacing an existing key promotes without evicting. *)
+  Lru.put c "c" 33;
+  check int_t "no extra eviction" 1 (Lru.evictions c);
+  check bool_t "c promoted" true (Lru.keys_mru c = [ "c"; "d"; "a" ]);
+  check bool_t "c updated" true (Lru.find c "c" = Some 33)
+
+let test_lru_counters () =
+  let c = Lru.create ~capacity:2 in
+  check bool_t "miss" true (Lru.find c "x" = None);
+  Lru.put c "x" 1;
+  check bool_t "hit" true (Lru.find c "x" = Some 1);
+  check bool_t "miss again" true (Lru.find c "y" = None);
+  check int_t "hits" 1 (Lru.hits c);
+  check int_t "misses" 2 (Lru.misses c);
+  Lru.clear c;
+  check int_t "cleared hits" 0 (Lru.hits c);
+  check int_t "cleared length" 0 (Lru.length c);
+  check bool_t "cleared" true (Lru.find c "x" = None)
+
+let test_lru_zero_capacity () =
+  let c = Lru.create ~capacity:0 in
+  Lru.put c "x" 1;
+  check int_t "inert" 0 (Lru.length c);
+  check bool_t "always misses" true (Lru.find c "x" = None);
+  check int_t "no evictions" 0 (Lru.evictions c)
+
+let test_lru_concurrent () =
+  (* Hammer one cache from several domains; the exercise is mutual
+     exclusion (no torn list), checked by a consistent final state. *)
+  let c = Lru.create ~capacity:64 in
+  let worker seed () =
+    let rng = Rng.create seed in
+    for _ = 1 to 2_000 do
+      let k = string_of_int (Rng.int rng 100) in
+      if Rng.bool rng then ignore (Lru.find c k) else Lru.put c k seed
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join domains;
+  check bool_t "within capacity" true (Lru.length c <= 64);
+  check int_t "list and table agree" (Lru.length c)
+    (List.length (Lru.keys_mru c));
+  check bool_t "accounting adds up" true
+    (Lru.hits c + Lru.misses c <= 4 * 2_000)
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+module Json = Pipesched_prelude.Json
+
+let test_json_roundtrip () =
+  let v =
+    Json.Assoc
+      [ ("id", Json.Int 7);
+        ("ok", Json.Bool true);
+        ("pi", Json.Float 3.5);
+        ("msg", Json.String "a \"quoted\"\nline\twith \\ stuff");
+        ("items", Json.List [ Json.Int 1; Json.Null; Json.String "x" ]);
+        ("nested", Json.Assoc [ ("empty", Json.List []) ]) ]
+  in
+  match Json.parse (Json.to_string v) with
+  | Ok v' -> check bool_t "roundtrip" true (v = v')
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+
+let test_json_parse_basics () =
+  check bool_t "int" true (Json.parse "42" = Ok (Json.Int 42));
+  check bool_t "negative" true (Json.parse "-3" = Ok (Json.Int (-3)));
+  check bool_t "float" true (Json.parse "2.5" = Ok (Json.Float 2.5));
+  check bool_t "ws" true
+    (Json.parse "  {\"a\" : [1, 2]}  "
+    = Ok (Json.Assoc [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ]));
+  check bool_t "escape" true
+    (Json.parse "\"a\\u0041\\n\"" = Ok (Json.String "aA\n"));
+  check bool_t "trailing rejected" true
+    (match Json.parse "1 2" with Error _ -> true | Ok _ -> false);
+  check bool_t "unterminated rejected" true
+    (match Json.parse "{\"a\": 1" with Error _ -> true | Ok _ -> false);
+  check bool_t "member" true
+    (Json.member "a" (Json.Assoc [ ("a", Json.Int 1) ]) = Some (Json.Int 1));
+  check bool_t "float of int" true
+    (Json.to_float_opt (Json.Int 2) = Some 2.0)
+
 let () =
   Alcotest.run "prelude"
     [ ( "bitset",
@@ -679,4 +787,14 @@ let () =
           Alcotest.test_case "tie window by rank" `Quick
             test_incumbent_limit_tie_window;
           Alcotest.test_case "concurrent converges" `Quick
-            test_incumbent_concurrent_converges ] ) ]
+            test_incumbent_concurrent_converges ] );
+      ( "lru",
+        [ Alcotest.test_case "capacity bound" `Quick test_lru_capacity_bound;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "hit/miss counters" `Quick test_lru_counters;
+          Alcotest.test_case "zero capacity inert" `Quick
+            test_lru_zero_capacity;
+          Alcotest.test_case "concurrent access" `Quick test_lru_concurrent ] );
+      ( "json",
+        [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics ] ) ]

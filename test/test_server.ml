@@ -1,0 +1,207 @@
+(* Tests for Pipesched_serve.Server: protocol shapes, cache parity
+   (cached responses byte-identical to fresh solves), and concurrent
+   mixed-duplicate traffic. *)
+
+open Pipesched_ir
+module Rng = Pipesched_prelude.Rng
+module Json = Pipesched_prelude.Json
+module Server = Pipesched_serve.Server
+open Helpers
+
+(* One request line for [blk] (the test traffic is JSON text, exactly
+   what the daemon reads). *)
+let request_line ?deadline_ms id blk =
+  let fields =
+    [ ("id", Json.Int id);
+      ("machine", Json.String "simulation");
+      ("block", Json.String (Block.to_string blk)) ]
+    @
+    match deadline_ms with
+    | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+    | None -> []
+  in
+  Json.to_string (Json.Assoc fields)
+
+(* Strip the echoed id so responses to different requests for the same
+   block compare equal. *)
+let strip_id line =
+  match Json.parse line with
+  | Ok (Json.Assoc fields) ->
+    Json.to_string (Json.Assoc (List.remove_assoc "id" fields))
+  | Ok v -> Json.to_string v
+  | Error msg -> Alcotest.failf "unparsable response %S: %s" line msg
+
+let test_protocol_basics () =
+  let t = Server.create () in
+  let ok line =
+    match Json.parse (Server.handle_line t line) with
+    | Ok resp -> (
+      match Json.member "ok" resp with
+      | Some (Json.Bool b) -> b
+      | _ -> Alcotest.fail "response without ok field")
+    | Error msg -> Alcotest.failf "bad response: %s" msg
+  in
+  check bool_t "malformed json" false (ok "{nope");
+  check bool_t "missing machine" false (ok "{\"block\": \"1: Load #a\"}");
+  check bool_t "unknown preset" false
+    (ok "{\"machine\": \"nope\", \"block\": \"1: Load #a\"}");
+  check bool_t "bad block" false
+    (ok "{\"machine\": \"simulation\", \"block\": \"what\"}");
+  check bool_t "empty block" false
+    (ok "{\"machine\": \"simulation\", \"block\": \"\"}");
+  check bool_t "schedules" true
+    (ok "{\"machine\": \"simulation\", \"block\": \"1: Load #a\"}");
+  check bool_t "stats op" true (ok "{\"op\": \"stats\"}");
+  check bool_t "ping op" true (ok "{\"op\": \"ping\"}");
+  check bool_t "unknown op" false (ok "{\"op\": \"nope\"}");
+  (* Inline textual machine descriptions work too. *)
+  check bool_t "inline machine" true
+    (ok
+       "{\"machine\": {\"text\": \"machine m\\npipe loader 2 1\\nops Load \
+        -> 0\"}, \"block\": \"1: Load #a\"}")
+
+(* The response to a request must not depend on whether it was answered
+   by the cache: replay mixed duplicate traffic against a caching server
+   and an uncached one, and require byte equality line by line. *)
+let test_cache_parity () =
+  let rng = Rng.create 0xbeef in
+  let blocks = List.init 8 (fun _ -> random_block rng (4 + Rng.int rng 8)) in
+  let traffic =
+    List.concat_map
+      (fun blk ->
+        blk
+        :: List.init 3 (fun _ ->
+               random_relabel rng (random_topo_reorder rng blk)))
+      blocks
+  in
+  let cached = Server.create ~cache_capacity:256 () in
+  let uncached = Server.create ~cache_capacity:0 () in
+  List.iteri
+    (fun i blk ->
+      let line = request_line i blk in
+      let a = Server.handle_line cached line in
+      let b = Server.handle_line uncached line in
+      check bool_t (Printf.sprintf "request %d byte-identical" i) true
+        (String.equal a b))
+    traffic;
+  check bool_t "cache actually hit" true (Server.cache_hits cached > 0);
+  check bool_t "uncached never hit" true (Server.cache_hits uncached = 0);
+  check int_t "one entry per unique block" (List.length blocks)
+    (Server.cache_length cached)
+
+(* Isomorphic presentations of one block must get responses that agree
+   after the per-presentation order remap: same nops, same eta/issue,
+   and a legal order for their own block. *)
+let test_iso_responses_consistent () =
+  let rng = Rng.create 0xfeed in
+  let t = Server.create () in
+  for i = 1 to 12 do
+    let blk = random_block rng (4 + Rng.int rng 8) in
+    let variant = random_relabel rng (random_topo_reorder rng blk) in
+    let get blk =
+      match Json.parse (Server.handle_line t (request_line i blk)) with
+      | Ok resp ->
+        let field name =
+          match Json.member name resp with
+          | Some (Json.List xs) ->
+            List.map (fun j -> Option.get (Json.to_int_opt j)) xs
+          | _ -> Alcotest.failf "response missing %s" name
+        in
+        let nops =
+          match Json.member "nops" resp with
+          | Some (Json.Int n) -> n
+          | _ -> Alcotest.fail "response missing nops"
+        in
+        (nops, field "order", field "eta", field "issue")
+      | Error msg -> Alcotest.failf "bad response: %s" msg
+    in
+    let nops, order, eta, issue = get blk in
+    let nops', order', eta', issue' = get variant in
+    check int_t "same nops" nops nops';
+    check bool_t "same stall shape" true (eta = eta' && issue = issue');
+    check bool_t "legal for original" true
+      (Dag.is_legal_order (Dag.of_block blk) (Array.of_list order));
+    check bool_t "legal for variant" true
+      (Dag.is_legal_order (Dag.of_block variant) (Array.of_list order'))
+  done
+
+(* Hammer one caching server from several domains with mixed duplicate
+   traffic; every response must equal the serially computed uncached
+   response for its line. *)
+let test_concurrent_parity () =
+  let rng = Rng.create 0xcafe in
+  let blocks = List.init 6 (fun _ -> random_block rng (4 + Rng.int rng 6)) in
+  let traffic =
+    List.concat_map
+      (fun blk ->
+        blk
+        :: List.init 7 (fun _ ->
+               random_relabel rng (random_topo_reorder rng blk)))
+      blocks
+    |> List.mapi (fun i blk -> request_line i blk)
+    |> Array.of_list
+  in
+  (* Shuffle so duplicates interleave across domains. *)
+  Rng.shuffle rng traffic;
+  let expected =
+    let uncached = Server.create ~cache_capacity:0 () in
+    Array.map (fun line -> strip_id (Server.handle_line uncached line)) traffic
+  in
+  let t = Server.create ~cache_capacity:256 () in
+  let njobs = 4 in
+  let results = Array.make (Array.length traffic) "" in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length traffic then begin
+        results.(i) <- Server.handle_line t traffic.(i);
+        go ()
+      end
+    in
+    go ()
+  in
+  let domains = List.init njobs (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  Array.iteri
+    (fun i got ->
+      check bool_t
+        (Printf.sprintf "concurrent response %d matches fresh solve" i)
+        true
+        (String.equal (strip_id got) expected.(i)))
+    results;
+  check bool_t "hits under concurrency" true (Server.cache_hits t > 0);
+  check bool_t "misses bounded by uniques + races" true
+    (Server.cache_misses t >= List.length blocks)
+
+(* A curtailed solve (deadline ~ 0) is served but never cached. *)
+let test_curtailed_not_cached () =
+  let rng = Rng.create 0xd00d in
+  let blk = random_block rng 16 in
+  let t = Server.create () in
+  let resp =
+    Server.handle_line t (request_line ~deadline_ms:0.000001 0 blk)
+  in
+  match Json.parse resp with
+  | Error msg -> Alcotest.failf "bad response: %s" msg
+  | Ok r ->
+    check bool_t "served ok" true (Json.member "ok" r = Some (Json.Bool true));
+    (match Json.member "completed" r with
+    | Some (Json.Bool false) ->
+      check int_t "not inserted" 0 (Server.cache_length t)
+    | _ ->
+      (* The search beat even that deadline: it may cache.  Nothing to
+         assert beyond the response being well-formed. *)
+      ())
+
+let () =
+  Alcotest.run "server"
+    [ ( "server",
+        [ Alcotest.test_case "protocol basics" `Quick test_protocol_basics;
+          Alcotest.test_case "cache parity" `Quick test_cache_parity;
+          Alcotest.test_case "iso responses consistent" `Quick
+            test_iso_responses_consistent;
+          Alcotest.test_case "concurrent parity" `Quick
+            test_concurrent_parity;
+          Alcotest.test_case "curtailed not cached" `Quick
+            test_curtailed_not_cached ] ) ]
