@@ -517,12 +517,89 @@ let server_evidence () =
     (cold_s /. hot_s);
   evidence
 
+(* Mega-study evidence: the sharded engine's headline numbers, plus its
+   two correctness claims asserted outright — the aggregate is
+   byte-identical at shard counts 1/2/4, and a SIGKILLed-then-resumed
+   run's aggregate is byte-identical to an uninterrupted one.  A third,
+   soft claim rides along: worker RSS at the end of the run over RSS at
+   its first checkpoint (max across shards) stays near 1, i.e. streaming
+   aggregation really is constant-memory.
+
+   PIPESCHED_MEGA_COUNT sets the corpus size (default 20000; the
+   committed baseline uses 100000). *)
+let mega_evidence () =
+  let count =
+    match Sys.getenv_opt "PIPESCHED_MEGA_COUNT" with
+    | Some s -> int_of_string s
+    | None -> 20_000
+  in
+  let dir = "_mega_bench" in
+  let cfg shards =
+    {
+      Harness.Mega.default with
+      Harness.Mega.seed = 2026;
+      count;
+      shards;
+      jobs = 1;
+      dedup_capacity = 4096;
+      checkpoint_every = max 1 (count / 16);
+      checkpoint_dir = dir;
+    }
+  in
+  let run ?(resume = false) shards =
+    match Harness.Mega.run ~resume (cfg shards) with
+    | Error m -> failwith ("mega: " ^ m)
+    | Ok (agg, stats) -> (Harness.Aggregate.render agg, stats)
+  in
+  let r1, s1 = run 1 in
+  let r2, s2 = run 2 in
+  let r4, s4 = run 4 in
+  if not (String.equal r1 r2 && String.equal r1 r4) then
+    failwith "mega: aggregate differs across shard counts";
+  (* Kill shard 1 of 2 partway into its slice — deliberately between
+     checkpoints — then resume and demand the uninterrupted bytes. *)
+  Unix.putenv "PIPESCHED_MEGA_CRASH"
+    (Printf.sprintf "1:%d" ((count / 4) + 3));
+  let crashed =
+    match Harness.Mega.run ~resume:false (cfg 2) with
+    | Ok _ -> false
+    | Error _ -> true
+  in
+  Unix.putenv "PIPESCHED_MEGA_CRASH" "";
+  if not crashed then failwith "mega: injected crash did not fail the run";
+  let r_resumed, s_resumed = run ~resume:true 2 in
+  if not (String.equal r_resumed r1) then
+    failwith "mega: resumed aggregate differs from uninterrupted run";
+  if s_resumed.Harness.Mega.resumed = 0 then
+    failwith "mega: resume replayed no checkpointed blocks";
+  let max_rss_ratio =
+    List.fold_left
+      (fun m (s : Harness.Mega.stats) -> Float.max m s.Harness.Mega.max_rss_ratio)
+      0.0 [ s1; s2; s4 ]
+  in
+  (* 0 = /proc unavailable; otherwise a growing ratio means per-block
+     state is accumulating somewhere and the constant-memory claim is
+     broken. *)
+  if max_rss_ratio > 2.0 then
+    failwith
+      (Printf.sprintf "mega: worker RSS grew %.2fx over the run"
+         max_rss_ratio);
+  Printf.printf
+    "Mega: %d blocks; %.0f / %.0f / %.0f blocks/s at 1/2/4 shards, \
+     byte-identical; kill+resume byte-identical (replayed %d); max RSS \
+     ratio %.2f\n%!"
+    count s1.Harness.Mega.blocks_per_s s2.Harness.Mega.blocks_per_s
+    s4.Harness.Mega.blocks_per_s s_resumed.Harness.Mega.resumed
+    max_rss_ratio;
+  (count, [ (1, s1); (2, s2); (4, s4) ], max_rss_ratio)
+
 let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
     ~study_dedup estimates =
   let memo_on, memo_off = memo_evidence () in
   let deadline_s, deadline_entries = deadline_evidence () in
   let speedup_entries, speedup_identical = search_speedup_evidence () in
   let server = server_evidence () in
+  let mega_count, mega_runs, mega_rss_ratio = mega_evidence () in
   let dedup_uniq, _, dedup_rate = study_dedup in
   let oc = open_out path in
   let p fmt = Printf.fprintf oc fmt in
@@ -531,8 +608,28 @@ let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
   p "  \"jobs\": %d,\n" jobs;
   p
     "  \"study\": { \"count\": %d, \"failures\": %d, \"wall_s\": %.6f, \
-     \"unique_blocks\": %d, \"dedup_rate\": %.4f },\n"
-    study_count study_failures study_wall_s dedup_uniq dedup_rate;
+     \"blocks_per_s\": %.1f, \"unique_blocks\": %d, \"dedup_rate\": %.4f },\n"
+    study_count study_failures study_wall_s
+    (float_of_int study_count /. study_wall_s)
+    dedup_uniq dedup_rate;
+  let best_rate =
+    List.fold_left
+      (fun m (_, (s : Harness.Mega.stats)) ->
+        Float.max m s.Harness.Mega.blocks_per_s)
+      0.0 mega_runs
+  in
+  p
+    "  \"mega\": { \"count\": %d, \"shards\": %d, \"blocks_per_s\": %.1f, \
+     \"resume_identical\": true, \"max_rss_ratio\": %.3f"
+    mega_count
+    (List.fold_left (fun m (sh, _) -> max m sh) 0 mega_runs)
+    best_rate mega_rss_ratio;
+  List.iter
+    (fun (sh, (s : Harness.Mega.stats)) ->
+      p ", \"shards%d\": { \"blocks_per_s\": %.1f, \"wall_s\": %.6f }" sh
+        s.Harness.Mega.blocks_per_s s.Harness.Mega.wall_s)
+    mega_runs;
+  p " },\n";
   p "  \"server\": {";
   List.iteri
     (fun i (k, v) ->
@@ -585,6 +682,10 @@ let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
   Printf.printf "Wrote %s\n%!" path
 
 let () =
+  (* A [--mega-worker] invocation is a shard of the mega evidence
+     re-executing this binary; it must never fall through into the
+     benchmarks. *)
+  Harness.Mega.run_if_worker ();
   (* Larger per-domain minor heaps (4M words = 32 MB): a minor collection
      in OCaml 5 is a stop-the-world barrier across every domain, so at
      search-jobs > 1 collection frequency is directly wall-clock.  Set

@@ -1,14 +1,98 @@
 (* Regenerate the tables and figures of the paper (see DESIGN.md §4). *)
 
 module E = Pipesched_harness.Experiments
+module Mega = Pipesched_harness.Mega
+module Aggregate = Pipesched_harness.Aggregate
 
 let sections =
   [ "machines"; "table1"; "table6"; "table7"; "fig1"; "fig4"; "fig5";
     "fig6"; "fig7"; "ablation"; "machine-sweep"; "structure-sweep"; "windowed"; "region";
     "heuristics"; "kernels"; "pressure"; "dynamic" ]
 
+(* --progress heartbeats: stderr, rate-limited to ~1/s, off by default.
+   Both callbacks run on worker domains (study) or the master select
+   loop (mega); the [last] race between domains is harmless (worst
+   case: one extra line). *)
+let study_heartbeat () =
+  let t0 = Unix.gettimeofday () in
+  let last = ref 0.0 in
+  fun done_ ->
+    let now = Unix.gettimeofday () in
+    if now -. !last >= 1.0 then begin
+      last := now;
+      Printf.eprintf "\r[study] %d searches done  %.1f/s   %!" done_
+        (float_of_int done_ /. (now -. t0))
+    end
+
+let mega_heartbeat () =
+  let last = ref 0.0 in
+  fun (p : Mega.progress) ->
+    let now = Unix.gettimeofday () in
+    if now -. !last >= 1.0 then begin
+      last := now;
+      let fresh = p.Mega.done_blocks - p.Mega.resumed in
+      let rate =
+        if p.Mega.elapsed_s > 0.0 then
+          float_of_int fresh /. p.Mega.elapsed_s
+        else 0.0
+      in
+      let eta =
+        if rate > 0.0 then
+          float_of_int (p.Mega.total - p.Mega.done_blocks) /. rate
+        else 0.0
+      in
+      Printf.eprintf
+        "\r[mega] %d/%d blocks  %.0f blocks/s  ETA %.0fs  shards %d/%d live   %!"
+        p.Mega.done_blocks p.Mega.total rate eta p.Mega.live_shards
+        p.Mega.shards
+    end
+
+let run_mega ~count ~seed ~lambda ~jobs ~search_jobs ~certify ~shards
+    ~checkpoint_every ~checkpoint_dir ~resume ~progress ~mega_out
+    ~dedup_capacity =
+  let cfg =
+    {
+      Mega.default with
+      Mega.seed;
+      count;
+      shards;
+      jobs = (match jobs with None -> 1 | Some j -> max 1 j);
+      search_jobs;
+      lambda;
+      dedup_capacity;
+      checkpoint_every;
+      checkpoint_dir;
+      certify;
+    }
+  in
+  let progress_cb = if progress then Some (mega_heartbeat ()) else None in
+  match Mega.run ?progress:progress_cb ~resume cfg with
+  | Error msg ->
+    if progress then prerr_newline ();
+    prerr_endline msg;
+    1
+  | Ok (agg, stats) ->
+    if progress then prerr_newline ();
+    Format.printf "Mega study: %d blocks over %d shards (seed %d)@." count
+      shards seed;
+    Format.printf "this run: %d searched (+%d resumed) in %.1fs = %.1f blocks/s@."
+      stats.Mega.processed stats.Mega.resumed stats.Mega.wall_s
+      stats.Mega.blocks_per_s;
+    Aggregate.pp Format.std_formatter agg;
+    let line = Aggregate.render agg ^ "\n" in
+    (match mega_out with
+    | Some path ->
+      let oc = open_out path in
+      output_string oc line;
+      close_out oc;
+      Format.printf "aggregate written to %s@." path
+    | None -> Format.printf "aggregate: %s@." (Aggregate.render agg));
+    0
+
 let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
-    memo_capacity jobs search_jobs strict certify only =
+    memo_capacity jobs search_jobs strict certify mega shards
+    checkpoint_every checkpoint_dir resume progress mega_out dedup_capacity
+    only =
   let count = if quick then min count 1_000 else count in
   let jobs = if jobs <= 0 then None else Some jobs in
   let search_jobs =
@@ -24,11 +108,18 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
       Pipesched_core.Optimal.memo_enabled = not no_memo;
       Pipesched_core.Optimal.memo_capacity }
   in
+  if mega > 0 then
+    run_mega ~count:mega ~seed ~lambda ~jobs
+      ~search_jobs:(match search_jobs with Some j -> j | None -> 1)
+      ~certify ~shards ~checkpoint_every ~checkpoint_dir ~resume ~progress
+      ~mega_out ~dedup_capacity
+  else begin
+  let progress = if progress then Some (study_heartbeat ()) else None in
   let fmt = Format.std_formatter in
   (match only with
    | [] ->
      E.run_all ~seed ~count ~lambda ~strong ~memo ?deadline_s
-       ?block_deadline_s ?jobs ?search_jobs ~strict ~certify fmt
+       ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ?progress fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -41,7 +132,8 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
      let study =
        lazy
          (E.run_study ~seed ~count ~lambda ~strong ~memo ?deadline_s
-            ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ())
+            ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ?progress
+            ())
      in
      List.iter
        (fun section ->
@@ -74,7 +166,9 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
          | "dynamic" -> E.print_dynamic_study ~count:(max 40 (count / 150)) fmt
          | _ -> assert false)
        wanted);
+  if progress <> None then prerr_newline ();
   0
+  end
 
 open Cmdliner
 
@@ -175,6 +269,68 @@ let certify =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let mega =
+  let doc =
+    "Run a sharded mega study over $(docv) blocks instead of the paper \
+     sections: worker processes stream per-block records to a \
+     constant-memory aggregate, with checkpoint/resume (see \
+     $(b,--shards), $(b,--checkpoint-every), $(b,--resume)).  The \
+     aggregate is byte-identical at any $(b,--shards)/$(b,--jobs).  \
+     $(b,--seed), $(b,--lambda), $(b,--jobs), $(b,--search-jobs) and \
+     $(b,--certify) apply; 0 (the default) disables mega mode."
+  in
+  Arg.(value & opt int 0 & info [ "mega" ] ~doc ~docv:"BLOCKS")
+
+let shards =
+  let doc = "Worker $(i,processes) for the mega study." in
+  Arg.(value & opt int 2 & info [ "shards" ] ~doc)
+
+let checkpoint_every =
+  let doc =
+    "Blocks between atomic per-shard checkpoints in the mega study; a \
+     killed run loses at most this many blocks per shard."
+  in
+  Arg.(value & opt int 1_000 & info [ "checkpoint-every" ] ~doc)
+
+let checkpoint_dir =
+  let doc = "Directory for mega-study shard checkpoints." in
+  Arg.(
+    value & opt string "mega-checkpoints" & info [ "checkpoint-dir" ] ~doc)
+
+let resume =
+  let doc =
+    "Resume the mega study from the checkpoints in \
+     $(b,--checkpoint-dir): completed shards are replayed from their \
+     checkpoint, interrupted ones restart at their last one.  The flags \
+     defining the corpus ($(b,--mega), $(b,--seed), $(b,--shards), \
+     $(b,--lambda), ...) must match the checkpointed run; mismatched \
+     checkpoints are ignored."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let progress =
+  let doc =
+    "Emit a rate-limited heartbeat on stderr (blocks done, blocks/sec, \
+     ETA, shard liveness) during the main study or a mega run."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+let mega_out =
+  let doc =
+    "Write the mega study's deterministic aggregate (one JSON line) to \
+     $(docv) — the byte-identity artifact CI diffs across shard counts \
+     and kill/resume runs."
+  in
+  Arg.(value & opt (some string) None & info [ "mega-out" ] ~doc ~docv:"FILE")
+
+let dedup_capacity =
+  let doc =
+    "Per-shard canonical-dedup LRU capacity (entries) in the mega study; \
+     0 disables dedup.  Result-transparent: only wall-clock time \
+     changes."
+  in
+  Arg.(value & opt int 65_536 & info [ "dedup-capacity" ] ~doc)
+
 let only =
   let doc =
     Printf.sprintf "Run only the named sections (repeatable): %s."
@@ -191,6 +347,12 @@ let cmd =
     Term.(
       const run $ count $ seed $ quick $ lambda $ deadline_ms
       $ block_deadline_ms $ strong $ no_memo $ memo_capacity $ jobs
-      $ search_jobs $ strict $ certify $ only)
+      $ search_jobs $ strict $ certify $ mega $ shards $ checkpoint_every
+      $ checkpoint_dir $ resume $ progress $ mega_out $ dedup_capacity
+      $ only)
 
-let () = exit (Cmd.eval' cmd)
+let () =
+  (* Must run before cmdliner sees argv: a [--mega-worker] invocation is
+     a shard of a mega study re-executing this binary. *)
+  Mega.run_if_worker ();
+  exit (Cmd.eval' cmd)

@@ -2,28 +2,57 @@
 
 open Pipesched_ir
 module Generator = Pipesched_synth.Generator
+module Schedule = Pipesched_synth.Schedule
 module Frequency = Pipesched_synth.Frequency
 module Rng = Pipesched_prelude.Rng
 
-let run count seed statements variables constants mix show_source optimize
-    mul_heavy =
-  let rng = Rng.create seed in
+(* Blocks are printed (and flushed) as they are produced — the whole
+   corpus never lives in memory, so `--mix -n 1000000 | head` starts
+   instantly and a consumer pipeline is fed continuously.
+
+   Two regimes:
+   - fixed-parameter mode draws everything from one sequential RNG, so
+     the byte stream for a given seed is stable (CI smokes depend on it);
+   - `--mix` mode seeds each block independently from its corpus index
+     via [Schedule.seed_at] — the same per-index identity the mega study
+     uses — so `--start` can slice any window of the corpus and
+     `--start A -n K` ++ `--start A+K -n M` equals `--start A -n K+M`
+     byte for byte. *)
+let run count seed start statements variables constants mix show_source
+    optimize mul_heavy =
+  if (not mix) && start <> 0 then begin
+    Format.eprintf
+      "--start requires --mix (fixed-parameter blocks have no \
+       per-index identity)@.";
+    exit 2
+  end;
   let freq = if mul_heavy then Frequency.mul_heavy else Frequency.default in
-  for i = 1 to count do
-    let params =
-      if mix then Generator.sample_params rng
-      else { Generator.statements; variables; constants }
-    in
-    let prog = Generator.program ~freq rng params in
+  let emit i params prog =
     Format.printf "# block %d (statements=%d variables=%d constants=%d)@." i
       params.Generator.statements params.Generator.variables
       params.Generator.constants;
     if show_source then
-      Format.printf "%a@."
-        Pipesched_frontend.Ast.pp_program prog;
+      Format.printf "%a@." Pipesched_frontend.Ast.pp_program prog;
     let blk = Pipesched_frontend.Compile.compile_program ~optimize prog in
-    Format.printf "%a@.@." Block.pp blk
-  done;
+    Format.printf "%a@.@." Block.pp blk;
+    Format.print_flush ()
+  in
+  if mix then
+    (* Mirrors [Generator.of_seed] (params then program off one fresh
+       RNG per index) but keeps the source program around for
+       [--source]. *)
+    for i = start to start + count - 1 do
+      let rng = Rng.create (Schedule.seed_at ~seed i) in
+      let params = Generator.sample_params rng in
+      emit i params (Generator.program ~freq rng params)
+    done
+  else begin
+    let rng = Rng.create seed in
+    let params = { Generator.statements; variables; constants } in
+    for i = 1 to count do
+      emit i params (Generator.program ~freq rng params)
+    done
+  end;
   0
 
 open Cmdliner
@@ -32,6 +61,15 @@ let count =
   Arg.(value & opt int 1 & info [ "count"; "n" ] ~doc:"Blocks to generate.")
 
 let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let start =
+  Arg.(
+    value & opt int 0
+    & info [ "start" ]
+        ~doc:
+          "First corpus index to emit (requires $(b,--mix)): blocks are \
+           a pure function of (seed, index), so disjoint slices of the \
+           same seed partition one corpus exactly.")
 
 let statements =
   Arg.(value & opt int 8 & info [ "statements" ] ~doc:"Statements per block.")
@@ -46,7 +84,10 @@ let mix =
   Arg.(
     value & flag
     & info [ "mix" ]
-        ~doc:"Draw parameters from the paper's block-size mix instead.")
+        ~doc:
+          "Draw parameters from the paper's block-size mix instead, \
+           seeding each block from its corpus index (the mega study's \
+           block identity; see $(b,--start)).")
 
 let show_source =
   Arg.(value & flag & info [ "source" ] ~doc:"Also print the source program.")
@@ -65,7 +106,7 @@ let cmd =
   Cmd.v
     (Cmd.info "pipesched-synthgen" ~doc:"generate synthetic basic blocks")
     Term.(
-      const run $ count $ seed $ statements $ variables $ constants $ mix
-      $ show_source $ optimize $ mul_heavy)
+      const run $ count $ seed $ start $ statements $ variables $ constants
+      $ mix $ show_source $ optimize $ mul_heavy)
 
 let () = exit (Cmd.eval' cmd)

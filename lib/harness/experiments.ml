@@ -12,7 +12,8 @@ let machine = Machine.Presets.simulation
 
 let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
     ?(strong = false) ?(memo = Optimal.default_memo) ?deadline_s
-    ?block_deadline_s ?cancel ?jobs ?search_jobs ?strict ?certify () =
+    ?block_deadline_s ?cancel ?jobs ?search_jobs ?strict ?certify ?progress
+    () =
   let options =
     { Optimal.default_options with
       Optimal.lambda;
@@ -20,7 +21,7 @@ let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
       Optimal.memo = memo }
   in
   Study.run ~options ?deadline_s ?block_deadline_s ?cancel ?jobs
-    ?search_jobs ?strict ?certify ~seed ~count machine
+    ?search_jobs ?strict ?certify ?progress ~seed ~count machine
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -691,7 +692,7 @@ let print_dynamic_study ?(seed = 1994) ?(count = 120) fmt =
 
 let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
     ?deadline_s ?block_deadline_s ?jobs ?search_jobs ?strict ?certify
-    ?study fmt =
+    ?progress ?study fmt =
   Format.fprintf fmt
     "Reproduction: Nisar & Dietz, Optimal Code Scheduling for \
      Multiple-Pipeline Processors (1990)@.";
@@ -703,7 +704,7 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
     | Some s -> s
     | None ->
       run_study ~seed ~count ?lambda ?strong ?memo ?deadline_s
-        ?block_deadline_s ?jobs ?search_jobs ?strict ?certify ()
+        ?block_deadline_s ?jobs ?search_jobs ?strict ?certify ?progress ()
   in
   print_table7 fmt study;
   print_fig1 fmt study;

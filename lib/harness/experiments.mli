@@ -35,6 +35,7 @@ val run_study :
   ?deadline_s:float -> ?block_deadline_s:float ->
   ?cancel:Pipesched_prelude.Budget.token -> ?jobs:int ->
   ?search_jobs:int -> ?strict:bool -> ?certify:bool ->
+  ?progress:(int -> unit) ->
   unit -> study
 
 (** Table 1: search-space sizes for representative blocks (exhaustive vs
@@ -130,4 +131,5 @@ val run_all :
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float -> ?jobs:int ->
   ?search_jobs:int -> ?strict:bool -> ?certify:bool ->
+  ?progress:(int -> unit) ->
   ?study:study -> Format.formatter -> unit

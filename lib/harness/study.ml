@@ -87,14 +87,14 @@ let run_block ?(options = default_options) ?(certify = false) machine blk =
    restores fail-fast (the first exception tears the whole map down).
    Containment happens per item inside the pool, so a deterministic
    workload fails identically at any job count. *)
-let run_protected ?(strict = false) ?jobs f xs =
-  if strict then Pool.parallel_map ?jobs (fun x -> Scheduled (f x)) xs
+let run_protected ?(strict = false) ?jobs ?progress f xs =
+  if strict then Pool.parallel_map ?jobs ?progress (fun x -> Scheduled (f x)) xs
   else
     List.map
       (function
         | Ok r -> Scheduled r
         | Error { Pool.exn; backtrace } -> Failed { exn; backtrace })
-      (Pool.parallel_map_result ?jobs f xs)
+      (Pool.parallel_map_result ?jobs ?progress f xs)
 
 (* Duplicate elimination via the canonical form (three phases, each one
    deterministic at any job count, so callers' determinism contracts
@@ -112,7 +112,7 @@ let run_protected ?(strict = false) ?jobs f xs =
    counts by canonical-form soundness; the counters are the
    representative's search, not a hypothetical re-search of the
    duplicate's presentation).  [dedup_stats] reports the savings. *)
-let dedup_keyed ?strict ?jobs ~solve keyed =
+let dedup_keyed ?strict ?jobs ?progress ~solve keyed =
   let reps = Hashtbl.create 64 in
   let uniques = ref [] in
   let nuniq = ref 0 in
@@ -132,7 +132,8 @@ let dedup_keyed ?strict ?jobs ~solve keyed =
       keyed
   in
   let solved =
-    Array.of_list (run_protected ?strict ?jobs solve (List.rev !uniques))
+    Array.of_list
+      (run_protected ?strict ?jobs ?progress solve (List.rev !uniques))
   in
   List.map
     (function
@@ -144,13 +145,13 @@ let dedup_keyed ?strict ?jobs ~solve keyed =
         | Failed f -> Failed f))
     tagged
 
-let run_dedup ?strict ?jobs ~key ~solve items =
-  dedup_keyed ?strict ?jobs ~solve
+let run_dedup ?strict ?jobs ?progress ~key ~solve items =
+  dedup_keyed ?strict ?jobs ?progress ~solve
     (Pool.parallel_map_result ?jobs (fun x -> (x, key x)) items)
 
 let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
-    ?freq ?jobs ?search_jobs ?strict ?certify ?(dedup = true) ~seed ~count
-    machine =
+    ?freq ?jobs ?search_jobs ?strict ?certify ?(dedup = true) ?progress ~seed
+    ~count machine =
   (* Two-level scheduling: [jobs] block-level domains, each block's
      search itself running on [search_jobs] team workers.  The search's
      determinism contract (same result at any job count) keeps the
@@ -195,9 +196,9 @@ let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
   let solve blk = run_block ~options:(options_for_block ()) ?certify machine blk in
   let seed_list = Array.to_list (Array.sub seeds 0 count) in
   if not dedup then
-    run_protected ?strict ?jobs (fun s -> solve (generate s)) seed_list
+    run_protected ?strict ?jobs ?progress (fun s -> solve (generate s)) seed_list
   else
-    dedup_keyed ?strict ?jobs ~solve
+    dedup_keyed ?strict ?jobs ?progress ~solve
       (Pool.parallel_map_result ?jobs
          (fun s ->
            let blk = generate s in

@@ -66,7 +66,12 @@ val run_block :
     corpus still runs, in input order.  [strict] restores fail-fast: the
     first exception propagates to the caller. *)
 val run_protected :
-  ?strict:bool -> ?jobs:int -> ('a -> record) -> 'a list -> result list
+  ?strict:bool ->
+  ?jobs:int ->
+  ?progress:(int -> unit) ->
+  ('a -> record) ->
+  'a list ->
+  result list
 
 (** [run_dedup ?strict ?jobs ~key ~solve items] is the duplicate
     elimination underneath {!run}, exposed for corpus-shaped drivers
@@ -81,6 +86,7 @@ val run_protected :
 val run_dedup :
   ?strict:bool ->
   ?jobs:int ->
+  ?progress:(int -> unit) ->
   key:('a -> string) ->
   solve:('a -> record) ->
   'a list ->
@@ -137,6 +143,11 @@ val run_dedup :
     testing the soundness claim).  {!dedup_stats} summarizes the
     savings.
 
+    [progress] is a {!Pipesched_parallel.Pool} progress callback wired
+    to the {e solve} phase: cumulative searches finished, out of the
+    unique classes (or out of [count] with [dedup:false]).  It runs on
+    worker domains — see {!Pipesched_parallel.Pool.parallel_map}.
+
     The default [options] use [lambda = 50_000] (large relative to a
     typical complete search, per §5.3). *)
 val run :
@@ -150,6 +161,7 @@ val run :
   ?strict:bool ->
   ?certify:bool ->
   ?dedup:bool ->
+  ?progress:(int -> unit) ->
   seed:int ->
   count:int ->
   Machine.t ->

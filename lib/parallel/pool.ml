@@ -37,23 +37,35 @@ let inside_worker = Domain.DLS.new_key (fun () -> false)
 (* Left-to-right serial map (List.map's evaluation order is unspecified). *)
 let map_lr f xs = List.rev (List.fold_left (fun acc x -> f x :: acc) [] xs)
 
-let parallel_map ?jobs ?chunk ?cancel f xs =
+let parallel_map ?jobs ?chunk ?cancel ?progress f xs =
   let cancelled () =
     match cancel with Some tok -> Budget.is_cancelled tok | None -> false
+  in
+  (* A raising progress callback must never take a worker down (that
+     would leak the pool's accounting), so it is always contained. *)
+  let notify c =
+    match progress with
+    | None -> ()
+    | Some p -> ( try p c with _ -> ())
   in
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = min (resolve_jobs jobs) n in
   if n = 0 then []
-  else if jobs <= 1 || Domain.DLS.get inside_worker then
+  else if jobs <= 1 || Domain.DLS.get inside_worker then begin
     (* The serial path honors the token between items, like the pool's
        [take] does between chunks: items already mapped are kept, the
        first un-started one raises. *)
+    let done_ = ref 0 in
     map_lr
       (fun x ->
         if cancelled () then raise Cancelled;
-        f x)
+        let y = f x in
+        incr done_;
+        notify !done_;
+        y)
       xs
+  end
   else begin
     let chunk =
       match chunk with
@@ -66,6 +78,17 @@ let parallel_map ?jobs ?chunk ?cancel f xs =
     let next = ref 0 in
     let active = ref jobs in
     let error = ref None in
+    let completed = ref 0 in
+    (* Count under the mutex, notify outside it: a slow callback never
+       blocks other workers, at the price that cumulative counts may
+       arrive slightly out of order under races. *)
+    let advance k =
+      Mutex.lock mu;
+      completed := !completed + k;
+      let c = !completed in
+      Mutex.unlock mu;
+      notify c
+    in
     (* [take] hands out the next chunk of indices, or the empty range once
        the items are exhausted, a worker has failed, or the cancellation
        token has been tripped — cancellation is cooperative: in-flight
@@ -99,7 +122,7 @@ let parallel_map ?jobs ?chunk ?cancel f xs =
                results.(i) <- Some (f items.(i))
              done
            with
-           | () -> ()
+           | () -> advance (hi - lo)
            | exception exn -> fail exn (Printexc.get_raw_backtrace ()));
           loop ()
         end
@@ -165,8 +188,8 @@ let map_reduce ?jobs ?chunk ?cancel ~map ~reduce ~init xs =
 
 type failure = { exn : string; backtrace : string }
 
-let parallel_map_result ?jobs ?chunk ?cancel f xs =
-  parallel_map ?jobs ?chunk ?cancel
+let parallel_map_result ?jobs ?chunk ?cancel ?progress f xs =
+  parallel_map ?jobs ?chunk ?cancel ?progress
     (fun x ->
       match f x with
       | y -> Ok y

@@ -66,11 +66,19 @@ exception Cancelled
 
     [chunk] is the number of consecutive indices a worker claims per
     counter access (default: scaled to [length xs / (jobs * 32)],
-    clamped to [1 .. 64]). *)
+    clamped to [1 .. 64]).
+
+    [progress] is called with the cumulative number of items completed
+    — after every item on the serial path, after every chunk on the
+    parallel one.  It runs on worker domains, so it must be
+    domain-safe; counts can arrive slightly out of order under races;
+    a raising callback is contained (never affects the map).  Intended
+    for rate-limited heartbeats, not precise accounting. *)
 val parallel_map :
   ?jobs:int ->
   ?chunk:int ->
   ?cancel:Pipesched_prelude.Budget.token ->
+  ?progress:(int -> unit) ->
   ('a -> 'b) ->
   'a list ->
   'b list
@@ -92,6 +100,7 @@ val parallel_map_result :
   ?jobs:int ->
   ?chunk:int ->
   ?cancel:Pipesched_prelude.Budget.token ->
+  ?progress:(int -> unit) ->
   ('a -> 'b) ->
   'a list ->
   ('b, failure) result list

@@ -4,6 +4,12 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 
 let create seed = { state = Int64.of_int seed }
 
+let at seed n =
+  if n < 0 then invalid_arg "Rng.at: negative index";
+  (* Each draw advances state by exactly [golden_gamma] before mixing, so
+     the state after [n] draws from [create seed] is [seed + n * gamma]. *)
+  { state = Int64.add (Int64.of_int seed) (Int64.mul (Int64.of_int n) golden_gamma) }
+
 let copy t = { state = t.state }
 
 let next_int64 t =

@@ -12,6 +12,14 @@ val create : int -> t
 (** [copy t] duplicates the generator state. *)
 val copy : t -> t
 
+(** [at seed n] is the generator [create seed] after exactly [n] draws, in
+    O(1): [bits (at seed n)] equals the [(n+1)]-th value of [bits (create
+    seed)].  This makes per-index seeds ([bits (at master i)]) a pure
+    function of [(master, i)] — any contiguous slice of the stream can be
+    produced without replaying the prefix, which is what lets sharded and
+    serial corpus generation agree exactly.  Requires [n >= 0]. *)
+val at : int -> int -> t
+
 (** [split t] derives an independent generator; [t] advances by one step. *)
 val split : t -> t
 

@@ -53,6 +53,16 @@ let sample_params rng =
 let batch ?freq rng ~count =
   List.init count (fun _ -> block ?freq rng (sample_params rng))
 
+let of_seed ?freq s =
+  let rng = Rng.create s in
+  block ?freq rng (sample_params rng)
+
+let stream ?freq ~seed ~start ~count f =
+  if start < 0 || count < 0 then invalid_arg "Generator.stream: negative range";
+  for i = start to start + count - 1 do
+    f i (of_seed ?freq (Schedule.seed_at ~seed i))
+  done
+
 let random_machine rng =
   let pipe_count = 1 + Rng.int rng 4 in
   let pipes =

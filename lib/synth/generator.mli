@@ -41,6 +41,24 @@ val sample_params : Rng.t -> params
     16,000-run study (Table 7, Figures 1 and 4-7). *)
 val batch : ?freq:Frequency.t -> Rng.t -> count:int -> Block.t list
 
+(** [of_seed ?freq s] compiles the block identified by block seed [s]:
+    a fresh generator is created from [s], parameters are drawn with
+    {!sample_params}, and the block is compiled.  This is the whole
+    block-identity contract of the mega study — a block is a pure
+    function of its seed. *)
+val of_seed : ?freq:Frequency.t -> int -> Block.t
+
+(** [stream ?freq ~seed ~start ~count f] calls [f i blk] for each index
+    [i] in [\[start, start + count)], where [blk] is
+    [of_seed (Schedule.seed_at ~seed i)] — the {!sample_params} block-size
+    mix, one block at a time, constant memory.  Because block seeds come
+    from {!Schedule.seed_at}, generating a slice yields exactly that
+    slice of the full stream: shards, [bin/synthgen] and the mega study
+    all see the same population. *)
+val stream :
+  ?freq:Frequency.t ->
+  seed:int -> start:int -> count:int -> (int -> Block.t -> unit) -> unit
+
 (** [random_machine rng] draws a random machine description for
     differential testing: 1-4 pipelines with latencies and enqueue times
     in 1..6, each operation either resource-free or mapped to a random

@@ -1,0 +1,112 @@
+module Rng = Pipesched_prelude.Rng
+
+type 'a event = { time : float; payload : 'a }
+
+(* A schedule is a function of its root seed; all determinism properties
+   follow from keeping this pure.  Child seeds are derived with [Rng.at]
+   so that component [i]'s seed never depends on how many draws earlier
+   components made. *)
+type 'a t = int -> 'a event Seq.t
+
+let events ~seed s = s seed
+
+let iter ~seed ?limit f s =
+  let sq = events ~seed s in
+  let sq = match limit with None -> sq | Some n -> Seq.take n sq in
+  Seq.iter f sq
+
+let child seed i = Rng.bits (Rng.at seed i)
+
+let empty : 'a t = fun _ -> Seq.empty
+
+let once g : 'a t =
+ fun seed -> Seq.return { time = 0.0; payload = g (Rng.create seed) }
+
+let pure x = once (fun _ -> x)
+
+let map f s =
+ fun seed -> Seq.map (fun e -> { e with payload = f e.payload }) (s seed)
+
+let shift dt sq = Seq.map (fun e -> { e with time = e.time +. dt }) sq
+
+let delayed d s =
+  if d < 0.0 then invalid_arg "Schedule.delayed: negative delay";
+  fun seed -> shift d (s seed)
+
+let limited n s =
+  if n < 0 then invalid_arg "Schedule.limited: negative count";
+  fun seed -> Seq.take n (s seed)
+
+let drop n s =
+  if n < 0 then invalid_arg "Schedule.drop: negative count";
+  fun seed -> Seq.drop n (s seed)
+
+(* Stable two-way merge: ties go to [a], so [mix] breaks ties toward the
+   earlier stream in the list. *)
+let rec merge2 a b () =
+  match a () with
+  | Seq.Nil -> b ()
+  | Seq.Cons (ea, a') as na -> (
+    match b () with
+    | Seq.Nil -> na
+    | Seq.Cons (eb, b') ->
+      if ea.time <= eb.time then Seq.Cons (ea, merge2 a' (Seq.cons eb b'))
+      else Seq.Cons (eb, merge2 (Seq.cons ea a') b'))
+
+let mix ss : 'a t =
+ fun seed ->
+  List.fold_left merge2 Seq.empty
+    (List.mapi (fun i s -> s (child seed i)) ss)
+
+let repeating n ~period s =
+  if n < 0 then invalid_arg "Schedule.repeating: negative count";
+  if period < 0.0 then invalid_arg "Schedule.repeating: negative period";
+  fun seed ->
+    List.fold_left merge2 Seq.empty
+      (List.init n (fun k ->
+           shift (float_of_int k *. period) (s (child seed k))))
+
+let periodic ~period s =
+  if not (period > 0.0) then
+    invalid_arg "Schedule.periodic: period must be positive";
+  fun seed ->
+    let rep k = shift (float_of_int k *. period) (s (child seed k)) in
+    (* [pending] holds the merged, time-sorted events of copies < k.
+       Emit from it while its head does not pass copy k's start time,
+       then splice copy k in — so only as many copies as time order
+       requires are ever forced (one copy of lookahead). *)
+    let rec go k pending () =
+      let start = float_of_int k *. period in
+      match pending () with
+      | Seq.Cons (e, rest) when e.time <= start -> Seq.Cons (e, go k rest)
+      | node -> (
+        let pending () = node in
+        match (node, rep k ()) with
+        | Seq.Nil, Seq.Nil -> Seq.Nil
+        | _, rnode -> go (k + 1) (merge2 pending (fun () -> rnode)) ())
+    in
+    go 0 Seq.empty
+
+let every ~period g = periodic ~period (once g)
+
+let burst n s = repeating n ~period:0.0 s
+
+let soak ~rate ~duration s =
+  if not (rate > 0.0) || not (duration > 0.0) then
+    invalid_arg "Schedule.soak: rate and duration must be positive";
+  let n = max 0 (int_of_float (Float.ceil (rate *. duration))) in
+  repeating n ~period:(1.0 /. rate) s
+
+let ramp ~stages s =
+  let rec build t0 = function
+    | [] -> []
+    | (rate, duration) :: rest ->
+      delayed t0 (soak ~rate ~duration s) :: build (t0 +. duration) rest
+  in
+  mix (build 0.0 stages)
+
+let seeds ~count = limited count (every ~period:1.0 Rng.bits)
+
+(* Must track [seeds] exactly: [every] is [periodic (once Rng.bits)], so
+   event [i] draws from [Rng.create (child seed i)].  Pinned by a test. *)
+let seed_at ~seed i = Rng.bits (Rng.create (child seed i))

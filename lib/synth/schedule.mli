@@ -1,0 +1,120 @@
+(** Schedule combinators: deterministic, seed-split event streams.
+
+    A ['a t] describes a (possibly infinite) time-ordered stream of
+    seeded events — "at time [t], produce a payload drawn from an
+    independent RNG".  Modeled on [Sdn.Schedule] from the SDN policies
+    repo: small push-free combinators ([once] / [periodic] / [repeating]
+    / [limited] / [delayed] / [mix]) that compose load shapes, with the
+    seed {e split} structurally so every event's payload is a pure
+    function of [(root seed, path to the event)].
+
+    Two properties carry the whole mega-study design:
+
+    + {b determinism} — [events ~seed s] is a pure value; forcing it
+      twice, or on another machine, yields the same events;
+    + {b random access} — combinators derive child seeds with
+      {!Pipesched_prelude.Rng.at}, so an event's seed depends only on
+      its index, never on how many draws earlier events made.  Slicing
+      ([drop] / [limited]) therefore commutes with generation: shard
+      [k] of a corpus generates exactly its slice of the serial stream
+      (pinned by a qcheck test), and {!seed_at} gives true O(1) access
+      to the corpus population.
+
+    Streams are lazy {!Seq.t}s: events are produced one at a time with
+    constant memory, which is what both million-block corpus generation
+    and long soak load tests need. *)
+
+module Rng = Pipesched_prelude.Rng
+
+type 'a event = { time : float; payload : 'a }
+
+(** A seeded event stream.  Apply with {!events}. *)
+type 'a t
+
+(** {2 Forcing} *)
+
+(** [events ~seed s] forces the stream.  Events arrive in
+    non-decreasing [time] order. *)
+val events : seed:int -> 'a t -> 'a event Seq.t
+
+(** [iter ~seed ?limit f s] applies [f] to the first [limit] events
+    (all of them when [limit] is omitted — beware infinite streams). *)
+val iter : seed:int -> ?limit:int -> ('a event -> unit) -> 'a t -> unit
+
+(** {2 Primitive constructors} *)
+
+(** The empty stream. *)
+val empty : 'a t
+
+(** [once g] emits a single event at time [0.] whose payload is drawn
+    by [g] from a generator created from the stream's seed. *)
+val once : (Rng.t -> 'a) -> 'a t
+
+(** [pure x] is [once (fun _ -> x)]. *)
+val pure : 'a -> 'a t
+
+(** {2 Combinators} *)
+
+(** [map f s] transforms payloads, keeping times. *)
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** [delayed d s] shifts every event [d] seconds later.
+    Requires [d >= 0.]. *)
+val delayed : float -> 'a t -> 'a t
+
+(** [limited n s] keeps only the first [n] events.  Requires [n >= 0]. *)
+val limited : int -> 'a t -> 'a t
+
+(** [drop n s] skips the first [n] events.  Skipping draws only the
+    (cheap, per-event-seeded) payloads; anything expensive derived from
+    a payload downstream — compiling a block from a corpus seed — is
+    never done for skipped events.  Requires [n >= 0]. *)
+val drop : int -> 'a t -> 'a t
+
+(** [mix ss] merges streams into one time-sorted stream; each component
+    gets an independent child seed.  Ties break toward the earlier
+    stream in the list. *)
+val mix : 'a t list -> 'a t
+
+(** [repeating n ~period s] runs [n] copies of [s], copy [k] shifted
+    [k * period] later, each with an independent child seed, merged
+    time-sorted.  Requires [n >= 0] and [period >= 0.]. *)
+val repeating : int -> period:float -> 'a t -> 'a t
+
+(** [periodic ~period s] is the infinite version of {!repeating}:
+    copy [k] starts at [k * period], with an independent child seed.
+    Requires [period > 0.].  Evaluation is lazy — only enough copies
+    are forced to emit events in time order.  If a copy turns out
+    empty the stream ends there (a uniformly empty [s] gives the empty
+    stream rather than diverging). *)
+val periodic : period:float -> 'a t -> 'a t
+
+(** [every ~period g] = [periodic ~period (once g)]: one draw of [g]
+    every [period] seconds, forever.  The corpus backbone. *)
+val every : period:float -> (Rng.t -> 'a) -> 'a t
+
+(** {2 Load shapes (for [bin/pipesched_server] soak tests)} *)
+
+(** [burst n s]: [n] copies of [s] all at once ([repeating n ~period:0.]). *)
+val burst : int -> 'a t -> 'a t
+
+(** [soak ~rate ~duration s]: copies of [s] launched at [rate] per
+    second for [duration] seconds ([rate], [duration] > 0). *)
+val soak : rate:float -> duration:float -> 'a t -> 'a t
+
+(** [ramp ~stages s]: consecutive {!soak} stages [(rate, duration)],
+    each starting when the previous ends. *)
+val ramp : stages:(float * float) list -> 'a t -> 'a t
+
+(** {2 The study corpus} *)
+
+(** [seeds ~count] is the mega-study corpus stream: [count] events, one
+    per second, whose payload is a fresh 63-bit block seed.  Event [i]'s
+    payload equals [seed_at ~seed i] — the contract that lets shards,
+    [bin/synthgen], and tests agree on the population without sharing
+    state. *)
+val seeds : count:int -> int t
+
+(** [seed_at ~seed i] is the payload of event [i] of [seeds] (any
+    [count > i]) under root seed [seed], in O(1). *)
+val seed_at : seed:int -> int -> int

@@ -251,6 +251,244 @@ let test_omega_cost_positive () =
   let c = Experiments.omega_cost () in
   check bool_t "positive and sane" true (c > 0.0 && c < 0.01)
 
+(* ------------------------------------------------------------------ *)
+(* Streaming aggregate                                                 *)
+
+module Budget = Pipesched_prelude.Budget
+module Json = Pipesched_prelude.Json
+
+(* A synthetic record: the aggregate only reads fields, so literals keep
+   the units under test explicit. *)
+let mk_record ?(size = 10) ?(status = Budget.Complete) ?(time_s = 1e-3) () =
+  {
+    Study.size;
+    initial_nops = 3;
+    final_nops = 1;
+    omega_calls = 100;
+    schedules_completed = 2;
+    memo_hits = 5;
+    completed = status = Budget.Complete;
+    status;
+    time_s;
+    unique = true;
+  }
+
+let test_agg_counters () =
+  let a = Aggregate.create () in
+  Aggregate.add_record a ~hash:1 (mk_record ~size:4 ());
+  Aggregate.add_record a ~hash:2
+    (mk_record ~size:30 ~status:Budget.Curtailed_lambda ());
+  Aggregate.add_record a ~hash:1 ~from_cache:true (mk_record ~size:4 ());
+  Aggregate.add_failure a;
+  check int_t "blocks counts records and failures" 4 (Aggregate.blocks a);
+  check int_t "failed" 1 (Aggregate.failed a);
+  check int_t "completed" 2 (Aggregate.completed a);
+  check int_t "dedup hits" 1 (Aggregate.dedup_hits a);
+  let j = Aggregate.deterministic_json a in
+  let geti k = Option.bind (Json.member k j) Json.to_int_opt in
+  check bool_t "curtailed_lambda in render" true
+    (geti "curtailed_lambda" = Some 1);
+  check bool_t "sum_size adds every record" true (geti "sum_size" = Some 38);
+  check bool_t "min/max size" true
+    (geti "min_size" = Some 4 && geti "max_size" = Some 30);
+  check bool_t "dedup hits excluded from render" true
+    (Json.member "dedup_hits" j = None);
+  (* Two distinct canonical hashes seen (hash 1 twice). *)
+  check bool_t "distinct estimate exact below sketch capacity" true
+    (Aggregate.distinct_estimate a = 2.0)
+
+let test_agg_render_invariants () =
+  (* from_cache and wall time may differ run to run and shard to shard;
+     the byte-identity artifact must not see them. *)
+  let a = Aggregate.create () and b = Aggregate.create () in
+  Aggregate.add_record a ~hash:7 (mk_record ~time_s:0.5 ());
+  Aggregate.add_record b ~hash:7 ~from_cache:true (mk_record ~time_s:0.002 ());
+  check bool_t "render blind to from_cache and time" true
+    (String.equal (Aggregate.render a) (Aggregate.render b));
+  check bool_t "sum_time_s still tracked outside render" true
+    (Aggregate.sum_time_s a = 0.5)
+
+let agg_partition_invariance =
+  qtest ~count:100 "merged shard aggregates render like the serial fold"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60)
+           (pair (int_range 1 40) (int_bound 20)))
+        (int_range 1 5))
+    (fun (xs, k) -> Printf.sprintf "%d records, %d shards" (List.length xs) k)
+    (fun (xs, shards) ->
+      let statuses =
+        [| Budget.Complete; Budget.Curtailed_lambda; Budget.Curtailed_deadline;
+           Budget.Cancelled |]
+      in
+      let fold agg (size, h) =
+        Aggregate.add_record agg ~hash:(Hashtbl.hash h)
+          (mk_record ~size ~status:statuses.(h mod 4) ())
+      in
+      let serial = Aggregate.create () in
+      List.iter (fold serial) xs;
+      let n = List.length xs in
+      let merged = Aggregate.create () in
+      for k = 0 to shards - 1 do
+        let lo = k * n / shards and hi = (k + 1) * n / shards in
+        let part = Aggregate.create () in
+        List.iteri (fun i x -> if i >= lo && i < hi then fold part x) xs;
+        Aggregate.merge_into ~dst:merged part
+      done;
+      String.equal (Aggregate.render serial) (Aggregate.render merged))
+
+let test_agg_json_roundtrip () =
+  let a = Aggregate.create () in
+  for i = 1 to 400 do
+    Aggregate.add_record a ~hash:(Hashtbl.hash i)
+      ~from_cache:(i mod 7 = 0)
+      (mk_record ~size:(1 + (i mod 37))
+         ~status:(if i mod 11 = 0 then Budget.Curtailed_lambda else Budget.Complete)
+         ~time_s:(float_of_int i *. 1e-4)
+         ())
+  done;
+  Aggregate.add_failure a;
+  match Aggregate.of_json (Aggregate.to_json a) with
+  | Error e -> Alcotest.failf "of_json: %s" e
+  | Ok b ->
+    check bool_t "render survives the round trip" true
+      (String.equal (Aggregate.render a) (Aggregate.render b));
+    check int_t "dedup hits survive" (Aggregate.dedup_hits a)
+      (Aggregate.dedup_hits b);
+    check bool_t "sum_time_s survives" true
+      (abs_float (Aggregate.sum_time_s a -. Aggregate.sum_time_s b) < 1e-9);
+    check bool_t "time quantiles survive" true
+      (Aggregate.time_quantile a 0.5 = Aggregate.time_quantile b 0.5);
+    (* Round-tripped state must keep folding identically. *)
+    Aggregate.add_record a ~hash:99999 (mk_record ());
+    Aggregate.add_record b ~hash:99999 (mk_record ());
+    check bool_t "still mergeable after reload" true
+      (String.equal (Aggregate.render a) (Aggregate.render b))
+
+let test_agg_distinct_estimate () =
+  let a = Aggregate.create () in
+  (* 200 distinct hashes, each seen 5 times: exact below the sketch's
+     256-value capacity. *)
+  for round = 1 to 5 do
+    ignore round;
+    for i = 1 to 200 do
+      Aggregate.add_record a ~hash:(Hashtbl.hash (i * 7919)) (mk_record ())
+    done
+  done;
+  check bool_t "exact below capacity" true
+    (Aggregate.distinct_estimate a = 200.0);
+  (* 20000 distinct hashes: the KMV estimate should land within 20%. *)
+  let b = Aggregate.create () in
+  for i = 1 to 20_000 do
+    Aggregate.add_record b ~hash:(Hashtbl.hash (i * 31 + 17)) (mk_record ())
+  done;
+  let est = Aggregate.distinct_estimate b in
+  check bool_t
+    (Printf.sprintf "estimate %.0f within 20%% of 20000" est)
+    true
+    (est > 16_000.0 && est < 24_000.0)
+
+let test_agg_time_quantile () =
+  let a = Aggregate.create () in
+  check bool_t "empty quantile is 0" true (Aggregate.time_quantile a 0.5 = 0.0);
+  (* 90 fast blocks at ~100us, 10 slow at ~50ms: p50 must sit near the
+     fast mode and p99 near the slow one (log-bucket resolution). *)
+  for _ = 1 to 90 do
+    Aggregate.add_record a ~hash:1 (mk_record ~time_s:1e-4 ())
+  done;
+  for _ = 1 to 10 do
+    Aggregate.add_record a ~hash:1 (mk_record ~time_s:5e-2 ())
+  done;
+  let p50 = Aggregate.time_quantile a 0.5 in
+  let p99 = Aggregate.time_quantile a 0.99 in
+  check bool_t (Printf.sprintf "p50 %.2e near 1e-4" p50) true
+    (p50 > 3e-5 && p50 < 3e-4);
+  check bool_t (Printf.sprintf "p99 %.2e near 5e-2" p99) true
+    (p99 > 1.5e-2 && p99 < 1.5e-1);
+  check bool_t "monotone" true (p50 <= p99)
+
+(* ------------------------------------------------------------------ *)
+(* Mega checkpoints                                                    *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "pipesched_mega_test_%d_%d" (Unix.getpid ())
+         (Hashtbl.hash (Unix.gettimeofday ())))
+  in
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun f -> try Sys.remove (Filename.concat dir f) with _ -> ())
+        (try Sys.readdir dir with _ -> [||]);
+      try Unix.rmdir dir with _ -> ())
+    (fun () -> f dir)
+
+let test_mega_checkpoint_roundtrip () =
+  with_temp_dir (fun dir ->
+      let cfg = { Mega.default with Mega.count = 100; checkpoint_dir = dir } in
+      let agg = Aggregate.create () in
+      for i = 1 to 30 do
+        Aggregate.add_record agg ~hash:(Hashtbl.hash i) (mk_record ())
+      done;
+      Mega.write_checkpoint cfg ~shard:0 ~done_blocks:30 ~rss0_kb:1000 agg;
+      (match Mega.read_checkpoint cfg ~shard:0 with
+      | None -> Alcotest.fail "checkpoint did not read back"
+      | Some (done_blocks, rss0, _rss, agg') ->
+        check int_t "done" 30 done_blocks;
+        check int_t "rss0" 1000 rss0;
+        check bool_t "aggregate bytes survive" true
+          (String.equal (Aggregate.render agg) (Aggregate.render agg')));
+      check bool_t "absent shard reads None" true
+        (Mega.read_checkpoint cfg ~shard:1 = None);
+      (* A config that defines a different corpus must reject the
+         checkpoint (stale files are ignored, not misapplied). *)
+      check bool_t "fingerprint mismatch rejected" true
+        (Mega.read_checkpoint { cfg with Mega.seed = cfg.Mega.seed + 1 }
+           ~shard:0
+         = None);
+      check bool_t "fingerprint ignores result-transparent knobs" true
+        (Mega.read_checkpoint
+           { cfg with Mega.jobs = 8; dedup_capacity = 1; checkpoint_every = 7 }
+           ~shard:0
+         <> None);
+      (* Corruption is detected, never parsed into a shard state. *)
+      let oc = open_out (Mega.checkpoint_path cfg 0) in
+      output_string oc "{ not json";
+      close_out oc;
+      check bool_t "corrupt checkpoint rejected" true
+        (Mega.read_checkpoint cfg ~shard:0 = None))
+
+let test_mega_validate () =
+  Alcotest.check_raises "shards >= 1"
+    (Invalid_argument "Mega: shards must be >= 1") (fun () ->
+      Mega.run ~resume:false { Mega.default with Mega.shards = 0 } |> ignore);
+  Alcotest.check_raises "unknown preset"
+    (Invalid_argument "Mega: unknown machine preset \"no-such\"") (fun () ->
+      Mega.run ~resume:false { Mega.default with Mega.machine = "no-such" }
+      |> ignore);
+  (* Shard ranges partition [0, count) exactly, whatever the division
+     remainder. *)
+  List.iter
+    (fun (count, shards) ->
+      let cfg = { Mega.default with Mega.count = count; shards } in
+      let ranges = List.init shards (Mega.shard_range cfg) in
+      let total =
+        List.fold_left (fun acc (lo, hi) -> acc + (hi - lo)) 0 ranges
+      in
+      check int_t
+        (Printf.sprintf "%d blocks over %d shards" count shards)
+        count total;
+      ignore
+        (List.fold_left
+           (fun prev (lo, hi) ->
+             check int_t "contiguous" prev lo;
+             hi)
+           0 ranges))
+    [ (100, 3); (7, 4); (1, 1); (0, 2); (1000, 7) ]
+
 let () =
   Alcotest.run "harness"
     [ ( "stats",
@@ -269,6 +507,20 @@ let () =
           Alcotest.test_case "run_dedup fanout" `Quick test_run_dedup_fanout;
           Alcotest.test_case "aggregate" `Quick test_aggregate;
           Alcotest.test_case "by_size" `Quick test_by_size ] );
+      ( "aggregate",
+        [ Alcotest.test_case "counter units" `Quick test_agg_counters;
+          Alcotest.test_case "render invariants" `Quick
+            test_agg_render_invariants;
+          agg_partition_invariance;
+          Alcotest.test_case "json round trip" `Quick test_agg_json_roundtrip;
+          Alcotest.test_case "distinct estimate" `Quick
+            test_agg_distinct_estimate;
+          Alcotest.test_case "time quantile" `Quick test_agg_time_quantile ] );
+      ( "mega",
+        [ Alcotest.test_case "checkpoint round trip" `Quick
+            test_mega_checkpoint_roundtrip;
+          Alcotest.test_case "validate and shard ranges" `Quick
+            test_mega_validate ] );
       ( "paper",
         [ Alcotest.test_case "reference data" `Quick test_paper_data ] );
       ( "drivers",

@@ -287,6 +287,67 @@ let adjacency_agreement =
       done;
       !ok)
 
+(* Progress callbacks: cumulative, reach exactly [n] on both the serial
+   and the parallel path, and a raising callback never corrupts the
+   map. *)
+let test_progress_callback () =
+  List.iter
+    (fun jobs ->
+      let n = 200 in
+      let counts = ref [] in
+      let mu = Mutex.create () in
+      let note c =
+        Mutex.lock mu;
+        counts := c :: !counts;
+        Mutex.unlock mu
+      in
+      let ys =
+        Pool.parallel_map ~jobs ~chunk:7 ~progress:note succ
+          (List.init n Fun.id)
+      in
+      check bool_t
+        (Printf.sprintf "map unchanged by progress (jobs %d)" jobs)
+        true
+        (ys = List.init n (fun i -> i + 1));
+      let cs = List.rev !counts in
+      check bool_t
+        (Printf.sprintf "final cumulative count is n (jobs %d)" jobs)
+        true
+        (List.fold_left max 0 cs = n);
+      check bool_t
+        (Printf.sprintf "counts within range (jobs %d)" jobs)
+        true
+        (List.for_all (fun c -> c > 0 && c <= n) cs);
+      (* Serial delivery is strictly increasing (parallel may race). *)
+      if jobs = 1 then
+        check bool_t "serial counts are 1..n" true
+          (cs = List.init n (fun i -> i + 1)))
+    [ 1; 4 ];
+  (* A raising callback is contained. *)
+  let ys =
+    Pool.parallel_map ~jobs:4 ~progress:(fun _ -> failwith "boom") succ
+      (List.init 50 Fun.id)
+  in
+  check bool_t "raising progress contained" true
+    (ys = List.init 50 (fun i -> i + 1))
+
+let test_progress_result () =
+  let hi = ref 0 in
+  let mu = Mutex.create () in
+  let note c =
+    Mutex.lock mu;
+    if c > !hi then hi := c;
+    Mutex.unlock mu
+  in
+  let rs =
+    Pool.parallel_map_result ~jobs:4 ~progress:note
+      (fun i -> if i = 13 then failwith "unlucky" else i)
+      (List.init 100 Fun.id)
+  in
+  check int_t "faulted items still count as completed" 100 !hi;
+  check int_t "one contained failure" 1
+    (List.length (List.filter Result.is_error rs))
+
 let () =
   Alcotest.run "parallel"
     [ ( "pool",
@@ -302,6 +363,10 @@ let () =
           Alcotest.test_case "cancel before start" `Quick
             test_cancel_pre_tripped;
           Alcotest.test_case "cancel mid-map" `Quick test_cancel_mid_map;
+          Alcotest.test_case "progress callback" `Quick
+            test_progress_callback;
+          Alcotest.test_case "progress with contained faults" `Quick
+            test_progress_result;
           Alcotest.test_case "untripped token" `Quick
             test_cancel_untripped_token_is_free ] );
       ( "determinism",

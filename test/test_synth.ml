@@ -191,6 +191,155 @@ let test_kernels_looped_run () =
       end)
     Kernels.all
 
+(* ------------------------------------------------------------------ *)
+(* Schedule combinators                                                *)
+
+let take_events ~seed n s = List.of_seq (Seq.take n (Schedule.events ~seed s))
+let times es = List.map (fun e -> e.Schedule.time) es
+let payloads es = List.map (fun e -> e.Schedule.payload) es
+let float_list_t = Alcotest.(list (float 0.0))
+
+let test_schedule_determinism () =
+  let s =
+    Schedule.mix
+      [ Schedule.every ~period:1.0 Rng.bits;
+        Schedule.delayed 0.5 (Schedule.limited 20 (Schedule.every ~period:2.0 Rng.bits)) ]
+  in
+  let a = take_events ~seed:11 50 s in
+  let b = take_events ~seed:11 50 s in
+  check bool_t "same seed, same events" true (a = b);
+  let c = take_events ~seed:12 50 s in
+  check bool_t "different seed, different payloads" true
+    (payloads a <> payloads c);
+  (* Forcing is pure: a partial earlier forcing never perturbs a later
+     full one. *)
+  Schedule.iter ~seed:11 ~limit:7 ignore s;
+  check bool_t "forcing twice is stable" true (take_events ~seed:11 50 s = a)
+
+let test_schedule_limited_drop_laws () =
+  let s = Schedule.every ~period:1.0 Rng.bits in
+  let whole = take_events ~seed:3 30 s in
+  (* [limited] is a prefix of the same stream, [drop] the rest: slicing
+     commutes with generation (no reseeding on either side). *)
+  check bool_t "limited = prefix" true
+    (take_events ~seed:3 30 (Schedule.limited 10 s)
+     = (List.filteri (fun i _ -> i < 10) whole));
+  check bool_t "drop = suffix" true
+    (take_events ~seed:3 20 (Schedule.drop 10 s)
+     = List.filteri (fun i _ -> i >= 10) whole);
+  check bool_t "limited of limited = min" true
+    (take_events ~seed:3 30 (Schedule.limited 7 (Schedule.limited 10 s))
+     = take_events ~seed:3 30 (Schedule.limited 7 s));
+  check int_t "limited 0 is empty" 0
+    (List.length (take_events ~seed:3 5 (Schedule.limited 0 s)));
+  Alcotest.check_raises "negative limited"
+    (Invalid_argument "Schedule.limited: negative count") (fun () ->
+      ignore (Schedule.limited (-1) s))
+
+let test_schedule_delayed_law () =
+  let s = Schedule.limited 10 (Schedule.every ~period:1.0 Rng.bits) in
+  let base = take_events ~seed:9 10 s in
+  let shifted = take_events ~seed:9 10 (Schedule.delayed 4.0 s) in
+  check float_list_t "times shift by the delay"
+    (List.map (fun t -> t +. 4.0) (times base))
+    (times shifted);
+  check bool_t "payloads unchanged" true (payloads base = payloads shifted);
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Schedule.delayed: negative delay") (fun () ->
+      ignore (Schedule.delayed (-1.0) s))
+
+let test_schedule_mix_laws () =
+  check int_t "mix [] is empty" 0
+    (List.length (take_events ~seed:1 5 (Schedule.mix [])));
+  (* Left bias on ties: both singletons fire at t = 0. *)
+  check bool_t "ties break toward the earlier stream" true
+    (payloads (take_events ~seed:1 2 (Schedule.mix [ Schedule.pure "a"; Schedule.pure "b" ]))
+     = [ "a"; "b" ]);
+  (* Counts add and the merge is time-sorted. *)
+  let a = Schedule.limited 10 (Schedule.every ~period:3.0 Rng.bits) in
+  let b =
+    Schedule.delayed 1.0 (Schedule.limited 15 (Schedule.every ~period:2.0 Rng.bits))
+  in
+  let merged = take_events ~seed:5 100 (Schedule.mix [ a; b ]) in
+  check int_t "counts add" 25 (List.length merged);
+  let rec sorted = function
+    | e1 :: (e2 :: _ as rest) ->
+      e1.Schedule.time <= e2.Schedule.time && sorted rest
+    | _ -> true
+  in
+  check bool_t "time-sorted" true (sorted merged)
+
+let test_schedule_periodic_shapes () =
+  check float_list_t "every fires on the grid"
+    [ 0.0; 2.0; 4.0; 6.0 ]
+    (times (take_events ~seed:2 4 (Schedule.every ~period:2.0 Rng.bits)));
+  check float_list_t "repeating shifts each copy"
+    [ 0.0; 1.5; 3.0 ]
+    (times (take_events ~seed:2 9 (Schedule.repeating 3 ~period:1.5 Schedule.(pure ()))));
+  check int_t "burst fires all copies at once" 5
+    (List.length (take_events ~seed:2 9 (Schedule.burst 5 Schedule.(pure ()))));
+  check bool_t "burst times all zero" true
+    (List.for_all (( = ) 0.0)
+       (times (take_events ~seed:2 9 (Schedule.burst 5 Schedule.(pure ())))));
+  (* soak 4/s for 2s = 8 copies, 0.25s apart. *)
+  let soak = take_events ~seed:2 99 (Schedule.soak ~rate:4.0 ~duration:2.0 Schedule.(pure ())) in
+  check int_t "soak count = rate * duration" 8 (List.length soak);
+  check float_list_t "soak grid"
+    [ 0.0; 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 1.75 ]
+    (times soak);
+  (* ramp stages start back to back. *)
+  let ramp =
+    take_events ~seed:2 99
+      (Schedule.ramp ~stages:[ (1.0, 2.0); (2.0, 1.0) ] Schedule.(pure ()))
+  in
+  check float_list_t "ramp stage boundaries"
+    [ 0.0; 1.0; 2.0; 2.5 ]
+    (times ramp);
+  (* A uniformly empty inner schedule terminates rather than diverging. *)
+  check int_t "periodic of empty is empty" 0
+    (List.length (take_events ~seed:2 5 (Schedule.periodic ~period:1.0 Schedule.empty)))
+
+let test_seed_at_pins_seeds_stream () =
+  (* The O(1) contract the mega study and synthgen stand on: [seed_at]
+     must equal the actual payload of event [i] of [seeds]. *)
+  List.iter
+    (fun seed ->
+      let got = payloads (take_events ~seed 64 (Schedule.seeds ~count:64)) in
+      let want = List.init 64 (fun i -> Schedule.seed_at ~seed i) in
+      check bool_t (Printf.sprintf "seed_at pins seeds (root %d)" seed) true
+        (got = want))
+    [ 0; 1; 1990; 123456789 ]
+
+let schedule_sharding_partitions =
+  qtest ~count:100 "sharded generation partitions the serial corpus"
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_range 1 40) (int_range 1 6))
+    (fun (seed, count, shards) ->
+      Printf.sprintf "seed=%d count=%d shards=%d" seed count shards)
+    (fun (seed, count, shards) ->
+      let serial = ref [] in
+      Generator.stream ~seed ~start:0 ~count (fun i b -> serial := (i, b) :: !serial);
+      let sharded = ref [] in
+      for k = 0 to shards - 1 do
+        let lo = k * count / shards and hi = (k + 1) * count / shards in
+        Generator.stream ~seed ~start:lo ~count:(hi - lo) (fun i b ->
+            sharded := (i, b) :: !sharded)
+      done;
+      List.for_all2
+        (fun (i, b) (j, c) -> i = j && Block.equal b c)
+        (List.rev !serial) (List.rev !sharded))
+
+let schedule_drop_commutes =
+  qtest ~count:100 "drop/limited slice = serial slice (seeds stream)"
+    QCheck2.Gen.(triple (int_bound 1_000_000) (int_bound 30) (int_bound 30))
+    (fun (seed, lo, n) -> Printf.sprintf "seed=%d lo=%d n=%d" seed lo n)
+    (fun (seed, lo, n) ->
+      let s = Schedule.seeds ~count:(lo + n) in
+      let whole = payloads (take_events ~seed (lo + n) s) in
+      let slice =
+        payloads (take_events ~seed n Schedule.(limited n (drop lo s)))
+      in
+      slice = List.filteri (fun i _ -> i >= lo) whole)
+
 let () =
   Alcotest.run "synth"
     [ ( "frequency",
@@ -208,6 +357,18 @@ let () =
             test_op_mix_follows_frequency;
           Alcotest.test_case "size mix shape" `Quick test_size_mix_shape;
           Alcotest.test_case "batch" `Quick test_batch ] );
+      ( "schedule",
+        [ Alcotest.test_case "determinism" `Quick test_schedule_determinism;
+          Alcotest.test_case "limited/drop laws" `Quick
+            test_schedule_limited_drop_laws;
+          Alcotest.test_case "delayed law" `Quick test_schedule_delayed_law;
+          Alcotest.test_case "mix laws" `Quick test_schedule_mix_laws;
+          Alcotest.test_case "periodic shapes" `Quick
+            test_schedule_periodic_shapes;
+          Alcotest.test_case "seed_at pins seeds" `Quick
+            test_seed_at_pins_seeds_stream;
+          schedule_sharding_partitions;
+          schedule_drop_commutes ] );
       ( "kernels",
         [ Alcotest.test_case "parse" `Quick test_kernels_parse;
           Alcotest.test_case "compile faithfully" `Quick
