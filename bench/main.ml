@@ -517,6 +517,54 @@ let server_evidence () =
     (cold_s /. hot_s);
   evidence
 
+(* Load-replay evidence: a Loadgen plan (the same seeded, DSL-shaped
+   stream `pipesched_load` sends over a socket) replayed serially
+   against a fresh caching server.  The per-stage counts and hit rate
+   are a pure function of the plan seed and the server's deterministic
+   behavior, so they are gated outright: any error, any drop, or a hit
+   rate at or below 0.5 fails the bench.  The percentiles in the
+   emitted report are wall-clock and informational. *)
+let server_load_evidence () =
+  let module Server = Pipesched_serve.Server in
+  let module Loadgen = Harness.Loadgen in
+  let module Json = Pipesched_prelude.Json in
+  let plan =
+    Loadgen.plan ~hot:8 ~lambda:200_000 ~dup_rate:0.9 ~seed:2026
+      ~shape:Loadgen.Ramp ~rps:30.0 ~duration:4.0 ()
+  in
+  let server = Server.create ~cache_capacity:4096 () in
+  let report =
+    Loadgen.run_sync
+      ~handle:(fun line -> Some (Server.handle_line server line))
+      plan
+  in
+  if report.Loadgen.r_errors > 0 then
+    failwith
+      (Printf.sprintf "server_load: %d request(s) errored"
+         report.Loadgen.r_errors);
+  if report.Loadgen.r_drops > 0 then
+    failwith
+      (Printf.sprintf "server_load: %d request(s) dropped"
+         report.Loadgen.r_drops);
+  if not (report.Loadgen.r_hit_rate > 0.5) then
+    failwith
+      (Printf.sprintf "server_load: hit rate %.2f did not clear 0.5"
+         report.Loadgen.r_hit_rate);
+  let p50 stage =
+    List.fold_left
+      (fun acc (s : Loadgen.stage_summary) ->
+        if s.Loadgen.stage = stage then s.Loadgen.p50_ms else acc)
+      0.0 report.Loadgen.r_stages
+  in
+  Printf.printf
+    "Server load: %s seed %d, %d requests, hit rate %.2f (%d hit / %d \
+     fresh), p50 %.2f ms hit vs %.2f ms fresh\n%!"
+    (Loadgen.shape_to_string report.Loadgen.r_shape)
+    report.Loadgen.r_seed report.Loadgen.r_requests
+    report.Loadgen.r_hit_rate report.Loadgen.r_hits report.Loadgen.r_fresh
+    (p50 Loadgen.Hit) (p50 Loadgen.Fresh);
+  Json.to_string (Loadgen.report_json report)
+
 (* Mega-study evidence: the sharded engine's headline numbers, plus its
    two correctness claims asserted outright — the aggregate is
    byte-identical at shard counts 1/2/4, and a SIGKILLed-then-resumed
@@ -599,6 +647,7 @@ let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
   let deadline_s, deadline_entries = deadline_evidence () in
   let speedup_entries, speedup_identical = search_speedup_evidence () in
   let server = server_evidence () in
+  let server_load = server_load_evidence () in
   let mega_count, mega_runs, mega_rss_ratio = mega_evidence () in
   let dedup_uniq, _, dedup_rate = study_dedup in
   let oc = open_out path in
@@ -640,6 +689,7 @@ let write_results_json ~path ~jobs ~study_count ~study_failures ~study_wall_s
          else Printf.sprintf "%.4f" v))
     server;
   p " },\n";
+  p "  \"server_load\": %s,\n" server_load;
   p
     "  \"memo\": { \"nops\": %d, \"calls_on\": %d, \"calls_off\": %d, \
      \"hits\": %d, \"entries\": %d, \"evictions\": %d },\n"

@@ -1,0 +1,314 @@
+(* Open-loop load client for the scheduling daemon.
+
+   Replays a Loadgen plan (a pure function of --seed/--shape/--rps/
+   --duration/--dup-rate) against a running pipesched_server, either
+   over its Unix socket (--socket, with --conns concurrent connections)
+   or over the stdin/stdout of a child it spawns itself (--child, for
+   CI environments without a socket).
+
+   Open loop: every request is written at its scheduled offset from
+   stream start, regardless of how many responses are still in flight —
+   a slow server shows up as latency and eventually as drops, never as
+   a quietly reduced offered rate.  One pacer (the main thread) writes;
+   one reader systhread per connection classifies responses by stage
+   and folds latencies into per-stage histograms.  All threads are
+   systhreads in one domain, so the shared scorecard needs only one
+   mutex. *)
+
+module Json = Pipesched_prelude.Json
+module Loadgen = Pipesched_harness.Loadgen
+
+(* [fd] is kept for socket connections so teardown can [shutdown(2)]
+   them: closing an fd does not wake a thread blocked in read(2), but a
+   shutdown delivers EOF to it. *)
+type conn = { ic : in_channel; oc : out_channel; fd : Unix.file_descr option }
+
+type scorecard = {
+  lock : Mutex.t;
+  o : Loadgen.outcome;
+  answered : bool array;
+  mutable remaining : int;
+}
+
+let reader (card : scorecard) send_times c () =
+  let n = Array.length card.answered in
+  let rec go () =
+    match input_line c.ic with
+    | line ->
+      let now = Unix.gettimeofday () in
+      let stage = Loadgen.classify line in
+      let idx =
+        match Json.parse line with
+        | Ok j -> (
+          match Json.member "id" j with
+          | Some (Json.Int i) when i >= 0 && i < n -> Some i
+          | _ -> None)
+        | Error _ -> None
+      in
+      Mutex.lock card.lock;
+      (match idx with
+      | Some i when not card.answered.(i) ->
+        card.answered.(i) <- true;
+        card.remaining <- card.remaining - 1;
+        Loadgen.record card.o stage ~latency_s:(now -. send_times.(i))
+      | _ ->
+        (* Unmatchable line (no id we sent, e.g. a shutdown refusal):
+           score the line itself; the request it displaced will age out
+           as a drop. *)
+        Loadgen.record card.o stage ~latency_s:0.0);
+      let all_done = card.remaining = 0 in
+      Mutex.unlock card.lock;
+      if not all_done then go ()
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+  in
+  go ()
+
+let pace (plan : Loadgen.plan) send_times (conns : conn array) =
+  let k = Array.length conns in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun (r : Loadgen.request) ->
+      let target = t0 +. r.Loadgen.time in
+      let now = Unix.gettimeofday () in
+      if target > now then Thread.delay (target -. now);
+      let c = conns.(r.Loadgen.index mod k) in
+      send_times.(r.Loadgen.index) <- Unix.gettimeofday ();
+      try
+        output_string c.oc r.Loadgen.line;
+        output_char c.oc '\n';
+        flush c.oc
+      with Sys_error _ -> ())
+    plan.Loadgen.requests;
+  t0
+
+let run shape seed rps duration dup_rate hot conns socket_path child machine
+    lambda deadline_ms grace emit_json strict =
+  let shape =
+    match Loadgen.shape_of_string shape with
+    | Ok s -> s
+    | Error e ->
+      prerr_endline ("pipesched_load: " ^ e);
+      exit 124
+  in
+  let plan =
+    Loadgen.plan ~machine ~hot ?lambda ?deadline_ms ~dup_rate ~seed ~shape
+      ~rps ~duration ()
+  in
+  let n = Array.length plan.Loadgen.requests in
+  (* [wake] unblocks every reader thread (shutdown(2) for sockets, child
+     stdin EOF for a spawned server); [close] reclaims the transports
+     after the readers have been joined. *)
+  let conns, wake, close =
+    match (socket_path, child) with
+    | Some _, Some _ ->
+      prerr_endline "pipesched_load: --socket and --child are exclusive";
+      exit 124
+    | None, None ->
+      prerr_endline "pipesched_load: one of --socket or --child is required";
+      exit 124
+    | Some path, None ->
+      let connect () =
+        let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+        (try Unix.connect fd (ADDR_UNIX path)
+         with Unix.Unix_error (e, _, _) ->
+           Printf.eprintf "pipesched_load: cannot connect to %s: %s\n%!" path
+             (Unix.error_message e);
+           exit 124);
+        { ic = Unix.in_channel_of_descr fd;
+          oc = Unix.out_channel_of_descr fd;
+          fd = Some fd }
+      in
+      let cs = Array.init (max 1 conns) (fun _ -> connect ()) in
+      let wake () =
+        Array.iter
+          (fun c ->
+            (try flush c.oc with Sys_error _ -> ());
+            match c.fd with
+            | Some fd -> (
+              try Unix.shutdown fd Unix.SHUTDOWN_ALL
+              with Unix.Unix_error _ -> ())
+            | None -> ())
+          cs
+      in
+      let close () =
+        Array.iter (fun c -> try close_out c.oc with Sys_error _ -> ()) cs
+      in
+      (cs, wake, close)
+    | None, Some cmd ->
+      let ic, oc = Unix.open_process cmd in
+      let wake () = try close_out oc with Sys_error _ -> () in
+      let close () = ignore (Unix.close_process (ic, oc)) in
+      ([| { ic; oc; fd = None } |], wake, close)
+  in
+  let card =
+    { lock = Mutex.create ();
+      o = Loadgen.outcome ();
+      answered = Array.make n false;
+      remaining = n }
+  in
+  let send_times = Array.make n 0.0 in
+  let readers =
+    Array.map (fun c -> Thread.create (reader card send_times c) ()) conns
+  in
+  let t0 = pace plan send_times conns in
+  (* Give stragglers [grace] seconds after the last send, then call
+     whatever is still unanswered dropped. *)
+  let deadline = Unix.gettimeofday () +. grace in
+  let rec await () =
+    Mutex.lock card.lock;
+    let rem = card.remaining in
+    Mutex.unlock card.lock;
+    if rem > 0 && Unix.gettimeofday () < deadline then begin
+      Thread.delay 0.02;
+      await ()
+    end
+  in
+  await ();
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Mutex.lock card.lock;
+  Array.iter
+    (fun answered ->
+      if not answered then Loadgen.record card.o Loadgen.Dropped ~latency_s:0.0)
+    card.answered;
+  Mutex.unlock card.lock;
+  wake ();
+  Array.iter Thread.join readers;
+  close ();
+  let report =
+    Loadgen.summarize ~plan ~conns:(Array.length conns) ~wall_s card.o
+  in
+  Loadgen.pp_report Format.err_formatter report;
+  Format.pp_print_flush Format.err_formatter ();
+  if emit_json then print_endline (Json.to_string (Loadgen.report_json report));
+  if strict && (report.Loadgen.r_errors > 0 || report.Loadgen.r_drops > 0)
+  then begin
+    Printf.eprintf "pipesched_load: strict: %d error(s), %d drop(s)\n%!"
+      report.Loadgen.r_errors report.Loadgen.r_drops;
+    1
+  end
+  else 0
+
+open Cmdliner
+
+let shape =
+  Arg.(
+    value & opt string "soak"
+    & info [ "shape" ] ~docv:"SHAPE"
+        ~doc:
+          "Arrival pattern: $(b,soak) (constant rate), $(b,burst) (each \
+           second's traffic at once), $(b,ramp) (four stages at \
+           0.25/0.5/1.0/1.5 x rate) or $(b,mix) (soak plus periodic \
+           bursts).")
+
+let seed =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Workload seed.  The full request stream (arrival times and \
+           block bodies) is a pure function of the seed and the load \
+           flags.")
+
+let rps =
+  Arg.(
+    value & opt float 20.0
+    & info [ "rps" ] ~docv:"R" ~doc:"Nominal peak request rate per second.")
+
+let duration =
+  Arg.(
+    value & opt float 5.0
+    & info [ "duration" ] ~docv:"S" ~doc:"Nominal stream length in seconds.")
+
+let dup_rate =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup-rate" ] ~docv:"P"
+        ~doc:
+          "Probability in [0,1] that a request re-presents a block from \
+           the hot pool (cache-hit traffic after first presentation).")
+
+let hot =
+  Arg.(
+    value & opt int 8
+    & info [ "hot" ] ~docv:"N" ~doc:"Size of the hot (duplicate) block pool.")
+
+let conns =
+  Arg.(
+    value & opt int 4
+    & info [ "conns" ] ~docv:"N"
+        ~doc:
+          "Concurrent socket connections (requests round-robin across \
+           them).  Ignored with $(b,--child), which has one stream.")
+
+let socket_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Connect to a running pipesched_server Unix socket at $(docv).")
+
+let child =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "child" ] ~docv:"CMD"
+        ~doc:
+          "Spawn $(docv) with a shell and drive its stdin/stdout instead \
+           of a socket (CI mode, e.g. \"dune exec pipesched_server --\").")
+
+let machine =
+  Arg.(
+    value & opt string "simulation"
+    & info [ "machine" ] ~docv:"PRESET"
+        ~doc:"Machine preset named in every request.")
+
+let lambda =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "lambda" ] ~docv:"N"
+        ~doc:"Per-request Omega-call budget override sent with every request.")
+
+let deadline_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Per-request wall-clock deadline sent with every request.")
+
+let grace =
+  Arg.(
+    value & opt float 10.0
+    & info [ "grace" ] ~docv:"S"
+        ~doc:
+          "Seconds to wait for in-flight responses after the last send \
+           before counting the remainder as dropped.")
+
+let emit_json =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the full report as one JSON object on stdout (the \
+           human-readable report always goes to stderr).")
+
+let strict =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Exit 1 if any request errored or was dropped.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "pipesched_load"
+       ~doc:
+         "open-loop load client for pipesched_server: replays a seeded, \
+          DSL-shaped request stream and reports per-stage (cache hit / \
+          fresh solve / curtailed / error / dropped) latency percentiles")
+    Term.(
+      const run $ shape $ seed $ rps $ duration $ dup_rate $ hot $ conns
+      $ socket_path $ child $ machine $ lambda $ deadline_ms $ grace
+      $ emit_json $ strict)
+
+let () = exit (Cmd.eval' cmd)

@@ -9,66 +9,18 @@
    Responses go back through a per-channel mutex, so concurrent workers
    never interleave bytes on one stream.
 
+   The queue/drain/listener state machine lives in
+   [Pipesched_serve.Daemon] (unit-tested there); this binary is the I/O
+   plumbing around it.
+
    Shutdown: stdin EOF or SIGTERM stops intake (the listening socket is
-   closed), the workers drain every queued job, and the process exits 0.
-   In-flight connection readers are abandoned at exit — their requests
-   were either served or never fully submitted. *)
+   closed), requests arriving after that are answered with an explicit
+   "shutting down" error, the workers drain every queued job, and the
+   process exits 0. *)
 
 module Pool = Pipesched_parallel.Pool
 module Server = Pipesched_serve.Server
-
-type job = { line : string; write : string -> unit }
-
-type state = {
-  server : Server.t;
-  queue : job Queue.t;
-  qmutex : Mutex.t;
-  qcond : Condition.t;
-  mutable draining : bool; (* no new jobs will be accepted *)
-  mutable listen_fd : Unix.file_descr option;
-  served : int Atomic.t;
-}
-
-let submit st job =
-  Mutex.lock st.qmutex;
-  let accepted = not st.draining in
-  if accepted then begin
-    Queue.push job st.queue;
-    Condition.signal st.qcond
-  end;
-  Mutex.unlock st.qmutex;
-  accepted
-
-let begin_shutdown st =
-  Mutex.lock st.qmutex;
-  st.draining <- true;
-  Condition.broadcast st.qcond;
-  let fd = st.listen_fd in
-  st.listen_fd <- None;
-  Mutex.unlock st.qmutex;
-  (* Closing the listener kicks the acceptor thread out of accept(2). *)
-  match fd with Some fd -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ()
-
-(* Worker domain: drain jobs until the queue is empty *and* intake has
-   stopped. *)
-let worker st _rank =
-  let rec loop () =
-    Mutex.lock st.qmutex;
-    while Queue.is_empty st.queue && not st.draining do
-      Condition.wait st.qcond st.qmutex
-    done;
-    match Queue.take_opt st.queue with
-    | Some job ->
-      Mutex.unlock st.qmutex;
-      let response = Server.handle_line st.server job.line in
-      job.write response;
-      Atomic.incr st.served;
-      loop ()
-    | None ->
-      (* Empty and draining: done. *)
-      Mutex.unlock st.qmutex
-  in
-  loop ()
+module Daemon = Pipesched_serve.Daemon
 
 (* A writer that frames one response per line under [mutex], ignoring
    write failures (the peer may have hung up before its answer). *)
@@ -81,29 +33,17 @@ let line_writer mutex oc response =
    with Sys_error _ -> ());
   Mutex.unlock mutex
 
-let reader_loop st ic write =
-  let rec go () =
-    match input_line ic with
-    | "" -> go ()
-    | line ->
-      ignore (submit st { line; write });
-      go ()
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-  in
-  go ()
-
 let stdin_reader st () =
   let stdout_mutex = Mutex.create () in
-  reader_loop st stdin (line_writer stdout_mutex stdout);
+  Daemon.reader_loop st stdin (line_writer stdout_mutex stdout);
   (* stdin EOF is the daemon's stop signal. *)
-  begin_shutdown st
+  Daemon.begin_shutdown st
 
 let connection_thread st fd () =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let mutex = Mutex.create () in
-  reader_loop st ic (line_writer mutex oc);
+  Daemon.reader_loop st ic (line_writer mutex oc);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let acceptor st listen_fd () =
@@ -124,17 +64,7 @@ let run socket_path cache_capacity certify jobs lambda deadline_ms =
       ?deadline_ms
       ()
   in
-  let st =
-    {
-      server;
-      queue = Queue.create ();
-      qmutex = Mutex.create ();
-      qcond = Condition.create ();
-      draining = false;
-      listen_fd = None;
-      served = Atomic.make 0;
-    }
-  in
+  let st = Daemon.create server in
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Every thread of this process parks in blocking calls (cond waits,
      read(2), accept(2)), so an asynchronous [Signal_handle] would never
@@ -146,7 +76,7 @@ let run socket_path cache_capacity certify jobs lambda deadline_ms =
     (Thread.create
        (fun () ->
          let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
-         begin_shutdown st)
+         Daemon.begin_shutdown st)
        ());
   (match socket_path with
   | None -> ()
@@ -155,17 +85,20 @@ let run socket_path cache_capacity certify jobs lambda deadline_ms =
     let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
     Unix.bind fd (ADDR_UNIX path);
     Unix.listen fd 64;
-    st.listen_fd <- Some fd;
-    ignore (Thread.create (acceptor st fd) ()));
+    (* Publication and shutdown share the daemon's mutex: if a SIGTERM
+       already started draining, [install_listener] closes the fd and
+       no acceptor is spawned. *)
+    if Daemon.install_listener st fd then
+      ignore (Thread.create (acceptor st fd) ()));
   ignore (Thread.create (stdin_reader st) ());
   let jobs = Pool.resolve_jobs jobs in
-  Pool.team ~jobs (fun rank -> worker st rank);
+  Pool.team ~jobs (fun rank -> Daemon.worker st rank);
   (match socket_path with
   | None -> ()
   | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ()));
   Printf.eprintf
     "pipesched_server: served %d request(s), cache hits %d / misses %d\n%!"
-    (Atomic.get st.served) (Server.cache_hits server)
+    (Daemon.served st) (Server.cache_hits server)
     (Server.cache_misses server);
   0
 

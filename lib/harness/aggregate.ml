@@ -152,6 +152,49 @@ module Timehist = struct
     for i = 0 to buckets - 1 do
       dst.(i) <- dst.(i) + src.(i)
     done
+
+  let count (t : t) = Array.fold_left ( + ) 0 t
+end
+
+(* ------------------------------------------------------------------ *)
+(* Keyed variant of the time histogram: one log-bucket sketch per string
+   key (the load harness keys by response stage — hit / fresh /
+   curtailed / ...).  Merges key-wise, so per-stage percentiles from
+   concurrent connections or shards fold like everything else here. *)
+
+module Keyed = struct
+  type t = (string, Timehist.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+
+  let hist (t : t) key =
+    match Hashtbl.find_opt t key with
+    | Some h -> h
+    | None ->
+      let h = Timehist.create () in
+      Hashtbl.add t key h;
+      h
+
+  let add t key time = Timehist.add (hist t key) time
+
+  let count t key =
+    match Hashtbl.find_opt t key with
+    | Some h -> Timehist.count h
+    | None -> 0
+
+  let total (t : t) =
+    Hashtbl.fold (fun _ h acc -> acc + Timehist.count h) t 0
+
+  let quantile t key q =
+    match Hashtbl.find_opt t key with
+    | Some h -> Timehist.quantile h q
+    | None -> 0.0
+
+  let keys (t : t) =
+    List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+  let merge_into ~dst (src : t) =
+    Hashtbl.iter (fun k h -> Timehist.merge_into ~dst:(hist dst k) h) src
 end
 
 (* ------------------------------------------------------------------ *)

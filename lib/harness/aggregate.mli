@@ -28,6 +28,49 @@
 
 module Json = Pipesched_prelude.Json
 
+(** The log-bucketed latency/time histogram used internally for block
+    wall times, exposed for reuse: 64 buckets, 8 per decade over
+    [1us, 100s), ~33% relative resolution, constant memory, merges by
+    addition. *)
+module Timehist : sig
+  type t
+
+  val create : unit -> t
+
+  (** [add t seconds] folds one observation. *)
+  val add : t -> float -> unit
+
+  (** Observations folded in. *)
+  val count : t -> int
+
+  (** [quantile t q] with [0 <= q <= 1], to bucket resolution; [0.]
+      when empty. *)
+  val quantile : t -> float -> float
+
+  val merge_into : dst:t -> t -> unit
+end
+
+(** {!Timehist} keyed by a string — one sketch per response stage in
+    the load harness ([hit] / [fresh] / [curtailed] / ...).  Absent
+    keys read as empty; [merge_into] merges key-wise. *)
+module Keyed : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> string -> float -> unit
+  val count : t -> string -> int
+
+  (** Observations across all keys. *)
+  val total : t -> int
+
+  val quantile : t -> string -> float -> float
+
+  (** Keys with at least one sketch, sorted. *)
+  val keys : t -> string list
+
+  val merge_into : dst:t -> t -> unit
+end
+
 type t
 
 val create : unit -> t

@@ -1,0 +1,285 @@
+open Pipesched_ir
+module Json = Pipesched_prelude.Json
+module Rng = Pipesched_prelude.Rng
+module Schedule = Pipesched_synth.Schedule
+module Generator = Pipesched_synth.Generator
+
+(* ------------------------------------------------------------------ *)
+(* Request plans                                                       *)
+
+type shape = Burst | Soak | Ramp | Mix
+
+let shape_to_string = function
+  | Burst -> "burst"
+  | Soak -> "soak"
+  | Ramp -> "ramp"
+  | Mix -> "mix"
+
+let shape_of_string = function
+  | "burst" -> Ok Burst
+  | "soak" -> Ok Soak
+  | "ramp" -> Ok Ramp
+  | "mix" -> Ok Mix
+  | s -> Error (Printf.sprintf "unknown shape %S (burst|soak|ramp|mix)" s)
+
+type request = { index : int; time : float; line : string; dup : bool }
+
+type plan = {
+  shape : shape;
+  seed : int;
+  rps : float;
+  duration : float;
+  dup_rate : float;
+  machine : string;
+  requests : request array;
+}
+
+(* The arrival process: [once draw] per slot, composed by shape.  Every
+   slot's payload comes from its own split seed (Schedule threads them),
+   so the stream is a pure function of (seed, shape, rates). *)
+let arrivals shape ~rps ~duration draw =
+  let ceil_i x = max 1 (int_of_float (Float.ceil x)) in
+  let slot = Schedule.once draw in
+  match shape with
+  | Soak -> Schedule.soak ~rate:rps ~duration slot
+  | Burst ->
+    (* Each second's worth of traffic lands at once: same offered total
+       as the soak, maximally unfriendly arrival pattern. *)
+    Schedule.repeating (ceil_i duration) ~period:1.0
+      (Schedule.burst (ceil_i rps) slot)
+  | Ramp ->
+    let q = duration /. 4.0 in
+    Schedule.ramp
+      ~stages:
+        [ (0.25 *. rps, q); (0.5 *. rps, q); (rps, q); (1.5 *. rps, q) ]
+      slot
+  | Mix ->
+    Schedule.mix
+      [ Schedule.soak ~rate:(0.6 *. rps) ~duration slot;
+        Schedule.repeating (ceil_i (duration /. 2.0)) ~period:2.0
+          (Schedule.burst (ceil_i (0.8 *. rps)) slot) ]
+
+let plan ?(machine = "simulation") ?(hot = 8) ?lambda ?deadline_ms
+    ?(dup_rate = 0.0) ~seed ~shape ~rps ~duration () =
+  if not (rps > 0.0) then invalid_arg "Loadgen.plan: rps must be positive";
+  if not (duration > 0.0) then
+    invalid_arg "Loadgen.plan: duration must be positive";
+  if not (dup_rate >= 0.0 && dup_rate <= 1.0) then
+    invalid_arg "Loadgen.plan: dup_rate must be in [0, 1]";
+  let hot_n = max 1 hot in
+  (* The hot pool — the blocks duplicate traffic re-presents.  Drawn
+     from a generator derived from (not equal to) the root seed so pool
+     membership never collides with the DSL's own child seeds. *)
+  let hot_blocks =
+    let hrng = Rng.create (seed lxor 0x10adc11e) in
+    Array.init hot_n (fun _ ->
+        Block.to_string (Generator.of_seed (Rng.bits hrng)))
+  in
+  let draw rng =
+    if Rng.float rng < dup_rate then (hot_blocks.(Rng.int rng hot_n), true)
+    else (Block.to_string (Generator.of_seed (Rng.bits rng)), false)
+  in
+  let events =
+    List.of_seq (Schedule.events ~seed (arrivals shape ~rps ~duration draw))
+  in
+  let requests =
+    Array.of_list
+      (List.mapi
+         (fun index (e : (string * bool) Schedule.event) ->
+           let block, dup = e.Schedule.payload in
+           let fields =
+             [ ("id", Json.Int index);
+               ("machine", Json.String machine);
+               ("block", Json.String block);
+               ("detail", Json.Bool true) ]
+             @ (match lambda with
+               | Some l -> [ ("lambda", Json.Int l) ]
+               | None -> [])
+             @
+             match deadline_ms with
+             | Some ms -> [ ("deadline_ms", Json.Float ms) ]
+             | None -> []
+           in
+           { index;
+             time = e.Schedule.time;
+             line = Json.to_string (Json.Assoc fields);
+             dup })
+         events)
+  in
+  { shape; seed; rps; duration; dup_rate; machine; requests }
+
+(* ------------------------------------------------------------------ *)
+(* Response classification                                             *)
+
+type stage = Hit | Fresh | Curtailed | Error | Dropped
+
+let stage_to_string = function
+  | Hit -> "hit"
+  | Fresh -> "fresh"
+  | Curtailed -> "curtailed"
+  | Error -> "error"
+  | Dropped -> "dropped"
+
+let stages = [ Hit; Fresh; Curtailed; Error; Dropped ]
+
+let classify line =
+  match Json.parse line with
+  | Error _ -> Error
+  | Ok resp -> (
+    match Json.member "ok" resp with
+    | Some (Json.Bool true) -> (
+      match Json.member "completed" resp with
+      | Some (Json.Bool false) -> Curtailed
+      | _ -> (
+        match Json.member "cached" resp with
+        | Some (Json.Bool true) -> Hit
+        | _ -> Fresh))
+    | _ -> Error)
+
+(* ------------------------------------------------------------------ *)
+(* Scoring                                                             *)
+
+type outcome = {
+  counts : (stage * int ref) list;
+  hist : Aggregate.Keyed.t; (* latencies, keyed by stage name *)
+}
+
+let outcome () =
+  { counts = List.map (fun s -> (s, ref 0)) stages;
+    hist = Aggregate.Keyed.create () }
+
+let record o stage ~latency_s =
+  incr (List.assq stage o.counts);
+  if stage <> Dropped then
+    Aggregate.Keyed.add o.hist (stage_to_string stage) latency_s
+
+type stage_summary = {
+  stage : stage;
+  count : int;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+}
+
+type report = {
+  r_shape : shape;
+  r_seed : int;
+  r_dup_rate : float;
+  r_conns : int;
+  r_requests : int;
+  r_duration : float;
+  r_offered_rps : float;
+  r_wall_s : float;
+  r_achieved_rps : float;
+  r_stages : stage_summary list;
+  r_hits : int;
+  r_fresh : int;
+  r_curtailed : int;
+  r_errors : int;
+  r_drops : int;
+  r_hit_rate : float;
+}
+
+let summarize ~plan ~conns ~wall_s o =
+  let count s = !(List.assq s o.counts) in
+  let q s p =
+    1000.0 *. Aggregate.Keyed.quantile o.hist (stage_to_string s) p
+  in
+  let summary s =
+    { stage = s;
+      count = count s;
+      p50_ms = q s 0.5;
+      p90_ms = q s 0.9;
+      p99_ms = q s 0.99 }
+  in
+  let n = Array.length plan.requests in
+  let answered_ok = count Hit + count Fresh + count Curtailed in
+  let answered = answered_ok + count Error in
+  { r_shape = plan.shape;
+    r_seed = plan.seed;
+    r_dup_rate = plan.dup_rate;
+    r_conns = conns;
+    r_requests = n;
+    r_duration = plan.duration;
+    r_offered_rps = float_of_int n /. plan.duration;
+    r_wall_s = wall_s;
+    r_achieved_rps =
+      (if wall_s > 0.0 then float_of_int answered /. wall_s else 0.0);
+    r_stages = List.map summary stages;
+    r_hits = count Hit;
+    r_fresh = count Fresh;
+    r_curtailed = count Curtailed;
+    r_errors = count Error;
+    r_drops = count Dropped;
+    r_hit_rate =
+      (if answered_ok > 0 then
+         float_of_int (count Hit) /. float_of_int answered_ok
+       else 0.0) }
+
+let stage_json ~timed s =
+  ( stage_to_string s.stage,
+    Json.Assoc
+      (("count", Json.Int s.count)
+      ::
+      (if timed && s.stage <> Dropped then
+         [ ("p50_ms", Json.Float s.p50_ms);
+           ("p90_ms", Json.Float s.p90_ms);
+           ("p99_ms", Json.Float s.p99_ms) ]
+       else [])) )
+
+let report_fields ~timed r =
+  [ ("shape", Json.String (shape_to_string r.r_shape));
+    ("seed", Json.Int r.r_seed);
+    ("dup_rate", Json.Float r.r_dup_rate);
+    ("conns", Json.Int r.r_conns);
+    ("requests", Json.Int r.r_requests);
+    ("duration_s", Json.Float r.r_duration);
+    ("offered_rps", Json.Float r.r_offered_rps) ]
+  @ (if timed then
+       [ ("wall_s", Json.Float r.r_wall_s);
+         ("achieved_rps", Json.Float r.r_achieved_rps) ]
+     else [])
+  @ [ ("stages", Json.Assoc (List.map (stage_json ~timed) r.r_stages));
+      ("hit_rate", Json.Float r.r_hit_rate);
+      ("errors", Json.Int r.r_errors);
+      ("drops", Json.Int r.r_drops) ]
+
+let report_json r = Json.Assoc (report_fields ~timed:true r)
+let report_deterministic_json r = Json.Assoc (report_fields ~timed:false r)
+
+let pp_report fmt r =
+  Format.fprintf fmt "shape             %s (seed %d)@."
+    (shape_to_string r.r_shape) r.r_seed;
+  Format.fprintf fmt "requests          %d over %.1f s nominal@." r.r_requests
+    r.r_duration;
+  Format.fprintf fmt "offered rps       %.1f (dup rate %.2f, %d conn%s)@."
+    r.r_offered_rps r.r_dup_rate r.r_conns
+    (if r.r_conns = 1 then "" else "s");
+  Format.fprintf fmt "achieved rps      %.1f (%.2f s wall)@." r.r_achieved_rps
+    r.r_wall_s;
+  List.iter
+    (fun s ->
+      if s.stage = Dropped || s.stage = Error then
+        Format.fprintf fmt "%-17s %d@." (stage_to_string s.stage) s.count
+      else
+        Format.fprintf fmt
+          "%-17s %d  p50 %.2f ms  p90 %.2f ms  p99 %.2f ms@."
+          (stage_to_string s.stage) s.count s.p50_ms s.p90_ms s.p99_ms)
+    r.r_stages;
+  Format.fprintf fmt "hit rate          %.2f@." r.r_hit_rate
+
+(* ------------------------------------------------------------------ *)
+(* Serial in-process driver                                            *)
+
+let run_sync ~handle plan =
+  let o = outcome () in
+  let t0 = Unix.gettimeofday () in
+  Array.iter
+    (fun r ->
+      let s0 = Unix.gettimeofday () in
+      match handle r.line with
+      | None -> record o Dropped ~latency_s:0.0
+      | Some resp ->
+        record o (classify resp) ~latency_s:(Unix.gettimeofday () -. s0))
+    plan.requests;
+  summarize ~plan ~conns:1 ~wall_s:(Unix.gettimeofday () -. t0) o

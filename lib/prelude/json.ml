@@ -131,6 +131,13 @@ let parse s =
               else begin
                 let hex = String.sub s !pos 4 in
                 pos := !pos + 4;
+                (* Exactly 4 hex digits: [int_of_string "0x..."] alone
+                   would also admit OCaml literal syntax ("1_2a"). *)
+                let is_hex = function
+                  | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+                  | _ -> false
+                in
+                if not (String.for_all is_hex hex) then fail "bad \\u escape";
                 match int_of_string_opt ("0x" ^ hex) with
                 | None -> fail "bad \\u escape"
                 | Some code ->
@@ -166,6 +173,39 @@ let parse s =
       advance ()
     done;
     let text = String.sub s start (!pos - start) in
+    (* Enforce the JSON number grammar — optional minus, "0" or a
+       nonzero-led digit run, optional ".digits", optional
+       "[eE][+-]digits" — before handing the text to OCaml's lenient
+       converters.  Rejects a leading '+', leading zeros ("05") and
+       bare trailing parts ("1.", "1e") that
+       [int_of_string]/[float_of_string] accept. *)
+    let grammatical =
+      let len = String.length text in
+      let i = ref 0 in
+      let digit c = c >= '0' && c <= '9' in
+      let digits () =
+        if !i < len && digit text.[!i] then begin
+          while !i < len && digit text.[!i] do incr i done;
+          true
+        end
+        else false
+      in
+      let ok = ref true in
+      if !i < len && text.[!i] = '-' then incr i;
+      (if !i < len && text.[!i] = '0' then incr i
+       else if not (digits ()) then ok := false);
+      if !ok && !i < len && text.[!i] = '.' then begin
+        incr i;
+        if not (digits ()) then ok := false
+      end;
+      if !ok && !i < len && (text.[!i] = 'e' || text.[!i] = 'E') then begin
+        incr i;
+        if !i < len && (text.[!i] = '+' || text.[!i] = '-') then incr i;
+        if not (digits ()) then ok := false
+      end;
+      !ok && !i = len
+    in
+    if not grammatical then fail "bad number";
     let floatish =
       String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text
     in

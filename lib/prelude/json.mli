@@ -5,9 +5,12 @@
     The printer emits compact single-line JSON (the framing of the line
     protocol) with full string escaping.  The parser is a strict
     recursive-descent reader of standard JSON; numbers without [.], [e]
-    or [E] parse as [Int], everything else numeric as [Float].  Input
-    after the first value is rejected, so one protocol line is exactly
-    one value. *)
+    or [E] parse as [Int], everything else numeric as [Float].  Numbers
+    and [\u] escapes are validated against the JSON grammar before any
+    OCaml conversion runs, so OCaml literal leniency (underscores in
+    ["\u1_2a"], leading [+] or [0]s) never leaks into the protocol.
+    Input after the first value is rejected, so one protocol line is
+    exactly one value. *)
 
 type t =
   | Null

@@ -1,0 +1,111 @@
+module Json = Pipesched_prelude.Json
+
+type job = { line : string; write : string -> unit }
+
+type t = {
+  server : Server.t;
+  queue : job Queue.t;
+  qmutex : Mutex.t;
+  qcond : Condition.t;
+  mutable draining : bool; (* no new jobs will be accepted *)
+  mutable listen_fd : Unix.file_descr option;
+  served : int Atomic.t;
+}
+
+let create server =
+  {
+    server;
+    queue = Queue.create ();
+    qmutex = Mutex.create ();
+    qcond = Condition.create ();
+    draining = false;
+    listen_fd = None;
+    served = Atomic.make 0;
+  }
+
+let server t = t.server
+let served t = Atomic.get t.served
+
+let shutdown_response =
+  Json.to_string
+    (Json.Assoc
+       [ ("id", Json.Null);
+         ("ok", Json.Bool false);
+         ("error", Json.String "shutting down") ])
+
+let submit t ~line ~write =
+  Mutex.lock t.qmutex;
+  let accepted = not t.draining in
+  if accepted then begin
+    Queue.push { line; write } t.queue;
+    Condition.signal t.qcond
+  end;
+  Mutex.unlock t.qmutex;
+  accepted
+
+let draining t =
+  Mutex.lock t.qmutex;
+  let d = t.draining in
+  Mutex.unlock t.qmutex;
+  d
+
+let begin_shutdown t =
+  Mutex.lock t.qmutex;
+  t.draining <- true;
+  Condition.broadcast t.qcond;
+  let fd = t.listen_fd in
+  t.listen_fd <- None;
+  Mutex.unlock t.qmutex;
+  (* Closing the listener kicks the acceptor thread out of accept(2). *)
+  match fd with
+  | Some fd -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+  | None -> ()
+
+(* Publication happens under [qmutex] so it cannot interleave with
+   [begin_shutdown]'s read: either the shutdown sees the fd and closes
+   it, or it has already set [draining] and we close the fd here
+   ourselves.  (The old daemon wrote [listen_fd] unlocked, so a SIGTERM
+   during startup could miss the fd and leave the acceptor parked in
+   accept(2) forever.) *)
+let install_listener t fd =
+  Mutex.lock t.qmutex;
+  let accepted = not t.draining in
+  if accepted then t.listen_fd <- Some fd;
+  Mutex.unlock t.qmutex;
+  if not accepted then (try Unix.close fd with Unix.Unix_error _ -> ());
+  accepted
+
+let reader_loop t ic write =
+  let rec go () =
+    match input_line ic with
+    | "" -> go ()
+    | line ->
+      (* A refused line means the daemon is draining: answer it
+         definitively and stop reading — the old [ignore (submit ...)]
+         left accepted-but-unanswered clients hanging forever. *)
+      if submit t ~line ~write then go () else write shutdown_response
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+  in
+  go ()
+
+(* Worker domain: drain jobs until the queue is empty *and* intake has
+   stopped. *)
+let worker t _rank =
+  let rec loop () =
+    Mutex.lock t.qmutex;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.qcond t.qmutex
+    done;
+    match Queue.take_opt t.queue with
+    | Some job ->
+      Mutex.unlock t.qmutex;
+      let response = Server.handle_line t.server job.line in
+      job.write response;
+      Atomic.incr t.served;
+      loop ()
+    | None ->
+      (* Empty and draining: done. *)
+      Mutex.unlock t.qmutex
+  in
+  loop ()

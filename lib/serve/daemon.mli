@@ -1,0 +1,67 @@
+(** Intake/drain state machine of the scheduling daemon.
+
+    [bin/pipesched_server] used to keep the job queue, the draining
+    flag and the listening socket inline; the logic moved here so its
+    two shutdown invariants are unit-testable without spawning a
+    process:
+
+    + {b no silent drops}: once {!begin_shutdown} has run, an incoming
+      request line is answered with
+      [{"id":null,"ok":false,"error":"shutting down"}] and the reader
+      stops, instead of being [ignore]d while the client waits forever;
+    + {b no startup race}: the listening socket is published under the
+      queue mutex ({!install_listener}), the same mutex
+      {!begin_shutdown} takes — a SIGTERM arriving between [listen(2)]
+      and publication either sees the fd (and closes it) or is seen
+      (and {!install_listener} closes the fd itself and refuses), so
+      the acceptor can never be left parked in [accept(2)].
+
+    Threading: intake runs on systhreads, {!worker} on
+    {!Pipesched_parallel.Pool.team} domains; all shared state is under
+    one mutex/condition pair. *)
+
+type t
+
+(** [create server] — a fresh daemon around [server].  Not draining,
+    no listener, empty queue. *)
+val create : Server.t -> t
+
+val server : t -> Server.t
+
+(** The response line sent to a request that arrives while draining. *)
+val shutdown_response : string
+
+(** [submit t ~line ~write] enqueues a job unless draining.  Returns
+    whether the job was accepted; a refused job is {e not} answered
+    (callers that own a client connection should send
+    {!shutdown_response} — {!reader_loop} does). *)
+val submit : t -> line:string -> write:(string -> unit) -> bool
+
+(** Stop intake: set draining, wake every worker, and close the
+    published listener (kicking the acceptor out of [accept(2)]).
+    Idempotent. *)
+val begin_shutdown : t -> unit
+
+val draining : t -> bool
+
+(** [install_listener t fd] publishes the listening socket so
+    {!begin_shutdown} can close it.  If the daemon is already draining
+    the fd is closed here and [false] is returned — the caller must
+    not start an acceptor on it. *)
+val install_listener : t -> Unix.file_descr -> bool
+
+(** [reader_loop t ic write] reads request lines from [ic] until EOF,
+    submitting each with [write] as its response channel.  A line
+    refused because the daemon is draining is answered with
+    {!shutdown_response} via [write] and the loop returns — the client
+    gets a definite answer instead of a hang. *)
+val reader_loop : t -> in_channel -> (string -> unit) -> unit
+
+(** [worker t rank] drains jobs (handling each with
+    {!Server.handle_line} and answering on the job's own writer) until
+    the queue is empty {e and} the daemon is draining.  Run one per
+    pool domain. *)
+val worker : t -> int -> unit
+
+(** Requests answered by workers since {!create}. *)
+val served : t -> int

@@ -38,17 +38,24 @@ let error_response id msg =
 
 let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
 
-let render id (c : Canonical.t) (r : Omega.result) ~completed ~status =
+(* [cached] is [Some _] only when the request opted in with
+   ["detail": true]: the extra field would otherwise break the
+   byte-identity of cached and fresh responses, which the bench and the
+   parity tests assert. *)
+let render id (c : Canonical.t) (r : Omega.result) ~completed ~status ~cached =
   Json.Assoc
-    [ ("id", id);
-      ("ok", Json.Bool true);
-      ("nops", Json.Int r.Omega.nops);
-      ("completed", Json.Bool completed);
-      ("status", Json.String (Budget.status_to_string status));
-      ("order", int_array (Canonical.apply c r.Omega.order));
-      ("eta", int_array r.Omega.eta);
-      ("issue", int_array r.Omega.issue);
-      ("pipes", int_array r.Omega.pipes) ]
+    ([ ("id", id);
+       ("ok", Json.Bool true);
+       ("nops", Json.Int r.Omega.nops);
+       ("completed", Json.Bool completed);
+       ("status", Json.String (Budget.status_to_string status));
+       ("order", int_array (Canonical.apply c r.Omega.order));
+       ("eta", int_array r.Omega.eta);
+       ("issue", int_array r.Omega.issue);
+       ("pipes", int_array r.Omega.pipes) ]
+    @ match cached with
+      | None -> []
+      | Some b -> [ ("cached", Json.Bool b) ])
 
 let resolve_machine json =
   let of_text text =
@@ -118,11 +125,16 @@ let schedule_request t id req =
           | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
           | _ -> Option.map (fun ms -> ms /. 1000.0) t.deadline_ms
         in
+        let detail =
+          Json.member "detail" req = Some (Json.Bool true)
+        in
+        let cached b = if detail then Some b else None in
         let c = Canonical.of_block blk in
         let key = Machine.fingerprint machine ^ "\x00" ^ c.Canonical.key in
         match Lru.find t.cache key with
         | Some result ->
           render id c result ~completed:true ~status:Budget.Complete
+            ~cached:(cached true)
         | None -> (
           let options =
             { Optimal.default_options with Optimal.lambda; deadline_s }
@@ -145,7 +157,7 @@ let schedule_request t id req =
             (* Curtailed incumbents are served but never cached: a later
                request with a looser budget must get its own solve. *)
             if completed then Lru.put t.cache key result;
-            render id c result ~completed ~status))))
+            render id c result ~completed ~status ~cached:(cached false)))))
 
 let handle_request t req =
   let id = Option.value ~default:Json.Null (Json.member "id" req) in

@@ -21,7 +21,12 @@
     and may be any JSON value (default [null]).  [deadline_ms] and
     [lambda] are optional per-request budget overrides; a deadline maps
     onto the anytime search, which then returns its best incumbent with
-    a non-["Complete"] status on expiry.
+    a non-["Complete"] status on expiry.  An optional ["detail": true]
+    asks for a ["cached": true|false] field in the response (whether
+    the schedule came from the cache) — opt-in, because cached and
+    fresh responses to the same default request are byte-identical and
+    the load harness is the one client that wants to tell them
+    apart.
 
     The response to a successful request:
     {v

@@ -489,6 +489,162 @@ let test_mega_validate () =
            0 ranges))
     [ (100, 3); (7, 4); (1, 1); (0, 2); (1000, 7) ]
 
+(* ------------------------------------------------------------------ *)
+(* Keyed histograms                                                    *)
+
+let test_timehist_count () =
+  let h = Aggregate.Timehist.create () in
+  check int_t "empty" 0 (Aggregate.Timehist.count h);
+  List.iter (Aggregate.Timehist.add h) [ 1e-4; 2e-3; 5e-2; 0.7 ];
+  check int_t "counts adds" 4 (Aggregate.Timehist.count h);
+  check bool_t "quantile within range" true
+    (let q = Aggregate.Timehist.quantile h 0.5 in
+     q >= 1e-4 && q <= 0.7 *. 2.0)
+
+let test_keyed_histogram () =
+  let k = Aggregate.Keyed.create () in
+  check bool_t "no keys" true (Aggregate.Keyed.keys k = []);
+  check int_t "missing key count" 0 (Aggregate.Keyed.count k "hit");
+  check bool_t "missing key quantile" true
+    (Aggregate.Keyed.quantile k "hit" 0.5 = 0.0);
+  List.iter (Aggregate.Keyed.add k "hit") [ 1e-4; 2e-4; 3e-4 ];
+  Aggregate.Keyed.add k "fresh" 0.1;
+  check bool_t "keys sorted" true
+    (Aggregate.Keyed.keys k = [ "fresh"; "hit" ]);
+  check int_t "per-key count" 3 (Aggregate.Keyed.count k "hit");
+  check int_t "total" 4 (Aggregate.Keyed.total k);
+  check bool_t "stages separated" true
+    (Aggregate.Keyed.quantile k "fresh" 0.5
+    > Aggregate.Keyed.quantile k "hit" 0.5)
+
+(* Merging per-connection scorecards must agree with one serial fold —
+   the property the --conns N client relies on. *)
+let test_keyed_merge_partition_invariance () =
+  let rng = Rng.create 0x4a11 in
+  let samples =
+    List.init 500 (fun _ ->
+        ( (if Rng.bool rng then "hit" else "fresh"),
+          1e-5 *. float_of_int (1 + Rng.int rng 100_000) ))
+  in
+  let serial = Aggregate.Keyed.create () in
+  List.iter (fun (k, v) -> Aggregate.Keyed.add serial k v) samples;
+  let merged = Aggregate.Keyed.create () in
+  let parts = Array.init 4 (fun _ -> Aggregate.Keyed.create ()) in
+  List.iteri
+    (fun i (k, v) -> Aggregate.Keyed.add parts.(i mod 4) k v)
+    samples;
+  Array.iter (fun p -> Aggregate.Keyed.merge_into ~dst:merged p) parts;
+  check bool_t "same keys" true
+    (Aggregate.Keyed.keys serial = Aggregate.Keyed.keys merged);
+  check int_t "same total" (Aggregate.Keyed.total serial)
+    (Aggregate.Keyed.total merged);
+  List.iter
+    (fun key ->
+      List.iter
+        (fun q ->
+          check bool_t
+            (Printf.sprintf "%s q%.2f agrees" key q)
+            true
+            (Aggregate.Keyed.quantile serial key q
+            = Aggregate.Keyed.quantile merged key q))
+        [ 0.5; 0.9; 0.99 ])
+    (Aggregate.Keyed.keys serial)
+
+(* ------------------------------------------------------------------ *)
+(* Loadgen                                                             *)
+
+let test_loadgen_plan_deterministic () =
+  let mk seed =
+    Loadgen.plan ~dup_rate:0.5 ~seed ~shape:Loadgen.Ramp ~rps:16.0
+      ~duration:2.0 ()
+  in
+  let a = mk 7 and b = mk 7 and c = mk 8 in
+  check bool_t "same seed, identical stream" true
+    (a.Loadgen.requests = b.Loadgen.requests);
+  check bool_t "different seed, different stream" true
+    (c.Loadgen.requests <> a.Loadgen.requests)
+
+let test_loadgen_shapes () =
+  List.iter
+    (fun shape ->
+      let p =
+        Loadgen.plan ~dup_rate:0.3 ~seed:11 ~shape ~rps:10.0 ~duration:2.0 ()
+      in
+      let n = Array.length p.Loadgen.requests in
+      check bool_t
+        (Loadgen.shape_to_string shape ^ " generates traffic")
+        true (n > 0);
+      Array.iteri
+        (fun i (r : Loadgen.request) ->
+          check int_t "index is position" i r.Loadgen.index;
+          check bool_t "times non-decreasing" true
+            (i = 0
+            || r.Loadgen.time
+               >= p.Loadgen.requests.(i - 1).Loadgen.time))
+        p.Loadgen.requests;
+      (* Round-trip the name too. *)
+      check bool_t "shape name round-trips" true
+        (Loadgen.shape_of_string (Loadgen.shape_to_string shape) = Ok shape))
+    [ Loadgen.Burst; Loadgen.Soak; Loadgen.Ramp; Loadgen.Mix ];
+  check bool_t "unknown shape rejected" true
+    (match Loadgen.shape_of_string "nope" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_loadgen_classify () =
+  let stage = Alcotest.testable (Fmt.of_to_string Loadgen.stage_to_string) ( = ) in
+  let chk name want line = check stage name want (Loadgen.classify line) in
+  chk "unparsable" Loadgen.Error "{nope";
+  chk "refusal" Loadgen.Error
+    "{\"id\":null,\"ok\":false,\"error\":\"shutting down\"}";
+  chk "curtailed" Loadgen.Curtailed
+    "{\"id\":0,\"ok\":true,\"completed\":false}";
+  chk "hit" Loadgen.Hit
+    "{\"id\":0,\"ok\":true,\"completed\":true,\"cached\":true}";
+  chk "fresh detail" Loadgen.Fresh
+    "{\"id\":0,\"ok\":true,\"completed\":true,\"cached\":false}";
+  chk "fresh no detail" Loadgen.Fresh "{\"id\":0,\"ok\":true,\"completed\":true}"
+
+(* Replay one plan serially against an in-process server: everything
+   answers, duplicates hit the cache, and the deterministic report is
+   byte-stable across fresh servers. *)
+let test_loadgen_run_sync_server () =
+  let module Server = Pipesched_serve.Server in
+  let plan =
+    Loadgen.plan ~hot:4 ~lambda:50_000 ~dup_rate:0.85 ~seed:21
+      ~shape:Loadgen.Mix ~rps:15.0 ~duration:2.0 ()
+  in
+  let replay () =
+    let server = Server.create ~cache_capacity:256 () in
+    Loadgen.run_sync
+      ~handle:(fun line -> Some (Server.handle_line server line))
+      plan
+  in
+  let r = replay () in
+  check int_t "no errors" 0 r.Loadgen.r_errors;
+  check int_t "no drops" 0 r.Loadgen.r_drops;
+  check int_t "everything answered"
+    (Array.length plan.Loadgen.requests)
+    (r.Loadgen.r_hits + r.Loadgen.r_fresh + r.Loadgen.r_curtailed);
+  check bool_t "duplicates hit the cache" true (r.Loadgen.r_hit_rate > 0.5);
+  check bool_t "fresh solves happened" true (r.Loadgen.r_fresh > 0);
+  let deterministic rep =
+    Pipesched_prelude.Json.to_string (Loadgen.report_deterministic_json rep)
+  in
+  check bool_t "deterministic report is replay-stable" true
+    (String.equal (deterministic r) (deterministic (replay ())));
+  (* The full report parses and carries the wall-clock fields. *)
+  match
+    Pipesched_prelude.Json.parse
+      (Pipesched_prelude.Json.to_string (Loadgen.report_json r))
+  with
+  | Error msg -> Alcotest.failf "report_json unparsable: %s" msg
+  | Ok j ->
+    check bool_t "has wall_s" true
+      (Pipesched_prelude.Json.member "wall_s" j <> None);
+    check bool_t "has stages" true
+      (Pipesched_prelude.Json.member "stages" j <> None)
+
 let () =
   Alcotest.run "harness"
     [ ( "stats",
@@ -521,6 +677,18 @@ let () =
             test_mega_checkpoint_roundtrip;
           Alcotest.test_case "validate and shard ranges" `Quick
             test_mega_validate ] );
+      ( "keyed",
+        [ Alcotest.test_case "timehist count" `Quick test_timehist_count;
+          Alcotest.test_case "keyed histogram" `Quick test_keyed_histogram;
+          Alcotest.test_case "merge partition invariance" `Quick
+            test_keyed_merge_partition_invariance ] );
+      ( "loadgen",
+        [ Alcotest.test_case "plan deterministic" `Quick
+            test_loadgen_plan_deterministic;
+          Alcotest.test_case "shapes" `Quick test_loadgen_shapes;
+          Alcotest.test_case "classify" `Quick test_loadgen_classify;
+          Alcotest.test_case "run_sync vs server" `Quick
+            test_loadgen_run_sync_server ] );
       ( "paper",
         [ Alcotest.test_case "reference data" `Quick test_paper_data ] );
       ( "drivers",

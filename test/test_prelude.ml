@@ -723,6 +723,113 @@ let test_json_parse_basics () =
   check bool_t "float of int" true
     (Json.to_float_opt (Json.Int 2) = Some 2.0)
 
+(* OCaml's [int_of_string] accepts underscores, a leading '+', leading
+   zeros and 0x/0o/0b prefixes — none of which are JSON.  The strict
+   grammar pass must reject them all while keeping every number JSON
+   does admit. *)
+let test_json_strict_numbers () =
+  let rejects s = match Json.parse s with Error _ -> true | Ok _ -> false in
+  check bool_t "underscored int" true (rejects "1_2");
+  check bool_t "leading plus" true (rejects "+5");
+  check bool_t "leading plus in list" true (rejects "[+5]");
+  check bool_t "leading zero" true (rejects "05");
+  check bool_t "hex prefix" true (rejects "0x1f");
+  check bool_t "bare trailing dot" true (rejects "1.");
+  check bool_t "bare exponent" true (rejects "1e");
+  check bool_t "dot without int part" true (rejects ".5");
+  check bool_t "underscored float" true (rejects "1_0.5");
+  check bool_t "zero" true (Json.parse "0" = Ok (Json.Int 0));
+  check bool_t "negative zero point five" true
+    (Json.parse "-0.5" = Ok (Json.Float (-0.5)));
+  check bool_t "exponent with plus" true
+    (Json.parse "1e+5" = Ok (Json.Float 100000.0));
+  check bool_t "capital exponent" true
+    (Json.parse "2E-2" = Ok (Json.Float 0.02));
+  check bool_t "zero-led fraction" true
+    (Json.parse "0.25" = Ok (Json.Float 0.25))
+
+(* The regression that motivated the strict pass: [int_of_string
+   "0x1_2a"] succeeds, so the lenient parser accepted "\u1_2a" as
+   U+012A.  A \u escape is exactly four hex digits, nothing else. *)
+let test_json_strict_unicode_escape () =
+  let rejects s = match Json.parse s with Error _ -> true | Ok _ -> false in
+  check bool_t "underscored escape" true (rejects "\"\\u1_2a\"");
+  check bool_t "non-hex escape" true (rejects "\"\\u00gg\"");
+  check bool_t "truncated escape" true (rejects "\"\\u00\"");
+  check bool_t "signed escape" true (rejects "\"\\u-001\"");
+  check bool_t "space in escape" true (rejects "\"\\u 041\"");
+  check bool_t "plain BMP escape" true
+    (Json.parse "\"\\u0041\"" = Ok (Json.String "A"));
+  check bool_t "uppercase hex accepted" true
+    (Json.parse "\"\\u00E9\"" = Ok (Json.String "\xc3\xa9"))
+
+(* Structural equality modulo the Int/Float boundary: the printer emits
+   integer-valued floats without a decimal point ("%.17g" of 1.0 is
+   "1"), which legitimately reparse as Int. *)
+let rec json_equal a b =
+  match (a, b) with
+  | Json.Int i, Json.Float f | Json.Float f, Json.Int i -> float_of_int i = f
+  | Json.List xs, Json.List ys ->
+    List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Assoc xs, Json.Assoc ys ->
+    List.length xs = List.length ys
+    && List.for_all2
+         (fun (k, v) (k', v') -> String.equal k k' && json_equal v v')
+         xs ys
+  | a, b -> a = b
+
+let json_gen =
+  QCheck2.Gen.(
+    sized_size (int_bound 3) @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) (float_range (-1e6) 1e6);
+              map
+                (fun s -> Json.String s)
+                (string_size ~gen:printable (int_bound 8)) ]
+        in
+        if n = 0 then leaf
+        else
+          oneof
+            [ leaf;
+              map (fun xs -> Json.List xs)
+                (list_size (int_bound 3) (self (n - 1)));
+              map
+                (fun kvs -> Json.Assoc kvs)
+                (list_size (int_bound 3)
+                   (pair
+                      (string_size ~gen:printable (int_bound 6))
+                      (self (n - 1)))) ]))
+
+let json_print_parse_roundtrip =
+  qtest ~count:500 "print/parse round-trips" json_gen Json.to_string
+    (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> json_equal j j'
+      | Error _ -> false)
+
+let json_escape_strictness =
+  qtest ~count:500 "\\u escapes parse iff exactly 4 hex digits"
+    QCheck2.Gen.(
+      string_size
+        ~gen:
+          (oneofl
+             [ '0'; '9'; 'a'; 'f'; 'A'; 'F'; '_'; 'g'; 'x'; '+'; '-'; ' ' ])
+        (return 4))
+    (fun s -> Printf.sprintf "%S" s)
+    (fun s ->
+      let is_hex = function
+        | '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true
+        | _ -> false
+      in
+      let well_formed = String.for_all is_hex s in
+      match Json.parse (Printf.sprintf "\"\\u%s\"" s) with
+      | Ok _ -> well_formed
+      | Error _ -> not well_formed)
+
 let () =
   Alcotest.run "prelude"
     [ ( "bitset",
@@ -797,4 +904,9 @@ let () =
           Alcotest.test_case "concurrent access" `Quick test_lru_concurrent ] );
       ( "json",
         [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
-          Alcotest.test_case "parse basics" `Quick test_json_parse_basics ] ) ]
+          Alcotest.test_case "parse basics" `Quick test_json_parse_basics;
+          Alcotest.test_case "strict numbers" `Quick test_json_strict_numbers;
+          Alcotest.test_case "strict unicode escapes" `Quick
+            test_json_strict_unicode_escape;
+          json_print_parse_roundtrip;
+          json_escape_strictness ] ) ]

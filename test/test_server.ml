@@ -174,6 +174,39 @@ let test_concurrent_parity () =
   check bool_t "misses bounded by uniques + races" true
     (Server.cache_misses t >= List.length blocks)
 
+(* The "cached" response field is opt-in: a request carrying
+   "detail": true learns whether it was answered from the cache, while
+   default requests stay byte-identical whether cached or not (the
+   parity tests above depend on that). *)
+let test_detail_cached_field () =
+  let t = Server.create ~cache_capacity:256 () in
+  let blk =
+    let rng = Rng.create 0x5eed in
+    random_block rng 6
+  in
+  let line ~detail id =
+    let fields =
+      [ ("id", Json.Int id);
+        ("machine", Json.String "simulation");
+        ("block", Json.String (Block.to_string blk)) ]
+      @ if detail then [ ("detail", Json.Bool true) ] else []
+    in
+    Json.to_string (Json.Assoc fields)
+  in
+  let cached_of resp =
+    match Json.parse resp with
+    | Error msg -> Alcotest.failf "bad response: %s" msg
+    | Ok r -> Json.member "cached" r
+  in
+  check bool_t "fresh solve reports cached:false" true
+    (cached_of (Server.handle_line t (line ~detail:true 0))
+    = Some (Json.Bool false));
+  check bool_t "replay reports cached:true" true
+    (cached_of (Server.handle_line t (line ~detail:true 1))
+    = Some (Json.Bool true));
+  check bool_t "default request has no cached field" true
+    (cached_of (Server.handle_line t (line ~detail:false 2)) = None)
+
 (* A curtailed solve (deadline ~ 0) is served but never cached. *)
 let test_curtailed_not_cached () =
   let rng = Rng.create 0xd00d in
@@ -194,6 +227,94 @@ let test_curtailed_not_cached () =
          assert beyond the response being well-formed. *)
       ())
 
+(* ------------------------------------------------------------------ *)
+(* Daemon: the queue/drain/listener state machine behind the binary.   *)
+
+module Daemon = Pipesched_serve.Daemon
+
+(* Feed [lines] to a [reader_loop] through a real pipe, collecting
+   everything it writes back. *)
+let feed_lines st lines =
+  let r, w = Unix.pipe ~cloexec:true () in
+  let oc = Unix.out_channel_of_descr w in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  let ic = Unix.in_channel_of_descr r in
+  let written = ref [] in
+  Daemon.reader_loop st ic (fun resp -> written := resp :: !written);
+  close_in ic;
+  List.rev !written
+
+(* Requests arriving after shutdown must get an explicit refusal, not
+   silence: the old daemon [ignore]d the failed submit and kept
+   reading, leaving clients waiting forever. *)
+let test_drain_refusal_answered () =
+  let st = Daemon.create (Server.create ()) in
+  Daemon.begin_shutdown st;
+  check bool_t "draining" true (Daemon.draining st);
+  let responses = feed_lines st [ "{\"op\": \"ping\"}"; "{\"op\": \"ping\"}" ] in
+  (* One refusal, then the reader stops — it must not keep consuming a
+     stream nobody will answer. *)
+  check int_t "exactly one response" 1 (List.length responses);
+  (match Json.parse (List.hd responses) with
+  | Error msg -> Alcotest.failf "unparsable refusal: %s" msg
+  | Ok r ->
+    check bool_t "ok:false" true (Json.member "ok" r = Some (Json.Bool false));
+    check bool_t "says shutting down" true
+      (Json.member "error" r = Some (Json.String "shutting down")));
+  check int_t "nothing served" 0 (Daemon.served st)
+
+(* Work accepted before the shutdown still drains to completion. *)
+let test_drain_completes_accepted_work () =
+  let st = Daemon.create (Server.create ()) in
+  let written = ref [] in
+  let accepted =
+    Daemon.submit st ~line:"{\"id\": 7, \"op\": \"ping\"}"
+      ~write:(fun resp -> written := resp :: !written)
+  in
+  check bool_t "accepted before shutdown" true accepted;
+  Daemon.begin_shutdown st;
+  (* A worker started after shutdown must still drain the queue. *)
+  Daemon.worker st 0;
+  check int_t "queued job answered" 1 (List.length !written);
+  (match Json.parse (List.hd !written) with
+  | Error msg -> Alcotest.failf "unparsable response: %s" msg
+  | Ok r ->
+    check bool_t "answered ok" true
+      (Json.member "ok" r = Some (Json.Bool true)));
+  check int_t "served counts it" 1 (Daemon.served st)
+
+let fd_closed fd =
+  match Unix.fstat fd with
+  | _ -> false
+  | exception Unix.Unix_error (EBADF, _, _) -> true
+
+(* The startup/shutdown race: a listener published after shutdown has
+   begun must be refused and closed, and one published before must be
+   closed by the shutdown.  (The old daemon wrote the fd without the
+   queue mutex, so a shutdown could miss it and park the acceptor in
+   accept(2) forever.) *)
+let test_listener_install_race () =
+  let socket () = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+  (* Install before shutdown: accepted, then closed by the shutdown. *)
+  let st = Daemon.create (Server.create ()) in
+  let fd = socket () in
+  check bool_t "install on live daemon" true (Daemon.install_listener st fd);
+  check bool_t "fd stays open" false (fd_closed fd);
+  Daemon.begin_shutdown st;
+  check bool_t "shutdown closes listener" true (fd_closed fd);
+  (* Install after shutdown: refused and closed immediately. *)
+  let st = Daemon.create (Server.create ()) in
+  Daemon.begin_shutdown st;
+  let fd = socket () in
+  check bool_t "install refused while draining" false
+    (Daemon.install_listener st fd);
+  check bool_t "refused fd closed" true (fd_closed fd)
+
 let () =
   Alcotest.run "server"
     [ ( "server",
@@ -203,5 +324,14 @@ let () =
             test_iso_responses_consistent;
           Alcotest.test_case "concurrent parity" `Quick
             test_concurrent_parity;
+          Alcotest.test_case "detail cached field" `Quick
+            test_detail_cached_field;
           Alcotest.test_case "curtailed not cached" `Quick
-            test_curtailed_not_cached ] ) ]
+            test_curtailed_not_cached ] );
+      ( "daemon",
+        [ Alcotest.test_case "drain refusal answered" `Quick
+            test_drain_refusal_answered;
+          Alcotest.test_case "drain completes accepted work" `Quick
+            test_drain_completes_accepted_work;
+          Alcotest.test_case "listener install race" `Quick
+            test_listener_install_race ] ) ]
