@@ -13,45 +13,104 @@
    one reader systhread per connection classifies responses by stage
    and folds latencies into per-stage histograms.  All threads are
    systhreads in one domain, so the shared scorecard needs only one
-   mutex. *)
+   mutex.
+
+   Retries (--retries > 0): a retryable failure (an "overloaded"
+   admission refusal or a contained "internal error") — and a request
+   whose answer is presumed lost because nothing came back within the
+   backoff window — is resent up to the budget, after an exponential
+   backoff with deterministic jitter (Loadgen.backoff_delay_s).  The
+   resent line carries a "retry": N field, so the server's
+   content-keyed chaos draws treat it as a distinct decision.  Failed
+   attempts are scored as the non-terminal "retried" stage; every
+   request still gets exactly one terminal outcome. *)
 
 module Json = Pipesched_prelude.Json
 module Loadgen = Pipesched_harness.Loadgen
 
 (* [fd] is kept for socket connections so teardown can [shutdown(2)]
    them: closing an fd does not wake a thread blocked in read(2), but a
-   shutdown delivers EOF to it. *)
-type conn = { ic : in_channel; oc : out_channel; fd : Unix.file_descr option }
+   shutdown delivers EOF to it.  [wlock] serializes the pacer and the
+   retrier on the write side. *)
+type conn = {
+  ic : in_channel;
+  oc : out_channel;
+  fd : Unix.file_descr option;
+  wlock : Mutex.t;
+}
 
 type scorecard = {
   lock : Mutex.t;
   o : Loadgen.outcome;
   answered : bool array;
+  attempts : int array; (* resends so far, per request *)
+  retry_at : float array; (* scheduled resend time; 0 = none *)
   mutable remaining : int;
 }
 
-let reader (card : scorecard) send_times c () =
+type retry_cfg = { retries : int; backoff_ms : int; seed : int }
+
+let write_line c line =
+  Mutex.lock c.wlock;
+  (try
+     output_string c.oc line;
+     output_char c.oc '\n';
+     flush c.oc
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  Mutex.unlock c.wlock
+
+let reader (cfg : retry_cfg) (card : scorecard) send_times c () =
   let n = Array.length card.answered in
   let rec go () =
     match input_line c.ic with
     | line ->
       let now = Unix.gettimeofday () in
       let stage = Loadgen.classify line in
+      let parsed = Json.parse line in
       let idx =
-        match Json.parse line with
+        match parsed with
         | Ok j -> (
           match Json.member "id" j with
           | Some (Json.Int i) when i >= 0 && i < n -> Some i
           | _ -> None)
         | Error _ -> None
       in
+      let retry_after_s =
+        match parsed with
+        | Ok j -> (
+          match Option.bind (Json.member "retry_after_ms" j) Json.to_float_opt with
+          | Some ms when ms > 0.0 -> ms /. 1000.0
+          | _ -> 0.0)
+        | Error _ -> 0.0
+      in
       Mutex.lock card.lock;
       (match idx with
-      | Some i when not card.answered.(i) ->
+      | Some i when card.answered.(i) ->
+        (* A stale duplicate: this request was already terminally scored
+           (e.g. a timeout resend raced a slow answer).  Ignore — double
+           counting would break the one-terminal-outcome invariant. *)
+        ()
+      | Some i
+        when cfg.retries > 0
+             && Loadgen.retryable line
+             && card.attempts.(i) < cfg.retries ->
+        (* Non-terminal: schedule a resend and score this attempt as
+           retried.  The server's retry_after_ms hint floors the
+           deterministic backoff. *)
+        card.attempts.(i) <- card.attempts.(i) + 1;
+        let delay =
+          Float.max retry_after_s
+            (Loadgen.backoff_delay_s ~seed:cfg.seed ~index:i
+               ~attempt:card.attempts.(i) ~backoff_ms:cfg.backoff_ms)
+        in
+        card.retry_at.(i) <- now +. delay;
+        Loadgen.record card.o Loadgen.Retried
+          ~latency_s:(now -. send_times.(i))
+      | Some i ->
         card.answered.(i) <- true;
         card.remaining <- card.remaining - 1;
         Loadgen.record card.o stage ~latency_s:(now -. send_times.(i))
-      | _ ->
+      | None ->
         (* Unmatchable line (no id we sent, e.g. a shutdown refusal):
            score the line itself; the request it displaced will age out
            as a drop. *)
@@ -64,7 +123,56 @@ let reader (card : scorecard) send_times c () =
   in
   go ()
 
-let pace (plan : Loadgen.plan) send_times (conns : conn array) =
+(* The retrier sweeps for due resends: explicitly scheduled ones
+   (retryable responses) and presumed-lost ones (no answer within the
+   attempt's backoff window — a contained write_response fault or a
+   dead connection eats the response line; without this sweep those
+   could only ever be drops). *)
+let retrier (cfg : retry_cfg) (card : scorecard) (plan : Loadgen.plan)
+    send_times (conns : conn array) stop () =
+  let n = Array.length card.answered in
+  let k = Array.length conns in
+  while not (Atomic.get stop) do
+    Thread.delay 0.02;
+    let now = Unix.gettimeofday () in
+    for i = 0 to n - 1 do
+      let resend =
+        Mutex.lock card.lock;
+        let r =
+          if card.answered.(i) then None
+          else if card.retry_at.(i) > 0.0 && now >= card.retry_at.(i) then begin
+            card.retry_at.(i) <- 0.0;
+            Some card.attempts.(i)
+          end
+          else if
+            card.retry_at.(i) = 0.0
+            && send_times.(i) > 0.0
+            && card.attempts.(i) < cfg.retries
+            && now -. send_times.(i)
+               > Loadgen.backoff_delay_s ~seed:cfg.seed ~index:i
+                   ~attempt:(card.attempts.(i) + 1)
+                   ~backoff_ms:cfg.backoff_ms
+          then begin
+            card.attempts.(i) <- card.attempts.(i) + 1;
+            Loadgen.record card.o Loadgen.Retried
+              ~latency_s:(now -. send_times.(i));
+            Some card.attempts.(i)
+          end
+          else None
+        in
+        (match r with Some _ -> send_times.(i) <- now | None -> ());
+        Mutex.unlock card.lock;
+        r
+      in
+      match resend with
+      | None -> ()
+      | Some attempt ->
+        write_line conns.(i mod k)
+          (Loadgen.retry_line plan.Loadgen.requests.(i).Loadgen.line ~attempt)
+    done
+  done
+
+let pace (plan : Loadgen.plan) card send_times (conns : conn array) =
   let k = Array.length conns in
   let t0 = Unix.gettimeofday () in
   Array.iter
@@ -73,17 +181,15 @@ let pace (plan : Loadgen.plan) send_times (conns : conn array) =
       let now = Unix.gettimeofday () in
       if target > now then Thread.delay (target -. now);
       let c = conns.(r.Loadgen.index mod k) in
+      Mutex.lock card.lock;
       send_times.(r.Loadgen.index) <- Unix.gettimeofday ();
-      try
-        output_string c.oc r.Loadgen.line;
-        output_char c.oc '\n';
-        flush c.oc
-      with Sys_error _ -> ())
+      Mutex.unlock card.lock;
+      write_line c r.Loadgen.line)
     plan.Loadgen.requests;
   t0
 
 let run shape seed rps duration dup_rate hot conns socket_path child machine
-    lambda deadline_ms grace emit_json strict =
+    lambda deadline_ms grace retries backoff_ms emit_json det_json strict =
   let shape =
     match Loadgen.shape_of_string shape with
     | Ok s -> s
@@ -91,6 +197,9 @@ let run shape seed rps duration dup_rate hot conns socket_path child machine
       prerr_endline ("pipesched_load: " ^ e);
       exit 124
   in
+  (* A server (or spawned child) that dies mid-burst must surface as
+     write failures and drops in the report, not kill the client. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let plan =
     Loadgen.plan ~machine ~hot ?lambda ?deadline_ms ~dup_rate ~seed ~shape
       ~rps ~duration ()
@@ -117,7 +226,8 @@ let run shape seed rps duration dup_rate hot conns socket_path child machine
            exit 124);
         { ic = Unix.in_channel_of_descr fd;
           oc = Unix.out_channel_of_descr fd;
-          fd = Some fd }
+          fd = Some fd;
+          wlock = Mutex.create () }
       in
       let cs = Array.init (max 1 conns) (fun _ -> connect ()) in
       let wake () =
@@ -139,19 +249,29 @@ let run shape seed rps duration dup_rate hot conns socket_path child machine
       let ic, oc = Unix.open_process cmd in
       let wake () = try close_out oc with Sys_error _ -> () in
       let close () = ignore (Unix.close_process (ic, oc)) in
-      ([| { ic; oc; fd = None } |], wake, close)
+      ([| { ic; oc; fd = None; wlock = Mutex.create () } |], wake, close)
   in
   let card =
     { lock = Mutex.create ();
       o = Loadgen.outcome ();
       answered = Array.make n false;
+      attempts = Array.make n 0;
+      retry_at = Array.make n 0.0;
       remaining = n }
   in
+  let cfg = { retries = max 0 retries; backoff_ms = max 1 backoff_ms; seed } in
   let send_times = Array.make n 0.0 in
   let readers =
-    Array.map (fun c -> Thread.create (reader card send_times c) ()) conns
+    Array.map (fun c -> Thread.create (reader cfg card send_times c) ()) conns
   in
-  let t0 = pace plan send_times conns in
+  let stop_retrier = Atomic.make false in
+  let retrier_t =
+    if cfg.retries > 0 then
+      Some
+        (Thread.create (retrier cfg card plan send_times conns stop_retrier) ())
+    else None
+  in
+  let t0 = pace plan card send_times conns in
   (* Give stragglers [grace] seconds after the last send, then call
      whatever is still unanswered dropped. *)
   let deadline = Unix.gettimeofday () +. grace in
@@ -165,6 +285,8 @@ let run shape seed rps duration dup_rate hot conns socket_path child machine
     end
   in
   await ();
+  Atomic.set stop_retrier true;
+  (match retrier_t with Some t -> Thread.join t | None -> ());
   let wall_s = Unix.gettimeofday () -. t0 in
   Mutex.lock card.lock;
   Array.iter
@@ -181,6 +303,8 @@ let run shape seed rps duration dup_rate hot conns socket_path child machine
   Loadgen.pp_report Format.err_formatter report;
   Format.pp_print_flush Format.err_formatter ();
   if emit_json then print_endline (Json.to_string (Loadgen.report_json report));
+  if det_json then
+    print_endline (Json.to_string (Loadgen.report_deterministic_json report));
   if strict && (report.Loadgen.r_errors > 0 || report.Loadgen.r_drops > 0)
   then begin
     Printf.eprintf "pipesched_load: strict: %d error(s), %d drop(s)\n%!"
@@ -285,6 +409,26 @@ let grace =
           "Seconds to wait for in-flight responses after the last send \
            before counting the remainder as dropped.")
 
+let retries =
+  Arg.(
+    value & opt int 0
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Resend a request up to $(docv) times on a retryable failure \
+           (\"overloaded\", contained \"internal error\") or when no \
+           answer arrives within the attempt's backoff window.  Each \
+           resend carries a \"retry\" field so chaos fault draws treat \
+           it as a fresh decision.  0 (default) disables retries.")
+
+let backoff_ms =
+  Arg.(
+    value & opt int 200
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:
+          "Base retry backoff: attempt k waits about $(docv) x 2^(k-1) \
+           ms, scaled by a deterministic jitter in [0.5, 1.5) derived \
+           from the workload seed.")
+
 let emit_json =
   Arg.(
     value & flag
@@ -292,6 +436,16 @@ let emit_json =
         ~doc:
           "Print the full report as one JSON object on stdout (the \
            human-readable report always goes to stderr).")
+
+let det_json =
+  Arg.(
+    value & flag
+    & info [ "det-json" ]
+        ~doc:
+          "Print the deterministic report (no wall-clock fields) as one \
+           JSON object on stdout — byte-comparable across replays of the \
+           same seed against equivalent servers; the chaos-determinism \
+           CI check diffs two of these.")
 
 let strict =
   Arg.(
@@ -305,10 +459,12 @@ let cmd =
        ~doc:
          "open-loop load client for pipesched_server: replays a seeded, \
           DSL-shaped request stream and reports per-stage (cache hit / \
-          fresh solve / curtailed / error / dropped) latency percentiles")
+          fresh solve / curtailed / degraded / rejected / error / \
+          dropped) latency percentiles, with optional deterministic \
+          retries")
     Term.(
       const run $ shape $ seed $ rps $ duration $ dup_rate $ hot $ conns
       $ socket_path $ child $ machine $ lambda $ deadline_ms $ grace
-      $ emit_json $ strict)
+      $ retries $ backoff_ms $ emit_json $ det_json $ strict)
 
 let () = exit (Cmd.eval' cmd)

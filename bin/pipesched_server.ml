@@ -1,15 +1,16 @@
 (* The scheduling daemon: line-delimited JSON requests over stdin/stdout
-   and (optionally) a Unix-domain socket, answered by a team of Pool
-   worker domains sharing one LRU schedule cache.
+   and (optionally) a Unix-domain socket, answered by a team of
+   supervised worker domains sharing one LRU schedule cache.
 
    Threading model: I/O (the stdin reader, the socket acceptor, one
    reader per connection) runs on systhreads, which park in blocking
-   calls without occupying a domain; compute runs on
-   [Pool.team ~jobs] worker domains that drain a shared job queue.
-   Responses go back through a per-channel mutex, so concurrent workers
-   never interleave bytes on one stream.
+   calls without occupying a domain; compute runs on [Daemon.supervise]
+   worker domains that drain a shared job queue and are respawned if an
+   uncontained exception kills one.  Responses go back through a
+   per-channel mutex, so concurrent workers never interleave bytes on
+   one stream.
 
-   The queue/drain/listener state machine lives in
+   The queue/admission/drain/listener state machine lives in
    [Pipesched_serve.Daemon] (unit-tested there); this binary is the I/O
    plumbing around it.
 
@@ -19,18 +20,20 @@
    process exits 0. *)
 
 module Pool = Pipesched_parallel.Pool
+module Fault = Pipesched_prelude.Fault
 module Server = Pipesched_serve.Server
 module Daemon = Pipesched_serve.Daemon
 
 (* A writer that frames one response per line under [mutex], ignoring
-   write failures (the peer may have hung up before its answer). *)
+   write failures (the peer may have hung up before its answer — with
+   SIGPIPE ignored that surfaces as EPIPE here, not as process death). *)
 let line_writer mutex oc response =
   Mutex.lock mutex;
   (try
      output_string oc response;
      output_char oc '\n';
      flush oc
-   with Sys_error _ -> ());
+   with Sys_error _ | Unix.Unix_error _ -> ());
   Mutex.unlock mutex
 
 let stdin_reader st () =
@@ -43,64 +46,88 @@ let connection_thread st fd () =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
   let mutex = Mutex.create () in
+  (* reader_loop returns only after every job this connection submitted
+     has been answered, so the close below cannot race a worker's
+     response write. *)
   Daemon.reader_loop st ic (line_writer mutex oc);
   try Unix.close fd with Unix.Unix_error _ -> ()
 
 let acceptor st listen_fd () =
+  let accepted = ref 0 in
   let rec go () =
     match Unix.accept ~cloexec:true listen_fd with
     | fd, _ ->
-      ignore (Thread.create (connection_thread st fd) ());
-      go ()
+      incr accepted;
+      (* Chaos site: an armed [accept] fault hangs up on the fresh
+         connection immediately — the client sees a clean EOF and must
+         cope (the load client retries on a fresh connection). *)
+      if Fault.fire Fault.Accept ~key:(string_of_int !accepted) then (
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        go ())
+      else begin
+        ignore (Thread.create (connection_thread st fd) ());
+        go ()
+      end
     | exception Unix.Unix_error ((EBADF | EINVAL), _, _) -> () (* closed *)
     | exception Unix.Unix_error (EINTR, _, _) -> go ()
   in
   go ()
 
-let run socket_path cache_capacity certify jobs lambda deadline_ms =
-  let server =
-    Server.create ~cache_capacity ~certify
-      ?lambda
-      ?deadline_ms
-      ()
-  in
-  let st = Daemon.create server in
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (* Every thread of this process parks in blocking calls (cond waits,
-     read(2), accept(2)), so an asynchronous [Signal_handle] would never
-     reach a safe point.  Instead block the shutdown signals everywhere
-     and give them a dedicated watcher thread that receives them
-     synchronously. *)
-  ignore (Thread.sigmask SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
-  ignore
-    (Thread.create
-       (fun () ->
-         let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
-         Daemon.begin_shutdown st)
-       ());
-  (match socket_path with
-  | None -> ()
-  | Some path ->
-    (try Unix.unlink path with Unix.Unix_error _ -> ());
-    let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
-    Unix.bind fd (ADDR_UNIX path);
-    Unix.listen fd 64;
-    (* Publication and shutdown share the daemon's mutex: if a SIGTERM
-       already started draining, [install_listener] closes the fd and
-       no acceptor is spawned. *)
-    if Daemon.install_listener st fd then
-      ignore (Thread.create (acceptor st fd) ()));
-  ignore (Thread.create (stdin_reader st) ());
-  let jobs = Pool.resolve_jobs jobs in
-  Pool.team ~jobs (fun rank -> Daemon.worker st rank);
-  (match socket_path with
-  | None -> ()
-  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ()));
-  Printf.eprintf
-    "pipesched_server: served %d request(s), cache hits %d / misses %d\n%!"
-    (Daemon.served st) (Server.cache_hits server)
-    (Server.cache_misses server);
-  0
+let run socket_path cache_capacity certify jobs lambda deadline_ms max_queue
+    max_inflight degrade faults =
+  match Fault.arm_spec (Option.value ~default:"" faults) with
+  | Error msg ->
+    Printf.eprintf "pipesched_server: --faults: %s\n%!" msg;
+    124
+  | Ok () ->
+    let server =
+      Server.create ~cache_capacity ~certify ~degrade
+        ?lambda
+        ?deadline_ms
+        ()
+    in
+    let st = Daemon.create ~max_queue ~max_inflight ~degrade server in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    (* Every thread of this process parks in blocking calls (cond waits,
+       read(2), accept(2)), so an asynchronous [Signal_handle] would never
+       reach a safe point.  Instead block the shutdown signals everywhere
+       and give them a dedicated watcher thread that receives them
+       synchronously. *)
+    ignore (Thread.sigmask SIG_BLOCK [ Sys.sigterm; Sys.sigint ]);
+    ignore
+      (Thread.create
+         (fun () ->
+           let (_ : int) = Thread.wait_signal [ Sys.sigterm; Sys.sigint ] in
+           Daemon.begin_shutdown st)
+         ());
+    (match socket_path with
+    | None -> ()
+    | Some path ->
+      (try Unix.unlink path with Unix.Unix_error _ -> ());
+      let fd = Unix.socket ~cloexec:true PF_UNIX SOCK_STREAM 0 in
+      Unix.bind fd (ADDR_UNIX path);
+      Unix.listen fd 64;
+      (* Publication and shutdown share the daemon's mutex: if a SIGTERM
+         already started draining, [install_listener] closes the fd and
+         no acceptor is spawned. *)
+      if Daemon.install_listener st fd then
+        ignore (Thread.create (acceptor st fd) ()));
+    ignore (Thread.create (stdin_reader st) ());
+    let jobs = Pool.resolve_jobs jobs in
+    Daemon.supervise st ~jobs;
+    (match socket_path with
+    | None -> ()
+    | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ()));
+    Printf.eprintf
+      "pipesched_server: served %d request(s), cache hits %d / misses %d, \
+       shed %d, degraded %d, contained %d, respawns %d\n\
+       %!"
+      (Daemon.served st) (Server.cache_hits server)
+      (Server.cache_misses server) (Daemon.shed st)
+      (Server.degraded_served server)
+      (Server.contained server + Daemon.write_contained st)
+      (Daemon.respawns st);
+    0
 
 open Cmdliner
 
@@ -158,6 +185,48 @@ let deadline_ms =
           "Default per-request wall-clock deadline for the anytime search \
            (requests may override with a \"deadline_ms\" field).")
 
+let max_queue =
+  Arg.(
+    value & opt int 0
+    & info [ "max-queue" ] ~docv:"N"
+        ~doc:
+          "Bound the job queue at $(docv) waiting requests; beyond it, \
+           admission control sheds with an \"overloaded\" refusal (or a \
+           degraded answer under $(b,--degrade)) carrying a \
+           retry_after_ms hint.  0 (default) = unbounded.")
+
+let max_inflight =
+  Arg.(
+    value & opt int 0
+    & info [ "max-inflight" ] ~docv:"N"
+        ~doc:
+          "Bound queued plus executing requests at $(docv); same shedding \
+           behavior as $(b,--max-queue).  0 (default) = unbounded.")
+
+let degrade =
+  Arg.(
+    value & flag
+    & info [ "degrade" ]
+        ~doc:
+          "Graceful degradation: answer requests that would be shed (and \
+           requests whose solve fails) with the certified list scheduler \
+           instead of an error — a legal schedule marked \
+           \"degraded\": true, with no optimality claim.")
+
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~env:(Cmd.Env.info "PIPESCHED_FAULTS")
+        ~doc:
+          "Arm deterministic chaos injection: comma-separated \
+           site:prob:seed triples over sites solver, cache_insert, \
+           write_response, accept (e.g. \
+           \"solver:0.05:1,write_response:0.02:7\").  Fault verdicts are \
+           a pure function of (spec, request bytes), so a chaos run \
+           replays exactly.")
+
 let cmd =
   Cmd.v
     (Cmd.info "pipesched_server"
@@ -167,6 +236,6 @@ let cmd =
           from a canonical-form schedule cache")
     Term.(
       const run $ socket $ cache_capacity $ certify $ jobs $ lambda
-      $ deadline_ms)
+      $ deadline_ms $ max_queue $ max_inflight $ degrade $ faults)
 
 let () = exit (Cmd.eval' cmd)

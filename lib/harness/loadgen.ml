@@ -111,16 +111,27 @@ let plan ?(machine = "simulation") ?(hot = 8) ?lambda ?deadline_ms
 (* ------------------------------------------------------------------ *)
 (* Response classification                                             *)
 
-type stage = Hit | Fresh | Curtailed | Error | Dropped
+type stage =
+  | Hit
+  | Fresh
+  | Curtailed
+  | Degraded
+  | Rejected
+  | Retried
+  | Error
+  | Dropped
 
 let stage_to_string = function
   | Hit -> "hit"
   | Fresh -> "fresh"
   | Curtailed -> "curtailed"
+  | Degraded -> "degraded"
+  | Rejected -> "rejected"
+  | Retried -> "retried"
   | Error -> "error"
   | Dropped -> "dropped"
 
-let stages = [ Hit; Fresh; Curtailed; Error; Dropped ]
+let stages = [ Hit; Fresh; Curtailed; Degraded; Rejected; Retried; Error; Dropped ]
 
 let classify line =
   match Json.parse line with
@@ -128,13 +139,53 @@ let classify line =
   | Ok resp -> (
     match Json.member "ok" resp with
     | Some (Json.Bool true) -> (
-      match Json.member "completed" resp with
-      | Some (Json.Bool false) -> Curtailed
+      (* Degraded outranks the other positive stages: a degraded answer
+         also has [completed: false], but it is a deliberate fallback,
+         not a curtailed search. *)
+      match Json.member "degraded" resp with
+      | Some (Json.Bool true) -> Degraded
       | _ -> (
-        match Json.member "cached" resp with
-        | Some (Json.Bool true) -> Hit
-        | _ -> Fresh))
-    | _ -> Error)
+        match Json.member "completed" resp with
+        | Some (Json.Bool false) -> Curtailed
+        | _ -> (
+          match Json.member "cached" resp with
+          | Some (Json.Bool true) -> Hit
+          | _ -> Fresh)))
+    | _ -> (
+      match Json.member "error" resp with
+      | Some (Json.String "overloaded") -> Rejected
+      | _ -> Error))
+
+(* ------------------------------------------------------------------ *)
+(* Retry policy (pure helpers shared by the open-loop client and tests) *)
+
+let retryable line =
+  match Json.parse line with
+  | Error _ -> false
+  | Ok resp -> (
+    match (Json.member "ok" resp, Json.member "error" resp) with
+    | Some (Json.Bool false), Some (Json.String e) ->
+      e = "overloaded"
+      || (String.length e >= 14 && String.sub e 0 14 = "internal error")
+    | _ -> false)
+
+(* The resent line carries its attempt number, so the server's
+   content-keyed chaos draws (see {!Pipesched_prelude.Fault}) treat the
+   retry as a distinct decision — like a real transient fault would. *)
+let retry_line line ~attempt =
+  match Json.parse line with
+  | Ok (Json.Assoc fields) ->
+    Json.to_string
+      (Json.Assoc
+         (List.remove_assoc "retry" fields @ [ ("retry", Json.Int attempt) ]))
+  | Ok _ | Error _ -> line
+
+let backoff_delay_s ~seed ~index ~attempt ~backoff_ms =
+  let rng = Rng.at (seed lxor 0x0ba52e77) ((index * 16) + attempt) in
+  let scale = Float.pow 2.0 (float_of_int (max 0 (attempt - 1))) in
+  (* Deterministic jitter in [0.5, 1.5) x the exponential step: spreads
+     synchronized retries without making replays diverge. *)
+  float_of_int (max 1 backoff_ms) *. scale *. (0.5 +. Rng.float rng) /. 1000.0
 
 (* ------------------------------------------------------------------ *)
 (* Scoring                                                             *)
@@ -175,6 +226,9 @@ type report = {
   r_hits : int;
   r_fresh : int;
   r_curtailed : int;
+  r_degraded : int;
+  r_rejected : int;
+  r_retries : int;
   r_errors : int;
   r_drops : int;
   r_hit_rate : float;
@@ -193,8 +247,8 @@ let summarize ~plan ~conns ~wall_s o =
       p99_ms = q s 0.99 }
   in
   let n = Array.length plan.requests in
-  let answered_ok = count Hit + count Fresh + count Curtailed in
-  let answered = answered_ok + count Error in
+  let answered_ok = count Hit + count Fresh + count Curtailed + count Degraded in
+  let answered = answered_ok + count Rejected + count Error in
   { r_shape = plan.shape;
     r_seed = plan.seed;
     r_dup_rate = plan.dup_rate;
@@ -209,6 +263,9 @@ let summarize ~plan ~conns ~wall_s o =
     r_hits = count Hit;
     r_fresh = count Fresh;
     r_curtailed = count Curtailed;
+    r_degraded = count Degraded;
+    r_rejected = count Rejected;
+    r_retries = count Retried;
     r_errors = count Error;
     r_drops = count Dropped;
     r_hit_rate =
@@ -241,6 +298,9 @@ let report_fields ~timed r =
      else [])
   @ [ ("stages", Json.Assoc (List.map (stage_json ~timed) r.r_stages));
       ("hit_rate", Json.Float r.r_hit_rate);
+      ("degraded", Json.Int r.r_degraded);
+      ("rejected", Json.Int r.r_rejected);
+      ("retries", Json.Int r.r_retries);
       ("errors", Json.Int r.r_errors);
       ("drops", Json.Int r.r_drops) ]
 

@@ -17,8 +17,11 @@
 
     Every response is classified by {b stage} — answered from the
     schedule cache ({!Hit}), freshly solved to completion ({!Fresh}),
-    budget-curtailed ({!Curtailed}), refused/failed ({!Error}) or never
-    answered ({!Dropped}) — and folded into one
+    budget-curtailed ({!Curtailed}), answered by the degraded list
+    scheduler ({!Degraded}), shed by admission control ({!Rejected}),
+    refused/failed ({!Error}) or never answered ({!Dropped}), with
+    non-terminal retried attempts tracked as {!Retried} — and folded
+    into one
     {!Aggregate.Keyed} log-bucket histogram per stage, giving p50/p90/
     p99 per stage in constant memory.  Plans ask the server for the
     ["cached"] response field (["detail": true]), so hit/fresh is
@@ -87,19 +90,58 @@ val plan :
 
 (** {2 Response classification} *)
 
-type stage = Hit | Fresh | Curtailed | Error | Dropped
+type stage =
+  | Hit        (** answered from the schedule cache *)
+  | Fresh      (** freshly solved to completion *)
+  | Curtailed  (** budget-curtailed incumbent *)
+  | Degraded   (** answered by the certified list scheduler
+                   (["degraded": true]) *)
+  | Rejected   (** shed by admission control (["error": "overloaded"]) *)
+  | Retried    (** a non-terminal failed attempt that was retried —
+                   drivers record it via {!record}; {!classify} never
+                   returns it and it never counts as answered *)
+  | Error      (** any other refusal or failure *)
+  | Dropped    (** never answered *)
 
 val stage_to_string : stage -> string
 
-(** All five stages, report order. *)
+(** All stages, report order. *)
 val stages : stage list
 
-(** Classify one received response line.  Unparsable or [ok: false]
-    lines are {!Error}; [completed: false] is {!Curtailed};
-    [cached: true] is {!Hit}; anything else well-formed is {!Fresh}.
+(** Classify one received response line.  [ok: true] with
+    ["degraded": true] is {!Degraded}; [completed: false] is
+    {!Curtailed}; [cached: true] is {!Hit}; any other well-formed
+    [ok: true] is {!Fresh}.  [ok: false] with error ["overloaded"] is
+    {!Rejected}; unparsable or otherwise failed lines are {!Error}.
     ({!Dropped} is assigned by drivers to requests that never got a
-    line back.) *)
+    line back; {!Retried} only by drivers that resend.) *)
 val classify : string -> stage
+
+(** {2 Retry policy}
+
+    Pure helpers shared by the open-loop client and the tests, so the
+    retry schedule is a replayable function of the plan seed. *)
+
+(** Whether a response line is worth retrying: an [overloaded]
+    admission refusal or a contained [internal error] (transient under
+    chaos injection).  Other errors (parse failures, invalid machines)
+    are permanent and not retryable. *)
+val retryable : string -> bool
+
+(** [retry_line line ~attempt] is [line] with a ["retry": attempt]
+    field added (replacing any previous one).  The marker makes the
+    resend a distinct key for the server's content-keyed chaos draws —
+    a retried request gets a fresh fault verdict, like a real transient
+    fault.  Unparsable lines are returned unchanged. *)
+val retry_line : string -> attempt:int -> string
+
+(** [backoff_delay_s ~seed ~index ~attempt ~backoff_ms] — the delay
+    before resend [attempt] (1-based) of request [index]: exponential
+    in the attempt, scaled by a deterministic jitter in [\[0.5, 1.5)]
+    drawn from a stream split off the plan seed, so concurrent clients
+    de-synchronize without losing replayability. *)
+val backoff_delay_s :
+  seed:int -> index:int -> attempt:int -> backoff_ms:int -> float
 
 (** {2 Scoring} *)
 
@@ -133,13 +175,17 @@ type report = {
   r_offered_rps : float; (** requests / nominal duration *)
   r_wall_s : float;      (** measured replay wall time *)
   r_achieved_rps : float; (** answered / wall *)
-  r_stages : stage_summary list; (** all five stages, {!stages} order *)
+  r_stages : stage_summary list; (** all stages, {!stages} order *)
   r_hits : int;
   r_fresh : int;
   r_curtailed : int;
+  r_degraded : int;
+  r_rejected : int;
+  r_retries : int; (** non-terminal retried attempts *)
   r_errors : int;
   r_drops : int;
-  r_hit_rate : float; (** hits / answered-ok (hit+fresh+curtailed) *)
+  r_hit_rate : float;
+      (** hits / answered-ok (hit+fresh+curtailed+degraded) *)
 }
 
 val summarize : plan:plan -> conns:int -> wall_s:float -> outcome -> report

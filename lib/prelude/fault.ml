@@ -1,0 +1,116 @@
+type site = Solver | Cache_insert | Write_response | Accept
+
+exception Injected of string
+
+let all_sites = [ Solver; Cache_insert; Write_response; Accept ]
+
+let site_to_string = function
+  | Solver -> "solver"
+  | Cache_insert -> "cache_insert"
+  | Write_response -> "write_response"
+  | Accept -> "accept"
+
+let site_of_string = function
+  | "solver" -> Some Solver
+  | "cache_insert" -> Some Cache_insert
+  | "write_response" -> Some Write_response
+  | "accept" -> Some Accept
+  | _ -> None
+
+let index = function
+  | Solver -> 0
+  | Cache_insert -> 1
+  | Write_response -> 2
+  | Accept -> 3
+
+let nsites = 4
+
+(* Written only by [arm]/[disarm] (startup / test setup); read by hot
+   paths without synchronization.  An armed entry is immutable, so the
+   worst a racing reader can see is the old arming — acceptable for a
+   knob documented as set-before-traffic. *)
+let armings : (float * int) option array = Array.make nsites None
+let counters = Array.init nsites (fun _ -> Atomic.make 0)
+
+let armed site = armings.(index site) <> None
+
+let parse spec =
+  let parse_one triple =
+    match String.split_on_char ':' triple with
+    | [ name; prob; seed ] -> (
+      match site_of_string (String.trim name) with
+      | None ->
+        Error
+          (Printf.sprintf "unknown fault site %S (sites: %s)" name
+             (String.concat ", " (List.map site_to_string all_sites)))
+      | Some site -> (
+        match float_of_string_opt (String.trim prob) with
+        | None -> Error (Printf.sprintf "bad fault probability %S" prob)
+        | Some p when not (p >= 0.0 && p <= 1.0) ->
+          Error
+            (Printf.sprintf "fault probability %g out of range [0, 1]" p)
+        | Some p -> (
+          match int_of_string_opt (String.trim seed) with
+          | None -> Error (Printf.sprintf "bad fault seed %S" seed)
+          | Some s -> Ok (site, p, s))))
+    | _ ->
+      Error
+        (Printf.sprintf "bad fault spec %S (want site:prob:seed)" triple)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | triple :: rest -> (
+      match parse_one triple with
+      | Ok a -> go (a :: acc) rest
+      | Error _ as e -> e)
+  in
+  let parts =
+    List.filter
+      (fun s -> String.trim s <> "")
+      (String.split_on_char ',' spec)
+  in
+  go [] parts
+
+let disarm () =
+  Array.fill armings 0 nsites None;
+  Array.iter (fun c -> Atomic.set c 0) counters
+
+let arm specs =
+  disarm ();
+  List.iter (fun (site, prob, seed) -> armings.(index site) <- Some (prob, seed)) specs
+
+let arm_spec spec =
+  match parse spec with
+  | Ok specs ->
+    arm specs;
+    Ok ()
+  | Error _ as e -> e
+
+(* 64-bit FNV-1a over the key, folded into OCaml's 63-bit int. *)
+let fnv1a s =
+  let h = ref (-3750763034362895579L) (* 0xcbf29ce484222325 *) in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 1099511628211L)
+    s;
+  Int64.to_int !h land max_int
+
+let fire site ~key =
+  match armings.(index site) with
+  | None -> false
+  | Some (prob, seed) ->
+    (* One splitmix64 draw at state [seed XOR fnv1a key]: a pure
+       function of (arming, key), so verdicts cannot depend on thread
+       interleaving. *)
+    let hit = Rng.float (Rng.create (seed lxor fnv1a key)) < prob in
+    if hit then Atomic.incr counters.(index site);
+    hit
+
+let guard site ~key =
+  if fire site ~key then raise (Injected (site_to_string site))
+
+let injected site = Atomic.get counters.(index site)
+
+let total_injected () =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 counters

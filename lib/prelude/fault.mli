@@ -1,0 +1,79 @@
+(** Deterministic chaos injection.
+
+    A {e fault site} is a named point in the serving stack where an
+    artificial failure may be injected: the optimal solver
+    ({!Solver}), the schedule-cache insert ({!Cache_insert}), the
+    response write back to a client ({!Write_response}), and the
+    socket acceptor ({!Accept}).  Sites are {e disarmed} by default and
+    cost one array read per check; arming happens once at process
+    startup from a spec string ([--faults] or the [PIPESCHED_FAULTS]
+    environment variable).
+
+    {2 Determinism}
+
+    Chaos testing is only evidence when a failing run can be replayed.
+    An armed site draws {e per decision}, not from a shared mutable
+    stream: the verdict for [fire site ~key] is a pure function of the
+    site's armed [(prob, seed)] and the FNV-1a hash of [key] — the
+    draw is the first value of the splitmix64 stream split off at
+    [seed XOR hash key] (see {!Pipesched_prelude.Rng}).  Concurrent
+    threads therefore cannot perturb each other's verdicts: whatever
+    the interleaving, the same request text meets the same fault, so a
+    chaos soak with a fixed load seed and a fixed fault spec produces
+    the same outcome multiset every run.  A client that retries with a
+    distinct attempt marker (the load client's ["retry"] field)
+    changes the key and gets a fresh draw, exactly like a real
+    transient fault.
+
+    {2 Spec grammar}
+
+    [site:prob:seed] triples separated by commas, e.g.
+    ["solver:0.05:1,write_response:0.02:7"].  [prob] is a float in
+    [\[0, 1\]]; [seed] an integer.  Unknown sites, malformed numbers
+    and out-of-range probabilities are rejected with a message. *)
+
+type site = Solver | Cache_insert | Write_response | Accept
+
+(** Raised by {!guard} at an armed site whose draw fired.  The payload
+    is the site name ({!site_to_string}).  Containment boundaries
+    (server request handling, daemon write path) catch it like any
+    real exception — injection exercises the same code paths a genuine
+    fault would. *)
+exception Injected of string
+
+val all_sites : site list
+
+val site_to_string : site -> string
+val site_of_string : string -> site option
+
+(** [parse spec] parses the [site:prob:seed,...] grammar.  The empty
+    string is the empty arming (all sites disarmed). *)
+val parse : string -> ((site * float * int) list, string) result
+
+(** [arm specs] replaces the process-wide arming and resets the fire
+    counters.  Not synchronized — call at startup (or in tests),
+    before concurrent traffic. *)
+val arm : (site * float * int) list -> unit
+
+(** [arm_spec spec] = parse + arm. *)
+val arm_spec : string -> (unit, string) result
+
+(** Disarm every site and reset fire counters. *)
+val disarm : unit -> unit
+
+val armed : site -> bool
+
+(** [fire site ~key] — [true] iff [site] is armed and its draw for
+    [key] comes up under the armed probability (see the determinism
+    note above).  Counts the fire.  Disarmed sites are always
+    [false] and never hash. *)
+val fire : site -> key:string -> bool
+
+(** [guard site ~key] raises {!Injected} iff [fire site ~key]. *)
+val guard : site -> key:string -> unit
+
+(** Fires of one site since the last {!arm}/{!disarm}. *)
+val injected : site -> int
+
+(** Total fires across all sites since the last {!arm}/{!disarm}. *)
+val total_injected : unit -> int

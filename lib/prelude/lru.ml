@@ -73,6 +73,11 @@ let find t key =
 let mem t key = locked t (fun () -> Hashtbl.mem t.tbl key)
 
 let put t key v =
+  (* Chaos site: an armed [cache_insert] fault makes this insert raise
+     before any mutation, modeling a failed/aborted insert.  Callers
+     that treat the cache as an optimization (the server does) contain
+     the raise and serve without caching. *)
+  Fault.guard Fault.Cache_insert ~key;
   if t.capacity > 0 then
     locked t (fun () ->
         (match Hashtbl.find_opt t.tbl key with

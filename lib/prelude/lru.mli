@@ -36,7 +36,12 @@ val mem : 'v t -> string -> bool
 
 (** [put t key v] inserts or replaces the binding and promotes it to
     most-recently-used, evicting the least-recently-used entry when the
-    cache is over capacity.  No-op when [capacity = 0]. *)
+    cache is over capacity.  No-op when [capacity = 0].
+
+    Chaos: when the [cache_insert] fault site ({!Fault}) is armed, the
+    insert may raise {!Fault.Injected} before touching the structure —
+    callers for whom the cache is an optimization must contain the
+    raise and proceed uncached. *)
 val put : 'v t -> string -> 'v -> unit
 
 (** Monotone counters since {!create} (or the last {!clear}). *)

@@ -1,14 +1,31 @@
-(** Intake/drain state machine of the scheduling daemon.
+(** Intake/admission/drain state machine of the scheduling daemon.
 
     [bin/pipesched_server] used to keep the job queue, the draining
     flag and the listening socket inline; the logic moved here so its
-    two shutdown invariants are unit-testable without spawning a
-    process:
+    invariants are unit-testable without spawning a process:
 
-    + {b no silent drops}: once {!begin_shutdown} has run, an incoming
-      request line is answered with
-      [{"id":null,"ok":false,"error":"shutting down"}] and the reader
-      stops, instead of being [ignore]d while the client waits forever;
+    + {b no silent drops}: every line that reaches {!submit} gets
+      exactly one terminal answer — a scheduling response, a degraded
+      response, an [overloaded] refusal, or the [shutting down] line;
+    + {b bounded queueing}: with [max_queue]/[max_inflight] set, the
+      daemon sheds instead of queueing without bound, so offered load
+      beyond capacity cannot grow RSS or latency without limit;
+    + {b deadline honesty}: a request whose own [deadline_ms] is
+      provably unmeetable at the current depth (estimated wait from a
+      smoothed service time already exceeds it) is refused up front
+      with a [retry_after_ms] hint instead of being solved for nobody;
+    + {b graceful degradation}: with [degrade], would-be-shed requests
+      are answered immediately on the intake thread by the certified
+      list scheduler ({!Server.handle_line_degraded}) — a legal
+      schedule now instead of an optimal schedule never;
+    + {b fault containment}: a failed response write (client gone,
+      EPIPE, or an armed {!Pipesched_prelude.Fault.Write_response}
+      chaos fault) is contained and counted; any {e unexpected}
+      exception kills only its worker domain, which {!supervise}
+      respawns;
+    + {b no close-vs-write race}: {!reader_loop} returns at EOF only
+      after every job it submitted has finished, so the caller may
+      close the connection immediately;
     + {b no startup race}: the listening socket is published under the
       queue mutex ({!install_listener}), the same mutex
       {!begin_shutdown} takes — a SIGTERM arriving between [listen(2)]
@@ -16,26 +33,50 @@
       (and {!install_listener} closes the fd itself and refuses), so
       the acceptor can never be left parked in [accept(2)].
 
-    Threading: intake runs on systhreads, {!worker} on
-    {!Pipesched_parallel.Pool.team} domains; all shared state is under
-    one mutex/condition pair. *)
+    Threading: intake runs on systhreads, workers on domains (one per
+    {!supervise} slot); all shared state is under one mutex/condition
+    pair. *)
 
 type t
 
+(** What {!submit} did with a line. *)
+type admission =
+  | Accepted  (** queued; a worker will answer and then run [on_done] *)
+  | Answered  (** shed — already answered (refusal or degraded) on the
+                  calling thread; [on_done] will {e not} be run *)
+  | Draining  (** refused because the daemon is shutting down; the
+                  caller should answer {!shutdown_response} and stop *)
+
 (** [create server] — a fresh daemon around [server].  Not draining,
-    no listener, empty queue. *)
-val create : Server.t -> t
+    no listener, empty queue.  Installs the daemon's counters as the
+    server's extra [stats] fields ([queue_depth], [inflight], [served],
+    [shed], [write_contained], [respawns]).
+
+    [max_queue] bounds the number of {e queued} (not yet executing)
+    jobs; [max_inflight] bounds queued + executing.  [0] (the default)
+    means unbounded, preserving the old behavior.  [degrade] answers
+    shed requests with the certified list scheduler instead of an
+    [overloaded] refusal. *)
+val create :
+  ?max_queue:int -> ?max_inflight:int -> ?degrade:bool -> Server.t -> t
 
 val server : t -> Server.t
 
 (** The response line sent to a request that arrives while draining. *)
 val shutdown_response : string
 
-(** [submit t ~line ~write] enqueues a job unless draining.  Returns
-    whether the job was accepted; a refused job is {e not} answered
-    (callers that own a client connection should send
-    {!shutdown_response} — {!reader_loop} does). *)
-val submit : t -> line:string -> write:(string -> unit) -> bool
+(** [submit t ~line ~write ~on_done] runs admission control and either
+    enqueues the job or answers it on the spot; see {!admission}.
+    [on_done] is called exactly once when an [Accepted] job has been
+    fully processed (response written or write failure contained) — and
+    never for [Answered]/[Draining] — so a connection reader can wait
+    for its outstanding jobs before closing the fd. *)
+val submit :
+  t ->
+  line:string ->
+  write:(string -> unit) ->
+  on_done:(unit -> unit) ->
+  admission
 
 (** Stop intake: set draining, wake every worker, and close the
     published listener (kicking the acceptor out of [accept(2)]).
@@ -51,17 +92,46 @@ val draining : t -> bool
 val install_listener : t -> Unix.file_descr -> bool
 
 (** [reader_loop t ic write] reads request lines from [ic] until EOF,
-    submitting each with [write] as its response channel.  A line
-    refused because the daemon is draining is answered with
-    {!shutdown_response} via [write] and the loop returns — the client
-    gets a definite answer instead of a hang. *)
+    submitting each with [write] as its response channel.  Shed lines
+    are answered inline; a line refused because the daemon is draining
+    is answered with {!shutdown_response} and the loop stops reading.
+    Returns only once every job this connection submitted has finished,
+    so the caller may close the fd immediately after. *)
 val reader_loop : t -> in_channel -> (string -> unit) -> unit
 
 (** [worker t rank] drains jobs (handling each with
     {!Server.handle_line} and answering on the job's own writer) until
-    the queue is empty {e and} the daemon is draining.  Run one per
-    pool domain. *)
+    the queue is empty {e and} the daemon is draining.  Expected write
+    failures are contained (see the module preamble); unexpected
+    exceptions propagate and kill the calling domain. *)
 val worker : t -> int -> unit
 
-(** Requests answered by workers since {!create}. *)
+(** [supervise t ~jobs] runs [jobs] supervised worker slots and blocks
+    until all have drained.  Each slot runs {!worker} on its own
+    domain; a slot whose domain dies to an uncontained exception counts
+    a respawn and starts a fresh domain, so worker crashes cost the
+    crashing request only, never the service's capacity. *)
+val supervise : t -> jobs:int -> unit
+
+(** [observe_service_ms t ms] feeds one service-time observation into
+    the EWMA used for [retry_after_ms] and deadline-unmeetable
+    estimates.  Workers do this automatically; exposed for tests that
+    need a primed estimator without running real jobs. *)
+val observe_service_ms : t -> float -> unit
+
+(** {2 Counters} (monotone since {!create}) *)
+
+(** Requests answered by workers. *)
 val served : t -> int
+
+(** Requests refused (or degraded) by admission control. *)
+val shed : t -> int
+
+(** Response writes that failed and were contained. *)
+val write_contained : t -> int
+
+(** Worker domains restarted by {!supervise}. *)
+val respawns : t -> int
+
+(** Jobs currently queued (excludes executing). *)
+val queue_depth : t -> int

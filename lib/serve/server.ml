@@ -3,6 +3,8 @@ open Pipesched_machine
 module Json = Pipesched_prelude.Json
 module Lru = Pipesched_prelude.Lru
 module Budget = Pipesched_prelude.Budget
+module Fault = Pipesched_prelude.Fault
+module List_sched = Pipesched_sched.List_sched
 module Optimal = Pipesched_core.Optimal
 module Certify = Pipesched_verify.Certify
 
@@ -12,23 +14,42 @@ module Certify = Pipesched_verify.Certify
 type t = {
   cache : Omega.result Lru.t;
   certify : bool;
+  degrade : bool;
   lambda : int;
   deadline_ms : float option;
+  contained : int Atomic.t;
+      (* exceptions (real or injected) confined to one request *)
+  degraded : int Atomic.t; (* requests answered by the list scheduler *)
+  mutable extra_stats : unit -> (string * Json.t) list;
+      (* extra fields for the stats op, installed by the daemon (queue
+         depth, shed count, ...) so [stats] shows the whole service *)
 }
 
-let create ?(cache_capacity = 4096) ?(certify = false) ?lambda ?deadline_ms ()
-    =
+let create ?(cache_capacity = 4096) ?(certify = false) ?(degrade = false)
+    ?lambda ?deadline_ms () =
   let lambda =
     match lambda with
     | Some l -> l
     | None -> Optimal.default_options.Optimal.lambda
   in
-  { cache = Lru.create ~capacity:cache_capacity; certify; lambda; deadline_ms }
+  {
+    cache = Lru.create ~capacity:cache_capacity;
+    certify;
+    degrade;
+    lambda;
+    deadline_ms;
+    contained = Atomic.make 0;
+    degraded = Atomic.make 0;
+    extra_stats = (fun () -> []);
+  }
 
 let cache_hits t = Lru.hits t.cache
 let cache_misses t = Lru.misses t.cache
 let cache_evictions t = Lru.evictions t.cache
 let cache_length t = Lru.length t.cache
+let contained t = Atomic.get t.contained
+let degraded_served t = Atomic.get t.degraded
+let set_extra_stats t f = t.extra_stats <- f
 
 (* ------------------------------------------------------------------ *)
 (* Request plumbing                                                    *)
@@ -41,18 +62,21 @@ let int_array a = Json.List (Array.to_list (Array.map (fun i -> Json.Int i) a))
 (* [cached] is [Some _] only when the request opted in with
    ["detail": true]: the extra field would otherwise break the
    byte-identity of cached and fresh responses, which the bench and the
-   parity tests assert. *)
-let render id (c : Canonical.t) (r : Omega.result) ~completed ~status ~cached =
+   parity tests assert.  [degraded] marks answers produced by the list
+   scheduler instead of the optimal search — always explicit, so a
+   client can never mistake a degraded schedule for an optimal one. *)
+let render id ~order (r : Omega.result) ~completed ~status ~degraded ~cached =
   Json.Assoc
     ([ ("id", id);
        ("ok", Json.Bool true);
        ("nops", Json.Int r.Omega.nops);
        ("completed", Json.Bool completed);
-       ("status", Json.String (Budget.status_to_string status));
-       ("order", int_array (Canonical.apply c r.Omega.order));
+       ("status", Json.String status);
+       ("order", int_array order);
        ("eta", int_array r.Omega.eta);
        ("issue", int_array r.Omega.issue);
        ("pipes", int_array r.Omega.pipes) ]
+    @ (if degraded then [ ("degraded", Json.Bool true) ] else [])
     @ match cached with
       | None -> []
       | Some b -> [ ("cached", Json.Bool b) ])
@@ -92,13 +116,55 @@ let resolve_block json =
 
 let stats_response t id =
   Json.Assoc
-    [ ("id", id);
-      ("ok", Json.Bool true);
-      ("cache_length", Json.Int (cache_length t));
-      ("cache_capacity", Json.Int (Lru.capacity t.cache));
-      ("hits", Json.Int (cache_hits t));
-      ("misses", Json.Int (cache_misses t));
-      ("evictions", Json.Int (cache_evictions t)) ]
+    ([ ("id", id);
+       ("ok", Json.Bool true);
+       ("cache_length", Json.Int (cache_length t));
+       ("cache_capacity", Json.Int (Lru.capacity t.cache));
+       ("hits", Json.Int (cache_hits t));
+       ("misses", Json.Int (cache_misses t));
+       ("evictions", Json.Int (cache_evictions t));
+       ("contained", Json.Int (Atomic.get t.contained));
+       ("degraded", Json.Int (Atomic.get t.degraded)) ]
+    @ t.extra_stats ())
+
+let detail_cached req =
+  let detail = Json.member "detail" req = Some (Json.Bool true) in
+  fun b -> if detail then Some b else None
+
+(* The graceful-degradation answer: the machine-independent list
+   scheduler (the paper's seed heuristic), evaluated once by Omega and
+   certified by the independent replayer — milliseconds of work and a
+   legality guarantee, in exchange for giving up optimality.  Marked
+   ["degraded": true] and status ["Degraded"]; [completed] is false
+   because no optimality was proved. *)
+let degraded_of blk machine t id ~cached =
+  let dag = Dag.of_block blk in
+  let order = List_sched.schedule List_sched.Max_distance dag in
+  let result = Omega.evaluate machine dag ~order in
+  match Certify.check machine blk result with
+  | _ :: _ as violations ->
+    error_response id
+      ("degraded schedule failed certification: "
+      ^ String.concat "; " (List.map Certify.explain violations))
+  | [] ->
+    Atomic.incr t.degraded;
+    render id ~order:result.Omega.order result ~completed:false
+      ~status:"Degraded" ~degraded:true ~cached:(cached false)
+
+let handle_request_degraded t req =
+  let id = Option.value ~default:Json.Null (Json.member "id" req) in
+  match resolve_machine (Json.member "machine" req) with
+  | Error msg -> error_response id msg
+  | Ok machine -> (
+    match Machine.validate machine with
+    | _ :: _ as diags ->
+      error_response id
+        ("invalid machine: "
+        ^ String.concat "; " (List.map Machine.diagnostic_to_string diags))
+    | [] -> (
+      match resolve_block (Json.member "block" req) with
+      | Error msg -> error_response id msg
+      | Ok blk -> degraded_of blk machine t id ~cached:(detail_cached req)))
 
 let schedule_request t id req =
   match resolve_machine (Json.member "machine" req) with
@@ -125,39 +191,63 @@ let schedule_request t id req =
           | Some ms when ms > 0.0 -> Some (ms /. 1000.0)
           | _ -> Option.map (fun ms -> ms /. 1000.0) t.deadline_ms
         in
-        let detail =
-          Json.member "detail" req = Some (Json.Bool true)
-        in
-        let cached b = if detail then Some b else None in
+        let cached = detail_cached req in
         let c = Canonical.of_block blk in
         let key = Machine.fingerprint machine ^ "\x00" ^ c.Canonical.key in
         match Lru.find t.cache key with
         | Some result ->
-          render id c result ~completed:true ~status:Budget.Complete
-            ~cached:(cached true)
+          render id
+            ~order:(Canonical.apply c result.Omega.order)
+            result ~completed:true
+            ~status:(Budget.status_to_string Budget.Complete)
+            ~degraded:false ~cached:(cached true)
         | None -> (
-          let options =
-            { Optimal.default_options with Optimal.lambda; deadline_s }
-          in
-          let dag = Dag.of_block c.Canonical.block in
-          let o = Optimal.schedule ~options machine dag in
-          let result = o.Optimal.best in
-          let completed = o.Optimal.stats.Optimal.completed in
-          let status = o.Optimal.stats.Optimal.status in
-          let violations =
-            if t.certify then Certify.check machine c.Canonical.block result
-            else []
-          in
-          match violations with
-          | _ :: _ ->
-            error_response id
-              ("certification failed: "
-              ^ String.concat "; " (List.map Certify.explain violations))
-          | [] ->
-            (* Curtailed incumbents are served but never cached: a later
-               request with a looser budget must get its own solve. *)
-            if completed then Lru.put t.cache key result;
-            render id c result ~completed ~status ~cached:(cached false)))))
+          (* Containment boundary: anything the solve raises — a real
+             bug or an armed [solver] chaos fault — is confined to this
+             request.  The fault key is the request text itself, so a
+             verdict is reproducible yet a client retry carrying a
+             distinct attempt marker gets a fresh draw. *)
+          match
+            Fault.guard Fault.Solver ~key:(Json.to_string req);
+            let options =
+              { Optimal.default_options with Optimal.lambda; deadline_s }
+            in
+            let dag = Dag.of_block c.Canonical.block in
+            Optimal.schedule ~options machine dag
+          with
+          | exception exn ->
+            Atomic.incr t.contained;
+            if t.degrade then degraded_of blk machine t id ~cached
+            else
+              error_response id
+                ("internal error: " ^ Printexc.to_string exn)
+          | o -> (
+            let result = o.Optimal.best in
+            let completed = o.Optimal.stats.Optimal.completed in
+            let status = o.Optimal.stats.Optimal.status in
+            let violations =
+              if t.certify then Certify.check machine c.Canonical.block result
+              else []
+            in
+            match violations with
+            | _ :: _ ->
+              error_response id
+                ("certification failed: "
+                ^ String.concat "; " (List.map Certify.explain violations))
+            | [] ->
+              (* Curtailed incumbents are served but never cached: a later
+                 request with a looser budget must get its own solve.  A
+                 failed insert (an armed [cache_insert] fault) is
+                 contained — the cache is an optimization, the answer is
+                 already in hand. *)
+              (if completed then
+                 try Lru.put t.cache key result
+                 with _ -> Atomic.incr t.contained);
+              render id
+                ~order:(Canonical.apply c result.Omega.order)
+                result ~completed
+                ~status:(Budget.status_to_string status)
+                ~degraded:false ~cached:(cached false))))))
 
 let handle_request t req =
   let id = Option.value ~default:Json.Null (Json.member "id" req) in
@@ -178,6 +268,23 @@ let handle_line t line =
       match handle_request t req with
       | resp -> resp
       | exception exn ->
+        (* Outer belt-and-braces boundary: even a fault escaping the
+           per-request containment above costs only this request. *)
+        Atomic.incr t.contained;
+        let id = Option.value ~default:Json.Null (Json.member "id" req) in
+        error_response id ("internal error: " ^ Printexc.to_string exn))
+  in
+  Json.to_string response
+
+let handle_line_degraded t line =
+  let response =
+    match Json.parse line with
+    | Error msg -> error_response Json.Null msg
+    | Ok req -> (
+      match handle_request_degraded t req with
+      | resp -> resp
+      | exception exn ->
+        Atomic.incr t.contained;
         let id = Option.value ~default:Json.Null (Json.member "id" req) in
         error_response id ("internal error: " ^ Printexc.to_string exn))
   in

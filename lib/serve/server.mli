@@ -58,6 +58,21 @@
     poisons the cache), optionally gated by an independent
     {!Pipesched_verify.Certify} pass.
 
+    {2 Degradation and containment}
+
+    A server created with [~degrade:true] answers a request whose
+    optimal solve {e raises} (a real bug or an armed
+    {!Pipesched_prelude.Fault.Solver} chaos fault) with the
+    machine-independent list scheduler instead of an error: the order is
+    evaluated by Omega, certified by the independent checker, and marked
+    ["degraded": true] with status ["Degraded"] and [completed: false] —
+    a legal schedule with no optimality claim.  The daemon also calls
+    {!handle_request_degraded} directly for requests it would otherwise
+    shed.  Any exception escaping a request — solver, cache insert,
+    anything — is confined to that request's error response and counted
+    in {!contained}; one poisoned request can never take the process
+    down.
+
     {!handle_line} takes the cache's own mutex only; it is safe to call
     concurrently from many domains (the daemon runs one
     {!Pipesched_parallel.Pool.team} worker per job). *)
@@ -69,13 +84,16 @@ type t
     [cache_capacity] bounds the schedule cache (entries; [0] disables
     caching; default [4096]).  [certify] runs the independent checker on
     every fresh solve before it may enter the cache, failing the request
-    on violations (default [false]).  [lambda] and [deadline_ms] are the
-    default per-request budgets ([lambda] default
+    on violations (default [false]).  [degrade] answers failed solves
+    with the certified list scheduler instead of an error (default
+    [false]).  [lambda] and [deadline_ms] are the default per-request
+    budgets ([lambda] default
     {!Pipesched_core.Optimal.default_options}[.lambda]; no default
     deadline); requests may override both. *)
 val create :
   ?cache_capacity:int ->
   ?certify:bool ->
+  ?degrade:bool ->
   ?lambda:int ->
   ?deadline_ms:float ->
   unit ->
@@ -84,14 +102,41 @@ val create :
 (** [handle_request t json] processes one parsed request. *)
 val handle_request : t -> Pipesched_prelude.Json.t -> Pipesched_prelude.Json.t
 
+(** [handle_request_degraded t json] answers a scheduling request with
+    the certified list scheduler, skipping the optimal search entirely
+    — the daemon's graceful-degradation path for requests that would
+    otherwise be shed.  The response carries ["degraded": true].
+    Non-scheduling fields ([op] etc.) are ignored: this is only ever
+    called for scheduling requests. *)
+val handle_request_degraded :
+  t -> Pipesched_prelude.Json.t -> Pipesched_prelude.Json.t
+
 (** [handle_line t line] parses and processes one protocol line,
     returning the response line (no trailing newline).  Never raises:
     malformed input yields an [ok: false] response. *)
 val handle_line : t -> string -> string
 
-(** {2 Cache counters} (monotone since {!create}) *)
+(** {!handle_line} for the degraded path: parse + containment around
+    {!handle_request_degraded}.  Never raises. *)
+val handle_line_degraded : t -> string -> string
+
+(** {2 Counters} (monotone since {!create}) *)
 
 val cache_hits : t -> int
 val cache_misses : t -> int
 val cache_evictions : t -> int
 val cache_length : t -> int
+
+(** Exceptions (real or injected) confined to a single request's error
+    or degraded response. *)
+val contained : t -> int
+
+(** Requests answered by the degraded (list-scheduler) path. *)
+val degraded_served : t -> int
+
+(** [set_extra_stats t f] installs a provider of extra fields appended
+    to the [stats] response — the daemon uses it to expose queue depth,
+    shed and respawn counters through the same op.  [f] must be safe to
+    call from any worker domain. *)
+val set_extra_stats :
+  t -> (unit -> (string * Pipesched_prelude.Json.t) list) -> unit

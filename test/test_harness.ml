@@ -603,7 +603,102 @@ let test_loadgen_classify () =
     "{\"id\":0,\"ok\":true,\"completed\":true,\"cached\":true}";
   chk "fresh detail" Loadgen.Fresh
     "{\"id\":0,\"ok\":true,\"completed\":true,\"cached\":false}";
-  chk "fresh no detail" Loadgen.Fresh "{\"id\":0,\"ok\":true,\"completed\":true}"
+  chk "fresh no detail" Loadgen.Fresh "{\"id\":0,\"ok\":true,\"completed\":true}";
+  chk "degraded outranks curtailed" Loadgen.Degraded
+    "{\"id\":0,\"ok\":true,\"completed\":false,\"degraded\":true}";
+  chk "overload refusal" Loadgen.Rejected
+    "{\"id\":0,\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":3}"
+
+let test_loadgen_retry_policy () =
+  check bool_t "overloaded is retryable" true
+    (Loadgen.retryable
+       "{\"id\":0,\"ok\":false,\"error\":\"overloaded\",\"retry_after_ms\":3}");
+  check bool_t "contained internal error is retryable" true
+    (Loadgen.retryable
+       "{\"id\":0,\"ok\":false,\"error\":\"internal error: Injected\"}");
+  check bool_t "permanent error is not" false
+    (Loadgen.retryable "{\"id\":0,\"ok\":false,\"error\":\"empty block\"}");
+  check bool_t "success is not" false
+    (Loadgen.retryable "{\"id\":0,\"ok\":true,\"completed\":true}");
+  (* The retry marker is added, replaced, and parseable. *)
+  let line = "{\"id\":4,\"machine\":\"simulation\",\"block\":\"1: Load #a\"}" in
+  let r1 = Loadgen.retry_line line ~attempt:1 in
+  let r2 = Loadgen.retry_line r1 ~attempt:2 in
+  let retry_of l =
+    match Pipesched_prelude.Json.parse l with
+    | Ok j -> Pipesched_prelude.Json.member "retry" j
+    | Error msg -> Alcotest.failf "retry_line unparsable: %s" msg
+  in
+  check bool_t "attempt 1 marked" true
+    (retry_of r1 = Some (Pipesched_prelude.Json.Int 1));
+  check bool_t "attempt 2 replaces, not stacks" true
+    (retry_of r2 = Some (Pipesched_prelude.Json.Int 2));
+  check bool_t "distinct bytes per attempt" true (r1 <> r2 && r1 <> line);
+  (* Backoff: deterministic, exponential in the attempt, jitter-bounded. *)
+  let d ~index ~attempt =
+    Loadgen.backoff_delay_s ~seed:9 ~index ~attempt ~backoff_ms:100
+  in
+  check bool_t "replayable" true (d ~index:3 ~attempt:1 = d ~index:3 ~attempt:1);
+  check bool_t "requests de-synchronized" true
+    (d ~index:3 ~attempt:1 <> d ~index:4 ~attempt:1);
+  List.iter
+    (fun attempt ->
+      let base = 0.1 *. (2.0 ** float_of_int (attempt - 1)) in
+      let v = d ~index:0 ~attempt in
+      check bool_t
+        (Printf.sprintf "attempt %d within jitter band" attempt)
+        true
+        (v >= 0.5 *. base && v < 1.5 *. base))
+    [ 1; 2; 3; 4 ]
+
+(* Chaos determinism, the harness half: replaying one plan against two
+   fresh servers with the same armed fault spec produces byte-identical
+   deterministic reports, faults land (errors without degrade, degraded
+   answers with it), and every request still gets exactly one terminal
+   outcome. *)
+let test_loadgen_chaos_deterministic () =
+  let module Server = Pipesched_serve.Server in
+  let module Fault = Pipesched_prelude.Fault in
+  let plan =
+    Loadgen.plan ~hot:4 ~dup_rate:0.4 ~seed:33 ~shape:Loadgen.Soak ~rps:20.0
+      ~duration:2.0 ()
+  in
+  let n = Array.length plan.Loadgen.requests in
+  let replay ~degrade () =
+    Fault.arm [ (Fault.Solver, 0.2, 5) ];
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        let server = Server.create ~cache_capacity:256 ~degrade () in
+        let r =
+          Loadgen.run_sync
+            ~handle:(fun line -> Some (Server.handle_line server line))
+            plan
+        in
+        (r, Server.contained server, Server.degraded_served server))
+  in
+  let det rep =
+    Pipesched_prelude.Json.to_string (Loadgen.report_deterministic_json rep)
+  in
+  let r1, contained1, _ = replay ~degrade:false () in
+  let r2, contained2, _ = replay ~degrade:false () in
+  check bool_t "faults actually landed" true (r1.Loadgen.r_errors > 0);
+  check bool_t "containment counted" true (contained1 > 0);
+  check bool_t "chaos replay is byte-identical" true
+    (String.equal (det r1) (det r2));
+  check bool_t "containment replays too" true (contained1 = contained2);
+  check int_t "one terminal outcome per request" n
+    (r1.Loadgen.r_hits + r1.Loadgen.r_fresh + r1.Loadgen.r_curtailed
+   + r1.Loadgen.r_degraded + r1.Loadgen.r_rejected + r1.Loadgen.r_errors
+   + r1.Loadgen.r_drops);
+  (* Same faults, degrading server: failures become degraded answers. *)
+  let r3, contained3, degraded3 = replay ~degrade:true () in
+  check int_t "no errors under degrade" 0 r3.Loadgen.r_errors;
+  check bool_t "degraded answers instead" true
+    (r3.Loadgen.r_degraded > 0 && degraded3 = r3.Loadgen.r_degraded);
+  check bool_t "same faults either way" true (contained3 = contained1);
+  check int_t "still one terminal outcome per request" n
+    (r3.Loadgen.r_hits + r3.Loadgen.r_fresh + r3.Loadgen.r_curtailed
+   + r3.Loadgen.r_degraded + r3.Loadgen.r_rejected + r3.Loadgen.r_errors
+   + r3.Loadgen.r_drops)
 
 (* Replay one plan serially against an in-process server: everything
    answers, duplicates hit the cache, and the deterministic report is
@@ -687,6 +782,9 @@ let () =
             test_loadgen_plan_deterministic;
           Alcotest.test_case "shapes" `Quick test_loadgen_shapes;
           Alcotest.test_case "classify" `Quick test_loadgen_classify;
+          Alcotest.test_case "retry policy" `Quick test_loadgen_retry_policy;
+          Alcotest.test_case "chaos deterministic" `Quick
+            test_loadgen_chaos_deterministic;
           Alcotest.test_case "run_sync vs server" `Quick
             test_loadgen_run_sync_server ] );
       ( "paper",

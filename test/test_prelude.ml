@@ -687,6 +687,105 @@ let test_lru_concurrent () =
     (Lru.hits c + Lru.misses c <= 4 * 2_000)
 
 (* ------------------------------------------------------------------ *)
+(* Fault: deterministic chaos injection                                 *)
+
+module Fault = Pipesched_prelude.Fault
+
+let test_fault_parse () =
+  let ok spec want =
+    match Fault.parse spec with
+    | Ok specs -> check bool_t ("parses " ^ spec) true (specs = want)
+    | Error e -> Alcotest.failf "spec %S rejected: %s" spec e
+  in
+  ok "" [];
+  ok "solver:0.05:1" [ (Fault.Solver, 0.05, 1) ];
+  ok "solver:0.05:1,write_response:0.02:7"
+    [ (Fault.Solver, 0.05, 1); (Fault.Write_response, 0.02, 7) ];
+  ok " cache_insert : 1 : -3 ,accept:0:0"
+    [ (Fault.Cache_insert, 1.0, -3); (Fault.Accept, 0.0, 0) ];
+  let bad spec =
+    check bool_t ("rejects " ^ spec) true
+      (match Fault.parse spec with Error _ -> true | Ok _ -> false)
+  in
+  bad "nope:0.5:1";
+  bad "solver:1.5:1";
+  bad "solver:-0.1:1";
+  bad "solver:x:1";
+  bad "solver:0.5:y";
+  bad "solver:0.5";
+  List.iter
+    (fun s ->
+      check bool_t "site name round-trips" true
+        (Fault.site_of_string (Fault.site_to_string s) = Some s))
+    Fault.all_sites
+
+let test_fault_determinism () =
+  Fault.arm [ (Fault.Solver, 0.3, 17) ];
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let keys = List.init 500 (fun i -> Printf.sprintf "request-%d" i) in
+      let verdicts = List.map (fun k -> Fault.fire Fault.Solver ~key:k) keys in
+      (* Same arming, same keys: same verdicts, in any order. *)
+      let again =
+        List.map (fun k -> Fault.fire Fault.Solver ~key:k) (List.rev keys)
+      in
+      check bool_t "verdicts are a pure function of the key" true
+        (List.rev verdicts = again);
+      let fired = List.length (List.filter Fun.id verdicts) in
+      check bool_t "rate in the right ballpark" true
+        (fired > 50 && fired < 250);
+      (* The counter saw both passes. *)
+      check int_t "counter counts fires" (2 * fired)
+        (Fault.injected Fault.Solver);
+      (* Concurrent fire from several domains cannot perturb verdicts. *)
+      let results = Array.make 4 [] in
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                results.(d) <-
+                  List.map (fun k -> Fault.fire Fault.Solver ~key:k) keys))
+      in
+      List.iter Domain.join domains;
+      Array.iter
+        (fun r ->
+          check bool_t "interleaving-independent" true (r = verdicts))
+        results)
+
+let test_fault_extremes_and_disarm () =
+  Fault.arm [ (Fault.Solver, 1.0, 1); (Fault.Accept, 0.0, 1) ];
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      check bool_t "prob 1 always fires" true (Fault.fire Fault.Solver ~key:"k");
+      check bool_t "prob 0 never fires" false (Fault.fire Fault.Accept ~key:"k");
+      check bool_t "unarmed site never fires" false
+        (Fault.fire Fault.Write_response ~key:"k");
+      check bool_t "armed" true (Fault.armed Fault.Solver);
+      check bool_t "not armed" false (Fault.armed Fault.Write_response);
+      (match
+         try
+           Fault.guard Fault.Solver ~key:"k";
+           None
+         with Fault.Injected site -> Some site
+       with
+      | Some site -> check bool_t "guard raises with site name" true
+          (site = "solver")
+      | None -> Alcotest.fail "guard did not raise");
+      check bool_t "fires counted" true (Fault.total_injected () >= 2));
+  check bool_t "disarmed" false (Fault.armed Fault.Solver);
+  check bool_t "nothing fires after disarm" false
+    (Fault.fire Fault.Solver ~key:"k");
+  check int_t "counters reset" 0 (Fault.total_injected ())
+
+let test_fault_seed_and_key_sensitivity () =
+  let verdicts seed =
+    Fault.arm [ (Fault.Solver, 0.5, seed) ];
+    Fun.protect ~finally:Fault.disarm (fun () ->
+        List.init 200 (fun i ->
+            Fault.fire Fault.Solver ~key:(string_of_int i)))
+  in
+  check bool_t "different seeds, different draws" true
+    (verdicts 1 <> verdicts 2);
+  check bool_t "same seed replays" true (verdicts 1 = verdicts 1)
+
+(* ------------------------------------------------------------------ *)
 (* Json                                                                *)
 
 module Json = Pipesched_prelude.Json
@@ -902,6 +1001,14 @@ let () =
           Alcotest.test_case "zero capacity inert" `Quick
             test_lru_zero_capacity;
           Alcotest.test_case "concurrent access" `Quick test_lru_concurrent ] );
+      ( "fault",
+        [ Alcotest.test_case "spec parsing" `Quick test_fault_parse;
+          Alcotest.test_case "content-keyed determinism" `Quick
+            test_fault_determinism;
+          Alcotest.test_case "extremes and disarm" `Quick
+            test_fault_extremes_and_disarm;
+          Alcotest.test_case "seed and key sensitivity" `Quick
+            test_fault_seed_and_key_sensitivity ] );
       ( "json",
         [ Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse basics" `Quick test_json_parse_basics;

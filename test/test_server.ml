@@ -5,6 +5,9 @@
 open Pipesched_ir
 module Rng = Pipesched_prelude.Rng
 module Json = Pipesched_prelude.Json
+module Fault = Pipesched_prelude.Fault
+module Machine = Pipesched_machine.Machine
+module Omega = Pipesched_machine.Omega
 module Server = Pipesched_serve.Server
 open Helpers
 
@@ -228,6 +231,81 @@ let test_curtailed_not_cached () =
       ())
 
 (* ------------------------------------------------------------------ *)
+(* Fault containment and graceful degradation.                         *)
+
+let parse_resp resp =
+  match Json.parse resp with
+  | Ok r -> r
+  | Error msg -> Alcotest.failf "unparsable response %S: %s" resp msg
+
+let int_list name resp =
+  match Json.member name resp with
+  | Some (Json.List xs) ->
+    Array.of_list (List.map (fun j -> Option.get (Json.to_int_opt j)) xs)
+  | _ -> Alcotest.failf "response missing %s" name
+
+(* With the solver fault always firing, a plain server contains the
+   raise into this request's error response and lives on; a degrading
+   server answers with the list scheduler instead — a legal order whose
+   stall shape agrees with an independent Omega replay, explicitly
+   marked so nobody mistakes it for an optimal schedule. *)
+let test_solver_fault_contained_and_degraded () =
+  Fault.arm [ (Fault.Solver, 1.0, 3) ];
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let rng = Rng.create 0xfa17 in
+      let blk = random_block rng 6 in
+      let t = Server.create () in
+      let r = parse_resp (Server.handle_line t (request_line 0 blk)) in
+      check bool_t "plain server refuses" true
+        (Json.member "ok" r = Some (Json.Bool false));
+      (match Json.member "error" r with
+      | Some (Json.String e) ->
+        check bool_t "says internal error" true
+          (String.length e >= 14 && String.sub e 0 14 = "internal error")
+      | _ -> Alcotest.fail "no error field");
+      check int_t "containment counted" 1 (Server.contained t);
+      check bool_t "server still serves" true
+        (Json.member "ok" (parse_resp (Server.handle_line t "{\"op\": \"ping\"}"))
+        = Some (Json.Bool true));
+      let td = Server.create ~degrade:true () in
+      let r = parse_resp (Server.handle_line td (request_line 1 blk)) in
+      check bool_t "degrading server answers ok" true
+        (Json.member "ok" r = Some (Json.Bool true));
+      check bool_t "marked degraded" true
+        (Json.member "degraded" r = Some (Json.Bool true));
+      check bool_t "status Degraded" true
+        (Json.member "status" r = Some (Json.String "Degraded"));
+      check bool_t "no optimality claim" true
+        (Json.member "completed" r = Some (Json.Bool false));
+      let order = int_list "order" r in
+      let dag = Dag.of_block blk in
+      check bool_t "degraded order legal" true (Dag.is_legal_order dag order);
+      let machine = Option.get (Machine.Presets.find "simulation") in
+      let replay = Omega.evaluate machine dag ~order in
+      check bool_t "nops matches independent replay" true
+        (Json.member "nops" r = Some (Json.Int replay.Omega.nops));
+      check int_t "degraded counted" 1 (Server.degraded_served td);
+      check int_t "containment counted too" 1 (Server.contained td))
+
+(* A failing cache insert costs nothing but the caching: the request is
+   still answered (byte-identically to an uncached solve), the failure
+   is contained and counted, and the cache simply stays empty. *)
+let test_cache_insert_fault_contained () =
+  Fault.arm [ (Fault.Cache_insert, 1.0, 5) ];
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let rng = Rng.create 0xca5e in
+      let blk = random_block rng 5 in
+      let t = Server.create ~cache_capacity:256 () in
+      let a = Server.handle_line t (request_line 0 blk) in
+      check bool_t "answered ok" true
+        (Json.member "ok" (parse_resp a) = Some (Json.Bool true));
+      check int_t "nothing cached" 0 (Server.cache_length t);
+      check bool_t "insert failure contained" true (Server.contained t >= 1);
+      Fault.disarm ();
+      let b = Server.handle_line t (request_line 0 blk) in
+      check bool_t "same answer without the fault" true (String.equal a b))
+
+(* ------------------------------------------------------------------ *)
 (* Daemon: the queue/drain/listener state machine behind the binary.   *)
 
 module Daemon = Pipesched_serve.Daemon
@@ -272,11 +350,13 @@ let test_drain_refusal_answered () =
 let test_drain_completes_accepted_work () =
   let st = Daemon.create (Server.create ()) in
   let written = ref [] in
-  let accepted =
+  let done_count = ref 0 in
+  let admission =
     Daemon.submit st ~line:"{\"id\": 7, \"op\": \"ping\"}"
       ~write:(fun resp -> written := resp :: !written)
+      ~on_done:(fun () -> incr done_count)
   in
-  check bool_t "accepted before shutdown" true accepted;
+  check bool_t "accepted before shutdown" true (admission = Daemon.Accepted);
   Daemon.begin_shutdown st;
   (* A worker started after shutdown must still drain the queue. *)
   Daemon.worker st 0;
@@ -286,7 +366,228 @@ let test_drain_completes_accepted_work () =
   | Ok r ->
     check bool_t "answered ok" true
       (Json.member "ok" r = Some (Json.Bool true)));
-  check int_t "served counts it" 1 (Daemon.served st)
+  check int_t "served counts it" 1 (Daemon.served st);
+  check int_t "on_done ran once" 1 !done_count
+
+(* Admission control: with the queue bounded, overflow is answered
+   immediately with an explicit "overloaded" refusal carrying a
+   non-negative retry hint — never queued without bound, never silently
+   dropped. *)
+let test_admission_queue_bound () =
+  let st = Daemon.create ~max_queue:2 (Server.create ()) in
+  let written = ref [] in
+  let write r = written := r :: !written in
+  let sub id =
+    Daemon.submit st
+      ~line:(Printf.sprintf "{\"id\": %d, \"op\": \"ping\"}" id)
+      ~write ~on_done:ignore
+  in
+  check bool_t "first queued" true (sub 1 = Daemon.Accepted);
+  check bool_t "second queued" true (sub 2 = Daemon.Accepted);
+  check bool_t "third shed" true (sub 3 = Daemon.Answered);
+  check int_t "shed counted" 1 (Daemon.shed st);
+  check int_t "refusal written inline" 1 (List.length !written);
+  (match Json.parse (List.hd !written) with
+  | Error msg -> Alcotest.failf "unparsable refusal: %s" msg
+  | Ok r ->
+    check bool_t "id echoed" true (Json.member "id" r = Some (Json.Int 3));
+    check bool_t "says overloaded" true
+      (Json.member "error" r = Some (Json.String "overloaded"));
+    match Json.member "retry_after_ms" r with
+    | Some (Json.Int ms) -> check bool_t "retry hint >= 0" true (ms >= 0)
+    | _ -> Alcotest.fail "no retry_after_ms");
+  check int_t "accepted work still queued" 2 (Daemon.queue_depth st)
+
+(* A request whose own deadline is provably unmeetable at the current
+   depth is refused up front (once the service-time estimate is
+   primed); the same request without a deadline is admitted. *)
+let test_admission_deadline_unmeetable () =
+  let st = Daemon.create (Server.create ()) in
+  let sub line = Daemon.submit st ~line ~write:ignore ~on_done:ignore in
+  (* Prime: ~1 s per job, one job already queued, no workers running. *)
+  check bool_t "first queued" true
+    (sub "{\"id\": 1, \"op\": \"ping\"}" = Daemon.Accepted);
+  Daemon.observe_service_ms st 1000.0;
+  check bool_t "1 ms deadline shed" true
+    (sub "{\"id\": 2, \"op\": \"ping\", \"deadline_ms\": 1}" = Daemon.Answered);
+  check bool_t "no deadline admitted" true
+    (sub "{\"id\": 3, \"op\": \"ping\"}" = Daemon.Accepted);
+  check bool_t "generous deadline admitted" true
+    (sub "{\"id\": 4, \"op\": \"ping\", \"deadline_ms\": 60000}"
+    = Daemon.Accepted);
+  check int_t "one shed" 1 (Daemon.shed st)
+
+(* Degrade mode: the would-be-shed request is answered inline by the
+   certified list scheduler instead of refused. *)
+let test_degrade_on_shed () =
+  let rng = Rng.create 0xde6e in
+  let blk = random_block rng 6 in
+  let st = Daemon.create ~max_queue:1 ~degrade:true (Server.create ~degrade:true ()) in
+  let written = ref [] in
+  let write r = written := r :: !written in
+  check bool_t "first queued" true
+    (Daemon.submit st ~line:(request_line 0 blk) ~write ~on_done:ignore
+    = Daemon.Accepted);
+  check bool_t "second answered inline" true
+    (Daemon.submit st ~line:(request_line 1 blk) ~write ~on_done:ignore
+    = Daemon.Answered);
+  check int_t "shed counted" 1 (Daemon.shed st);
+  let r = parse_resp (List.hd !written) in
+  check bool_t "degraded ok" true (Json.member "ok" r = Some (Json.Bool true));
+  check bool_t "marked degraded" true
+    (Json.member "degraded" r = Some (Json.Bool true));
+  let order = int_list "order" r in
+  check bool_t "degraded order legal" true
+    (Dag.is_legal_order (Dag.of_block blk) order)
+
+(* A response write that fails with an expected I/O error (the client
+   vanished) is contained: the worker survives and answers the next
+   job. *)
+let test_write_failure_contained () =
+  let st = Daemon.create (Server.create ()) in
+  ignore
+    (Daemon.submit st ~line:"{\"id\": 1, \"op\": \"ping\"}"
+       ~write:(fun _ -> raise (Sys_error "broken pipe"))
+       ~on_done:ignore);
+  let answered = ref [] in
+  ignore
+    (Daemon.submit st ~line:"{\"id\": 2, \"op\": \"ping\"}"
+       ~write:(fun r -> answered := r :: !answered)
+       ~on_done:ignore);
+  Daemon.begin_shutdown st;
+  (* Must not raise: the Sys_error is contained inside the worker. *)
+  Daemon.worker st 0;
+  check int_t "write failure contained" 1 (Daemon.write_contained st);
+  check int_t "next job still answered" 1 (List.length !answered);
+  check int_t "both served" 2 (Daemon.served st)
+
+(* The same containment against a real EPIPE: the reader half of the
+   pipe is gone before the worker writes the response (a client that
+   disconnected mid-burst).  With SIGPIPE ignored the write raises
+   instead of killing the process, and the worker contains it. *)
+let test_epipe_disconnect_contained () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let st = Daemon.create (Server.create ()) in
+  let r, w = Unix.pipe ~cloexec:true () in
+  Unix.close r;
+  let oc = Unix.out_channel_of_descr w in
+  let write resp =
+    output_string oc resp;
+    output_char oc '\n';
+    flush oc
+  in
+  ignore
+    (Daemon.submit st ~line:"{\"id\": 1, \"op\": \"ping\"}" ~write
+       ~on_done:ignore);
+  Daemon.begin_shutdown st;
+  Daemon.worker st 0;
+  check int_t "EPIPE contained" 1 (Daemon.write_contained st);
+  check int_t "served despite dead client" 1 (Daemon.served st);
+  (try close_out oc with Sys_error _ -> ())
+
+(* Supervision: an unexpected exception (not an I/O failure) kills the
+   worker domain, and the supervisor respawns it — queued work behind
+   the poisoned job still gets answered. *)
+let test_supervisor_respawns_dead_worker () =
+  let st = Daemon.create (Server.create ()) in
+  ignore
+    (Daemon.submit st ~line:"{\"id\": 1, \"op\": \"ping\"}"
+       ~write:(fun _ -> failwith "boom")
+       ~on_done:ignore);
+  let answered = ref [] in
+  ignore
+    (Daemon.submit st ~line:"{\"id\": 2, \"op\": \"ping\"}"
+       ~write:(fun r -> answered := r :: !answered)
+       ~on_done:ignore);
+  Daemon.begin_shutdown st;
+  Daemon.supervise st ~jobs:1;
+  check bool_t "worker was respawned" true (Daemon.respawns st >= 1);
+  check int_t "job behind the poison answered" 1 (List.length !answered)
+
+(* The close-vs-write race: a request line with no trailing newline
+   followed by EOF (exactly what a client that writes-then-shutdowns
+   produces) must be answered before reader_loop returns, because the
+   caller closes the fd right after.  The deliberately slow writer
+   makes the old race a deterministic failure. *)
+let test_reader_waits_for_pending () =
+  let st = Daemon.create (Server.create ()) in
+  let r, w = Unix.pipe ~cloexec:true () in
+  let oc = Unix.out_channel_of_descr w in
+  output_string oc "{\"id\": 1, \"op\": \"ping\"}\n{\"id\": 2, \"op\": \"ping\"}";
+  close_out oc;
+  let responses = ref [] in
+  let lock = Mutex.create () in
+  let worker = Domain.spawn (fun () -> Daemon.worker st 0) in
+  let ic = Unix.in_channel_of_descr r in
+  Daemon.reader_loop st ic (fun resp ->
+      Thread.delay 0.05;
+      Mutex.lock lock;
+      responses := resp :: !responses;
+      Mutex.unlock lock);
+  (* reader_loop returned: both responses (including the unterminated
+     tail's) must already be written. *)
+  Mutex.lock lock;
+  let n = List.length !responses in
+  Mutex.unlock lock;
+  check int_t "all answered before reader_loop returns" 2 n;
+  Daemon.begin_shutdown st;
+  Domain.join worker;
+  close_in ic
+
+(* Counter coherence under concurrent intake and workers: pound the
+   daemon from four intake threads against two supervised workers with
+   a tight queue bound; afterwards every request is accounted exactly
+   once (served + shed = submitted), every refusal carried a
+   non-negative retry hint, and on_done ran once per accepted job. *)
+let test_stats_coherence_stress () =
+  let server = Server.create () in
+  let st = Daemon.create ~max_queue:4 server in
+  let intakes = 4 and per_intake = 100 in
+  let accepted = Atomic.make 0 in
+  let inline = Atomic.make 0 in
+  let dones = Atomic.make 0 in
+  let bad_retry = Atomic.make 0 in
+  let supervisor = Thread.create (fun () -> Daemon.supervise st ~jobs:2) () in
+  let intake k =
+    Thread.create
+      (fun () ->
+        for i = 0 to per_intake - 1 do
+          let line =
+            Printf.sprintf "{\"id\": %d, \"op\": \"ping\"}"
+              ((k * per_intake) + i)
+          in
+          let write resp =
+            match Json.parse resp with
+            | Ok r
+              when Json.member "error" r = Some (Json.String "overloaded") -> (
+              match Json.member "retry_after_ms" r with
+              | Some (Json.Int ms) when ms >= 0 -> ()
+              | _ -> Atomic.incr bad_retry)
+            | _ -> ()
+          in
+          match
+            Daemon.submit st ~line ~write ~on_done:(fun () ->
+                Atomic.incr dones)
+          with
+          | Daemon.Accepted -> Atomic.incr accepted
+          | Daemon.Answered -> Atomic.incr inline
+          | Daemon.Draining -> ()
+        done)
+      ()
+  in
+  let threads = List.init intakes intake in
+  List.iter Thread.join threads;
+  Daemon.begin_shutdown st;
+  Thread.join supervisor;
+  check int_t "every request accounted once" (intakes * per_intake)
+    (Atomic.get accepted + Atomic.get inline);
+  check int_t "served = accepted" (Atomic.get accepted) (Daemon.served st);
+  check int_t "shed = answered inline" (Atomic.get inline) (Daemon.shed st);
+  check int_t "on_done once per accepted job" (Atomic.get accepted)
+    (Atomic.get dones);
+  check int_t "every retry hint non-negative" 0 (Atomic.get bad_retry);
+  check int_t "no respawns from healthy traffic" 0 (Daemon.respawns st);
+  check int_t "queue fully drained" 0 (Daemon.queue_depth st)
 
 let fd_closed fd =
   match Unix.fstat fd with
@@ -327,11 +628,30 @@ let () =
           Alcotest.test_case "detail cached field" `Quick
             test_detail_cached_field;
           Alcotest.test_case "curtailed not cached" `Quick
-            test_curtailed_not_cached ] );
+            test_curtailed_not_cached;
+          Alcotest.test_case "solver fault contained and degraded" `Quick
+            test_solver_fault_contained_and_degraded;
+          Alcotest.test_case "cache insert fault contained" `Quick
+            test_cache_insert_fault_contained ] );
       ( "daemon",
         [ Alcotest.test_case "drain refusal answered" `Quick
             test_drain_refusal_answered;
           Alcotest.test_case "drain completes accepted work" `Quick
             test_drain_completes_accepted_work;
           Alcotest.test_case "listener install race" `Quick
-            test_listener_install_race ] ) ]
+            test_listener_install_race;
+          Alcotest.test_case "admission queue bound" `Quick
+            test_admission_queue_bound;
+          Alcotest.test_case "admission deadline unmeetable" `Quick
+            test_admission_deadline_unmeetable;
+          Alcotest.test_case "degrade on shed" `Quick test_degrade_on_shed;
+          Alcotest.test_case "write failure contained" `Quick
+            test_write_failure_contained;
+          Alcotest.test_case "EPIPE disconnect contained" `Quick
+            test_epipe_disconnect_contained;
+          Alcotest.test_case "supervisor respawns dead worker" `Quick
+            test_supervisor_respawns_dead_worker;
+          Alcotest.test_case "reader waits for pending" `Quick
+            test_reader_waits_for_pending;
+          Alcotest.test_case "stats coherence stress" `Quick
+            test_stats_coherence_stress ] ) ]
