@@ -7,7 +7,7 @@ module Aggregate = Pipesched_harness.Aggregate
 let sections =
   [ "machines"; "table1"; "table6"; "table7"; "fig1"; "fig4"; "fig5";
     "fig6"; "fig7"; "ablation"; "machine-sweep"; "structure-sweep"; "windowed"; "region";
-    "heuristics"; "kernels"; "pressure"; "dynamic" ]
+    "heuristics"; "kernels"; "pressure"; "dynamic"; "portfolio" ]
 
 (* --progress heartbeats: stderr, rate-limited to ~1/s, off by default.
    Both callbacks run on worker domains (study) or the master select
@@ -74,7 +74,7 @@ let run_mega ~count ~seed ~lambda ~jobs ~search_jobs ~certify ~shards
   | Ok (agg, stats) ->
     if progress then prerr_newline ();
     Format.printf "Mega study: %d blocks over %d shards (seed %d)@." count
-      shards seed;
+      (Mega.effective_shards cfg) seed;
     Format.printf "this run: %d searched (+%d resumed) in %.1fs = %.1f blocks/s@."
       stats.Mega.processed stats.Mega.resumed stats.Mega.wall_s
       stats.Mega.blocks_per_s;
@@ -90,9 +90,14 @@ let run_mega ~count ~seed ~lambda ~jobs ~search_jobs ~certify ~shards
     0
 
 let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
-    memo_capacity jobs search_jobs strict certify mega shards
+    memo_capacity jobs search_jobs strict certify backend mega shards
     checkpoint_every checkpoint_dir resume progress mega_out dedup_capacity
     only =
+  if Pipesched_core.Scheduler.find backend = None then begin
+    Format.eprintf "unknown backend %S (have: %s)@." backend
+      (String.concat ", " Pipesched_core.Scheduler.names);
+    exit 2
+  end;
   let count = if quick then min count 1_000 else count in
   let jobs = if jobs <= 0 then None else Some jobs in
   let search_jobs =
@@ -119,7 +124,8 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
   (match only with
    | [] ->
      E.run_all ~seed ~count ~lambda ~strong ~memo ?deadline_s
-       ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ?progress fmt
+       ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ~backend
+       ?progress fmt
    | wanted ->
      List.iter
        (fun section ->
@@ -132,8 +138,8 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
      let study =
        lazy
          (E.run_study ~seed ~count ~lambda ~strong ~memo ?deadline_s
-            ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ?progress
-            ())
+            ?block_deadline_s ?jobs ?search_jobs ~strict ~certify ~backend
+            ?progress ())
      in
      List.iter
        (fun section ->
@@ -164,6 +170,9 @@ let run count seed quick lambda deadline_ms block_deadline_ms strong no_memo
          | "pressure" ->
            E.print_pressure_study ~count:(max 150 (count / 20)) fmt
          | "dynamic" -> E.print_dynamic_study ~count:(max 40 (count / 150)) fmt
+         | "portfolio" ->
+           E.print_portfolio_study ~seed:(seed + 2)
+             ~count:(max 40 (count / 200)) fmt
          | _ -> assert false)
        wanted);
   if progress <> None then prerr_newline ();
@@ -269,6 +278,15 @@ let certify =
   in
   Arg.(value & flag & info [ "certify" ] ~doc)
 
+let backend =
+  let doc =
+    "Scheduler backend for the main study: $(b,bnb) (the paper's \
+     branch-and-bound, default), $(b,cp) (the propagation/learning \
+     solver), $(b,portfolio) (both racing, sharing the incumbent), \
+     $(b,windowed), or $(b,list)."
+  in
+  Arg.(value & opt string "bnb" & info [ "backend" ] ~doc)
+
 let mega =
   let doc =
     "Run a sharded mega study over $(docv) blocks instead of the paper \
@@ -347,7 +365,7 @@ let cmd =
     Term.(
       const run $ count $ seed $ quick $ lambda $ deadline_ms
       $ block_deadline_ms $ strong $ no_memo $ memo_capacity $ jobs
-      $ search_jobs $ strict $ certify $ mega $ shards $ checkpoint_every
+      $ search_jobs $ strict $ certify $ backend $ mega $ shards $ checkpoint_every
       $ checkpoint_dir $ resume $ progress $ mega_out $ dedup_capacity
       $ only)
 

@@ -89,6 +89,77 @@ let run_case ~lambda ~search_jobs machine blk =
        [ Certify.Check_crashed { what = Printexc.to_string exn } ]);
   List.rev !violations
 
+(* One case, single-backend mode (--backend NAME): dispatch through the
+   Scheduler registry, certify best and initial, check the outcome
+   contract (proved ⟹ best realizes the proof), and cross-check any
+   optimality proof against an independent branch-and-bound run of the
+   same case.  The portfolio backend cross-checks bnb vs cp internally
+   and raises Portfolio.Disagreement — caught below like any scheduler
+   crash, so a disagreement shrinks and writes a repro like any other
+   failing case. *)
+
+let run_case_backend ~lambda ~backend machine blk =
+  let violations = ref [] in
+  let add label vs =
+    List.iter (fun v -> violations := (label, Certify.explain v) :: !violations) vs
+  in
+  let bug label what = add label [ Certify.Check_crashed { what } ] in
+  (try
+     let dag = Dag.of_block blk in
+     let options = { Optimal.default_options with Optimal.lambda } in
+     let sched name =
+       match Scheduler.find name with
+       | Some (module B : Scheduler.S) -> B.schedule ~options machine dag
+       | None -> invalid_arg ("unknown backend " ^ name)
+     in
+     let certify label (r : Omega.result) =
+       add label (Certify.check machine blk r);
+       add (label ^ " semantics")
+         (Certify.check_semantics blk ~order:r.Omega.order)
+     in
+     let o = sched backend in
+     certify backend o.Scheduler.best;
+     certify (backend ^ " initial") o.Scheduler.initial;
+     add "ordering"
+       (Certify.check_ordering
+          [ (backend, o.Scheduler.best.Omega.nops);
+            (backend ^ " initial", o.Scheduler.initial.Omega.nops) ]);
+     (match o.Scheduler.proved with
+      | Some p when p <> o.Scheduler.best.Omega.nops ->
+        bug (backend ^ " proof")
+          (Printf.sprintf "proved optimum %d but best schedule has %d NOPs" p
+             o.Scheduler.best.Omega.nops)
+      | _ -> ());
+     if o.Scheduler.completed <> (o.Scheduler.proved <> None) then
+       bug (backend ^ " contract")
+         (Printf.sprintf "completed %b but proved %s" o.Scheduler.completed
+            (match o.Scheduler.proved with
+             | None -> "nothing"
+             | Some p -> string_of_int p));
+     if backend <> "portfolio" && backend <> "bnb" then begin
+       (* Differential check against the reference search: whenever both
+          sides prove, the optima must match; a curtailed side may never
+          hold an incumbent beating the other's proof. *)
+       let b = sched "bnb" in
+       match (o.Scheduler.proved, b.Scheduler.proved) with
+       | Some a, Some c when a <> c ->
+         bug "optimum mismatch"
+           (Printf.sprintf "%s proved %d, bnb proved %d" backend a c)
+       | Some a, None when b.Scheduler.best.Omega.nops < a ->
+         bug "optimum mismatch"
+           (Printf.sprintf "%s proved %d, curtailed bnb already has %d"
+              backend a b.Scheduler.best.Omega.nops)
+       | None, Some c when o.Scheduler.best.Omega.nops < c ->
+         bug "optimum mismatch"
+           (Printf.sprintf "bnb proved %d, curtailed %s already has %d" c
+              backend o.Scheduler.best.Omega.nops)
+       | _ -> ()
+     end
+   with exn ->
+     add "scheduler crash"
+       [ Certify.Check_crashed { what = Printexc.to_string exn } ]);
+  List.rev !violations
+
 (* ------------------------------------------------------------------ *)
 (* Shrinking: greedily drop whole instructions (references to the
    dropped value become the constant 1), then individual reference
@@ -134,8 +205,8 @@ let drop_edges blk i =
       | Error _ -> None)
     variants
 
-let shrink ~lambda ~search_jobs machine blk =
-  let fails b = run_case ~lambda ~search_jobs machine b <> [] in
+let shrink ~run_case machine blk =
+  let fails b = run_case machine b <> [] in
   let rec go blk =
     let n = Block.length blk in
     let drops =
@@ -203,10 +274,22 @@ let write_repro ~dir ~master_seed ~cases ~case ~case_seed machine blk shrunk
 
 (* ------------------------------------------------------------------ *)
 
-let run seed cases lambda search_jobs machines out =
+let run seed cases lambda search_jobs machines backend out =
   let search_jobs =
     Pipesched_parallel.Pool.resolve_search_jobs
       (if search_jobs <= 0 then None else Some search_jobs)
+  in
+  (match backend with
+   | "all" -> ()
+   | name when Scheduler.find name <> None -> ()
+   | name ->
+     Format.eprintf "unknown backend %S (have: all, %s)@." name
+       (String.concat ", " Scheduler.names);
+     exit 2);
+  let run_case =
+    match backend with
+    | "all" -> run_case ~lambda ~search_jobs
+    | name -> run_case_backend ~lambda ~backend:name
   in
   let master = Rng.create seed in
   (* Pre-draw per-case seeds so a repro depends only on its case seed,
@@ -262,15 +345,13 @@ let run seed cases lambda search_jobs machines out =
           (case + 1) cases case_seed rep_seed
       | None -> (
         incr unique;
-        match run_case ~lambda ~search_jobs machine blk with
+        match run_case machine blk with
         | [] -> Hashtbl.add verdicts key `Clean
         | violations ->
           Hashtbl.add verdicts key (`Failed case_seed);
           incr failures;
-          let shrunk = shrink ~lambda ~search_jobs machine blk in
-          let shrunk_violations =
-            run_case ~lambda ~search_jobs machine shrunk
-          in
+          let shrunk = shrink ~run_case machine blk in
+          let shrunk_violations = run_case machine shrunk in
           let reported =
             if shrunk_violations = [] then violations else shrunk_violations
           in
@@ -340,6 +421,19 @@ let machines =
            likely, so the canonical-form dedup answers them from the \
            earlier verdict.")
 
+let backend =
+  Arg.(
+    value & opt string "all"
+    & info [ "backend" ]
+        ~doc:
+          "Which scheduler(s) to fuzz: $(b,all) (default; every scheduler \
+           differentially, as before) or one Scheduler registry name — \
+           $(b,bnb), $(b,cp), $(b,portfolio), $(b,windowed), $(b,list).  \
+           Single-backend mode certifies the backend's schedules, checks \
+           its outcome contract, and cross-checks any optimality proof \
+           against an independent branch-and-bound run ($(b,portfolio) \
+           cross-checks bnb vs cp internally on every case).")
+
 let out =
   Arg.(
     value & opt string "fuzz-repro"
@@ -354,6 +448,8 @@ let cmd =
        ~doc:
          "differentially fuzz every scheduler against the independent \
           certifier")
-    Term.(const run $ seed $ cases $ lambda $ search_jobs $ machines $ out)
+    Term.(
+      const run $ seed $ cases $ lambda $ search_jobs $ machines $ backend
+      $ out)
 
 let () = exit (Cmd.eval' cmd)

@@ -65,10 +65,20 @@ let read_input file expr =
     In_channel.input_all In_channel.stdin
   | Some f, _ -> In_channel.with_open_text f In_channel.input_all
 
-let run file expr machine machine_file sched lambda deadline_ms no_memo
-    memo_capacity search_jobs registers optimize tuples_in certify show_tuples
-    show_asm show_tables show_timeline show_dot show_explain =
+let run file expr machine machine_file sched backend lambda deadline_ms
+    no_memo memo_capacity search_jobs registers optimize tuples_in certify
+    show_tuples show_asm show_tables show_timeline show_dot show_explain =
   try
+    let backend_module =
+      (* [--backend] picks the search engine behind [--scheduler optimal];
+         resolve it early so a typo fails before any work. *)
+      match Scheduler.find backend with
+      | Some b -> b
+      | None ->
+        Format.eprintf "unknown backend %S (have: %s)@." backend
+          (String.concat ", " Scheduler.names);
+        exit 2
+    in
     let options =
       { Optimal.default_options with
         Optimal.lambda;
@@ -113,29 +123,32 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
         exit 1
       | Ok blk ->
         let dag = Dag.of_block blk in
-        let o = Optimal.schedule ~options machine dag in
+        let module B = (val backend_module : Scheduler.S) in
+        let o = B.schedule ~options machine dag in
         if certify then begin
           (* Hand-written tuple blocks need not be interpretable, so the
              semantic check is reserved for frontend-compiled input. *)
-          enforce_certified "optimal result"
-            (Certify.check machine blk o.Optimal.best);
+          enforce_certified (B.name ^ " result")
+            (Certify.check machine blk o.Scheduler.best);
           enforce_certified "initial list schedule"
-            (Certify.check machine blk o.Optimal.initial);
-          enforce_certified "optimal <= list"
+            (Certify.check machine blk o.Scheduler.initial);
+          enforce_certified (B.name ^ " <= list")
             (Certify.check_ordering
-               [ ("optimal", o.Optimal.best.Omega.nops);
-                 ("list", o.Optimal.initial.Omega.nops) ])
+               [ (B.name, o.Scheduler.best.Omega.nops);
+                 ("list", o.Scheduler.initial.Omega.nops) ])
         end;
         Format.printf
-          "%d instructions: list %d NOPs, optimal %d NOPs (%s)@."
-          (Block.length blk) o.Optimal.initial.Omega.nops
-          o.Optimal.best.Omega.nops
-          (match o.Optimal.stats.Optimal.status with
-           | Budget.Complete -> "proved"
-           | s -> "curtailed: " ^ Budget.status_to_string s);
+          "%d instructions: list %d NOPs, %s %d NOPs (%s)@."
+          (Block.length blk) o.Scheduler.initial.Omega.nops B.name
+          o.Scheduler.best.Omega.nops
+          (if o.Scheduler.completed then "proved"
+           else
+             match o.Scheduler.status with
+             | Budget.Complete -> "heuristic"
+             | s -> "curtailed: " ^ Budget.status_to_string s);
         if show_timeline then
           Format.printf "@.%s@."
-            (Timeline.render machine dag o.Optimal.best);
+            (Timeline.render machine dag o.Scheduler.best);
         exit 0
     end;
     let program = Frontend.Parser.parse src in
@@ -184,6 +197,21 @@ let run file expr machine machine_file sched lambda deadline_ms no_memo
         (Omega.evaluate machine dag ~order:(Baselines.greedy machine dag), [])
       | Gross ->
         (Omega.evaluate machine dag ~order:(Baselines.gross machine dag), [])
+      | Optimal_s when backend <> "bnb" ->
+        let module B = (val backend_module : Scheduler.S) in
+        let o = B.schedule ~options machine dag in
+        describe "initial (list) schedule" o.Scheduler.initial;
+        Format.printf "search (%s): %d calls, %s@." B.name o.Scheduler.calls
+          (if o.Scheduler.completed then "provably optimal"
+           else
+             match o.Scheduler.status with
+             | Budget.Complete -> "heuristic (no optimality proof)"
+             | s ->
+               Printf.sprintf "curtailed: %s (possibly suboptimal)"
+                 (Budget.status_to_string s));
+        ( o.Scheduler.best,
+          [ (B.name, o.Scheduler.best.Omega.nops);
+            ("list", o.Scheduler.initial.Omega.nops) ] )
       | Optimal_s ->
         let o = Optimal.schedule ~options machine dag in
         describe "initial (list) schedule" o.Optimal.initial;
@@ -305,6 +333,17 @@ let sched =
     & info [ "scheduler"; "s" ]
         ~doc:"Scheduler: optimal, optimal-multi, list, greedy, gross, source.")
 
+let backend =
+  Arg.(
+    value & opt string "bnb"
+    & info [ "backend" ]
+        ~doc:
+          "Search backend behind $(b,--scheduler optimal): $(b,bnb) (the \
+           paper's branch-and-bound), $(b,cp) (the propagation/learning \
+           solver over issue-slot variables), or $(b,portfolio) (both \
+           racing on two domains, first optimality proof wins).  Any \
+           registered backend name is accepted.")
+
 let lambda =
   Arg.(
     value & opt int 100_000
@@ -400,9 +439,9 @@ let cmd =
     (Cmd.info "pipesched"
        ~doc:"optimally schedule a basic block for pipelined machines")
     Term.(
-      const run $ file $ expr $ machine $ machine_file $ sched $ lambda
-      $ deadline_ms $ no_memo $ memo_capacity $ search_jobs $ registers
-      $ optimize $ tuples_in $ certify $ show_tuples $ show_asm
+      const run $ file $ expr $ machine $ machine_file $ sched $ backend
+      $ lambda $ deadline_ms $ no_memo $ memo_capacity $ search_jobs
+      $ registers $ optimize $ tuples_in $ certify $ show_tuples $ show_asm
       $ show_tables $ show_timeline $ show_dot $ show_explain)
 
 let () = exit (Cmd.eval' cmd)

@@ -73,8 +73,15 @@ let acceptor st listen_fd () =
   in
   go ()
 
-let run socket_path cache_capacity certify jobs lambda deadline_ms max_queue
-    max_inflight degrade faults =
+let run socket_path cache_capacity certify jobs lambda deadline_ms backend
+    max_queue max_inflight degrade faults =
+  if Pipesched_core.Scheduler.find backend = None then begin
+    Printf.eprintf "pipesched_server: unknown backend %S (have: %s)\n%!"
+      backend
+      (String.concat ", " Pipesched_core.Scheduler.names);
+    124
+  end
+  else
   match Fault.arm_spec (Option.value ~default:"" faults) with
   | Error msg ->
     Printf.eprintf "pipesched_server: --faults: %s\n%!" msg;
@@ -84,6 +91,7 @@ let run socket_path cache_capacity certify jobs lambda deadline_ms max_queue
       Server.create ~cache_capacity ~certify ~degrade
         ?lambda
         ?deadline_ms
+        ~backend
         ()
     in
     let st = Daemon.create ~max_queue ~max_inflight ~degrade server in
@@ -185,6 +193,17 @@ let deadline_ms =
           "Default per-request wall-clock deadline for the anytime search \
            (requests may override with a \"deadline_ms\" field).")
 
+let backend =
+  Arg.(
+    value & opt string "bnb"
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:
+          "Default scheduler backend: $(b,bnb) (branch-and-bound, \
+           default), $(b,cp) (propagation/learning), $(b,portfolio) \
+           (both racing), $(b,windowed), or $(b,list).  Requests may \
+           override with a \"backend\" field; the backend is part of \
+           the schedule-cache key.")
+
 let max_queue =
   Arg.(
     value & opt int 0
@@ -236,6 +255,6 @@ let cmd =
           from a canonical-form schedule cache")
     Term.(
       const run $ socket $ cache_capacity $ certify $ jobs $ lambda
-      $ deadline_ms $ max_queue $ max_inflight $ degrade $ faults)
+      $ deadline_ms $ backend $ max_queue $ max_inflight $ degrade $ faults)
 
 let () = exit (Cmd.eval' cmd)

@@ -89,6 +89,10 @@ type search_env = {
      multi-pipe search too), and each pipeline's enqueue time. *)
   forced_pipe : int array;
   pipe_enqueue : int array;
+  (* Largest producer latency any pipe can impose (>= 1, the resource-free
+     latency): bounds how far back in the schedule stack a producer can
+     still have a positive residual in [fingerprint]. *)
+  max_prod_lat : int;
   dag : Dag.t;
   (* Dominance-memoization state: the scheduled-set key (maintained
      incrementally by [dfs]), the normalized-fingerprint scratch, and the
@@ -160,6 +164,14 @@ let make_env ?entry ?(multi = false) ?budget ?memo_cache ?gate
     Array.init (Machine.pipe_count machine) (fun p ->
         (Machine.pipe machine p).Pipe.enqueue)
   in
+  let max_prod_lat =
+    let m = ref 1 in
+    for p = 0 to Machine.pipe_count machine - 1 do
+      let l = (Machine.pipe machine p).Pipe.latency in
+      if l > !m then m := l
+    done;
+    !m
+  in
   let preds = Array.init n (fun pos -> Dag.preds_arr dag pos) in
   let succs = Array.init n (fun pos -> Dag.succs_arr dag pos) in
   let cand_order = List_sched.order_by_priority options.seed dag in
@@ -215,6 +227,7 @@ let make_env ?entry ?(multi = false) ?budget ?memo_cache ?gate
     tail;
     forced_pipe;
     pipe_enqueue;
+    max_prod_lat;
     dag;
     sched_set = Pipesched_prelude.Bitset.create (max n 1);
     fp = Array.make (1 + Array.length pipe_enqueue + n) 0;
@@ -351,10 +364,21 @@ let fingerprint env =
     fp.(1 + p) <-
       max (Omega.State.last_use st p - base) (- env.pipe_enqueue.(p))
   done;
-  for v = 0 to env.n - 1 do
-    let residual =
-      if not (Omega.State.is_scheduled st v) then 0
-      else begin
+  (* A producer's residual is positive only when [issue + prod_latency >
+     base], and prod_latency <= max_prod_lat; issue ticks are strictly
+     increasing along the schedule stack, so every such producer sits in
+     a suffix of the stack.  Zero the whole region with one fill and walk
+     only that suffix — O(n/word + max_lat * succs) per node instead of a
+     successor scan for all n positions. *)
+  Array.fill fp (1 + npipes) env.n 0;
+  let k = ref (depth - 1) in
+  let live = ref true in
+  while !live && !k >= 0 do
+    let v = Omega.State.at_depth st !k in
+    if Omega.State.issue_of st v + env.max_prod_lat <= base then live := false
+    else begin
+      let residual = Omega.State.avail_of st v - base in
+      if residual > 0 then begin
         (* Plain loop, not [Array.iter]: runs per memoized node, and the
            closure would be one heap allocation per position per call. *)
         let succs = env.succs.(v) in
@@ -362,10 +386,10 @@ let fingerprint env =
         for i = 0 to Array.length succs - 1 do
           if not (Omega.State.is_scheduled st succs.(i)) then pending := true
         done;
-        if !pending then max 0 (Omega.State.avail_of st v - base) else 0
-      end
-    in
-    fp.(1 + npipes + v) <- residual
+        if !pending then fp.(1 + npipes + v) <- residual
+      end;
+      decr k
+    end
   done
 
 (* Dominance cut over the transposition table.  Returns [true] when the
@@ -442,8 +466,13 @@ let maybe_activate_memo env options =
         Memo_table.clear tbl;
         tbl
       | None ->
+        (* Start tiny and let the table double as entries land: searches
+           that activate the memo but stay small (the common case under
+           modest lambdas) never pay the full-capacity allocate-and-zero
+           that used to make memo-on slower than memo-off. *)
         let tbl =
-          Memo_table.create ~capacity:options.memo.memo_capacity
+          Memo_table.create_growing ~initial:64
+            ~capacity:options.memo.memo_capacity
             ~key_words:
               (Array.length
                  (Pipesched_prelude.Bitset.raw_words env.sched_set))
@@ -1077,6 +1106,52 @@ let schedule ?(options = default_options) ?entry machine dag =
     let best = match p.pr_best with Some (_, b) -> b | None -> initial in
     { best; initial; stats = p.pr_stats }
   end
+
+(* One serial search attached to an external shared incumbent — the B&B
+   side of the portfolio racer (see Portfolio), with a peer backend
+   submitting to and pruning against the same incumbent.  The seed goes
+   in at rank [-1]; improvements are published at [rank] as found; the
+   gate tightens pruning whenever the peer publishes first.  A completed
+   run proves "no schedule beats the shared bound", so the claim is
+   [min own-best shared-bound] — the witness schedule may live on the
+   peer's side of the incumbent, not here. *)
+let schedule_shared ?(options = default_options) ?entry ~shared ~rank machine
+    dag =
+  let seed_order = List_sched.schedule options.seed dag in
+  let initial = Omega.evaluate ?entry machine dag ~order:seed_order in
+  ignore
+    (Incumbent.submit shared ~nops:initial.nops ~task:(-1) (fun () -> initial)
+      : bool);
+  let gate = Incumbent.gate shared in
+  let env = make_env ?entry ~gate ~task_index:rank machine dag options in
+  env.best_nops <- initial.nops;
+  let best = ref initial in
+  let push_candidates pos k =
+    count_call env options;
+    Omega.State.push env.st pos;
+    k ();
+    Omega.State.pop env.st
+  in
+  let on_complete () =
+    let r = Omega.State.complete_greedily env.st in
+    best := r;
+    ignore
+      (Incumbent.submit shared ~nops:r.nops ~task:rank (fun () -> r) : bool)
+  in
+  let completed =
+    match dfs env options ~push_candidates ~on_complete with
+    | () -> true
+    | exception Curtailed -> false
+  in
+  let proved =
+    if not completed then None
+    else
+      Some
+        (match Incumbent.bound gate with
+         | Some (v, _) -> min v env.best_nops
+         | None -> env.best_nops)
+  in
+  ({ best = !best; initial; stats = stats_of env ~completed }, proved)
 
 let schedule_multi ?(options = default_options) ?entry machine dag =
   let n = Dag.length dag in

@@ -61,12 +61,13 @@ type lower_bound =
 type memo_options = {
   memo_enabled : bool;  (** master switch for the dominance cut *)
   memo_capacity : int;
-      (** table capacity in entries, rounded up to a power of two;
-          bounded — old entries are evicted (deepest first), never
-          grown *)
+      (** table capacity bound in entries, rounded up to a power of two;
+          the allocation starts small and doubles as entries land, and at
+          the bound old entries are evicted (deepest first) *)
   memo_activation : int;
       (** create the table only once this many Omega calls have been
-          spent, so trivial searches never pay the allocation *)
+          spent, so trivial searches never pay even the small initial
+          allocation *)
 }
 
 (** Memoization on, 4096 entries, activation after 256 Omega calls. *)
@@ -168,6 +169,27 @@ type outcome = {
     {!Region}). *)
 val schedule :
   ?options:options -> ?entry:Omega.entry -> Machine.t -> Dag.t -> outcome
+
+(** [schedule_shared ~shared ~rank machine dag] — the serial single-pipe
+    search attached to an external shared incumbent, for the portfolio
+    racer ({!Pipesched_core.Portfolio}): the evaluated seed is submitted
+    at rank [-1], every improvement is published at rank [rank] as it is
+    found, and the incumbent's gate tightens pruning whenever a peer
+    backend publishes a better bound first.  Returns the usual outcome
+    plus [Some proved] when the search ran to completion: the proved
+    optimal NOP count, which is [min own-best shared-bound] — with a
+    peer in play the proof is relative to the shared bound, so the
+    witness schedule may be held by the peer (fetch it with
+    [Incumbent.best]).  [options.search_jobs] is ignored here; the racer
+    parallelizes across backends instead. *)
+val schedule_shared :
+  ?options:options ->
+  ?entry:Omega.entry ->
+  shared:Omega.result Pipesched_prelude.Incumbent.t ->
+  rank:int ->
+  Machine.t ->
+  Dag.t ->
+  outcome * int option
 
 (** [schedule_multi ?options machine dag] additionally searches over the
     pipeline assignment when operations have several candidate pipelines

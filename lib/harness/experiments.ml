@@ -12,8 +12,8 @@ let machine = Machine.Presets.simulation
 
 let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
     ?(strong = false) ?(memo = Optimal.default_memo) ?deadline_s
-    ?block_deadline_s ?cancel ?jobs ?search_jobs ?strict ?certify ?progress
-    () =
+    ?block_deadline_s ?cancel ?jobs ?search_jobs ?strict ?certify ?backend
+    ?progress () =
   let options =
     { Optimal.default_options with
       Optimal.lambda;
@@ -21,7 +21,7 @@ let run_study ?(seed = 1990) ?(count = 16_000) ?(lambda = 50_000)
       Optimal.memo = memo }
   in
   Study.run ~options ?deadline_s ?block_deadline_s ?cancel ?jobs
-    ?search_jobs ?strict ?certify ?progress ~seed ~count machine
+    ?search_jobs ?strict ?certify ?backend ?progress ~seed ~count machine
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                             *)
@@ -690,9 +690,55 @@ let print_dynamic_study ?(seed = 1994) ?(count = 120) fmt =
         static.(i))
     schedulers
 
+(* ------------------------------------------------------------------ *)
+(* Portfolio study: the bnb / cp race over a mixed corpus (DESIGN §14) *)
+
+let print_portfolio_study ?(seed = 1990) ?(count = 80) ?(lambda = 50_000)
+    fmt =
+  Format.fprintf fmt
+    "@.Portfolio study: bnb vs cp racing over %d machine/block pairs \
+     (lambda %d per side)@."
+    count lambda;
+  Format.fprintf fmt
+    "  (alternating the simulation machine and random machines; first \
+     side to prove optimality wins and cancels the peer)@.";
+  let options = { Optimal.default_options with Optimal.lambda } in
+  let wins_bnb = ref 0 and wins_cp = ref 0 and neither = ref 0 in
+  let disagreements = ref 0 and proved = ref 0 in
+  let sum_initial = ref 0 and sum_best = ref 0 in
+  for i = 1 to count do
+    let m =
+      if i mod 2 = 0 then machine
+      else Generator.random_machine (Rng.create ((seed + i) * 7919))
+    in
+    let blk = Generator.of_seed (seed + i) in
+    let dag = Dag.of_block blk in
+    match Portfolio.run ~options m dag with
+    | o ->
+      (match o.Portfolio.winner with
+       | Some Portfolio.Bnb -> incr wins_bnb
+       | Some Portfolio.Cp -> incr wins_cp
+       | None -> incr neither);
+      if o.Portfolio.proved <> None then incr proved;
+      sum_initial := !sum_initial + o.Portfolio.initial.Omega.nops;
+      sum_best := !sum_best + o.Portfolio.best.Omega.nops
+    | exception Portfolio.Disagreement msg ->
+      incr disagreements;
+      Format.fprintf fmt "  DISAGREEMENT: %s@." msg
+  done;
+  let avg s = float_of_int !s /. float_of_int (max 1 count) in
+  Format.fprintf fmt
+    "  first proof: bnb %d, cp %d, neither %d (both curtailed)@." !wins_bnb
+    !wins_cp !neither;
+  Format.fprintf fmt
+    "  proved optimal: %d/%d blocks; avg NOPs list %.2f -> best %.2f@."
+    !proved count (avg sum_initial) (avg sum_best);
+  (* The line CI greps: the two exact backends agreed on every block. *)
+  Format.fprintf fmt "  portfolio disagreements: %d@." !disagreements
+
 let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
     ?deadline_s ?block_deadline_s ?jobs ?search_jobs ?strict ?certify
-    ?progress ?study fmt =
+    ?backend ?progress ?study fmt =
   Format.fprintf fmt
     "Reproduction: Nisar & Dietz, Optimal Code Scheduling for \
      Multiple-Pipeline Processors (1990)@.";
@@ -704,7 +750,8 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
     | Some s -> s
     | None ->
       run_study ~seed ~count ?lambda ?strong ?memo ?deadline_s
-        ?block_deadline_s ?jobs ?search_jobs ?strict ?certify ?progress ()
+        ?block_deadline_s ?jobs ?search_jobs ?strict ?certify ?backend
+        ?progress ()
   in
   print_table7 fmt study;
   print_fig1 fmt study;
@@ -728,4 +775,5 @@ let run_all ?(seed = 1990) ?(count = 16_000) ?lambda ?strong ?memo
   print_heuristic_study ~count:(max 200 (count / 8)) fmt;
   print_kernel_study fmt;
   print_pressure_study ~count:(max 150 (count / 20)) fmt;
-  print_dynamic_study ~count:(max 40 (count / 150)) fmt
+  print_dynamic_study ~count:(max 40 (count / 150)) fmt;
+  print_portfolio_study ~seed:(seed + 2) ~count:(max 40 (count / 200)) fmt

@@ -28,13 +28,15 @@ type study = Study.result list
     default 1 = serial search, results identical at any value — see
     Study.run and Optimal.options).  [strict] disables per-block fault
     containment (fail-fast); [certify] re-checks every schedule with the
-    independent certifier (see Study.run_block). *)
+    independent certifier (see Study.run_block).  [backend] selects the
+    scheduler by {!Pipesched_core.Scheduler} registry name (default
+    ["bnb"]; see Study.run_block for what the generic backends report). *)
 val run_study :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float ->
   ?cancel:Pipesched_prelude.Budget.token -> ?jobs:int ->
-  ?search_jobs:int -> ?strict:bool -> ?certify:bool ->
+  ?search_jobs:int -> ?strict:bool -> ?certify:bool -> ?backend:string ->
   ?progress:(int -> unit) ->
   unit -> study
 
@@ -120,16 +122,28 @@ val print_pressure_study :
 val print_dynamic_study :
   ?seed:int -> ?count:int -> Format.formatter -> unit
 
+(** Extension: the portfolio race (DESIGN.md §14).  Runs
+    {!Pipesched_core.Portfolio.run} over [count] machine/block pairs —
+    alternating the simulation machine with {!Generator.random_machine}
+    draws — and reports per-backend first-proof win counts, the proved
+    fraction, and the number of bnb-vs-cp optimum disagreements (always
+    0 unless a solver is buggy; CI greps the
+    ["portfolio disagreements: 0"] line).  [lambda] is each side's
+    budget in its own units (default 50,000). *)
+val print_portfolio_study :
+  ?seed:int -> ?count:int -> ?lambda:int -> Format.formatter -> unit
+
 (** Run everything in order with the given study size (default 16,000).
     [jobs] is threaded to the main study, the ablation, and the machine
     and structure sweeps; [search_jobs] to the main study only;
     [deadline_s] / [block_deadline_s] deadline the main study (see
+    {!run_study}); [backend] selects the main study's scheduler (see
     {!run_study}).  Pass [study] to reuse records already computed (the
     bench harness does, to time the study separately). *)
 val run_all :
   ?seed:int -> ?count:int -> ?lambda:int -> ?strong:bool ->
   ?memo:Pipesched_core.Optimal.memo_options ->
   ?deadline_s:float -> ?block_deadline_s:float -> ?jobs:int ->
-  ?search_jobs:int -> ?strict:bool -> ?certify:bool ->
+  ?search_jobs:int -> ?strict:bool -> ?certify:bool -> ?backend:string ->
   ?progress:(int -> unit) ->
   ?study:study -> Format.formatter -> unit

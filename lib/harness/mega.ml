@@ -40,6 +40,18 @@ let default =
 let shard_range cfg k =
   (k * cfg.count / cfg.shards, (k + 1) * cfg.count / cfg.shards)
 
+(* Tiny shards are pure overhead: every worker process pays fork/exec,
+   checkpoint and streaming setup for a handful of blocks, and at small
+   corpora more shards measurably *lose* throughput (the crossover sits
+   near 64 blocks per shard — DESIGN.md §11).  Requests beyond
+   [count / min_shard_blocks] are clamped with a warning instead of
+   honored.  Result-transparent: the aggregate is shard-count-invariant
+   by construction, so only wall-clock time changes. *)
+let min_shard_blocks = 64
+
+let effective_shards cfg =
+  min cfg.shards (max 1 (cfg.count / min_shard_blocks))
+
 let resolve_machine cfg =
   match Machine.Presets.find cfg.machine with
   | Some m -> m
@@ -573,6 +585,20 @@ let drain_buffer st =
 
 let run ?(exe = Sys.executable_name) ?progress ~resume cfg =
   validate cfg;
+  (* Clamp before the fingerprint is computed, so workers, checkpoints
+     and resumes all see the same (effective) shard count. *)
+  let cfg =
+    let eff = effective_shards cfg in
+    if eff < cfg.shards then begin
+      Printf.eprintf
+        "mega: clamping %d shards to %d (%d blocks, min %d blocks per \
+         shard)\n\
+         %!"
+        cfg.shards eff cfg.count min_shard_blocks;
+      { cfg with shards = eff }
+    end
+    else cfg
+  in
   mkdir_p cfg.checkpoint_dir;
   if not resume then clear_checkpoints cfg;
   let t_start = Unix.gettimeofday () in

@@ -65,6 +65,19 @@ val default : config
     [(lo, hi)]. *)
 val shard_range : config -> int -> int * int
 
+(** The minimum corpus slice worth a worker process (64).  Below it the
+    per-shard fork/exec, checkpoint and streaming overhead outweighs the
+    parallelism — small corpora measurably run {e slower} at higher
+    shard counts (the §11 crossover). *)
+val min_shard_blocks : int
+
+(** [effective_shards cfg] is the shard count {!run} will actually use:
+    [cfg.shards] clamped to [max 1 (cfg.count / min_shard_blocks)].
+    {!run} warns on stderr when the clamp engages.  Result-transparent
+    (the aggregate is byte-identical at any shard count); exposed so
+    the bench can report requested vs effective. *)
+val effective_shards : config -> int
+
 (** Progress snapshot passed to the [?progress] callback (invoked
     frequently — the callback is expected to rate-limit itself). *)
 type progress = {

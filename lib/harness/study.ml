@@ -35,35 +35,67 @@ let default_options = { Optimal.default_options with Optimal.lambda = 50_000 }
 
 let now () = Unix.gettimeofday ()
 
-let certify_outcome machine blk (outcome : Optimal.outcome) =
+let certify_result machine blk ~(best : Omega.result)
+    ~(initial : Omega.result) =
   let violations =
-    Certify.check machine blk outcome.Optimal.best
+    Certify.check machine blk best
     @ Certify.check_ordering
-        [ ("optimal", outcome.Optimal.best.Omega.nops);
-          ("list", outcome.Optimal.initial.Omega.nops) ]
-    @ Certify.check_semantics blk ~order:outcome.Optimal.best.Omega.order
+        [ ("optimal", best.Omega.nops); ("list", initial.Omega.nops) ]
+    @ Certify.check_semantics blk ~order:best.Omega.order
   in
   if violations <> [] then
     raise (Certification_failed (Certify.explain_all violations))
 
-let run_block ?(options = default_options) ?(certify = false) machine blk =
+let run_block ?(options = default_options) ?(certify = false) ?backend machine
+    blk =
   let dag = Dag.of_block blk in
-  let t0 = now () in
-  let outcome = Optimal.schedule ~options machine dag in
-  let t1 = now () in
-  if certify then certify_outcome machine blk outcome;
-  {
-    size = Block.length blk;
-    initial_nops = outcome.Optimal.initial.Omega.nops;
-    final_nops = outcome.Optimal.best.Omega.nops;
-    omega_calls = outcome.Optimal.stats.Optimal.omega_calls;
-    schedules_completed = outcome.Optimal.stats.Optimal.schedules_completed;
-    memo_hits = outcome.Optimal.stats.Optimal.memo_hits;
-    completed = outcome.Optimal.stats.Optimal.completed;
-    status = outcome.Optimal.stats.Optimal.status;
-    time_s = t1 -. t0;
-    unique = true;
-  }
+  match backend with
+  | None | Some "bnb" ->
+    (* the direct path keeps the search-internal counters (memo hits,
+       completed schedules) that the generic interface does not carry *)
+    let t0 = now () in
+    let outcome = Optimal.schedule ~options machine dag in
+    let t1 = now () in
+    if certify then
+      certify_result machine blk ~best:outcome.Optimal.best
+        ~initial:outcome.Optimal.initial;
+    {
+      size = Block.length blk;
+      initial_nops = outcome.Optimal.initial.Omega.nops;
+      final_nops = outcome.Optimal.best.Omega.nops;
+      omega_calls = outcome.Optimal.stats.Optimal.omega_calls;
+      schedules_completed = outcome.Optimal.stats.Optimal.schedules_completed;
+      memo_hits = outcome.Optimal.stats.Optimal.memo_hits;
+      completed = outcome.Optimal.stats.Optimal.completed;
+      status = outcome.Optimal.stats.Optimal.status;
+      time_s = t1 -. t0;
+      unique = true;
+    }
+  | Some name -> (
+    match Scheduler.find name with
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Study.run_block: unknown backend %S (have: %s)" name
+           (String.concat ", " Scheduler.names))
+    | Some (module B : Scheduler.S) ->
+      let t0 = now () in
+      let outcome = B.schedule ~options machine dag in
+      let t1 = now () in
+      if certify then
+        certify_result machine blk ~best:outcome.Scheduler.best
+          ~initial:outcome.Scheduler.initial;
+      {
+        size = Block.length blk;
+        initial_nops = outcome.Scheduler.initial.Omega.nops;
+        final_nops = outcome.Scheduler.best.Omega.nops;
+        omega_calls = outcome.Scheduler.calls;
+        schedules_completed = 0;
+        memo_hits = 0;
+        completed = outcome.Scheduler.completed;
+        status = outcome.Scheduler.status;
+        time_s = t1 -. t0;
+        unique = true;
+      })
 
 (* Per-block seeds are pre-drawn serially (an explicit left-to-right
    loop: [List.init]'s evaluation order is unspecified, and the RNG is
@@ -150,8 +182,8 @@ let run_dedup ?strict ?jobs ?progress ~key ~solve items =
     (Pool.parallel_map_result ?jobs (fun x -> (x, key x)) items)
 
 let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
-    ?freq ?jobs ?search_jobs ?strict ?certify ?(dedup = true) ?progress ~seed
-    ~count machine =
+    ?freq ?jobs ?search_jobs ?strict ?certify ?backend ?(dedup = true)
+    ?progress ~seed ~count machine =
   (* Two-level scheduling: [jobs] block-level domains, each block's
      search itself running on [search_jobs] team workers.  The search's
      determinism contract (same result at any job count) keeps the
@@ -193,7 +225,9 @@ let run ?(options = default_options) ?deadline_s ?block_deadline_s ?cancel
     Pipesched_synth.Generator.block ?freq rng
       (Pipesched_synth.Generator.sample_params rng)
   in
-  let solve blk = run_block ~options:(options_for_block ()) ?certify machine blk in
+  let solve blk =
+    run_block ~options:(options_for_block ()) ?certify ?backend machine blk
+  in
   let seed_list = Array.to_list (Array.sub seeds 0 count) in
   if not dedup then
     run_protected ?strict ?jobs ?progress (fun s -> solve (generate s)) seed_list

@@ -55,9 +55,20 @@ val failures : result list -> failure list
     re-checked by the independent certifier — machine-model replay,
     optimal-vs-list NOP ordering, and interpreter semantics on the
     reordered block — and {!Certification_failed} is raised on any
-    violation. *)
+    violation.
+
+    [backend] selects the scheduler by {!Scheduler} registry name
+    (default ["bnb"], the direct {!Optimal.schedule} path, which is also
+    the only one reporting [memo_hits]/[schedules_completed]; the
+    generic path leaves them 0 and puts the backend's own work units in
+    [omega_calls]).  Raises [Invalid_argument] on an unknown name. *)
 val run_block :
-  ?options:Optimal.options -> ?certify:bool -> Machine.t -> Block.t -> record
+  ?options:Optimal.options ->
+  ?certify:bool ->
+  ?backend:string ->
+  Machine.t ->
+  Block.t ->
+  record
 
 (** [run_protected ?strict ?jobs f xs] is the study's fault-containment
     boundary, exposed for corpus-shaped drivers and tests: maps [f] over
@@ -130,6 +141,10 @@ val run_dedup :
     [schedules_completed] and [time_s], which at [search_jobs > 1]
     reflect racing workers.
 
+    [backend] selects the scheduler per {!run_block} (default the
+    branch-and-bound); every other knob — budgets, dedup, fault
+    isolation, certification — applies to any backend.
+
     Duplicate elimination (extension): with [dedup] (default true) the
     population is grouped by {!Pipesched_ir.Canonical} key first and
     only one representative per equivalence class is actually searched;
@@ -160,6 +175,7 @@ val run :
   ?search_jobs:int ->
   ?strict:bool ->
   ?certify:bool ->
+  ?backend:string ->
   ?dedup:bool ->
   ?progress:(int -> unit) ->
   seed:int ->

@@ -19,6 +19,14 @@
 type token
 
 val token : unit -> token
+
+(** [derive parent] is a fresh token that also reports cancelled whenever
+    [parent] (or any of its ancestors) is cancelled, while {!cancel} on
+    the derived token leaves the parent untouched.  This lets a composite
+    search (the portfolio racer) cut off its own sides without consuming
+    the caller's token. *)
+val derive : token -> token
+
 val cancel : token -> unit
 val is_cancelled : token -> bool
 

@@ -1,12 +1,13 @@
 type t = {
   key_words : int;
   value_words : int;
-  mask : int;              (* capacity - 1; capacity is a power of two *)
-  probe : int;             (* linear-probe window length *)
-  depths : int array;      (* per slot; -1 = empty *)
-  hashes : int array;      (* per slot; quick reject before key compare *)
-  keys : int array;        (* capacity * key_words *)
-  values : int array;      (* capacity * value_words *)
+  max_mask : int;          (* capacity bound - 1; capacity is a power of two *)
+  mutable mask : int;      (* current allocation - 1; grows up to max_mask *)
+  mutable probe : int;     (* linear-probe window length *)
+  mutable depths : int array;      (* per slot; -1 = empty *)
+  mutable hashes : int array;      (* per slot; quick reject before key compare *)
+  mutable keys : int array;        (* allocation * key_words *)
+  mutable values : int array;      (* allocation * value_words *)
   mutable entries : int;
   mutable evictions : int;
 }
@@ -19,26 +20,33 @@ let next_pow2 n =
   let rec go p = if p >= n then p else go (p * 2) in
   go 1
 
-let create ~capacity ~key_words ~value_words =
+let create_growing ~initial ~capacity ~key_words ~value_words =
   if capacity < 1 then invalid_arg "Memo_table.create: capacity must be >= 1";
   if key_words < 1 then invalid_arg "Memo_table.create: key_words must be >= 1";
   if value_words < 1 then
     invalid_arg "Memo_table.create: value_words must be >= 1";
+  if initial < 1 then invalid_arg "Memo_table.create: initial must be >= 1";
   let cap = next_pow2 capacity in
+  let alloc = min cap (next_pow2 initial) in
   {
     key_words;
     value_words;
-    mask = cap - 1;
-    probe = min cap max_probe;
-    depths = Array.make cap (-1);
-    hashes = Array.make cap 0;
-    keys = Array.make (cap * key_words) 0;
-    values = Array.make (cap * value_words) 0;
+    max_mask = cap - 1;
+    mask = alloc - 1;
+    probe = min alloc max_probe;
+    depths = Array.make alloc (-1);
+    hashes = Array.make alloc 0;
+    keys = Array.make (alloc * key_words) 0;
+    values = Array.make (alloc * value_words) 0;
     entries = 0;
     evictions = 0;
   }
 
-let capacity t = t.mask + 1
+let create ~capacity ~key_words ~value_words =
+  create_growing ~initial:capacity ~capacity ~key_words ~value_words
+
+let capacity t = t.max_mask + 1
+let allocated t = t.mask + 1
 let entries t = t.entries
 let evictions t = t.evictions
 
@@ -84,10 +92,66 @@ let depth_at t slot =
   if slot < 0 || slot > t.mask then invalid_arg "Memo_table.depth_at: slot";
   t.depths.(slot)
 
-let store t ~hash ~depth ~key ~value =
+(* Double the allocation (toward the capacity bound) and rehash with the
+   stored hashes.  Keys are distinct, so rehashing needs no key compare;
+   a probe window that fills during the rehash (rare at half load) falls
+   back to the normal depth rule, counting a displacement or drop as an
+   eviction. *)
+let grow t =
+  let old_mask = t.mask
+  and old_depths = t.depths
+  and old_hashes = t.hashes
+  and old_keys = t.keys
+  and old_values = t.values in
+  let alloc = (old_mask + 1) * 2 in
+  t.mask <- alloc - 1;
+  t.probe <- min alloc max_probe;
+  t.depths <- Array.make alloc (-1);
+  t.hashes <- Array.make alloc 0;
+  t.keys <- Array.make (alloc * t.key_words) 0;
+  t.values <- Array.make (alloc * t.value_words) 0;
+  t.entries <- 0;
+  for s = 0 to old_mask do
+    let depth = old_depths.(s) in
+    if depth >= 0 then begin
+      let hash = old_hashes.(s) in
+      let empty = ref (-1) and deepest = ref (-1) in
+      for j = 0 to t.probe - 1 do
+        let s' = (hash + j) land t.mask in
+        if t.depths.(s') < 0 then begin
+          if !empty < 0 then empty := s'
+        end
+        else if !deepest < 0 || t.depths.(s') > t.depths.(!deepest) then
+          deepest := s'
+      done;
+      let slot =
+        if !empty >= 0 then begin
+          t.entries <- t.entries + 1;
+          !empty
+        end
+        else begin
+          t.evictions <- t.evictions + 1;
+          if t.depths.(!deepest) > depth then !deepest else -1
+        end
+      in
+      if slot >= 0 then begin
+        Array.blit old_keys (s * t.key_words) t.keys (slot * t.key_words)
+          t.key_words;
+        Array.blit old_values (s * t.value_words) t.values
+          (slot * t.value_words) t.value_words;
+        t.depths.(slot) <- depth;
+        t.hashes.(slot) <- hash
+      end
+    end
+  done
+
+let rec store t ~hash ~depth ~key ~value =
   check_key t key;
   check_value t value;
   if depth < 0 then invalid_arg "Memo_table.store: negative depth";
+  (* Keep the load factor under 3/4 while room to grow remains, so probe
+     windows rarely saturate before the capacity bound is reached. *)
+  if t.mask < t.max_mask && t.entries * 4 >= (t.mask + 1) * 3 then grow t;
   let matching = ref (-1) and empty = ref (-1) and deepest = ref (-1) in
   for j = 0 to t.probe - 1 do
     let s = (hash + j) land t.mask in
@@ -100,27 +164,35 @@ let store t ~hash ~depth ~key ~value =
       if !deepest < 0 || t.depths.(s) > t.depths.(!deepest) then deepest := s
     end
   done;
-  let slot =
-    if !matching >= 0 then !matching
-    else if !empty >= 0 then begin
-      t.entries <- t.entries + 1;
-      !empty
-    end
-    else if t.depths.(!deepest) > depth then begin
-      (* Depth-preferring eviction: displace the guard of the smallest
-         subtree, and only for a shallower (more valuable) newcomer. *)
-      t.evictions <- t.evictions + 1;
-      !deepest
-    end
-    else -1
-  in
-  if slot < 0 then false
+  if !matching < 0 && !empty < 0 && t.mask < t.max_mask then begin
+    (* Window saturated below the bound: grow instead of evicting, then
+       retry (the rehash spreads the window's entries out). *)
+    grow t;
+    store t ~hash ~depth ~key ~value
+  end
   else begin
-    Array.blit key 0 t.keys (slot * t.key_words) t.key_words;
-    Array.blit value 0 t.values (slot * t.value_words) t.value_words;
-    t.depths.(slot) <- depth;
-    t.hashes.(slot) <- hash;
-    true
+    let slot =
+      if !matching >= 0 then !matching
+      else if !empty >= 0 then begin
+        t.entries <- t.entries + 1;
+        !empty
+      end
+      else if t.depths.(!deepest) > depth then begin
+        (* Depth-preferring eviction: displace the guard of the smallest
+           subtree, and only for a shallower (more valuable) newcomer. *)
+        t.evictions <- t.evictions + 1;
+        !deepest
+      end
+      else -1
+    in
+    if slot < 0 then false
+    else begin
+      Array.blit key 0 t.keys (slot * t.key_words) t.key_words;
+      Array.blit value 0 t.values (slot * t.value_words) t.value_words;
+      t.depths.(slot) <- depth;
+      t.hashes.(slot) <- hash;
+      true
+    end
   end
 
 let clear t =

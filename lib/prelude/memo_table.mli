@@ -2,13 +2,16 @@
     fixed-width integer values, built for the optimal search's
     state-dominance transposition table.
 
-    Everything lives in four flat [int array]s allocated at {!create}; no
-    further allocation happens on lookup or store, so the search hot path
-    produces no GC pressure.  Capacity is bounded: when the probe window
-    of a new entry is full, the entry at the {e deepest} recorded search
-    depth is evicted (a shallow entry guards a larger subtree, so it is
-    worth more), and an entry deeper than every incumbent is dropped
-    instead of stored.
+    Everything lives in four flat [int array]s; no allocation happens on
+    lookup, so the search hot path produces no GC pressure.  The backing
+    arrays start at [initial] entries (default: the full capacity) and
+    double transparently on store as the table fills, up to the capacity
+    bound — tiny searches that touch a handful of states never pay for a
+    full-size allocation.  Capacity is bounded: once the bound is
+    reached, when the probe window of a new entry is full, the entry at
+    the {e deepest} recorded search depth is evicted (a shallow entry
+    guards a larger subtree, so it is worth more), and an entry deeper
+    than every incumbent is dropped instead of stored.
 
     Keys are compared for real equality (word by word), never only by
     hash.  Values are plain int vectors; {!dominates} is the
@@ -18,12 +21,25 @@ type t
 
 (** [create ~capacity ~key_words ~value_words] — an empty table holding
     at most [capacity] entries (rounded up to a power of two) of
-    [key_words]-word keys and [value_words]-word values.  Raises
-    [Invalid_argument] when any argument is [< 1]. *)
+    [key_words]-word keys and [value_words]-word values, fully allocated
+    up front (no growth).  Raises [Invalid_argument] when any argument is
+    [< 1]. *)
 val create : capacity:int -> key_words:int -> value_words:int -> t
 
-(** Entry capacity (after rounding up to a power of two). *)
+(** [create_growing ~initial ~capacity ...] — like {!create}, but the
+    backing arrays start at [initial] entries (rounded up to a power of
+    two, capped at [capacity]) and double transparently as stores land,
+    up to the [capacity] bound.  The search activates its memo mid-run,
+    so starting small keeps short searches from paying a full-capacity
+    allocate-and-zero. *)
+val create_growing :
+  initial:int -> capacity:int -> key_words:int -> value_words:int -> t
+
+(** Entry capacity bound (after rounding up to a power of two). *)
 val capacity : t -> int
+
+(** Slots currently allocated ([<= capacity]; grows as entries land). *)
+val allocated : t -> int
 
 (** Entries currently stored. *)
 val entries : t -> int
@@ -47,10 +63,12 @@ val depth_at : t -> int -> int
 
 (** [store t ~hash ~depth ~key ~value] inserts or replaces the entry for
     [key].  A matching key is overwritten in place; otherwise an empty
-    slot in the probe window is used; otherwise the deepest entry of the
-    window is evicted if it is deeper than [depth].  Returns [false] when
-    the entry was dropped (window full of shallower entries).  Raises
-    [Invalid_argument] on a negative [depth] or mis-sized arrays. *)
+    slot in the probe window is used; otherwise, below the capacity
+    bound, the table doubles and the store retries; at the bound the
+    deepest entry of the window is evicted if it is deeper than [depth].
+    Returns [false] when the entry was dropped (window full of shallower
+    entries at full capacity).  Raises [Invalid_argument] on a negative
+    [depth] or mis-sized arrays. *)
 val store : t -> hash:int -> depth:int -> key:int array -> value:int array -> bool
 
 (** Empty the table in place (counters reset too). *)

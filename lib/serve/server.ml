@@ -6,6 +6,7 @@ module Budget = Pipesched_prelude.Budget
 module Fault = Pipesched_prelude.Fault
 module List_sched = Pipesched_sched.List_sched
 module Optimal = Pipesched_core.Optimal
+module Scheduler = Pipesched_core.Scheduler
 module Certify = Pipesched_verify.Certify
 
 (* Cached value: the solution of the *canonical* block.  Only Complete
@@ -17,6 +18,7 @@ type t = {
   degrade : bool;
   lambda : int;
   deadline_ms : float option;
+  backend : string; (* default Scheduler registry name for solves *)
   contained : int Atomic.t;
       (* exceptions (real or injected) confined to one request *)
   degraded : int Atomic.t; (* requests answered by the list scheduler *)
@@ -26,18 +28,23 @@ type t = {
 }
 
 let create ?(cache_capacity = 4096) ?(certify = false) ?(degrade = false)
-    ?lambda ?deadline_ms () =
+    ?lambda ?deadline_ms ?(backend = "bnb") () =
   let lambda =
     match lambda with
     | Some l -> l
     | None -> Optimal.default_options.Optimal.lambda
   in
+  if Scheduler.find backend = None then
+    invalid_arg
+      (Printf.sprintf "Server.create: unknown backend %S (have: %s)" backend
+         (String.concat ", " Scheduler.names));
   {
     cache = Lru.create ~capacity:cache_capacity;
     certify;
     degrade;
     lambda;
     deadline_ms;
+    backend;
     contained = Atomic.make 0;
     degraded = Atomic.make 0;
     extra_stats = (fun () -> []);
@@ -192,8 +199,29 @@ let schedule_request t id req =
           | _ -> Option.map (fun ms -> ms /. 1000.0) t.deadline_ms
         in
         let cached = detail_cached req in
+        match
+          (* Per-request backend override; unknown names fail the
+             request, like an unknown machine preset. *)
+          match Json.member "backend" req with
+          | None -> Ok t.backend
+          | Some (Json.String b) ->
+            if Scheduler.find b <> None then Ok b
+            else
+              Error
+                (Printf.sprintf "unknown backend %S (have: %s)" b
+                   (String.concat ", " Scheduler.names))
+          | Some _ -> Error "\"backend\" must be a string"
+        with
+        | Error msg -> error_response id msg
+        | Ok backend -> (
         let c = Canonical.of_block blk in
-        let key = Machine.fingerprint machine ^ "\x00" ^ c.Canonical.key in
+        (* Backends may return different (equally legal) schedules, and
+           cached hits must stay byte-identical to fresh solves — so the
+           backend is part of the cache key. *)
+        let key =
+          Machine.fingerprint machine ^ "\x00" ^ backend ^ "\x00"
+          ^ c.Canonical.key
+        in
         match Lru.find t.cache key with
         | Some result ->
           render id
@@ -213,7 +241,11 @@ let schedule_request t id req =
               { Optimal.default_options with Optimal.lambda; deadline_s }
             in
             let dag = Dag.of_block c.Canonical.block in
-            Optimal.schedule ~options machine dag
+            let (module B : Scheduler.S) =
+              (* create / the override above validated the name *)
+              Option.get (Scheduler.find backend)
+            in
+            B.schedule ~options machine dag
           with
           | exception exn ->
             Atomic.incr t.contained;
@@ -222,9 +254,9 @@ let schedule_request t id req =
               error_response id
                 ("internal error: " ^ Printexc.to_string exn)
           | o -> (
-            let result = o.Optimal.best in
-            let completed = o.Optimal.stats.Optimal.completed in
-            let status = o.Optimal.stats.Optimal.status in
+            let result = o.Scheduler.best in
+            let completed = o.Scheduler.completed in
+            let status = o.Scheduler.status in
             let violations =
               if t.certify then Certify.check machine c.Canonical.block result
               else []
@@ -247,7 +279,7 @@ let schedule_request t id req =
                 ~order:(Canonical.apply c result.Omega.order)
                 result ~completed
                 ~status:(Budget.status_to_string status)
-                ~degraded:false ~cached:(cached false))))))
+                ~degraded:false ~cached:(cached false)))))))
 
 let handle_request t req =
   let id = Option.value ~default:Json.Null (Json.member "id" req) in

@@ -21,7 +21,10 @@
     and may be any JSON value (default [null]).  [deadline_ms] and
     [lambda] are optional per-request budget overrides; a deadline maps
     onto the anytime search, which then returns its best incumbent with
-    a non-["Complete"] status on expiry.  An optional ["detail": true]
+    a non-["Complete"] status on expiry.  An optional ["backend"] field
+    selects the scheduler by {!Pipesched_core.Scheduler} registry name
+    (["bnb"], ["cp"], ["portfolio"], ["windowed"], ["list"]; default the
+    server's configured backend); unknown names fail the request.  An optional ["detail": true]
     asks for a ["cached": true|false] field in the response (whether
     the schedule came from the cache) — opt-in, because cached and
     fresh responses to the same default request are byte-identical and
@@ -47,8 +50,10 @@
     {2 Caching}
 
     Responses are cached in a bounded {!Pipesched_prelude.Lru} keyed by
-    [Machine.fingerprint ^ "\x00" ^ Canonical.key]: everything the
-    search can observe and nothing it cannot.  The cached value is the
+    [Machine.fingerprint ^ "\x00" ^ backend ^ "\x00" ^ Canonical.key]:
+    everything the search can observe and nothing it cannot (the
+    backend is part of the key because different backends may return
+    different, equally optimal schedules).  The cached value is the
     solution of the {e canonical} block; both the miss path (fresh
     solve) and the hit path render responses by mapping that same
     canonical solution through {!Pipesched_ir.Canonical.apply}, so a hit
@@ -89,13 +94,17 @@ type t
     [false]).  [lambda] and [deadline_ms] are the default per-request
     budgets ([lambda] default
     {!Pipesched_core.Optimal.default_options}[.lambda]; no default
-    deadline); requests may override both. *)
+    deadline); requests may override both.  [backend] is the default
+    scheduler backend (a {!Pipesched_core.Scheduler} registry name;
+    default ["bnb"]; requests may override with a ["backend"] field);
+    raises [Invalid_argument] on an unknown name. *)
 val create :
   ?cache_capacity:int ->
   ?certify:bool ->
   ?degrade:bool ->
   ?lambda:int ->
   ?deadline_ms:float ->
+  ?backend:string ->
   unit ->
   t
 

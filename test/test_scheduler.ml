@@ -1,0 +1,184 @@
+(* Conformance suite for the common SCHEDULER interface
+   (Pipesched_core.Scheduler): every registered backend — exact
+   searches, the cp solver, the portfolio race, the heuristics — must
+   honor the same outcome contract (see scheduler.mli).  The properties
+   here are backend-generic on purpose: adding a backend to the
+   registry automatically puts it under this suite. *)
+
+open Pipesched_ir
+open Pipesched_machine
+open Pipesched_core
+module Budget = Pipesched_prelude.Budget
+module Certify = Pipesched_verify.Certify
+open Helpers
+
+let exact = [ "bnb"; "cp"; "portfolio" ]
+let is_exact name = List.mem name exact
+
+let backend name =
+  match Scheduler.find name with
+  | Some b -> b
+  | None -> Alcotest.failf "backend %S not registered" name
+
+let schedule ?options ?(name = "bnb") blk =
+  let (module B : Scheduler.S) = backend name in
+  B.schedule ?options machine (Dag.of_block blk)
+
+let all_clean what vs =
+  if not (Certify.certified vs) then
+    Alcotest.failf "%s: %s" what (Certify.explain_all vs);
+  true
+
+(* ------------------------------------------------------------------ *)
+(* Registry shape                                                      *)
+
+let registry_is_complete () =
+  Alcotest.(check (list string))
+    "registry names" [ "bnb"; "cp"; "portfolio"; "windowed"; "list" ]
+    Scheduler.names;
+  List.iter
+    (fun name ->
+      let (module B : Scheduler.S) = backend name in
+      Alcotest.(check string) "find is name-consistent" name B.name;
+      Alcotest.(check bool) "describe nonempty" true (B.describe <> ""))
+    Scheduler.names;
+  Alcotest.(check (option reject)) "unknown name" None
+    (Option.map ignore (Scheduler.find "no-such-backend"))
+
+(* ------------------------------------------------------------------ *)
+(* Certification: best and initial are legal, best-first ordered       *)
+
+let outcomes_certify =
+  qtest ~count:100 "every backend's best and initial certify clean"
+    (block_gen ~min_size:1 ~max_size:8 ()) block_print
+    (fun blk ->
+      List.for_all
+        (fun name ->
+          let o = schedule ~name blk in
+          all_clean (name ^ " best") (Certify.check machine blk o.Scheduler.best)
+          && all_clean (name ^ " initial")
+               (Certify.check machine blk o.Scheduler.initial)
+          && all_clean (name ^ " ordering")
+               (Certify.check_ordering
+                  [ (name ^ " best", o.Scheduler.best.Omega.nops);
+                    (name ^ " initial", o.Scheduler.initial.Omega.nops) ]))
+        Scheduler.names)
+
+(* ------------------------------------------------------------------ *)
+(* The completed / status / proved contract                            *)
+
+let contract_holds =
+  qtest ~count:100 "completed iff Complete iff proved (exact backends)"
+    (block_gen ~min_size:1 ~max_size:8 ()) block_print
+    (fun blk ->
+      List.for_all
+        (fun name ->
+          let o = schedule ~name blk in
+          if is_exact name then
+            o.Scheduler.completed = (o.Scheduler.status = Budget.Complete)
+            && o.Scheduler.completed = (o.Scheduler.proved <> None)
+            && (match o.Scheduler.proved with
+                | Some p -> p = o.Scheduler.best.Omega.nops
+                | None -> true)
+            && o.Scheduler.calls >= 0
+          else
+            (* Heuristics terminate naturally but never claim a proof. *)
+            (not o.Scheduler.completed)
+            && o.Scheduler.status = Budget.Complete
+            && o.Scheduler.proved = None)
+        Scheduler.names)
+
+(* ------------------------------------------------------------------ *)
+(* Exact backends agree with the trusted bnb optimum                   *)
+
+let exact_backends_agree =
+  qtest ~count:100 "cp and portfolio proofs name the bnb optimum"
+    (block_gen ~min_size:1 ~max_size:7 ()) block_print
+    (fun blk ->
+      let reference = schedule ~name:"bnb" blk in
+      if not reference.Scheduler.completed then QCheck2.assume_fail ()
+      else
+        let opt = reference.Scheduler.best.Omega.nops in
+        List.for_all
+          (fun name ->
+            let o = schedule ~name blk in
+            match o.Scheduler.proved with
+            | Some p -> p = opt
+            | None -> o.Scheduler.best.Omega.nops >= opt)
+          [ "cp"; "portfolio" ])
+
+(* ------------------------------------------------------------------ *)
+(* Anytime behavior: tiny budgets and pre-cancelled tokens             *)
+
+let anytime_under_tiny_lambda =
+  qtest ~count:80 "a starved budget still yields a legal incumbent"
+    (block_gen ~min_size:2 ~max_size:8 ()) block_print
+    (fun blk ->
+      let options = { Optimal.default_options with Optimal.lambda = 3 } in
+      List.for_all
+        (fun name ->
+          let o = schedule ~options ~name blk in
+          (o.Scheduler.status = Budget.Complete
+          || o.Scheduler.status = Budget.Curtailed_lambda)
+          && (o.Scheduler.status = Budget.Complete || not o.Scheduler.completed)
+          && all_clean (name ^ " starved best")
+               (Certify.check machine blk o.Scheduler.best))
+        exact)
+
+let anytime_under_cancellation =
+  qtest ~count:50 "a pre-cancelled token stops the search, legally"
+    (block_gen ~min_size:2 ~max_size:8 ()) block_print
+    (fun blk ->
+      List.for_all
+        (fun name ->
+          let t = Budget.token () in
+          Budget.cancel t;
+          let options =
+            { Optimal.default_options with Optimal.cancel = Some t }
+          in
+          let o = schedule ~options ~name blk in
+          (o.Scheduler.status = Budget.Cancelled
+          || o.Scheduler.status = Budget.Complete)
+          && all_clean (name ^ " cancelled best")
+               (Certify.check machine blk o.Scheduler.best))
+        exact)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism                                                         *)
+
+let deterministic_schedules =
+  qtest ~count:60 "serial backends reproduce the same schedule"
+    (block_gen ~min_size:1 ~max_size:7 ()) block_print
+    (fun blk ->
+      List.for_all
+        (fun name ->
+          let a = schedule ~name blk in
+          let b = schedule ~name blk in
+          a.Scheduler.best.Omega.order = b.Scheduler.best.Omega.order
+          && a.Scheduler.best.Omega.nops = b.Scheduler.best.Omega.nops)
+        [ "bnb"; "cp"; "windowed"; "list" ])
+
+let portfolio_deterministic_value =
+  qtest ~count:60 "the portfolio's proved value does not depend on the race"
+    (block_gen ~min_size:1 ~max_size:7 ()) block_print
+    (fun blk ->
+      let a = schedule ~name:"portfolio" blk in
+      let b = schedule ~name:"portfolio" blk in
+      match (a.Scheduler.proved, b.Scheduler.proved) with
+      | Some x, Some y ->
+        x = y
+        && a.Scheduler.best.Omega.nops = x
+        && b.Scheduler.best.Omega.nops = y
+      | _ ->
+        (* With the default budget both runs prove or neither does. *)
+        a.Scheduler.proved = b.Scheduler.proved)
+
+let () =
+  Alcotest.run "scheduler"
+    [ ( "registry",
+        [ Alcotest.test_case "names and lookup" `Quick registry_is_complete ] );
+      ( "conformance",
+        [ outcomes_certify; contract_holds; exact_backends_agree ] );
+      ("anytime", [ anytime_under_tiny_lambda; anytime_under_cancellation ]);
+      ("determinism", [ deterministic_schedules; portfolio_deterministic_value ])
+    ]
